@@ -1,0 +1,87 @@
+// Ablation — dynamic task queue vs static task partitioning (paper §5.3,
+// Fig. 4). On skewed workloads (power-law graph multiplication) the task
+// costs vary by orders of magnitude between hub and tail blocks; the shared
+// FIFO queue rebalances automatically while static per-thread chunks leave
+// threads idle behind the hub chunk.
+#include <cstdio>
+
+#include "apps/runner.h"
+#include "bench_util.h"
+#include "data/graph_gen.h"
+#include "data/synthetic.h"
+#include "runtime/block_size.h"
+
+using namespace dmac;
+using namespace dmac::bench;
+
+namespace {
+
+double RunWith(const LocalMatrix& a, int64_t bs, TaskScheduling scheduling) {
+  const double sparsity = static_cast<double>(a.Nnz()) /
+                          (static_cast<double>(a.rows()) * a.cols());
+  ProgramBuilder pb;
+  Mat m = pb.Load("A", a.shape(), sparsity);
+  Mat c = pb.Var("C");
+  pb.Assign(c, m.mm(m));
+  pb.Output(c);
+  Program p = pb.Build();
+  Bindings bindings{{"A", &a}};
+  RunConfig config;
+  config.block_size = bs;
+  // One worker, several threads: intra-worker scheduling is what's being
+  // measured (cross-worker placement is fixed by the partition scheme).
+  config.num_workers = 1;
+  config.threads_per_worker = 2;
+  config.task_scheduling = scheduling;
+  auto run = RunProgram(p, bindings, config);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return -1;
+  }
+  return run->result.stats.ComputeWallSeconds();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ScaleFactor(200);
+
+  PrintHeader("Ablation: dynamic task queue vs static task partitioning");
+  std::printf("%-22s | %10s | %10s | %7s\n", "workload", "queue (s)",
+              "static (s)", "ratio");
+  std::printf("-----------------------+------------+------------+--------\n");
+
+  {
+    // Skewed: power-law graph — hub block rows cost far more than tail,
+    // and they cluster at the front of the task list.
+    GraphSpec spec = LiveJournal().Scaled(scale);
+    spec.skew = 2.8;
+    const int64_t bs =
+        BlockSizeUpperBound({spec.nodes, spec.nodes}, 4, 2) / 8;
+    LocalMatrix adj = AdjacencyMatrix(spec, bs, 7);
+    const double queue = RunWith(adj, bs, TaskScheduling::kQueue);
+    const double fixed = RunWith(adj, bs, TaskScheduling::kStatic);
+    if (queue < 0 || fixed < 0) return 1;
+    std::printf("%-22s | %10.3f | %10.3f | %6.2fx\n",
+                "power-law graph (skew)", queue, fixed, fixed / queue);
+  }
+  {
+    // Uniform: same nnz spread evenly — both schedulers should tie.
+    GraphSpec spec = LiveJournal().Scaled(scale);
+    const int64_t bs =
+        BlockSizeUpperBound({spec.nodes, spec.nodes}, 4, 2) / 8;
+    const double sparsity =
+        static_cast<double>(spec.edges) /
+        (static_cast<double>(spec.nodes) * spec.nodes);
+    LocalMatrix uniform =
+        SyntheticSparse(spec.nodes, spec.nodes, sparsity, bs, 9);
+    const double queue = RunWith(uniform, bs, TaskScheduling::kQueue);
+    const double fixed = RunWith(uniform, bs, TaskScheduling::kStatic);
+    if (queue < 0 || fixed < 0) return 1;
+    std::printf("%-22s | %10.3f | %10.3f | %6.2fx\n",
+                "uniform sparse", queue, fixed, fixed / queue);
+  }
+  std::printf("\nThe Fig. 4 task queue wins under skew and ties on uniform\n"
+              "work — the reason DMac dispatches per result block.\n");
+  return 0;
+}

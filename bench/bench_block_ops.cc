@@ -1,0 +1,106 @@
+// Kernel micro-benchmarks (google-benchmark): the block-level primitives
+// every distributed operator is built from.
+#include <benchmark/benchmark.h>
+
+#include "matrix/block_ops.h"
+
+namespace dmac {
+namespace {
+
+void BM_MultiplyDenseDense(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomDenseBlock(n, n, 1);
+  Block b = RandomDenseBlock(n, n, 2);
+  for (auto _ : state) {
+    auto c = Multiply(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MultiplyDenseDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MultiplySparseDense(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomSparseBlock(n, n, 0.01, 1);
+  Block b = RandomDenseBlock(n, n, 2);
+  for (auto _ : state) {
+    auto c = Multiply(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MultiplySparseDense)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_SpGemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomSparseBlock(n, n, 0.01, 1);
+  Block b = RandomSparseBlock(n, n, 0.01, 2);
+  for (auto _ : state) {
+    auto c = MultiplySparse(a.sparse(), b.sparse());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SpGemm)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_MultiplyAccumulate(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomSparseBlock(n, n, 0.02, 1);
+  Block b = RandomDenseBlock(n, n, 2);
+  DenseBlock acc(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyAccumulate(a, b, &acc));
+  }
+}
+BENCHMARK(BM_MultiplyAccumulate)->Arg(256)->Arg(512);
+
+void BM_CellMultiplySparse(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomSparseBlock(n, n, 0.05, 1);
+  Block b = RandomDenseBlock(n, n, 2);
+  for (auto _ : state) {
+    auto c = CellMultiply(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CellMultiplySparse)->Arg(512)->Arg(1024);
+
+void BM_TransposeCsc(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomSparseBlock(n, n, 0.02, 1);
+  for (auto _ : state) {
+    Block t = a.Transposed();
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TransposeCsc)->Arg(512)->Arg(1024);
+
+void BM_TransposeDense(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomDenseBlock(n, n, 1);
+  for (auto _ : state) {
+    Block t = a.Transposed();
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TransposeDense)->Arg(256)->Arg(512);
+
+void BM_CompactFromDense(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  DenseBlock sparse_data = RandomSparseBlock(n, n, 0.05, 1).ToDense();
+  for (auto _ : state) {
+    Block c = CompactFromDense(sparse_data, 0.5);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CompactFromDense)->Arg(512)->Arg(1024);
+
+void BM_SumSparse(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Block a = RandomSparseBlock(n, n, 0.02, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sum(a));
+  }
+}
+BENCHMARK(BM_SumSparse)->Arg(1024);
+
+}  // namespace
+}  // namespace dmac

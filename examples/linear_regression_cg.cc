@@ -1,0 +1,48 @@
+// Conjugate-gradient linear regression (paper Code 4) on a synthetic sparse
+// design matrix: fits (VᵀV + λI) w = Vᵀy and prints residual convergence.
+//
+//   ./linear_regression_cg [examples] [features]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/linear_regression.h"
+#include "apps/runner.h"
+#include "data/synthetic.h"
+#include "runtime/block_size.h"
+
+using namespace dmac;
+
+int main(int argc, char** argv) {
+  const int64_t examples = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const int64_t features = argc > 2 ? std::atoll(argv[2]) : 2000;
+  const double sparsity = 0.005;
+
+  std::printf("Linear regression: V %lld x %lld (sparsity %.2f%%)\n",
+              static_cast<long long>(examples),
+              static_cast<long long>(features), 100 * sparsity);
+
+  const int64_t bs = ChooseBlockSize({examples, features}, 4, 2);
+  LocalMatrix v = SyntheticSparse(examples, features, sparsity, bs, 5);
+  LocalMatrix y = SyntheticDense(examples, 1, bs, 6);
+  Bindings bindings{{"V", &v}, {"y", &y}};
+
+  std::printf("%6s | %14s\n", "iters", "||r||^2");
+  std::printf("-------+---------------\n");
+  for (int iterations : {1, 2, 4, 8, 16}) {
+    LinRegConfig config{examples, features, sparsity, iterations, 1e-6};
+    RunConfig run;
+    run.block_size = bs;
+    auto outcome = RunProgram(BuildLinearRegressionProgram(config), bindings,
+                              run);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%6d | %14.4e\n", iterations,
+                outcome->result.scalars.at("norm_r2"));
+  }
+  std::printf("\nThe residual norm decreases as CG converges; V was "
+              "partitioned exactly once across all runs' plans.\n");
+  return 0;
+}

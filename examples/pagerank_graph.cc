@@ -1,0 +1,62 @@
+// PageRank over a power-law web graph (paper Code 2): shows how the planner
+// caches the link matrix under its Column scheme so each iteration only
+// broadcasts the small rank vector.
+//
+//   ./pagerank_graph [scale]   (default scale 500: soc-pokec/500)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "apps/runner.h"
+#include "data/graph_gen.h"
+#include "data/synthetic.h"
+#include "runtime/block_size.h"
+
+using namespace dmac;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 500.0;
+  GraphSpec spec = SocPokec().Scaled(scale);
+  const int iterations = 10;
+
+  std::printf("PageRank: %lld nodes, %lld edges, %d iterations\n",
+              static_cast<long long>(spec.nodes),
+              static_cast<long long>(spec.edges), iterations);
+
+  const int64_t bs = ChooseBlockSize({spec.nodes, spec.nodes}, 4, 2);
+  LocalMatrix link = RowNormalizedLink(spec, bs, 17);
+  LocalMatrix d = ConstantMatrix({1, spec.nodes}, bs,
+                                 1.0f / static_cast<Scalar>(spec.nodes));
+  const double link_sparsity =
+      static_cast<double>(link.Nnz()) /
+      (static_cast<double>(spec.nodes) * spec.nodes);
+  PageRankConfig config{spec.nodes, link_sparsity, iterations, 0.85};
+  Bindings bindings{{"link", &link}, {"D", &d}};
+
+  RunConfig run;
+  run.block_size = bs;
+  auto outcome = RunProgram(BuildPageRankProgram(config), bindings, run);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  const LocalMatrix& rank = outcome->result.matrices.at("rank");
+  std::vector<std::pair<Scalar, int64_t>> top;
+  for (int64_t c = 0; c < rank.cols(); ++c) top.push_back({rank.At(0, c), c});
+  std::partial_sort(top.begin(), top.begin() + std::min<size_t>(5, top.size()),
+                    top.end(), std::greater<>());
+  std::printf("top-5 nodes by rank:\n");
+  for (size_t i = 0; i < std::min<size_t>(5, top.size()); ++i) {
+    std::printf("  node %6lld  rank %.6f\n",
+                static_cast<long long>(top[i].second), top[i].first);
+  }
+  std::printf("communication: %.2f MB total — the link matrix (%.2f MB) was "
+              "moved once,\nthen only the rank vector travelled each "
+              "iteration.\n",
+              outcome->result.stats.comm_bytes() / 1e6,
+              static_cast<double>(link.MemoryBytes()) / 1e6);
+  return 0;
+}

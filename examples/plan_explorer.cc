@@ -1,0 +1,69 @@
+// Plan explorer: prints the execution plans DMac and the SystemML-S
+// baseline generate for each of the paper's five applications — the
+// textual analogue of the paper's Fig. 3 (GNMF plan with its stages).
+//
+//   ./plan_explorer [gnmf|pagerank|linreg|cf|svd] [--baseline] [--dot]
+//
+// With --dot, emits Graphviz (pipe through `dot -Tsvg` for a Fig.-3-style
+// picture of the plan).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/collab_filter.h"
+#include "apps/gnmf.h"
+#include "apps/linear_regression.h"
+#include "apps/pagerank.h"
+#include "apps/runner.h"
+#include "apps/svd_lanczos.h"
+#include "plan/plan_dot.h"
+
+using namespace dmac;
+
+int main(int argc, char** argv) {
+  std::string app = argc > 1 ? argv[1] : "gnmf";
+  bool baseline = false;
+  bool dot = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0) baseline = true;
+    if (std::strcmp(argv[i], "--dot") == 0) dot = true;
+  }
+
+  Program program;
+  if (app == "gnmf") {
+    // One iteration at Netflix scale: compare with the paper's Fig. 3.
+    program = BuildGnmfProgram({480189, 17770, 0.011, 200, 1});
+  } else if (app == "pagerank") {
+    program = BuildPageRankProgram({4847571, 2.9e-6, 2, 0.85});
+  } else if (app == "linreg") {
+    program = BuildLinearRegressionProgram({100000000, 100000, 1e-7, 2,
+                                            1e-6});
+  } else if (app == "cf") {
+    program = BuildCollabFilterProgram({17770, 480189, 0.011});
+  } else if (app == "svd") {
+    program = BuildSvdLanczosProgram({480189, 17770, 0.011, 2});
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s [gnmf|pagerank|linreg|cf|svd] [--baseline]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  RunConfig config;
+  config.exploit_dependencies = !baseline;
+  auto plan = PlanProgram(program, config);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  if (dot) {
+    std::printf("%s", PlanToDot(*plan).c_str());
+    return 0;
+  }
+  std::printf("=== %s plan for %s ===\n%s",
+              baseline ? "SystemML-S" : "DMac", app.c_str(),
+              plan->ToString().c_str());
+  std::printf("\nplan-time communication estimate: %.2f MB across %d "
+              "stages\n", plan->total_comm_bytes / 1e6, plan->num_stages);
+  return 0;
+}

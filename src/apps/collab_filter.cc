@@ -1,0 +1,17 @@
+#include "apps/collab_filter.h"
+
+namespace dmac {
+
+Program BuildCollabFilterProgram(const CollabFilterConfig& config) {
+  ProgramBuilder pb;
+  Mat R = pb.Load("R", {config.items, config.users}, config.sparsity);
+  Mat predict = pb.Var("predict");
+  pb.Assign(predict, R.mm(R.t()).mm(R));
+  // Normalization: scale predictions into rating range (a cheap stand-in
+  // for the paper's result.normalize).
+  pb.Assign(predict, predict * (1.0 / static_cast<double>(config.items)));
+  pb.Output(predict);
+  return pb.Build();
+}
+
+}  // namespace dmac

@@ -1,0 +1,26 @@
+// Item-based Collaborative Filtering (paper Code 3).
+//
+//   result = R %*% R.t %*% R
+//
+// R[i, j] is the rating of item i by user j; R·Rᵀ is the item-item
+// similarity matrix and its product with R the predicted ratings. The
+// paper's final normalization is a driver-side constant scale here.
+#pragma once
+
+#include <cstdint>
+
+#include "lang/program.h"
+
+namespace dmac {
+
+/// Collaborative filtering workload parameters.
+struct CollabFilterConfig {
+  int64_t items = 0;
+  int64_t users = 0;
+  double sparsity = 0.0;
+};
+
+/// Builds the CF program. Binding: "R" (items × users). Output: "predict".
+Program BuildCollabFilterProgram(const CollabFilterConfig& config);
+
+}  // namespace dmac

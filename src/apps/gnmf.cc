@@ -1,0 +1,19 @@
+#include "apps/gnmf.h"
+
+namespace dmac {
+
+Program BuildGnmfProgram(const GnmfConfig& config) {
+  ProgramBuilder pb;
+  Mat V = pb.Load("V", {config.rows, config.cols}, config.sparsity);
+  Mat W = pb.Random("W", {config.rows, config.factors});
+  Mat H = pb.Random("H", {config.factors, config.cols});
+  for (int i = 0; i < config.iterations; ++i) {
+    pb.Assign(H, H * (W.t().mm(V)) / (W.t().mm(W).mm(H)));
+    pb.Assign(W, W * (V.mm(H.t())) / (W.mm(H).mm(H.t())));
+  }
+  pb.Output(W);
+  pb.Output(H);
+  return pb.Build();
+}
+
+}  // namespace dmac

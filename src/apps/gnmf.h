@@ -1,0 +1,28 @@
+// Gaussian Non-Negative Matrix Factorization (paper Code 1).
+//
+// Finds W (d×k) and H (k×w) with V ≈ W·H via the multiplicative update
+// rules of Lee & Seung:
+//   H ← H ∘ (WᵀV) ⊘ (WᵀW H)
+//   W ← W ∘ (V Hᵀ) ⊘ (W H Hᵀ)
+#pragma once
+
+#include <cstdint>
+
+#include "lang/program.h"
+
+namespace dmac {
+
+/// GNMF workload parameters.
+struct GnmfConfig {
+  int64_t rows = 0;          // d: rows of V
+  int64_t cols = 0;          // w: columns of V
+  double sparsity = 1.0;     // sparsity of V
+  int64_t factors = 200;     // k (the paper uses 200 for Netflix)
+  int iterations = 10;
+};
+
+/// Builds the GNMF matrix program. The input matrix must be bound under
+/// the name "V"; outputs are "W" and "H".
+Program BuildGnmfProgram(const GnmfConfig& config);
+
+}  // namespace dmac

@@ -1,0 +1,43 @@
+#include "apps/linear_regression.h"
+
+namespace dmac {
+
+Program BuildLinearRegressionProgram(const LinRegConfig& config) {
+  ProgramBuilder pb;
+  Mat V = pb.Load("V", {config.examples, config.features}, config.sparsity);
+  Mat y = pb.Load("y", {config.examples, 1}, 1.0);
+  Mat w = pb.Random("w_model", {config.features, 1});
+
+  // r = (V.t %*% y) * -1;  p = r * -1;  norm_r2 = (r * r).sum
+  Mat r = pb.Var("r");
+  pb.Assign(r, (V.t().mm(y)) * -1.0);
+  Mat p = pb.Var("p");
+  pb.Assign(p, r * -1.0);
+  Scl norm_r2 = pb.ScalarVar("norm_r2", 0.0);
+  pb.Assign(norm_r2, (r * r).Sum());
+  Mat q = pb.Var("q");
+  Scl alpha = pb.ScalarVar("alpha", 0.0);
+  Scl beta = pb.ScalarVar("beta", 0.0);
+  Scl old_norm_r2 = pb.ScalarVar("old_norm_r2", 0.0);
+
+  for (int i = 0; i < config.iterations; ++i) {
+    // q = V.t %*% (V %*% p) + p * lambda
+    pb.Assign(q, V.t().mm(V.mm(p)) + p * config.lambda);
+    // alpha = norm_r2 / (p.t %*% q).value
+    pb.Assign(alpha, norm_r2 / (p.t().mm(q)).Value());
+    // w = w + p * alpha
+    pb.Assign(w, w + alpha * p);
+    // r = r + q * alpha
+    pb.Assign(old_norm_r2, norm_r2);
+    pb.Assign(r, r + alpha * q);
+    pb.Assign(norm_r2, (r * r).Sum());
+    // beta = norm_r2 / old_norm_r2;  p = r * -1 + p * beta
+    pb.Assign(beta, norm_r2 / old_norm_r2);
+    pb.Assign(p, r * -1.0 + beta * p);
+  }
+  pb.Output(w);
+  pb.OutputScalar(norm_r2);
+  return pb.Build();
+}
+
+}  // namespace dmac

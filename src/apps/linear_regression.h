@@ -1,0 +1,27 @@
+// Conjugate-gradient Linear Regression (paper Code 4).
+//
+// Solves (VᵀV + λI)·w = Vᵀy by CG. Each row of V is a training point in a
+// sparse feature space; y holds the target labels.
+#pragma once
+
+#include <cstdint>
+
+#include "lang/program.h"
+
+namespace dmac {
+
+/// Linear regression workload parameters.
+struct LinRegConfig {
+  int64_t examples = 0;      // rows of V
+  int64_t features = 0;      // columns of V
+  double sparsity = 0.0;     // sparsity of V
+  int iterations = 10;
+  double lambda = 1e-6;
+};
+
+/// Builds the CG linear-regression program. Bindings: "V" (examples ×
+/// features) and "y" (examples × 1). Outputs: "w_model" plus the scalar
+/// "norm_r2" (final squared residual norm).
+Program BuildLinearRegressionProgram(const LinRegConfig& config);
+
+}  // namespace dmac

@@ -1,0 +1,35 @@
+// Single-machine interpreter for matrix programs.
+//
+// Plays two roles:
+//  * the "R" baseline of Fig. 6 — an efficient in-memory single-node matrix
+//    engine running the same program, and
+//  * the correctness oracle the distributed executor is tested against.
+//
+// Random leaves use the same deterministic per-block seeds as the executor,
+// so distributed and local runs compute on identical inputs and results are
+// comparable up to floating-point reassociation.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "lang/program.h"
+#include "matrix/local_matrix.h"
+#include "runtime/executor.h"
+
+namespace dmac {
+
+/// Result of interpreting a program locally.
+struct LocalRunResult {
+  std::unordered_map<std::string, LocalMatrix> matrices;
+  std::unordered_map<std::string, double> scalars;
+  double seconds = 0;
+};
+
+/// Interprets `program` directly over LocalMatrix. `block_size` and `seed`
+/// must match the executor's options for bit-compatible random leaves.
+Result<LocalRunResult> InterpretLocally(const Program& program,
+                                        const Bindings& bindings,
+                                        int64_t block_size, uint64_t seed);
+
+}  // namespace dmac

@@ -1,0 +1,29 @@
+#include "apps/logistic_regression.h"
+
+namespace dmac {
+
+Program BuildLogisticRegressionProgram(const LogRegConfig& config) {
+  ProgramBuilder pb;
+  Mat V = pb.Load("V", {config.examples, config.features}, config.sparsity);
+  Mat y = pb.Load("y", {config.examples, 1}, 1.0);
+  Mat w = pb.Random("w_model", {config.features, 1});
+  // Start near zero so the sigmoid is unsaturated.
+  pb.Assign(w, w * 0.01);
+
+  Mat p = pb.Var("p");
+  Mat diff = pb.Var("diff");
+  const double step = config.learning_rate /
+                      static_cast<double>(config.examples);
+  for (int i = 0; i < config.iterations; ++i) {
+    pb.Assign(p, (V.mm(w)).Sigmoid());
+    pb.Assign(diff, p - y);
+    pb.Assign(w, w - (V.t().mm(diff)) * step);
+  }
+  Scl loss = pb.ScalarVar("train_loss", 0.0);
+  pb.Assign(loss, (diff * diff).Sum());
+  pb.Output(w);
+  pb.OutputScalar(loss);
+  return pb.Build();
+}
+
+}  // namespace dmac

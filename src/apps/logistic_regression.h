@@ -1,0 +1,34 @@
+// Logistic regression by batch gradient descent.
+//
+// An extension application beyond the paper's five: exercises the
+// element-wise unary operators (sigmoid) together with the same V / Vᵀ
+// dependency pattern as the paper's linear regression —
+//
+//   p = sigmoid(V %*% w)
+//   g = Vᵀ %*% (p - y)
+//   w = w - (alpha / n) * g
+//
+// so the planner must again keep V partitioned once and derive Vᵀ locally.
+#pragma once
+
+#include <cstdint>
+
+#include "lang/program.h"
+
+namespace dmac {
+
+/// Logistic regression workload parameters.
+struct LogRegConfig {
+  int64_t examples = 0;   // rows of V
+  int64_t features = 0;   // columns of V
+  double sparsity = 0.0;  // sparsity of V
+  int iterations = 10;
+  double learning_rate = 1.0;
+};
+
+/// Builds the program. Bindings: "V" (examples × features) and "y"
+/// (examples × 1, labels in {0,1}). Outputs: "w_model" and the scalar
+/// "train_loss" (final logistic loss numerator Σ(p−y)²; monotone proxy).
+Program BuildLogisticRegressionProgram(const LogRegConfig& config);
+
+}  // namespace dmac

@@ -1,0 +1,19 @@
+#include "apps/pagerank.h"
+
+namespace dmac {
+
+Program BuildPageRankProgram(const PageRankConfig& config) {
+  ProgramBuilder pb;
+  Mat link = pb.Load("link", {config.nodes, config.nodes},
+                     config.link_sparsity);
+  Mat D = pb.Load("D", {1, config.nodes}, 1.0);
+  Mat rank = pb.Random("rank", {1, config.nodes});
+  for (int i = 0; i < config.iterations; ++i) {
+    pb.Assign(rank, (rank.mm(link)) * config.damping +
+                        D * (1.0 - config.damping));
+  }
+  pb.Output(rank);
+  return pb.Build();
+}
+
+}  // namespace dmac

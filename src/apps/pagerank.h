@@ -1,0 +1,27 @@
+// PageRank (paper Code 2).
+//
+//   rank = (rank %*% link) * 0.85 + D * 0.15
+//
+// `link` is the row-normalized N×N adjacency matrix, `rank` a 1×N vector,
+// and D the uniform teleport vector (all 1/N).
+#pragma once
+
+#include <cstdint>
+
+#include "lang/program.h"
+
+namespace dmac {
+
+/// PageRank workload parameters.
+struct PageRankConfig {
+  int64_t nodes = 0;
+  double link_sparsity = 0.0;  // nnz(link) / N^2
+  int iterations = 10;
+  double damping = 0.85;
+};
+
+/// Builds the PageRank program. Bindings: "link" (N×N row-normalized) and
+/// "D" (1×N teleport vector). Output: "rank".
+Program BuildPageRankProgram(const PageRankConfig& config);
+
+}  // namespace dmac

@@ -1,0 +1,85 @@
+#include "apps/runner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/timer.h"
+#include "lang/decompose.h"
+#include "plan/size_estimator.h"
+#include "runtime/block_size.h"
+
+namespace dmac {
+
+namespace {
+
+PlannerOptions ToPlannerOptions(const RunConfig& config) {
+  PlannerOptions opts;
+  opts.num_workers = config.num_workers;
+  opts.exploit_dependencies = config.exploit_dependencies;
+  opts.pull_up_broadcast = config.pull_up_broadcast;
+  opts.reassignment = config.reassignment;
+  return opts;
+}
+
+}  // namespace
+
+Result<Plan> PlanProgram(const Program& program, const RunConfig& config) {
+  DMAC_ASSIGN_OR_RETURN(OperatorList ops, Decompose(program));
+  return GeneratePlan(ops, ToPlannerOptions(config));
+}
+
+Result<int64_t> ChooseProgramBlockSize(const Program& program, int workers,
+                                       int threads_per_worker) {
+  DMAC_ASSIGN_OR_RETURN(OperatorList ops, Decompose(program));
+  DMAC_ASSIGN_OR_RETURN(StatsMap stats, EstimateSizes(ops));
+
+  int64_t largest_extent = 1;
+  int64_t largest_elements = 1;
+  for (const auto& [name, s] : stats) {
+    largest_extent = std::max({largest_extent, s.shape.rows, s.shape.cols});
+    largest_elements = std::max(largest_elements, s.shape.NumElements());
+  }
+
+  int64_t bound = std::numeric_limits<int64_t>::max();
+  for (const auto& [name, s] : stats) {
+    if (s.shape.rows <= 1 || s.shape.cols <= 1) continue;  // vectors exempt
+    // Matrices far smaller than the dominant one compute trivially; letting
+    // a k×k factor dictate the block side would shred the big operands.
+    if (s.shape.NumElements() * 1000 < largest_elements) continue;
+    bound = std::min(bound,
+                     BlockSizeUpperBound(s.shape, workers,
+                                         threads_per_worker));
+  }
+  if (bound == std::numeric_limits<int64_t>::max()) bound = largest_extent;
+  return std::clamp<int64_t>(bound, std::min<int64_t>(32, largest_extent),
+                             largest_extent);
+}
+
+Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
+                              const RunConfig& config) {
+  Timer plan_timer;
+  DMAC_ASSIGN_OR_RETURN(OperatorList ops, Decompose(program));
+  DMAC_ASSIGN_OR_RETURN(Plan plan, GeneratePlan(ops, ToPlannerOptions(config)));
+  const double plan_seconds = plan_timer.ElapsedSeconds();
+
+  ExecutorOptions eopts;
+  eopts.num_workers = config.num_workers;
+  eopts.threads_per_worker = config.threads_per_worker;
+  eopts.block_size = config.block_size;
+  eopts.local_mode = config.local_mode;
+  eopts.task_scheduling = config.task_scheduling;
+  eopts.seed = config.seed;
+  Executor executor(eopts);
+
+  Timer exec_timer;
+  DMAC_ASSIGN_OR_RETURN(ExecutionResult result,
+                        executor.Execute(plan, bindings));
+  RunOutcome outcome;
+  outcome.execute_seconds = exec_timer.ElapsedSeconds();
+  outcome.plan = std::move(plan);
+  outcome.result = std::move(result);
+  outcome.plan_seconds = plan_seconds;
+  return outcome;
+}
+
+}  // namespace dmac

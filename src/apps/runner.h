@@ -1,0 +1,57 @@
+// One-call pipeline: program → decompose → plan → distributed execution.
+//
+// This is the main entry point applications use; benchmarks toggle
+// `exploit_dependencies` to switch between DMac and the SystemML-S
+// baseline (§6.1: the only difference between the two systems).
+#pragma once
+
+#include "common/result.h"
+#include "lang/program.h"
+#include "plan/planner.h"
+#include "runtime/executor.h"
+
+namespace dmac {
+
+/// Configuration of a full program run.
+struct RunConfig {
+  int num_workers = 4;
+  int threads_per_worker = 2;
+  /// 0 = adopt the block size of the first binding.
+  int64_t block_size = 0;
+  /// true = DMac planner; false = SystemML-S baseline planner.
+  bool exploit_dependencies = true;
+  /// Planner heuristics (for ablations).
+  bool pull_up_broadcast = true;
+  bool reassignment = true;
+  /// In-place vs buffered local multiplication (Fig. 7 ablation).
+  LocalMode local_mode = LocalMode::kInPlace;
+  /// Task-queue vs static local scheduling (Fig. 4 ablation).
+  TaskScheduling task_scheduling = TaskScheduling::kQueue;
+  uint64_t seed = 42;
+};
+
+/// Outcome of a run: results, runtime statistics, and the plan that ran.
+struct RunOutcome {
+  Plan plan;
+  ExecutionResult result;
+  double plan_seconds = 0;     // planning (driver) time
+  double execute_seconds = 0;  // measured wall time of the whole execution
+};
+
+/// Decomposes, plans, and executes `program` with `bindings`.
+Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
+                              const RunConfig& config);
+
+/// Plans only (no execution); useful for plan-quality experiments.
+Result<Plan> PlanProgram(const Program& program, const RunConfig& config);
+
+/// Chooses one square block side for the whole program: the Eq. 3 bound
+/// must hold for every (estimated) matrix the program touches, or some
+/// operator ends up with fewer result blocks than workers·threads and
+/// loses its parallelism. Vectors (a dimension of 1) are exempt — they
+/// would otherwise shred every block grid — and the result is floored at
+/// 32.
+Result<int64_t> ChooseProgramBlockSize(const Program& program, int workers,
+                                       int threads_per_worker);
+
+}  // namespace dmac

@@ -1,0 +1,128 @@
+#include "apps/svd_lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmac {
+
+Program BuildSvdLanczosProgram(const SvdConfig& config) {
+  ProgramBuilder pb;
+  Mat V = pb.Load("V", {config.rows, config.cols}, config.sparsity);
+  // vc: current Lanczos vector (unit), vp: previous vector.
+  Mat vc = pb.Var("vc");
+  Mat vp = pb.Var("vp");
+  Mat w = pb.Var("w_lanczos");
+  Mat vc0 = pb.Random("vc0", {config.cols, 1});
+  // Normalize the start vector: vc = vc0 / ||vc0||.
+  Scl inv_n0 = pb.ScalarVar("inv_n0", 0.0);
+  pb.Assign(inv_n0, Scl(1.0) / (vc0 * vc0).Sum().Sqrt());
+  pb.Assign(vc, inv_n0 * vc0);
+  pb.Assign(vp, vc * 0.0);
+  Scl beta = pb.ScalarVar("beta", 0.0);
+
+  for (int i = 0; i < config.rank; ++i) {
+    const std::string suffix = "_" + std::to_string(i);
+    // w = V.t %*% (V %*% vc)
+    pb.Assign(w, V.t().mm(V.mm(vc)));
+    // alpha_i = (vc.t %*% w).value
+    Scl alpha_i = pb.ScalarVar("alpha" + suffix, 0.0);
+    pb.Assign(alpha_i, (vc.t().mm(w)).Value());
+    // w = w - vp * beta - vc * alpha
+    pb.Assign(w, w - beta * vp - alpha_i * vc);
+    // beta_i = ||w||
+    Scl beta_i = pb.ScalarVar("beta" + suffix, 0.0);
+    pb.Assign(beta_i, (w * w).Sum().Sqrt());
+    pb.Assign(beta, beta_i);
+    // vp = vc; vc = w / beta
+    pb.Assign(vp, vc);
+    Scl inv_beta = pb.ScalarVar("inv_beta" + suffix, 0.0);
+    pb.Assign(inv_beta, Scl(1.0) / beta_i);
+    pb.Assign(vc, inv_beta * w);
+    pb.OutputScalar(alpha_i);
+    pb.OutputScalar(beta_i);
+  }
+  pb.Output(vc);
+  return pb.Build();
+}
+
+Result<std::vector<double>> TridiagonalEigenvalues(std::vector<double> alpha,
+                                                   std::vector<double> beta) {
+  // Implicit-shift QL iteration (Numerical-Recipes style tqli, eigenvalues
+  // only). alpha: diagonal (n), beta: sub-diagonal (n-1 used).
+  const size_t n = alpha.size();
+  if (n == 0) return std::vector<double>{};
+  std::vector<double>& d = alpha;
+  std::vector<double> e(n, 0.0);
+  for (size_t i = 0; i + 1 < n; ++i) e[i] = i < beta.size() ? beta[i] : 0.0;
+
+  for (size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-14 * dd) break;
+      }
+      if (m != l) {
+        if (++iterations == 50) {
+          return Status::Internal("tridiagonal QL failed to converge");
+        }
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m >= l + 2) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+Result<std::vector<double>> SingularValuesFromScalars(
+    const SvdConfig& config,
+    const std::unordered_map<std::string, double>& scalars) {
+  std::vector<double> alpha, beta;
+  for (int i = 0; i < config.rank; ++i) {
+    auto a = scalars.find("alpha_" + std::to_string(i));
+    auto b = scalars.find("beta_" + std::to_string(i));
+    if (a == scalars.end() || b == scalars.end()) {
+      return Status::NotFound("missing Lanczos scalar for step " +
+                              std::to_string(i));
+    }
+    alpha.push_back(a->second);
+    if (i + 1 < config.rank) beta.push_back(b->second);
+  }
+  DMAC_ASSIGN_OR_RETURN(std::vector<double> eig,
+                        TridiagonalEigenvalues(std::move(alpha),
+                                               std::move(beta)));
+  std::vector<double> singular;
+  for (double v : eig) {
+    if (v > 0) singular.push_back(std::sqrt(v));
+  }
+  std::sort(singular.rbegin(), singular.rend());
+  return singular;
+}
+
+}  // namespace dmac

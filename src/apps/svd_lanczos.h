@@ -1,0 +1,43 @@
+// Singular Value Decomposition via the Lanczos algorithm (paper Code 5).
+//
+// Runs `rank` Lanczos iterations on the implicit operator VᵀV, collecting
+// the tridiagonal coefficients (alpha_i, beta_i) as driver-side scalars.
+// The singular values of V are the square roots of the eigenvalues of the
+// resulting tridiagonal matrix, computed locally with an implicit-shift QL
+// solver (the paper's triDiag.computeSingularValue()).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/program.h"
+
+namespace dmac {
+
+/// SVD workload parameters.
+struct SvdConfig {
+  int64_t rows = 0;   // rows of V
+  int64_t cols = 0;   // columns of V (the Lanczos space dimension)
+  double sparsity = 0.0;
+  int rank = 20;      // number of Lanczos steps / approximated values
+};
+
+/// Builds the Lanczos program. Binding: "V". Scalar outputs: "alpha_<i>"
+/// and "beta_<i>" for i in [0, rank).
+Program BuildSvdLanczosProgram(const SvdConfig& config);
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `alpha`
+/// and off-diagonal `beta` (beta[i] couples i and i+1), ascending order.
+/// Implicit-shift QL iteration; fails only if it does not converge.
+Result<std::vector<double>> TridiagonalEigenvalues(
+    std::vector<double> alpha, std::vector<double> beta);
+
+/// Extracts approximated singular values from an executed Lanczos run's
+/// scalar outputs (sqrt of the positive tridiagonal eigenvalues, descending).
+Result<std::vector<double>> SingularValuesFromScalars(
+    const SvdConfig& config,
+    const std::unordered_map<std::string, double>& scalars);
+
+}  // namespace dmac

@@ -1,0 +1,25 @@
+#include "baseline/scidb_sim.h"
+
+namespace dmac {
+
+Result<MmSimResult> ScidbSim::Multiply(const LocalMatrix& a,
+                                       const LocalMatrix& b) const {
+  ScalapackSim summa(options_.grid);
+  DMAC_ASSIGN_OR_RETURN(MmSimResult result, summa.Multiply(a, b));
+
+  // Redistribution of every chunk of both operands into the block-cyclic
+  // layout ScaLAPACK requires (dense encoding — SciDB's dense chunks).
+  const double a_dense = 4.0 * static_cast<double>(a.rows()) * a.cols();
+  const double b_dense = 4.0 * static_cast<double>(b.rows()) * b.cols();
+  result.comm_bytes += a_dense + b_dense;
+
+  const int64_t chunks = a.grid().num_blocks() + b.grid().num_blocks() +
+                         result.c.grid().num_blocks();
+  result.comm_messages += chunks;
+  result.overhead_seconds += options_.fixed_overhead_sec +
+                             options_.per_chunk_overhead_sec *
+                                 static_cast<double>(chunks);
+  return result;
+}
+
+}  // namespace dmac

@@ -1,0 +1,50 @@
+// Minimal leveled logging and invariant checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dmac {
+namespace internal {
+
+/// Formats and prints one log line; aborts if `fatal`.
+inline void LogLine(const char* level, const std::string& msg, bool fatal) {
+  std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+  if (fatal) std::abort();
+}
+
+class LogMessage {
+ public:
+  LogMessage(const char* level, bool fatal) : level_(level), fatal_(fatal) {}
+  ~LogMessage() { LogLine(level_, stream_.str(), fatal_); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dmac
+
+#define DMAC_LOG_INFO ::dmac::internal::LogMessage("INFO", false).stream()
+#define DMAC_LOG_WARN ::dmac::internal::LogMessage("WARN", false).stream()
+#define DMAC_LOG_FATAL ::dmac::internal::LogMessage("FATAL", true).stream()
+
+/// Process-fatal invariant check. Active in all build types: these guard
+/// internal consistency of the engine, not user input (user input errors are
+/// reported via Status).
+#define DMAC_CHECK(cond)                                                   \
+  if (!(cond))                                                             \
+  DMAC_LOG_FATAL << "Check failed: " #cond " at " << __FILE__ << ":"       \
+                 << __LINE__ << " "
+
+#define DMAC_CHECK_EQ(a, b) DMAC_CHECK((a) == (b))
+#define DMAC_CHECK_NE(a, b) DMAC_CHECK((a) != (b))
+#define DMAC_CHECK_LT(a, b) DMAC_CHECK((a) < (b))
+#define DMAC_CHECK_LE(a, b) DMAC_CHECK((a) <= (b))
+#define DMAC_CHECK_GT(a, b) DMAC_CHECK((a) > (b))
+#define DMAC_CHECK_GE(a, b) DMAC_CHECK((a) >= (b))

@@ -1,0 +1,64 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dmac {
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// Use `ok()` to branch; `ValueOrDie()`/`operator*` assert success. This is a
+/// deliberately small subset of absl::StatusOr sufficient for DMac.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result-producing expression to `lhs`, or returns
+/// the error to the caller.
+#define DMAC_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto DMAC_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!DMAC_CONCAT_(_res_, __LINE__).ok())        \
+    return DMAC_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(DMAC_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define DMAC_CONCAT_INNER_(a, b) a##b
+#define DMAC_CONCAT_(a, b) DMAC_CONCAT_INNER_(a, b)
+
+}  // namespace dmac

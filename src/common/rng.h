@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for reproducible workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace dmac {
+
+/// SplitMix64: used to seed Xoshiro and for cheap independent streams.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** — fast, high-quality, deterministic PRNG. Every random
+/// matrix/graph in DMac is generated from an explicit seed so that plans,
+/// results, and benchmarks are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill here; modulo bias
+    // is negligible for bounds far below 2^64.
+    return Next() % bound;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace dmac

@@ -1,0 +1,90 @@
+// Status: error-handling primitive used across DMac (no exceptions on core
+// paths, following the Arrow/RocksDB idiom).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dmac {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kDimensionMismatch,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. A `Status` is either OK (carries no
+/// payload) or an error with a code and a message.
+///
+/// Functions that can fail return `Status` (or `Result<T>`); callers must
+/// check with `ok()` before relying on side effects.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status DimensionMismatch(std::string msg) {
+    return Status(StatusCode::kDimensionMismatch, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define DMAC_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::dmac::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace dmac

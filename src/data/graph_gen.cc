@@ -1,0 +1,82 @@
+#include "data/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "data/triplets.h"
+
+namespace dmac {
+
+GraphSpec GraphSpec::Scaled(double factor) const {
+  GraphSpec out = *this;
+  out.nodes = std::max<int64_t>(1, static_cast<int64_t>(nodes / factor));
+  out.edges = std::max<int64_t>(1, static_cast<int64_t>(edges / factor));
+  return out;
+}
+
+GraphSpec SocPokec() { return {"soc-pokec", 1632803, 30622564, 2.0}; }
+GraphSpec CitPatents() { return {"cit-Patents", 3774768, 16518978, 1.6}; }
+GraphSpec LiveJournal() { return {"LiveJournal", 4847571, 68993773, 2.0}; }
+GraphSpec Wikipedia() { return {"Wikipedia", 25942254, 601038301, 2.4}; }
+
+namespace {
+
+/// Power-law endpoint sampling: node = floor(n · u^skew) concentrates mass
+/// on low indices with an approximately power-law frequency profile.
+int64_t SampleNode(Rng& rng, int64_t n, double skew) {
+  const double u = rng.NextDouble();
+  const int64_t node = static_cast<int64_t>(std::pow(u, skew) *
+                                            static_cast<double>(n));
+  return node >= n ? n - 1 : node;
+}
+
+std::vector<Triplet> GenerateEdges(const GraphSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> edges;
+  edges.reserve(static_cast<size_t>(spec.edges));
+  for (int64_t e = 0; e < spec.edges; ++e) {
+    const int64_t src = SampleNode(rng, spec.nodes, spec.skew);
+    const int64_t dst = SampleNode(rng, spec.nodes, spec.skew);
+    edges.push_back({src, dst, 1.0f});
+  }
+  return edges;
+}
+
+}  // namespace
+
+LocalMatrix AdjacencyMatrix(const GraphSpec& spec, int64_t block_size,
+                            uint64_t seed) {
+  std::vector<Triplet> edges = GenerateEdges(spec, seed);
+  // Duplicate edges collapse to 1.0 (adjacency, not multiplicity).
+  for (Triplet& t : edges) t.value = 1.0f;
+  LocalMatrix m = MatrixFromTriplets({spec.nodes, spec.nodes}, block_size,
+                                     edges);
+  // Clamp summed duplicates back to 1.
+  for (int64_t bi = 0; bi < m.grid().block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < m.grid().block_cols(); ++bj) {
+      Block& b = m.BlockAt(bi, bj);
+      CscBlock& s = b.sparse();
+      std::vector<Scalar> values(s.values().size(), 1.0f);
+      b = Block(CscBlock(s.rows(), s.cols(), s.col_ptr(), s.row_idx(),
+                         std::move(values)));
+    }
+  }
+  return m;
+}
+
+LocalMatrix RowNormalizedLink(const GraphSpec& spec, int64_t block_size,
+                              uint64_t seed) {
+  std::vector<Triplet> edges = GenerateEdges(spec, seed);
+  std::unordered_map<int64_t, int64_t> outdeg;
+  outdeg.reserve(edges.size());
+  for (const Triplet& t : edges) ++outdeg[t.row];
+  for (Triplet& t : edges) {
+    t.value = 1.0f / static_cast<Scalar>(outdeg[t.row]);
+  }
+  // Duplicate edges: their normalized weights sum, keeping row sums at 1.
+  return MatrixFromTriplets({spec.nodes, spec.nodes}, block_size, edges);
+}
+
+}  // namespace dmac

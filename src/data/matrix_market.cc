@@ -1,0 +1,169 @@
+#include "data/matrix_market.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "data/triplets.h"
+
+namespace dmac {
+
+namespace {
+
+struct Header {
+  bool coordinate = true;   // else: array
+  bool pattern = false;     // entries have no value (treated as 1)
+  bool symmetric = false;
+};
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+Result<Header> ParseHeader(const std::string& line) {
+  std::istringstream in(line);
+  std::string banner, object, format, field, symmetry;
+  in >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    return Status::Invalid("not a MatrixMarket file (missing banner)");
+  }
+  if (ToLower(object) != "matrix") {
+    return Status::Unsupported("MatrixMarket object '" + object + "'");
+  }
+  Header h;
+  const std::string fmt = ToLower(format);
+  if (fmt == "coordinate") {
+    h.coordinate = true;
+  } else if (fmt == "array") {
+    h.coordinate = false;
+  } else {
+    return Status::Unsupported("MatrixMarket format '" + format + "'");
+  }
+  const std::string fld = ToLower(field);
+  if (fld == "pattern") {
+    h.pattern = true;
+  } else if (fld != "real" && fld != "integer") {
+    return Status::Unsupported("MatrixMarket field '" + field + "'");
+  }
+  const std::string sym = ToLower(symmetry);
+  if (sym == "symmetric") {
+    h.symmetric = true;
+  } else if (sym != "general") {
+    return Status::Unsupported("MatrixMarket symmetry '" + symmetry + "'");
+  }
+  if (!h.coordinate && h.pattern) {
+    return Status::Invalid("array format cannot be pattern");
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<LocalMatrix> ParseMatrixMarket(const std::string& content,
+                                      int64_t block_size) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Invalid("empty MatrixMarket input");
+  }
+  DMAC_ASSIGN_OR_RETURN(Header header, ParseHeader(line));
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  int64_t rows = 0, cols = 0, nnz = 0;
+  if (header.coordinate) {
+    if (!(dims >> rows >> cols >> nnz)) {
+      return Status::Invalid("bad coordinate size line: " + line);
+    }
+  } else {
+    if (!(dims >> rows >> cols)) {
+      return Status::Invalid("bad array size line: " + line);
+    }
+  }
+  if (rows <= 0 || cols <= 0) {
+    return Status::Invalid("non-positive MatrixMarket dimensions");
+  }
+
+  std::vector<Triplet> triplets;
+  if (header.coordinate) {
+    triplets.reserve(static_cast<size_t>(header.symmetric ? 2 * nnz : nnz));
+    for (int64_t k = 0; k < nnz; ++k) {
+      if (!std::getline(in, line)) {
+        return Status::Invalid("truncated MatrixMarket entries (expected " +
+                               std::to_string(nnz) + ")");
+      }
+      std::istringstream entry(line);
+      int64_t r, c;
+      double v = 1.0;
+      if (!(entry >> r >> c)) {
+        return Status::Invalid("bad MatrixMarket entry: " + line);
+      }
+      if (!header.pattern && !(entry >> v)) {
+        return Status::Invalid("missing value in entry: " + line);
+      }
+      if (r < 1 || r > rows || c < 1 || c > cols) {
+        return Status::OutOfRange("MatrixMarket index out of bounds: " +
+                                  line);
+      }
+      triplets.push_back({r - 1, c - 1, static_cast<Scalar>(v)});
+      if (header.symmetric && r != c) {
+        triplets.push_back({c - 1, r - 1, static_cast<Scalar>(v)});
+      }
+    }
+  } else {
+    // Array format: column-major dense values.
+    triplets.reserve(static_cast<size_t>(rows * cols));
+    for (int64_t c = 0; c < cols; ++c) {
+      for (int64_t r = 0; r < rows; ++r) {
+        double v;
+        if (!(in >> v)) {
+          return Status::Invalid("truncated MatrixMarket array data");
+        }
+        if (v != 0) triplets.push_back({r, c, static_cast<Scalar>(v)});
+      }
+    }
+  }
+  LocalMatrix m = MatrixFromTriplets({rows, cols}, block_size, triplets);
+  return m.Compacted();
+}
+
+Result<LocalMatrix> ReadMatrixMarket(const std::string& path,
+                                     int64_t block_size) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseMatrixMarket(buffer.str(), block_size);
+}
+
+Status WriteMatrixMarket(const LocalMatrix& matrix, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::Invalid("cannot write " + path);
+  file << "%%MatrixMarket matrix coordinate real general\n";
+  file << "% written by DMac\n";
+  file << matrix.rows() << " " << matrix.cols() << " " << matrix.Nnz()
+       << "\n";
+  const int64_t bs = matrix.block_size();
+  for (int64_t bi = 0; bi < matrix.grid().block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < matrix.grid().block_cols(); ++bj) {
+      const Block& block = matrix.BlockAt(bi, bj);
+      const CscBlock sparse = block.ToSparse();
+      for (int64_t c = 0; c < sparse.cols(); ++c) {
+        for (int32_t p = sparse.ColStart(c); p < sparse.ColEnd(c); ++p) {
+          file << (bi * bs + sparse.row_idx()[p] + 1) << " "
+               << (bj * bs + c + 1) << " " << sparse.values()[p] << "\n";
+        }
+      }
+    }
+  }
+  return file.good() ? Status::Ok()
+                     : Status::Internal("I/O error writing " + path);
+}
+
+}  // namespace dmac

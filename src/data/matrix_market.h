@@ -1,0 +1,28 @@
+// Matrix Market (.mtx) I/O — lets the library run on real datasets (the
+// SNAP/KONECT graphs the paper uses are distributed in convertible edge-list
+// or MatrixMarket form).
+//
+// Supported: `matrix coordinate real|integer|pattern general|symmetric`
+// and `matrix array real|integer general`.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/local_matrix.h"
+
+namespace dmac {
+
+/// Parses MatrixMarket text into a blocked LocalMatrix.
+Result<LocalMatrix> ReadMatrixMarket(const std::string& path,
+                                     int64_t block_size);
+
+/// Parses MatrixMarket from an in-memory string (testing, embedding).
+Result<LocalMatrix> ParseMatrixMarket(const std::string& content,
+                                      int64_t block_size);
+
+/// Writes a LocalMatrix in coordinate format (sparse blocks) — always
+/// `matrix coordinate real general` with 1-based indices.
+Status WriteMatrixMarket(const LocalMatrix& matrix, const std::string& path);
+
+}  // namespace dmac

@@ -1,0 +1,27 @@
+#include "data/netflix_gen.h"
+
+#include "common/rng.h"
+#include "data/triplets.h"
+
+namespace dmac {
+
+LocalMatrix NetflixRatings(const NetflixSpec& spec, int64_t block_size,
+                           uint64_t seed) {
+  Rng rng(seed);
+  const int64_t target = static_cast<int64_t>(
+      spec.sparsity * static_cast<double>(spec.users) *
+      static_cast<double>(spec.movies));
+  std::vector<Triplet> ratings;
+  ratings.reserve(static_cast<size_t>(target));
+  for (int64_t i = 0; i < target; ++i) {
+    const int64_t user = static_cast<int64_t>(rng.NextBounded(
+        static_cast<uint64_t>(spec.users)));
+    const int64_t movie = static_cast<int64_t>(rng.NextBounded(
+        static_cast<uint64_t>(spec.movies)));
+    const Scalar rating = static_cast<Scalar>(1 + rng.NextBounded(5));
+    ratings.push_back({user, movie, rating});
+  }
+  return MatrixFromTriplets({spec.users, spec.movies}, block_size, ratings);
+}
+
+}  // namespace dmac

@@ -1,0 +1,36 @@
+// Netflix-shaped rating matrix generator.
+//
+// The Netflix Prize dataset (480,189 users × 17,770 movies, ~100.5M ratings
+// in {1..5}) is proprietary; the paper's GNMF/CF/SVD results depend on it
+// only through its dimensions and sparsity (~1.18%), which this generator
+// preserves. `scale` divides both dimensions (and keeps sparsity fixed) for
+// laptop-sized runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "matrix/local_matrix.h"
+
+namespace dmac {
+
+/// Shape/sparsity constants of the Netflix Prize dataset.
+struct NetflixSpec {
+  int64_t users = 480189;
+  int64_t movies = 17770;
+  double sparsity = 0.0118;
+
+  /// Users × movies matrix with both dimensions divided by `factor`.
+  NetflixSpec Scaled(double factor) const {
+    NetflixSpec out = *this;
+    out.users = std::max<int64_t>(1, static_cast<int64_t>(users / factor));
+    out.movies = std::max<int64_t>(1, static_cast<int64_t>(movies / factor));
+    return out;
+  }
+};
+
+/// Users × movies rating matrix with ratings uniform in {1..5}.
+LocalMatrix NetflixRatings(const NetflixSpec& spec, int64_t block_size,
+                           uint64_t seed);
+
+}  // namespace dmac

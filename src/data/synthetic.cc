@@ -1,0 +1,20 @@
+#include "data/synthetic.h"
+
+namespace dmac {
+
+LocalMatrix SyntheticSparse(int64_t rows, int64_t cols, double sparsity,
+                            int64_t block_size, uint64_t seed) {
+  return LocalMatrix::RandomSparse({rows, cols}, block_size, sparsity, seed);
+}
+
+LocalMatrix SyntheticDense(int64_t rows, int64_t cols, int64_t block_size,
+                           uint64_t seed) {
+  return LocalMatrix::RandomDense({rows, cols}, block_size, seed);
+}
+
+LocalMatrix ConstantMatrix(Shape shape, int64_t block_size, Scalar value) {
+  LocalMatrix m = LocalMatrix::Zeros(shape, block_size);
+  return m.ScalarAdd(value);
+}
+
+}  // namespace dmac

@@ -1,0 +1,25 @@
+// The paper's synthetic workload generator (§6.1): "a random data generator
+// which can produce a sparse matrix V with d rows and w columns in s
+// sparsity". Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/local_matrix.h"
+
+namespace dmac {
+
+/// Random sparse d×w matrix with expected sparsity s; uniform placement,
+/// values in (0, 1].
+LocalMatrix SyntheticSparse(int64_t rows, int64_t cols, double sparsity,
+                            int64_t block_size, uint64_t seed);
+
+/// Random dense matrix with values in [0, 1).
+LocalMatrix SyntheticDense(int64_t rows, int64_t cols, int64_t block_size,
+                           uint64_t seed);
+
+/// Dense column/row vector of a constant value (e.g. PageRank's teleport
+/// matrix D, or a regression target).
+LocalMatrix ConstantMatrix(Shape shape, int64_t block_size, Scalar value);
+
+}  // namespace dmac

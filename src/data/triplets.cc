@@ -1,0 +1,43 @@
+#include "data/triplets.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "matrix/csc_block.h"
+
+namespace dmac {
+
+LocalMatrix MatrixFromTriplets(Shape shape, int64_t block_size,
+                               const std::vector<Triplet>& triplets) {
+  const BlockGrid grid{shape, block_size};
+  // Bucket triplets per block, then build each block's CSC.
+  std::unordered_map<int64_t, std::vector<Triplet>> buckets;
+  for (const Triplet& t : triplets) {
+    DMAC_CHECK(t.row >= 0 && t.row < shape.rows);
+    DMAC_CHECK(t.col >= 0 && t.col < shape.cols);
+    const int64_t bi = t.row / block_size;
+    const int64_t bj = t.col / block_size;
+    buckets[bi * grid.block_cols() + bj].push_back(t);
+  }
+
+  std::vector<Block> blocks;
+  blocks.reserve(static_cast<size_t>(grid.num_blocks()));
+  for (int64_t bi = 0; bi < grid.block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < grid.block_cols(); ++bj) {
+      const Shape s = grid.BlockShape(bi, bj);
+      CscBuilder builder(s.rows, s.cols);
+      auto it = buckets.find(bi * grid.block_cols() + bj);
+      if (it != buckets.end()) {
+        builder.Reserve(it->second.size());
+        for (const Triplet& t : it->second) {
+          builder.Add(t.row - bi * block_size, t.col - bj * block_size,
+                      t.value);
+        }
+      }
+      blocks.emplace_back(builder.Build());
+    }
+  }
+  return LocalMatrix::FromBlocks(shape, block_size, std::move(blocks));
+}
+
+}  // namespace dmac

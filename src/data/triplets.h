@@ -1,0 +1,24 @@
+// Building blocked matrices from coordinate triplets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/local_matrix.h"
+
+namespace dmac {
+
+/// One (row, col, value) entry of a sparse matrix under construction.
+struct Triplet {
+  int64_t row;
+  int64_t col;
+  Scalar value;
+};
+
+/// Builds a blocked LocalMatrix from triplets (duplicates are summed).
+/// Every block is emitted in CSC form; call Compacted() afterwards if dense
+/// re-encoding of heavy blocks is wanted.
+LocalMatrix MatrixFromTriplets(Shape shape, int64_t block_size,
+                               const std::vector<Triplet>& triplets);
+
+}  // namespace dmac

@@ -1,0 +1,21 @@
+// Decomposition of a Program into an ordered operator list (paper §4.2.3).
+#pragma once
+
+#include "common/result.h"
+#include "lang/op.h"
+#include "lang/program.h"
+
+namespace dmac {
+
+/// Flattens the program into SSA operators, resolving variable versions.
+///
+/// Within each statement, independent operators are reordered so that
+/// multiplications come first (paper §4.2.3: "we put the operators with
+/// multiplication ahead of the other operators because matrices will
+/// probably be broadcasted by multiplication", enabling Pull-Up Broadcast).
+///
+/// Pure aliasing statements (`a = b`, `a = b.t`) emit no operator; the alias
+/// is tracked in the variable environment.
+Result<OperatorList> Decompose(const Program& program);
+
+}  // namespace dmac

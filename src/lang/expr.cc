@@ -1,0 +1,153 @@
+#include "lang/expr.h"
+
+namespace dmac {
+
+const char* BinOpName(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kMultiply:
+      return "%*%";
+    case BinOpKind::kAdd:
+      return "+";
+    case BinOpKind::kSubtract:
+      return "-";
+    case BinOpKind::kCellMultiply:
+      return "*";
+    case BinOpKind::kCellDivide:
+      return "/";
+  }
+  return "?";
+}
+
+const char* ReduceName(ReduceKind r) {
+  switch (r) {
+    case ReduceKind::kSum:
+      return "sum";
+    case ReduceKind::kNorm2:
+      return "norm2";
+    case ReduceKind::kValue:
+      return "value";
+  }
+  return "?";
+}
+
+ScalarExprPtr ScalarExpr::Literal(double v) {
+  auto e = std::make_shared<ScalarExpr>();
+  e->kind = Kind::kLiteral;
+  e->literal = v;
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::VarRef(std::string name) {
+  auto e = std::make_shared<ScalarExpr>();
+  e->kind = Kind::kVarRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Reduce(ReduceKind r, MatrixExprPtr m) {
+  auto e = std::make_shared<ScalarExpr>();
+  e->kind = Kind::kReduce;
+  e->reduce = r;
+  e->matrix = std::move(m);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Binary(char op, ScalarExprPtr l, ScalarExprPtr r) {
+  auto e = std::make_shared<ScalarExpr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Sqrt(ScalarExprPtr v) {
+  auto e = std::make_shared<ScalarExpr>();
+  e->kind = Kind::kSqrt;
+  e->lhs = std::move(v);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::Load(std::string name, Shape shape,
+                               double sparsity) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kLoad;
+  e->name = std::move(name);
+  e->shape = shape;
+  e->sparsity = sparsity;
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::Random(std::string name, Shape shape) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kRandom;
+  e->name = std::move(name);
+  e->shape = shape;
+  e->sparsity = 1.0;
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::VarRef(std::string name) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kVarRef;
+  e->name = std::move(name);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::Binary(BinOpKind op, MatrixExprPtr l,
+                                 MatrixExprPtr r) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::ScalarMul(MatrixExprPtr m, ScalarExprPtr s) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kScalarMul;
+  e->lhs = std::move(m);
+  e->scalar = std::move(s);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::ScalarAdd(MatrixExprPtr m, ScalarExprPtr s) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kScalarAdd;
+  e->lhs = std::move(m);
+  e->scalar = std::move(s);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::Transpose(MatrixExprPtr m) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kTranspose;
+  e->lhs = std::move(m);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::RowSums(MatrixExprPtr m) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kRowSums;
+  e->lhs = std::move(m);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::ColSums(MatrixExprPtr m) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kColSums;
+  e->lhs = std::move(m);
+  return e;
+}
+
+MatrixExprPtr MatrixExpr::CellUnary(UnaryFnKind fn, MatrixExprPtr m) {
+  auto e = std::make_shared<MatrixExpr>();
+  e->kind = Kind::kCellUnary;
+  e->unary_fn = fn;
+  e->lhs = std::move(m);
+  return e;
+}
+
+
+}  // namespace dmac

@@ -1,0 +1,38 @@
+// Script front end: parses the R-like matrix language into a Program.
+//
+// The paper expresses its workloads (Codes 1–5) in an R-like surface
+// syntax; this parser accepts that syntax as standalone scripts so programs
+// can be run without recompiling (see tools/dmac_run):
+//
+//   V = load("V", 480189, 17770, 0.011)
+//   W = random(480189, 200)
+//   H = random(200, 17770)
+//   for i in 0:10 {
+//     H = H * (t(W) %*% V) / (t(W) %*% W %*% H)
+//     W = W * (V %*% t(H)) / (W %*% H %*% t(H))
+//   }
+//   output(W)
+//   output(H)
+//
+// Language summary:
+//   * `%*%` matrix multiplication; `*` `/` `+` `-` cell-wise / scalar ops
+//   * `t(X)` transpose; `load("name", rows, cols, sparsity)`;
+//     `random(rows, cols)`
+//   * `sum(X)`, `norm2(X)`, `value(X)` matrix→scalar; `sqrt(s)` on scalars
+//   * `for i in a:b { ... }` counted loops (unrolled; bounds are integer
+//     literals or previously assigned integer constants)
+//   * `output(X)` / `output_scalar(s)` declare program results
+//   * `#` or `//` start comments; statements are newline- or `;`-separated
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "lang/program.h"
+
+namespace dmac {
+
+/// Parses a script into a Program. Errors carry line/column context.
+Result<Program> ParseProgram(const std::string& source);
+
+}  // namespace dmac

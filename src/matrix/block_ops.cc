@@ -1,0 +1,514 @@
+#include "matrix/block_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace dmac {
+
+namespace {
+
+Status CheckMultiplyShapes(const Block& a, const Block& b) {
+  if (a.cols() != b.rows()) {
+    return Status::DimensionMismatch("multiply " + a.shape().ToString() +
+                                     " by " + b.shape().ToString());
+  }
+  return Status::Ok();
+}
+
+Status CheckSameShape(const Block& a, const Block& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::DimensionMismatch(std::string(op) + " " +
+                                     a.shape().ToString() + " with " +
+                                     b.shape().ToString());
+  }
+  return Status::Ok();
+}
+
+// acc += A_dense · B_dense; column-major ikj ordering keeps the inner loop
+// a contiguous axpy over A's column.
+void GemmDenseDense(const DenseBlock& a, const DenseBlock& b,
+                    DenseBlock* acc) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    const Scalar* b_col = b.col(j);
+    for (int64_t l = 0; l < k; ++l) {
+      const Scalar t = b_col[l];
+      if (t == Scalar{0}) continue;
+      const Scalar* a_col = a.col(l);
+      for (int64_t i = 0; i < m; ++i) c_col[i] += a_col[i] * t;
+    }
+  }
+}
+
+// acc += A_csc · B_dense.
+void GemmSparseDense(const CscBlock& a, const DenseBlock& b,
+                     DenseBlock* acc) {
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  const auto& rows = a.row_idx();
+  const auto& vals = a.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    const Scalar* b_col = b.col(j);
+    for (int64_t l = 0; l < k; ++l) {
+      const Scalar t = b_col[l];
+      if (t == Scalar{0}) continue;
+      for (int32_t p = a.ColStart(l); p < a.ColEnd(l); ++p) {
+        c_col[rows[p]] += vals[p] * t;
+      }
+    }
+  }
+}
+
+// acc += A_dense · B_csc.
+void GemmDenseSparse(const DenseBlock& a, const CscBlock& b,
+                     DenseBlock* acc) {
+  const int64_t m = a.rows();
+  const int64_t n = b.cols();
+  const auto& rows = b.row_idx();
+  const auto& vals = b.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    for (int32_t p = b.ColStart(j); p < b.ColEnd(j); ++p) {
+      const int64_t l = rows[p];
+      const Scalar t = vals[p];
+      const Scalar* a_col = a.col(l);
+      for (int64_t i = 0; i < m; ++i) c_col[i] += a_col[i] * t;
+    }
+  }
+}
+
+// acc += A_csc · B_csc (dense accumulator).
+void GemmSparseSparse(const CscBlock& a, const CscBlock& b,
+                      DenseBlock* acc) {
+  const int64_t n = b.cols();
+  const auto& a_rows = a.row_idx();
+  const auto& a_vals = a.values();
+  const auto& b_rows = b.row_idx();
+  const auto& b_vals = b.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    for (int32_t p = b.ColStart(j); p < b.ColEnd(j); ++p) {
+      const int64_t l = b_rows[p];
+      const Scalar t = b_vals[p];
+      for (int32_t q = a.ColStart(l); q < a.ColEnd(l); ++q) {
+        c_col[a_rows[q]] += a_vals[q] * t;
+      }
+    }
+  }
+}
+
+template <typename Fn>
+Block ElementwiseDense(const Block& a, const Block& b, Fn fn) {
+  DenseBlock da = a.ToDense();
+  const DenseBlock db = b.ToDense();
+  Scalar* out = da.data();
+  const Scalar* rhs = db.data();
+  const int64_t n = da.rows() * da.cols();
+  for (int64_t i = 0; i < n; ++i) out[i] = fn(out[i], rhs[i]);
+  return Block(std::move(da));
+}
+
+// Merge two CSC blocks column by column: out(i,j) = fn(a(i,j), b(i,j)) over
+// the union of their patterns. fn(0,0) must be 0.
+template <typename Fn>
+CscBlock MergeSparse(const CscBlock& a, const CscBlock& b, Fn fn) {
+  CscBuilder builder(a.rows(), a.cols());
+  builder.Reserve(static_cast<size_t>(a.nnz() + b.nnz()));
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    int32_t pa = a.ColStart(c);
+    int32_t pb = b.ColStart(c);
+    const int32_t ea = a.ColEnd(c);
+    const int32_t eb = b.ColEnd(c);
+    while (pa < ea || pb < eb) {
+      const int32_t ra = pa < ea ? a.row_idx()[pa] : INT32_MAX;
+      const int32_t rb = pb < eb ? b.row_idx()[pb] : INT32_MAX;
+      if (ra < rb) {
+        builder.Add(ra, c, fn(a.values()[pa], Scalar{0}));
+        ++pa;
+      } else if (rb < ra) {
+        builder.Add(rb, c, fn(Scalar{0}, b.values()[pb]));
+        ++pb;
+      } else {
+        builder.Add(ra, c, fn(a.values()[pa], b.values()[pb]));
+        ++pa;
+        ++pb;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Block> Multiply(const Block& a, const Block& b) {
+  DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b));
+  DenseBlock acc(a.rows(), b.cols());
+  DMAC_RETURN_NOT_OK(MultiplyAccumulate(a, b, &acc));
+  return Block(std::move(acc));
+}
+
+Status MultiplyAccumulate(const Block& a, const Block& b, DenseBlock* acc) {
+  DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b));
+  if (acc->rows() != a.rows() || acc->cols() != b.cols()) {
+    return Status::DimensionMismatch("accumulator " +
+                                     acc->shape().ToString() + " for " +
+                                     a.shape().ToString() + " * " +
+                                     b.shape().ToString());
+  }
+  if (a.IsDense() && b.IsDense()) {
+    GemmDenseDense(a.dense(), b.dense(), acc);
+  } else if (a.IsSparse() && b.IsDense()) {
+    GemmSparseDense(a.sparse(), b.dense(), acc);
+  } else if (a.IsDense() && b.IsSparse()) {
+    GemmDenseSparse(a.dense(), b.sparse(), acc);
+  } else {
+    GemmSparseSparse(a.sparse(), b.sparse(), acc);
+  }
+  return Status::Ok();
+}
+
+Result<CscBlock> MultiplySparse(const CscBlock& a, const CscBlock& b) {
+  if (a.cols() != b.rows()) {
+    return Status::DimensionMismatch("sparse multiply " +
+                                     a.shape().ToString() + " by " +
+                                     b.shape().ToString());
+  }
+  // Gustavson: accumulate each output column in a dense workspace with an
+  // occupancy list, then emit its non-zeros in sorted row order.
+  const int64_t m = a.rows();
+  const int64_t n = b.cols();
+  std::vector<Scalar> workspace(static_cast<size_t>(m), 0);
+  std::vector<int32_t> occupied;
+  std::vector<int32_t> col_ptr(static_cast<size_t>(n + 1), 0);
+  std::vector<int32_t> row_idx;
+  std::vector<Scalar> values;
+
+  for (int64_t j = 0; j < n; ++j) {
+    occupied.clear();
+    for (int32_t p = b.ColStart(j); p < b.ColEnd(j); ++p) {
+      const int64_t l = b.row_idx()[p];
+      const Scalar t = b.values()[p];
+      for (int32_t q = a.ColStart(l); q < a.ColEnd(l); ++q) {
+        const int32_t r = a.row_idx()[q];
+        if (workspace[r] == Scalar{0}) occupied.push_back(r);
+        workspace[r] += a.values()[q] * t;
+      }
+    }
+    std::sort(occupied.begin(), occupied.end());
+    for (int32_t r : occupied) {
+      if (workspace[r] != Scalar{0}) {
+        row_idx.push_back(r);
+        values.push_back(workspace[r]);
+      }
+      workspace[r] = Scalar{0};
+    }
+    col_ptr[j + 1] = static_cast<int32_t>(values.size());
+  }
+  return CscBlock(m, n, std::move(col_ptr), std::move(row_idx),
+                  std::move(values));
+}
+
+Result<CscBlock> MultiplySparseChain(
+    const std::vector<std::pair<const CscBlock*, const CscBlock*>>& chain,
+    int64_t rows, int64_t cols) {
+  for (const auto& [a, b] : chain) {
+    if (a->cols() != b->rows() || a->rows() != rows || b->cols() != cols) {
+      return Status::DimensionMismatch(
+          "sparse chain multiply: " + a->shape().ToString() + " by " +
+          b->shape().ToString() + " into " + std::to_string(rows) + "x" +
+          std::to_string(cols));
+    }
+  }
+  std::vector<Scalar> workspace(static_cast<size_t>(rows), 0);
+  std::vector<int32_t> occupied;
+  std::vector<int32_t> col_ptr(static_cast<size_t>(cols + 1), 0);
+  std::vector<int32_t> row_idx;
+  std::vector<Scalar> values;
+
+  for (int64_t j = 0; j < cols; ++j) {
+    occupied.clear();
+    for (const auto& [a, b] : chain) {
+      for (int32_t p = b->ColStart(j); p < b->ColEnd(j); ++p) {
+        const int64_t l = b->row_idx()[p];
+        const Scalar t = b->values()[p];
+        for (int32_t q = a->ColStart(l); q < a->ColEnd(l); ++q) {
+          const int32_t r = a->row_idx()[q];
+          if (workspace[r] == Scalar{0}) occupied.push_back(r);
+          workspace[r] += a->values()[q] * t;
+        }
+      }
+    }
+    std::sort(occupied.begin(), occupied.end());
+    for (int32_t r : occupied) {
+      if (workspace[r] != Scalar{0}) {
+        row_idx.push_back(r);
+        values.push_back(workspace[r]);
+      }
+      workspace[r] = Scalar{0};
+    }
+    col_ptr[j + 1] = static_cast<int32_t>(values.size());
+  }
+  return CscBlock(rows, cols, std::move(col_ptr), std::move(row_idx),
+                  std::move(values));
+}
+
+Result<Block> SumBlocks(const std::vector<const Block*>& blocks,
+                        double density_threshold) {
+  if (blocks.empty()) return Status::Invalid("SumBlocks over no blocks");
+  bool all_sparse = true;
+  for (const Block* b : blocks) all_sparse = all_sparse && b->IsSparse();
+
+  if (all_sparse) {
+    // Pairwise union merges keep the aggregation sparse end to end.
+    CscBlock acc = blocks[0]->sparse();
+    for (size_t i = 1; i < blocks.size(); ++i) {
+      DMAC_ASSIGN_OR_RETURN(Block merged,
+                            Add(Block(std::move(acc)), *blocks[i]));
+      acc = std::move(merged.sparse());
+    }
+    return Block(std::move(acc)).Compacted(density_threshold);
+  }
+
+  DenseBlock acc(blocks[0]->rows(), blocks[0]->cols());
+  for (const Block* b : blocks) {
+    DMAC_RETURN_NOT_OK(AddAccumulate(*b, &acc));
+  }
+  return CompactFromDense(acc, density_threshold);
+}
+
+Result<Block> Add(const Block& a, const Block& b) {
+  DMAC_RETURN_NOT_OK(CheckSameShape(a, b, "add"));
+  if (a.IsSparse() && b.IsSparse()) {
+    return Block(MergeSparse(a.sparse(), b.sparse(),
+                             [](Scalar x, Scalar y) { return x + y; }));
+  }
+  return ElementwiseDense(a, b, [](Scalar x, Scalar y) { return x + y; });
+}
+
+Result<Block> Subtract(const Block& a, const Block& b) {
+  DMAC_RETURN_NOT_OK(CheckSameShape(a, b, "subtract"));
+  if (a.IsSparse() && b.IsSparse()) {
+    return Block(MergeSparse(a.sparse(), b.sparse(),
+                             [](Scalar x, Scalar y) { return x - y; }));
+  }
+  return ElementwiseDense(a, b, [](Scalar x, Scalar y) { return x - y; });
+}
+
+Result<Block> CellMultiply(const Block& a, const Block& b) {
+  DMAC_RETURN_NOT_OK(CheckSameShape(a, b, "cell-multiply"));
+  // A sparse side dominates the result pattern: iterate its non-zeros only.
+  if (a.IsSparse() || b.IsSparse()) {
+    const CscBlock& pattern = a.IsSparse() ? a.sparse() : b.sparse();
+    const Block& other = a.IsSparse() ? b : a;
+    CscBuilder builder(pattern.rows(), pattern.cols());
+    builder.Reserve(static_cast<size_t>(pattern.nnz()));
+    for (int64_t c = 0; c < pattern.cols(); ++c) {
+      for (int32_t p = pattern.ColStart(c); p < pattern.ColEnd(c); ++p) {
+        const int32_t r = pattern.row_idx()[p];
+        builder.Add(r, c, pattern.values()[p] * other.At(r, c));
+      }
+    }
+    return Block(builder.Build());
+  }
+  return ElementwiseDense(a, b, [](Scalar x, Scalar y) { return x * y; });
+}
+
+Result<Block> CellDivide(const Block& a, const Block& b) {
+  DMAC_RETURN_NOT_OK(CheckSameShape(a, b, "cell-divide"));
+  if (a.IsSparse()) {
+    const CscBlock& num = a.sparse();
+    CscBuilder builder(num.rows(), num.cols());
+    builder.Reserve(static_cast<size_t>(num.nnz()));
+    for (int64_t c = 0; c < num.cols(); ++c) {
+      for (int32_t p = num.ColStart(c); p < num.ColEnd(c); ++p) {
+        const int32_t r = num.row_idx()[p];
+        builder.Add(r, c, num.values()[p] / b.At(r, c));
+      }
+    }
+    return Block(builder.Build());
+  }
+  return ElementwiseDense(a, b, [](Scalar x, Scalar y) { return x / y; });
+}
+
+Status AddAccumulate(const Block& a, DenseBlock* acc) {
+  if (a.rows() != acc->rows() || a.cols() != acc->cols()) {
+    return Status::DimensionMismatch("accumulate " + a.shape().ToString() +
+                                     " into " + acc->shape().ToString());
+  }
+  if (a.IsDense()) {
+    const Scalar* src = a.dense().data();
+    Scalar* dst = acc->data();
+    const int64_t n = a.rows() * a.cols();
+    for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  } else {
+    const CscBlock& s = a.sparse();
+    for (int64_t c = 0; c < s.cols(); ++c) {
+      for (int32_t p = s.ColStart(c); p < s.ColEnd(c); ++p) {
+        acc->Accumulate(s.row_idx()[p], c, s.values()[p]);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Block ScalarMultiply(const Block& a, Scalar scalar) {
+  if (a.IsDense()) {
+    DenseBlock out = a.dense();
+    Scalar* data = out.data();
+    const int64_t n = out.rows() * out.cols();
+    for (int64_t i = 0; i < n; ++i) data[i] *= scalar;
+    return Block(std::move(out));
+  }
+  const CscBlock& s = a.sparse();
+  std::vector<Scalar> values = s.values();
+  for (Scalar& v : values) v *= scalar;
+  return Block(CscBlock(s.rows(), s.cols(), s.col_ptr(), s.row_idx(),
+                        std::move(values)));
+}
+
+Block ScalarAdd(const Block& a, Scalar scalar) {
+  if (scalar == Scalar{0}) return a;
+  DenseBlock out = a.ToDense();
+  Scalar* data = out.data();
+  const int64_t n = out.rows() * out.cols();
+  for (int64_t i = 0; i < n; ++i) data[i] += scalar;
+  return Block(std::move(out));
+}
+
+const char* UnaryFnName(UnaryFnKind f) {
+  switch (f) {
+    case UnaryFnKind::kExp:
+      return "exp";
+    case UnaryFnKind::kLog:
+      return "log";
+    case UnaryFnKind::kAbs:
+      return "abs";
+    case UnaryFnKind::kSigmoid:
+      return "sigmoid";
+    case UnaryFnKind::kSquare:
+      return "square";
+  }
+  return "?";
+}
+
+Block CellUnary(const Block& a, UnaryFnKind fn) {
+  if (a.IsSparse() && UnaryFnPreservesZero(fn)) {
+    const CscBlock& s = a.sparse();
+    std::vector<Scalar> values = s.values();
+    for (Scalar& v : values) v = ApplyUnaryFn(fn, v);
+    return Block(CscBlock(s.rows(), s.cols(), s.col_ptr(), s.row_idx(),
+                          std::move(values)));
+  }
+  DenseBlock out = a.ToDense();
+  Scalar* data = out.data();
+  const int64_t n = out.rows() * out.cols();
+  for (int64_t i = 0; i < n; ++i) data[i] = ApplyUnaryFn(fn, data[i]);
+  return Block(std::move(out));
+}
+
+DenseBlock RowSums(const Block& a) {
+  DenseBlock out(a.rows(), 1);
+  Scalar* sums = out.data();
+  if (a.IsDense()) {
+    const DenseBlock& d = a.dense();
+    for (int64_t c = 0; c < d.cols(); ++c) {
+      const Scalar* col = d.col(c);
+      for (int64_t r = 0; r < d.rows(); ++r) sums[r] += col[r];
+    }
+  } else {
+    const CscBlock& s = a.sparse();
+    for (size_t p = 0; p < s.values().size(); ++p) {
+      sums[s.row_idx()[p]] += s.values()[p];
+    }
+  }
+  return out;
+}
+
+DenseBlock ColSums(const Block& a) {
+  DenseBlock out(1, a.cols());
+  Scalar* sums = out.data();
+  if (a.IsDense()) {
+    const DenseBlock& d = a.dense();
+    for (int64_t c = 0; c < d.cols(); ++c) {
+      const Scalar* col = d.col(c);
+      Scalar total = 0;
+      for (int64_t r = 0; r < d.rows(); ++r) total += col[r];
+      sums[c] = total;
+    }
+  } else {
+    const CscBlock& s = a.sparse();
+    for (int64_t c = 0; c < s.cols(); ++c) {
+      Scalar total = 0;
+      for (int32_t p = s.ColStart(c); p < s.ColEnd(c); ++p) {
+        total += s.values()[p];
+      }
+      sums[c] = total;
+    }
+  }
+  return out;
+}
+
+double Sum(const Block& a) {
+  double total = 0;
+  if (a.IsDense()) {
+    const Scalar* data = a.dense().data();
+    const int64_t n = a.rows() * a.cols();
+    for (int64_t i = 0; i < n; ++i) total += data[i];
+  } else {
+    for (Scalar v : a.sparse().values()) total += v;
+  }
+  return total;
+}
+
+double SumSquares(const Block& a) {
+  double total = 0;
+  if (a.IsDense()) {
+    const Scalar* data = a.dense().data();
+    const int64_t n = a.rows() * a.cols();
+    for (int64_t i = 0; i < n; ++i) {
+      total += static_cast<double>(data[i]) * data[i];
+    }
+  } else {
+    for (Scalar v : a.sparse().values()) {
+      total += static_cast<double>(v) * v;
+    }
+  }
+  return total;
+}
+
+Block CompactFromDense(const DenseBlock& acc, double density_threshold) {
+  const int64_t total = acc.rows() * acc.cols();
+  const int64_t nnz = acc.CountNonZeros();
+  if (total > 0 &&
+      static_cast<double>(nnz) < density_threshold * total) {
+    CscBuilder builder(acc.rows(), acc.cols());
+    builder.Reserve(static_cast<size_t>(nnz));
+    for (int64_t c = 0; c < acc.cols(); ++c) {
+      const Scalar* col = acc.col(c);
+      for (int64_t r = 0; r < acc.rows(); ++r) {
+        if (col[r] != Scalar{0}) builder.Add(r, c, col[r]);
+      }
+    }
+    return Block(builder.Build());
+  }
+  return Block(acc);  // dense copy
+}
+
+bool ApproxEqual(const Block& a, const Block& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      if (std::abs(static_cast<double>(a.At(r, c)) - b.At(r, c)) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dmac

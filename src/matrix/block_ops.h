@@ -1,0 +1,94 @@
+// Block-level compute kernels: the "BLAS" substrate of DMac's local engine.
+//
+// All binary kernels validate dimensions and return Status/Result. The
+// multiply kernels come in two forms:
+//   * Multiply()            — returns a fresh dense result,
+//   * MultiplyAccumulate()  — adds A·B into an existing dense accumulator;
+//     this is the primitive behind the paper's In-Place execution (§5.3),
+//     which folds every block product contributing to one result block into
+//     the same output buffer instead of materializing intermediates.
+// MultiplySparse() is the CSC×CSC SpGEMM used when a sparse intermediate is
+// worth keeping sparse (the Buffer-mode ablation of Fig. 7 relies on it).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "matrix/block.h"
+#include "matrix/unary_fn.h"
+
+namespace dmac {
+
+/// C = A·B as a dense block. Shapes must agree (A: m×k, B: k×n).
+Result<Block> Multiply(const Block& a, const Block& b);
+
+/// acc += A·B. `acc` must be dense with shape m×n.
+Status MultiplyAccumulate(const Block& a, const Block& b, DenseBlock* acc);
+
+/// CSC×CSC product kept sparse (Gustavson's algorithm).
+Result<CscBlock> MultiplySparse(const CscBlock& a, const CscBlock& b);
+
+/// C = Σ_k A_k·B_k over a chain of CSC pairs, computed with one shared
+/// Gustavson workspace and emitted directly as CSC — the sparse In-Place
+/// path: no dense m×n accumulator and no materialized partial products.
+/// All pairs must agree on the output shape m×n.
+Result<CscBlock> MultiplySparseChain(
+    const std::vector<std::pair<const CscBlock*, const CscBlock*>>& chain,
+    int64_t rows, int64_t cols);
+
+/// Sum of blocks; stays sparse (pairwise merges) when every input is
+/// sparse, otherwise accumulates densely. Used to aggregate CPMM partials
+/// and Buffer-mode partial products.
+Result<Block> SumBlocks(const std::vector<const Block*>& blocks,
+                        double density_threshold);
+
+/// Elementwise sum; sparse when both inputs are sparse.
+Result<Block> Add(const Block& a, const Block& b);
+
+/// Elementwise difference; sparse when both inputs are sparse.
+Result<Block> Subtract(const Block& a, const Block& b);
+
+/// Elementwise (Hadamard) product; sparse when either input is sparse.
+Result<Block> CellMultiply(const Block& a, const Block& b);
+
+/// Elementwise quotient a/b; keeps a's sparsity pattern when a is sparse
+/// (0 / y == 0). Division by a zero denominator at a non-zero numerator
+/// yields IEEE inf, as in R.
+Result<Block> CellDivide(const Block& a, const Block& b);
+
+/// acc += a. `acc` must be dense and shape-compatible.
+Status AddAccumulate(const Block& a, DenseBlock* acc);
+
+/// a · scalar (same representation as a).
+Block ScalarMultiply(const Block& a, Scalar scalar);
+
+/// a + scalar (densifies a sparse input when scalar != 0).
+Block ScalarAdd(const Block& a, Scalar scalar);
+
+/// Element-wise unary function. Zero-preserving functions (abs, square)
+/// keep a sparse operand sparse; the others densify.
+Block CellUnary(const Block& a, UnaryFnKind fn);
+
+/// Column vector of row sums (m×1 dense).
+DenseBlock RowSums(const Block& a);
+
+/// Row vector of column sums (1×n dense).
+DenseBlock ColSums(const Block& a);
+
+/// Sum of all elements (double accumulation).
+double Sum(const Block& a);
+
+/// Sum of squared elements (double accumulation).
+double SumSquares(const Block& a);
+
+/// True when every |a(i,j) - b(i,j)| <= tol. Shapes must match exactly.
+bool ApproxEqual(const Block& a, const Block& b, double tol = 1e-4);
+
+/// Copies a dense accumulator out in its cheaper representation: CSC when
+/// density < threshold, a dense copy otherwise. Single pass; used when a
+/// pooled result buffer must be recycled (Fig. 4 flow).
+Block CompactFromDense(const DenseBlock& acc, double density_threshold);
+
+}  // namespace dmac

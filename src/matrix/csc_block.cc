@@ -1,0 +1,171 @@
+#include "matrix/csc_block.h"
+
+#include <algorithm>
+
+#include "matrix/mem_tracker.h"
+
+namespace dmac {
+
+CscBlock::CscBlock(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), col_ptr_(static_cast<size_t>(cols + 1), 0) {
+  DMAC_CHECK(rows >= 0 && cols >= 0);
+  Track();
+}
+
+CscBlock::CscBlock(int64_t rows, int64_t cols, std::vector<int32_t> col_ptr,
+                   std::vector<int32_t> row_idx, std::vector<Scalar> values)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  CheckInvariants();
+  Track();
+}
+
+CscBlock::~CscBlock() { Untrack(); }
+
+CscBlock::CscBlock(const CscBlock& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      col_ptr_(other.col_ptr_),
+      row_idx_(other.row_idx_),
+      values_(other.values_) {
+  Track();
+}
+
+CscBlock& CscBlock::operator=(const CscBlock& other) {
+  if (this == &other) return *this;
+  Untrack();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  col_ptr_ = other.col_ptr_;
+  row_idx_ = other.row_idx_;
+  values_ = other.values_;
+  Track();
+  return *this;
+}
+
+CscBlock::CscBlock(CscBlock&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      col_ptr_(std::move(other.col_ptr_)),
+      row_idx_(std::move(other.row_idx_)),
+      values_(std::move(other.values_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.col_ptr_.clear();
+  other.row_idx_.clear();
+  other.values_.clear();
+}
+
+CscBlock& CscBlock::operator=(CscBlock&& other) noexcept {
+  if (this == &other) return *this;
+  Untrack();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  col_ptr_ = std::move(other.col_ptr_);
+  row_idx_ = std::move(other.row_idx_);
+  values_ = std::move(other.values_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.col_ptr_.clear();
+  other.row_idx_.clear();
+  other.values_.clear();
+  return *this;
+}
+
+Scalar CscBlock::At(int64_t r, int64_t c) const {
+  DMAC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const int32_t* begin = row_idx_.data() + col_ptr_[c];
+  const int32_t* end = row_idx_.data() + col_ptr_[c + 1];
+  const int32_t* it = std::lower_bound(begin, end, static_cast<int32_t>(r));
+  if (it != end && *it == r) {
+    return values_[static_cast<size_t>(it - row_idx_.data())];
+  }
+  return Scalar{0};
+}
+
+CscBlock CscBlock::Transposed() const {
+  // Counting sort by row index: the transpose's column j collects the
+  // entries whose row index is j, already ordered by original column.
+  std::vector<int32_t> t_col_ptr(static_cast<size_t>(rows_ + 1), 0);
+  for (int32_t r : row_idx_) ++t_col_ptr[static_cast<size_t>(r) + 1];
+  for (size_t i = 1; i < t_col_ptr.size(); ++i) t_col_ptr[i] += t_col_ptr[i - 1];
+
+  std::vector<int32_t> t_row_idx(values_.size());
+  std::vector<Scalar> t_values(values_.size());
+  std::vector<int32_t> cursor(t_col_ptr.begin(), t_col_ptr.end() - 1);
+  for (int64_t c = 0; c < cols_; ++c) {
+    for (int32_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      const int32_t r = row_idx_[k];
+      const int32_t dst = cursor[r]++;
+      t_row_idx[dst] = static_cast<int32_t>(c);
+      t_values[dst] = values_[k];
+    }
+  }
+  return CscBlock(cols_, rows_, std::move(t_col_ptr), std::move(t_row_idx),
+                  std::move(t_values));
+}
+
+void CscBlock::Track() {
+  MemTracker::Global().Allocate(MemoryBytes());
+}
+
+void CscBlock::Untrack() {
+  if (rows_ == 0 && cols_ == 0 && values_.empty() && col_ptr_.empty()) return;
+  MemTracker::Global().Release(MemoryBytes());
+}
+
+void CscBlock::CheckInvariants() const {
+  DMAC_CHECK_EQ(static_cast<int64_t>(col_ptr_.size()), cols_ + 1);
+  DMAC_CHECK_EQ(col_ptr_.front(), 0);
+  DMAC_CHECK_EQ(static_cast<size_t>(col_ptr_.back()), values_.size());
+  DMAC_CHECK_EQ(row_idx_.size(), values_.size());
+  for (int64_t c = 0; c < cols_; ++c) {
+    DMAC_CHECK_LE(col_ptr_[c], col_ptr_[c + 1]);
+  }
+}
+
+void CscBuilder::Add(int64_t row, int64_t col, Scalar value) {
+  DMAC_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  if (value == Scalar{0}) return;
+  entries_.push_back(
+      {static_cast<int32_t>(row), static_cast<int32_t>(col), value});
+}
+
+CscBlock CscBuilder::Build() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.col != b.col ? a.col < b.col : a.row < b.row;
+            });
+
+  std::vector<int32_t> col_ptr(static_cast<size_t>(cols_ + 1), 0);
+  std::vector<int32_t> row_idx;
+  std::vector<Scalar> values;
+  row_idx.reserve(entries_.size());
+  values.reserve(entries_.size());
+
+  for (size_t i = 0; i < entries_.size();) {
+    size_t j = i;
+    Scalar sum = 0;
+    while (j < entries_.size() && entries_[j].col == entries_[i].col &&
+           entries_[j].row == entries_[i].row) {
+      sum += entries_[j].value;
+      ++j;
+    }
+    if (sum != Scalar{0}) {
+      row_idx.push_back(entries_[i].row);
+      values.push_back(sum);
+      ++col_ptr[static_cast<size_t>(entries_[i].col) + 1];
+    }
+    i = j;
+  }
+  for (size_t c = 1; c < col_ptr.size(); ++c) col_ptr[c] += col_ptr[c - 1];
+
+  entries_.clear();
+  return CscBlock(rows_, cols_, std::move(col_ptr), std::move(row_idx),
+                  std::move(values));
+}
+
+}  // namespace dmac

@@ -1,0 +1,28 @@
+#include "matrix/mem_tracker.h"
+
+namespace dmac {
+
+MemTracker& MemTracker::Global() {
+  static MemTracker tracker;
+  return tracker;
+}
+
+void MemTracker::Allocate(int64_t bytes) {
+  const int64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemTracker::Release(int64_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemTracker::ResetPeak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+}  // namespace dmac

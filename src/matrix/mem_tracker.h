@@ -1,0 +1,41 @@
+// Process-wide accounting of block memory, with a high-water mark.
+//
+// The paper's Fig. 7 and Fig. 8(b) report per-node memory usage of the local
+// block engine; every DenseBlock/CscBlock registers its payload here so those
+// experiments can read exact numbers instead of sampling the allocator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dmac {
+
+/// Global tracker of live block payload bytes.
+class MemTracker {
+ public:
+  /// The process-wide instance.
+  static MemTracker& Global();
+
+  /// Records an allocation of `bytes` and updates the high-water mark.
+  void Allocate(int64_t bytes);
+
+  /// Records a release of `bytes`.
+  void Release(int64_t bytes);
+
+  /// Currently live payload bytes.
+  int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// Highest value `current_bytes()` reached since the last ResetPeak().
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Resets the high-water mark to the current live total.
+  void ResetPeak();
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+}  // namespace dmac

@@ -1,0 +1,66 @@
+// Matrix dimensions and block-grid arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace dmac {
+
+/// Element type of all matrices. Single precision matches the paper's memory
+/// model (dense block = 4mn bytes, sparse = 4n + 8mns; §5.3 Eq. 2).
+using Scalar = float;
+
+/// Dimensions of a matrix or a block.
+struct Shape {
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  int64_t NumElements() const { return rows * cols; }
+  Shape Transposed() const { return {cols, rows}; }
+
+  bool operator==(const Shape& o) const {
+    return rows == o.rows && cols == o.cols;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    return std::to_string(rows) + "x" + std::to_string(cols);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.ToString();
+}
+
+/// Number of blocks needed to cover `extent` with blocks of `block_size`.
+inline int64_t NumBlocks(int64_t extent, int64_t block_size) {
+  return (extent + block_size - 1) / block_size;
+}
+
+/// Extent of block `index` when covering `extent` with `block_size` blocks
+/// (the trailing block may be smaller).
+inline int64_t BlockExtent(int64_t extent, int64_t block_size, int64_t index) {
+  const int64_t start = index * block_size;
+  const int64_t remaining = extent - start;
+  return remaining < block_size ? remaining : block_size;
+}
+
+/// Describes how a matrix is cut into an (approximately) square block grid.
+/// Both dimensions use the same block side, per the paper ("we use square
+/// block in DMac", §5.3).
+struct BlockGrid {
+  Shape matrix;
+  int64_t block_size = 0;
+
+  int64_t block_rows() const { return NumBlocks(matrix.rows, block_size); }
+  int64_t block_cols() const { return NumBlocks(matrix.cols, block_size); }
+  int64_t num_blocks() const { return block_rows() * block_cols(); }
+
+  Shape BlockShape(int64_t bi, int64_t bj) const {
+    return {BlockExtent(matrix.rows, block_size, bi),
+            BlockExtent(matrix.cols, block_size, bj)};
+  }
+};
+
+}  // namespace dmac

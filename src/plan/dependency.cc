@@ -1,0 +1,59 @@
+#include "plan/dependency.h"
+
+namespace dmac {
+
+const char* DependencyTypeName(DependencyType t) {
+  switch (t) {
+    case DependencyType::kPartition:
+      return "Partition";
+    case DependencyType::kTransposePartition:
+      return "Transpose-Partition";
+    case DependencyType::kBroadcast:
+      return "Broadcast";
+    case DependencyType::kTransposeBroadcast:
+      return "Transpose-Broadcast";
+    case DependencyType::kReference:
+      return "Reference";
+    case DependencyType::kTranspose:
+      return "Transpose";
+    case DependencyType::kExtract:
+      return "Extract";
+    case DependencyType::kExtractTranspose:
+      return "Extract-Transpose";
+    case DependencyType::kNone:
+      return "None";
+  }
+  return "?";
+}
+
+DependencyType ClassifyDependency(bool transposed, Scheme pi, Scheme pj) {
+  if (!transposed) {
+    // A = B rows of Table 2.
+    if (Oppose(pi, pj)) return DependencyType::kPartition;
+    if (EqualRC(pi, pj) || EqualB(pi, pj)) return DependencyType::kReference;
+    if (Contain(pj, pi)) return DependencyType::kBroadcast;
+    if (Contain(pi, pj)) return DependencyType::kExtract;
+  } else {
+    // A = Bᵀ rows of Table 2.
+    if (EqualRC(pi, pj)) return DependencyType::kTransposePartition;
+    if (Oppose(pi, pj) || EqualB(pi, pj)) return DependencyType::kTranspose;
+    if (Contain(pj, pi)) return DependencyType::kTransposeBroadcast;
+    if (Contain(pi, pj)) return DependencyType::kExtractTranspose;
+  }
+  return DependencyType::kNone;
+}
+
+double DependencyCommBytes(DependencyType t, double bytes, int num_workers) {
+  switch (t) {
+    case DependencyType::kPartition:
+    case DependencyType::kTransposePartition:
+      return bytes;  // Situation 2
+    case DependencyType::kBroadcast:
+    case DependencyType::kTransposeBroadcast:
+      return static_cast<double>(num_workers) * bytes;  // Situation 3
+    default:
+      return 0;  // Situation 1
+  }
+}
+
+}  // namespace dmac

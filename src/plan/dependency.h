@@ -1,0 +1,53 @@
+// Matrix dependency classification (paper §3, Definition 1 and Table 2).
+//
+// An input event In(B, pj, opj) depends on an output event Out(A, pi, opi)
+// when B = A or B = Aᵀ and opi precedes opj. The combination of the
+// transpose relationship and the two partition schemes determines which of
+// eight matrix processes reconciles producer and consumer — four of them
+// communicate, four are worker-local.
+#pragma once
+
+#include "plan/scheme.h"
+
+namespace dmac {
+
+/// The eight dependency types of Table 2, plus kNone for unrelated events.
+enum class DependencyType : uint8_t {
+  // --- Communication Dependency category ---
+  kPartition,           // A = B,  Oppose(pi, pj): repartition
+  kTransposePartition,  // A = Bᵀ, EqualRC(pi, pj): transpose + repartition
+  kBroadcast,           // A = B,  Contain(pj, pi): broadcast
+  kTransposeBroadcast,  // A = Bᵀ, Contain(pj, pi): transpose + broadcast
+  // --- Non-Communication Dependency category ---
+  kReference,           // A = B,  EqualRC or EqualB: reuse as-is
+  kTranspose,           // A = Bᵀ, Oppose or EqualB: local transpose
+  kExtract,             // A = B,  Contain(pi, pj): local filter
+  kExtractTranspose,    // A = Bᵀ, Contain(pi, pj): local filter + transpose
+  kNone,
+};
+
+const char* DependencyTypeName(DependencyType t);
+
+/// True for the Communication Dependency category.
+inline bool IsCommunicationDependency(DependencyType t) {
+  return t == DependencyType::kPartition ||
+         t == DependencyType::kTransposePartition ||
+         t == DependencyType::kBroadcast ||
+         t == DependencyType::kTransposeBroadcast;
+}
+
+/// Classifies the dependency between Out(A, pi, ·) and In(B, pj, ·).
+///
+/// `transposed` states the relationship between the matrices: false for
+/// B = A, true for B = Aᵀ. Exactly one of the eight types matches every
+/// (transposed, pi, pj) combination — the 18 combinations of Table 2.
+DependencyType ClassifyDependency(bool transposed, Scheme pi, Scheme pj);
+
+/// Communication cost situation of §4.1 for a dependency type `t` moving a
+/// matrix of `bytes` size across `num_workers` workers:
+///   Situation 1 (non-communication): 0
+///   Situation 2 (partition-like):    |A|
+///   Situation 3 (broadcast-like):    N · |A|
+double DependencyCommBytes(DependencyType t, double bytes, int num_workers);
+
+}  // namespace dmac

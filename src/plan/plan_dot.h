@@ -1,0 +1,17 @@
+// Graphviz DOT rendering of execution plans — the visual analogue of the
+// paper's Fig. 3: matrices as ellipses annotated with their partition
+// scheme, operators as edges, stages as clusters, communication edges
+// highlighted.
+#pragma once
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace dmac {
+
+/// Renders the plan as a Graphviz digraph. Pipe through `dot -Tsvg` to get
+/// a figure directly comparable to the paper's Fig. 3.
+std::string PlanToDot(const Plan& plan);
+
+}  // namespace dmac

@@ -1,0 +1,42 @@
+// Execution plan generation (paper §4, Algorithm 1).
+#pragma once
+
+#include "common/result.h"
+#include "lang/op.h"
+#include "plan/plan.h"
+
+namespace dmac {
+
+/// Planner configuration.
+struct PlannerOptions {
+  /// N in the cost model: number of workers in the cluster.
+  int num_workers = 4;
+
+  /// When false, the planner emulates SystemML-S (paper §6.1): the same
+  /// operator strategies and cost formulas, but matrix dependencies are
+  /// ignored — every input event pays its full repartition/broadcast price
+  /// and repartitioned copies are never reused across operators.
+  bool exploit_dependencies = true;
+
+  /// Heuristic 1 (Pull-Up Broadcast, §4.2.2): when an input needs a
+  /// broadcast of a matrix that an earlier operator already paid to
+  /// repartition, convert that earlier repartition into a broadcast and
+  /// derive the earlier requirement by a local extract.
+  bool pull_up_broadcast = true;
+
+  /// Heuristic 2 (Re-assignment, §4.2.2): outputs with flexible schemes
+  /// (CPMM r|c) are collapsed to whichever scheme a dependent input needs.
+  bool reassignment = true;
+
+  /// Number of future consumer edges examined to break cost ties between
+  /// strategies (e.g. the RMM1/RMM2 tie on B·Bᵀ the paper discusses, and
+  /// the Row/Column tie when loading an input). 0 disables lookahead.
+  int lookahead_edges = 8;
+};
+
+/// Runs Algorithm 1 over the decomposed program and returns a finalized,
+/// stage-annotated execution plan.
+Result<Plan> GeneratePlan(const OperatorList& ops,
+                          const PlannerOptions& options);
+
+}  // namespace dmac

@@ -1,0 +1,94 @@
+// Partition schemes and the four scheme predicates (paper §3.1, Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmac {
+
+/// The three one-dimensional partition schemes DMac supports.
+///
+/// Row/Column place all elements of one row/column in the same partition;
+/// Broadcast replicates every element on every worker (the paper treats it
+/// as a partition scheme for uniformity since it describes data placement).
+enum class Scheme : uint8_t { kRow = 0, kCol = 1, kBroadcast = 2 };
+
+/// Bitmask over schemes; used for outputs whose scheme is still flexible
+/// (e.g. CPMM can emit Row or Column, paper Fig. 2 "r|c").
+using SchemeSet = uint8_t;
+
+inline constexpr SchemeSet kNoSchemes = 0;
+inline SchemeSet SchemeBit(Scheme s) {
+  return static_cast<SchemeSet>(1u << static_cast<uint8_t>(s));
+}
+inline bool SchemeSetContains(SchemeSet set, Scheme s) {
+  return (set & SchemeBit(s)) != 0;
+}
+inline bool SchemeSetIsSingle(SchemeSet set) {
+  return set != 0 && (set & (set - 1)) == 0;
+}
+inline Scheme SchemeSetFirst(SchemeSet set) {
+  for (uint8_t i = 0; i < 3; ++i) {
+    if (set & (1u << i)) return static_cast<Scheme>(i);
+  }
+  return Scheme::kRow;
+}
+
+/// "pi and pj are both Broadcast scheme."
+inline bool EqualB(Scheme pi, Scheme pj) {
+  return pi == Scheme::kBroadcast && pj == Scheme::kBroadcast;
+}
+
+/// "pi and pj are the same, either Row scheme or Column scheme."
+inline bool EqualRC(Scheme pi, Scheme pj) {
+  return pi == pj && pi != Scheme::kBroadcast;
+}
+
+/// "pi is Row scheme while pj is Column scheme and vice versa."
+inline bool Oppose(Scheme pi, Scheme pj) {
+  return (pi == Scheme::kRow && pj == Scheme::kCol) ||
+         (pi == Scheme::kCol && pj == Scheme::kRow);
+}
+
+/// "pi is Broadcast scheme while pj is either Row scheme or Column scheme."
+inline bool Contain(Scheme pi, Scheme pj) {
+  return pi == Scheme::kBroadcast && pj != Scheme::kBroadcast;
+}
+
+/// Row ↔ Col; Broadcast maps to itself.
+inline Scheme OppositeScheme(Scheme s) {
+  switch (s) {
+    case Scheme::kRow:
+      return Scheme::kCol;
+    case Scheme::kCol:
+      return Scheme::kRow;
+    case Scheme::kBroadcast:
+      return Scheme::kBroadcast;
+  }
+  return s;
+}
+
+inline char SchemeChar(Scheme s) {
+  switch (s) {
+    case Scheme::kRow:
+      return 'r';
+    case Scheme::kCol:
+      return 'c';
+    case Scheme::kBroadcast:
+      return 'b';
+  }
+  return '?';
+}
+
+inline std::string SchemeSetToString(SchemeSet set) {
+  std::string out;
+  for (uint8_t i = 0; i < 3; ++i) {
+    if (set & (1u << i)) {
+      if (!out.empty()) out += '|';
+      out += SchemeChar(static_cast<Scheme>(i));
+    }
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace dmac

@@ -1,0 +1,42 @@
+// Worst-case matrix size estimation (paper §5.1).
+//
+// Dimensions are inferred exactly from the operator semantics; sparsity is
+// propagated with the paper's worst-case rules:
+//   * multiplication:        s_C = 1
+//   * other binary operator: s_C = min(s_A + s_B, 1)
+//   * unary operator:        sparsity preserved
+// Input sparsities come from the Load declarations (pre-computed offline or
+// user-specified, per the paper).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "lang/op.h"
+#include "matrix/shape.h"
+
+namespace dmac {
+
+/// Estimated characteristics of one (SSA) matrix.
+struct MatrixStats {
+  Shape shape;
+  double sparsity = 1.0;
+
+  MatrixStats Transposed() const { return {shape.Transposed(), sparsity}; }
+
+  /// Estimated payload bytes: the cheaper of the dense encoding (4·m·n) and
+  /// the CSC encoding (4·n + 8·m·n·s), mirroring Eq. 2.
+  double EstimatedBytes() const;
+};
+
+/// Map from SSA matrix name to its estimated stats.
+using StatsMap = std::unordered_map<std::string, MatrixStats>;
+
+/// Runs worst-case estimation over a decomposed program, validating all
+/// operator shapes along the way.
+Result<StatsMap> EstimateSizes(const OperatorList& ops);
+
+/// Stats of a (possibly transposed) matrix reference.
+Result<MatrixStats> StatsForRef(const StatsMap& stats, const MatrixRef& ref);
+
+}  // namespace dmac

@@ -1,0 +1,40 @@
+// Candidate execution strategies per operator (paper §4.1, Fig. 2).
+#pragma once
+
+#include <vector>
+
+#include "lang/op.h"
+#include "plan/scheme.h"
+
+namespace dmac {
+
+/// Multiplication algorithms (paper Fig. 2). kNone for non-multiplies.
+enum class MultAlgo : uint8_t { kNone, kRMM1, kRMM2, kCPMM };
+
+const char* MultAlgoName(MultAlgo a);
+
+/// One candidate execution strategy of an operator: the partition schemes it
+/// requires on its inputs, the scheme(s) its output can carry, and whether
+/// its own execution communicates (only CPMM's aggregation does).
+struct Strategy {
+  std::vector<Scheme> input_schemes;  // aligned with Operator::inputs
+  SchemeSet out_schemes = kNoSchemes;
+  MultAlgo mult_algo = MultAlgo::kNone;
+  /// CPMM shuffles its size-|C| partial results from all N workers
+  /// (Cost(out) = N·|C|, §4.1).
+  bool output_comm = false;
+
+  std::string ToString() const;
+};
+
+/// Enumerates the candidate strategies of `op`:
+///  * multiply: RMM1 {b,c}→c, RMM2 {r,b}→r, CPMM {c,r}→r|c (+output comm)
+///  * cell-wise / add / subtract: {r,r}→r, {c,c}→c, {b,b}→b
+///  * scalar ops: {r}→r, {c}→c, {b}→b
+///  * reduce: {r}, {c}, {b} (no matrix output)
+///  * load: →r, →c (cost |A|), →b (cost N·|A|)
+///  * random: →r, →c, →b (generated in place, no communication)
+/// kScalarAssign has no strategies (driver-side only).
+std::vector<Strategy> CandidateStrategies(const Operator& op);
+
+}  // namespace dmac

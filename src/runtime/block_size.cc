@@ -1,0 +1,35 @@
+#include "runtime/block_size.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmac {
+
+double EstimatedPartitionedBytes(Shape matrix, double sparsity,
+                                 int64_t block_size) {
+  const double m = static_cast<double>(matrix.rows);
+  const double n = static_cast<double>(matrix.cols);
+  const double dense = 4.0 * m * n;
+  const double block_rows = std::ceil(m / static_cast<double>(block_size));
+  const double sparse = 4.0 * n * block_rows + 8.0 * m * n * sparsity;
+  return std::min(dense, sparse);
+}
+
+int64_t BlockSizeUpperBound(Shape matrix, int workers,
+                            int threads_per_worker) {
+  const double mn = static_cast<double>(matrix.rows) *
+                    static_cast<double>(matrix.cols);
+  const double lk =
+      static_cast<double>(workers) * static_cast<double>(threads_per_worker);
+  const double bound = std::sqrt(mn / lk);
+  return std::max<int64_t>(1, static_cast<int64_t>(bound));
+}
+
+int64_t ChooseBlockSize(Shape matrix, int workers, int threads_per_worker) {
+  const int64_t bound = BlockSizeUpperBound(matrix, workers,
+                                            threads_per_worker);
+  const int64_t max_extent = std::max(matrix.rows, matrix.cols);
+  return std::clamp<int64_t>(bound, 1, std::max<int64_t>(1, max_extent));
+}
+
+}  // namespace dmac

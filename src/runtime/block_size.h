@@ -1,0 +1,26 @@
+// Automatic block-size choice (paper §5.3, Eq. 2 and Eq. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/shape.h"
+
+namespace dmac {
+
+/// Memory model of Eq. 2: total bytes for an M×N matrix with sparsity S cut
+/// into m×m blocks — 4·N·(M/m) column-pointer overhead + 8·M·N·S payload
+/// when sparse, 4·M·N when dense.
+double EstimatedPartitionedBytes(Shape matrix, double sparsity,
+                                 int64_t block_size);
+
+/// Upper bound of Eq. 3: m ≤ sqrt(M·N / (L·K)) — the largest block size
+/// that still gives every one of the L threads on each of the K workers at
+/// least one task under RMM-style multiplication.
+int64_t BlockSizeUpperBound(Shape matrix, int workers, int threads_per_worker);
+
+/// DMac's automatic choice: a value near the Eq. 3 upper bound (large blocks
+/// minimize the duplicated Column Start Index overhead of Eq. 2 while
+/// preserving full parallelism), clamped to [1, max(M, N)].
+int64_t ChooseBlockSize(Shape matrix, int workers, int threads_per_worker);
+
+}  // namespace dmac

@@ -1,0 +1,32 @@
+#include "runtime/buffer_pool.h"
+
+namespace dmac {
+
+DenseBlock BufferPool::Acquire(int64_t rows, int64_t cols) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_.find({rows, cols});
+    if (it != free_.end() && !it->second.empty()) {
+      DenseBlock block = std::move(it->second.back());
+      it->second.pop_back();
+      block.Clear();
+      return block;
+    }
+  }
+  return DenseBlock(rows, cols);
+}
+
+void BufferPool::Release(DenseBlock block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = free_[{block.rows(), block.cols()}];
+  if (slot.size() < max_per_shape_) slot.push_back(std::move(block));
+}
+
+size_t BufferPool::IdleBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [shape, blocks] : free_) n += blocks.size();
+  return n;
+}
+
+}  // namespace dmac

@@ -1,0 +1,40 @@
+// Result buffer pool (paper §5.3, Fig. 4).
+//
+// Worker threads acquire a clean dense block at the start of each task,
+// accumulate the task's result into it in place, and return it when done.
+// The pool keeps a bounded number of blocks per shape so inter-thread
+// memory is reused instead of reallocated.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "matrix/dense_block.h"
+
+namespace dmac {
+
+/// Thread-safe pool of reusable dense result blocks.
+class BufferPool {
+ public:
+  /// `max_per_shape` bounds how many idle blocks of one shape are retained.
+  explicit BufferPool(size_t max_per_shape = 8)
+      : max_per_shape_(max_per_shape) {}
+
+  /// Returns a zeroed block of the given shape (recycled when available).
+  DenseBlock Acquire(int64_t rows, int64_t cols);
+
+  /// Returns a block to the pool; dropped if the shape's slot is full.
+  void Release(DenseBlock block);
+
+  /// Number of idle blocks currently held.
+  size_t IdleBlocks() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_per_shape_;
+  std::map<std::pair<int64_t, int64_t>, std::vector<DenseBlock>> free_;
+};
+
+}  // namespace dmac

@@ -1,0 +1,107 @@
+// DistMatrix: a matrix distributed across simulated worker stores.
+//
+// Two-level partitioning, exactly as in the paper (§5.3): the matrix is cut
+// into square blocks (the compute/distribution unit), and the blocks are
+// assigned to workers by the node's partition scheme — contiguous block-row
+// ranges for Row, block-column ranges for Column, full replication for
+// Broadcast. Blocks are shared immutably (shared_ptr), so local extended
+// operators (reference/extract) copy pointers, not payloads — only the
+// network layer (executor) copies across stores and counts bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "matrix/block.h"
+#include "plan/scheme.h"
+#include "runtime/owner.h"
+
+namespace dmac {
+
+/// One matrix materialized on the cluster under a partition scheme.
+class DistMatrix {
+ public:
+  using BlockPtr = std::shared_ptr<const Block>;
+
+  DistMatrix(BlockGrid grid, Scheme scheme, int num_workers)
+      : grid_(grid),
+        scheme_(scheme),
+        num_workers_(num_workers),
+        stores_(static_cast<size_t>(num_workers)) {}
+
+  const BlockGrid& grid() const { return grid_; }
+  Scheme scheme() const { return scheme_; }
+  int num_workers() const { return num_workers_; }
+
+  /// Owner of block (bi, bj) under this matrix's scheme. For Broadcast
+  /// every worker holds the block; this returns the canonical copy (0).
+  int OwnerOf(int64_t bi, int64_t bj) const {
+    switch (scheme_) {
+      case Scheme::kRow:
+        return OwnerOfIndex(bi, grid_.block_rows(), num_workers_);
+      case Scheme::kCol:
+        return OwnerOfIndex(bj, grid_.block_cols(), num_workers_);
+      case Scheme::kBroadcast:
+        return 0;
+    }
+    return 0;
+  }
+
+  /// Places a block in `worker`'s store.
+  void Put(int worker, int64_t bi, int64_t bj, BlockPtr block) {
+    DMAC_CHECK(worker >= 0 && worker < num_workers_);
+    stores_[static_cast<size_t>(worker)][Key(bi, bj)] = std::move(block);
+  }
+
+  /// Block (bi, bj) from `worker`'s store; null when absent there.
+  BlockPtr Get(int worker, int64_t bi, int64_t bj) const {
+    const auto& store = stores_[static_cast<size_t>(worker)];
+    auto it = store.find(Key(bi, bj));
+    return it == store.end() ? nullptr : it->second;
+  }
+
+  /// Block (bi, bj) from its owner's store (any replica for Broadcast).
+  BlockPtr GetOwned(int64_t bi, int64_t bj) const {
+    return Get(OwnerOf(bi, bj), bi, bj);
+  }
+
+  /// All blocks in `worker`'s store as (bi, bj, block) triples.
+  std::vector<std::tuple<int64_t, int64_t, BlockPtr>> WorkerBlocks(
+      int worker) const {
+    std::vector<std::tuple<int64_t, int64_t, BlockPtr>> out;
+    const auto& store = stores_[static_cast<size_t>(worker)];
+    out.reserve(store.size());
+    for (const auto& [key, block] : store) {
+      out.emplace_back(key / grid_.block_cols(), key % grid_.block_cols(),
+                       block);
+    }
+    return out;
+  }
+
+  /// Total payload bytes across all stores (replicas counted).
+  int64_t TotalStoredBytes() const {
+    int64_t total = 0;
+    for (const auto& store : stores_) {
+      for (const auto& [key, block] : store) total += block->MemoryBytes();
+    }
+    return total;
+  }
+
+ private:
+  int64_t Key(int64_t bi, int64_t bj) const {
+    DMAC_CHECK(bi >= 0 && bi < grid_.block_rows());
+    DMAC_CHECK(bj >= 0 && bj < grid_.block_cols());
+    return bi * grid_.block_cols() + bj;
+  }
+
+  BlockGrid grid_;
+  Scheme scheme_;
+  int num_workers_;
+  std::vector<std::unordered_map<int64_t, BlockPtr>> stores_;
+};
+
+}  // namespace dmac

@@ -1,0 +1,94 @@
+// Execution statistics: communication accounting and timing.
+//
+// Communication bytes are counted exactly as blocks cross worker stores —
+// this is the metric of the paper's Fig. 6(b). Wall-clock time on a real
+// cluster is modeled as measured compute (max over workers per stage, since
+// stages are barriers) plus simulated network transfer time.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dmac {
+
+/// Network cost model of the simulated cluster.
+struct NetworkModel {
+  /// Effective per-link bandwidth (bytes/second). Default ~1 Gbit/s, the
+  /// class of interconnect used in the paper's cluster.
+  double bandwidth_bytes_per_sec = 125e6;
+  /// Fixed startup cost per communication event (one shuffle or broadcast
+  /// round — roughly a Spark stage boundary).
+  double latency_sec = 0.01;
+};
+
+/// Statistics of one plan execution.
+struct ExecStats {
+  double shuffle_bytes = 0;
+  double broadcast_bytes = 0;
+  int64_t shuffle_events = 0;
+  int64_t broadcast_events = 0;
+
+  /// Measured local compute seconds, per stage and per worker.
+  /// stage_worker_seconds[s][w] is worker w's busy time in stage s+1.
+  std::vector<std::vector<double>> stage_worker_seconds;
+
+  /// Peak tracked block memory over the run (process-wide).
+  int64_t peak_memory_bytes = 0;
+
+  double comm_bytes() const { return shuffle_bytes + broadcast_bytes; }
+  int64_t comm_events() const { return shuffle_events + broadcast_events; }
+
+  /// Adds `seconds` of busy time for `worker` in `stage` (1-based).
+  void AddWorkerSeconds(int stage, int worker, double seconds) {
+    if (stage < 1) stage = 1;
+    if (static_cast<size_t>(stage) > stage_worker_seconds.size()) {
+      stage_worker_seconds.resize(static_cast<size_t>(stage));
+    }
+    auto& per_worker = stage_worker_seconds[static_cast<size_t>(stage - 1)];
+    if (static_cast<size_t>(worker) >= per_worker.size()) {
+      per_worker.resize(static_cast<size_t>(worker) + 1, 0.0);
+    }
+    per_worker[static_cast<size_t>(worker)] += seconds;
+  }
+
+  /// Cluster-equivalent compute wall time: stages are barriers, so each
+  /// stage costs its slowest worker.
+  double ComputeWallSeconds() const {
+    double total = 0;
+    for (const auto& per_worker : stage_worker_seconds) {
+      double mx = 0;
+      for (double s : per_worker) mx = std::max(mx, s);
+      total += mx;
+    }
+    return total;
+  }
+
+  /// Modeled network transfer time under `net`.
+  double CommSeconds(const NetworkModel& net) const {
+    return comm_bytes() / net.bandwidth_bytes_per_sec +
+           static_cast<double>(comm_events()) * net.latency_sec;
+  }
+
+  /// Modeled end-to-end time: compute + network.
+  double SimulatedSeconds(const NetworkModel& net) const {
+    return ComputeWallSeconds() + CommSeconds(net);
+  }
+
+  /// Merges another run's statistics (for accumulating over iterations).
+  void Merge(const ExecStats& other) {
+    shuffle_bytes += other.shuffle_bytes;
+    broadcast_bytes += other.broadcast_bytes;
+    shuffle_events += other.shuffle_events;
+    broadcast_events += other.broadcast_events;
+    for (size_t s = 0; s < other.stage_worker_seconds.size(); ++s) {
+      for (size_t w = 0; w < other.stage_worker_seconds[s].size(); ++w) {
+        AddWorkerSeconds(static_cast<int>(s) + 1, static_cast<int>(w),
+                         other.stage_worker_seconds[s][w]);
+      }
+    }
+    peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
+  }
+};
+
+}  // namespace dmac

@@ -1,0 +1,921 @@
+#include "runtime/executor.h"
+
+#include <cmath>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/thread_pool.h"
+#include "matrix/mem_tracker.h"
+#include "runtime/buffer_pool.h"
+
+namespace dmac {
+
+namespace {
+
+/// Evaluates a resolved scalar expression against the scalar environment.
+Result<double> EvalScalar(const ScalarExprPtr& e,
+                          const std::unordered_map<std::string, double>& env) {
+  switch (e->kind) {
+    case ScalarExpr::Kind::kLiteral:
+      return e->literal;
+    case ScalarExpr::Kind::kVarRef: {
+      auto it = env.find(e->name);
+      if (it == env.end()) {
+        return Status::NotFound("scalar " + e->name + " not yet computed");
+      }
+      return it->second;
+    }
+    case ScalarExpr::Kind::kBinary: {
+      DMAC_ASSIGN_OR_RETURN(double l, EvalScalar(e->lhs, env));
+      DMAC_ASSIGN_OR_RETURN(double r, EvalScalar(e->rhs, env));
+      switch (e->op) {
+        case '+':
+          return l + r;
+        case '-':
+          return l - r;
+        case '*':
+          return l * r;
+        case '/':
+          return l / r;
+      }
+      return Status::Invalid(std::string("unknown scalar operator ") + e->op);
+    }
+    case ScalarExpr::Kind::kSqrt: {
+      DMAC_ASSIGN_OR_RETURN(double l, EvalScalar(e->lhs, env));
+      return std::sqrt(l);
+    }
+    case ScalarExpr::Kind::kReduce:
+      return Status::Internal(
+          "unresolved reduce in scalar expression (decompose bug)");
+  }
+  return Status::Internal("unreachable ScalarExpr kind");
+}
+
+/// Thread-safe sink writing result blocks into one worker's store.
+class StoreSink {
+ public:
+  StoreSink(DistMatrix* target, int worker) : target_(target), worker_(worker) {}
+
+  void operator()(int64_t bi, int64_t bj, Block block) {
+    auto ptr = std::make_shared<const Block>(std::move(block));
+    std::lock_guard<std::mutex> lock(mu_);
+    target_->Put(worker_, bi, bj, std::move(ptr));
+  }
+
+ private:
+  std::mutex mu_;
+  DistMatrix* target_;
+  int worker_;
+};
+
+}  // namespace
+
+class Executor::Impl {
+ public:
+  Impl(const ExecutorOptions& opts, const Plan& plan, const Bindings& bindings)
+      : opts_(opts),
+        plan_(plan),
+        bindings_(bindings),
+        pool_(static_cast<size_t>(opts.threads_per_worker)),
+        buffers_(static_cast<size_t>(opts.threads_per_worker) * 2),
+        engine_(&pool_, &buffers_, opts.local_mode, opts.density_threshold,
+                opts.task_scheduling),
+        node_data_(plan.nodes.size()) {}
+
+  Result<ExecutionResult> Run() {
+    DMAC_RETURN_NOT_OK(PickBlockSize());
+    MemTracker::Global().ResetPeak();
+    const int64_t mem_before_peak = MemTracker::Global().peak_bytes();
+
+    for (const PlanStep& step : plan_.steps) {
+      DMAC_RETURN_NOT_OK(ExecuteStep(step));
+    }
+
+    ExecutionResult result;
+    for (const PlanOutput& out : plan_.outputs) {
+      DMAC_ASSIGN_OR_RETURN(LocalMatrix m, Gather(out.node));
+      if (out.transposed) m = m.Transposed();
+      result.matrices.emplace(out.variable, std::move(m));
+    }
+    for (const auto& [var, ssa] : plan_.scalar_outputs) {
+      auto it = scalars_.find(ssa);
+      if (it == scalars_.end()) {
+        return Status::NotFound("scalar output " + ssa + " never computed");
+      }
+      result.scalars.emplace(var, it->second);
+    }
+    stats_.peak_memory_bytes =
+        std::max(MemTracker::Global().peak_bytes(), mem_before_peak);
+    result.stats = std::move(stats_);
+    return result;
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------------
+
+  Status PickBlockSize() {
+    block_size_ = opts_.block_size;
+    if (block_size_ == 0) {
+      for (const auto& [name, matrix] : bindings_) {
+        block_size_ = matrix->block_size();
+        break;
+      }
+    }
+    if (block_size_ <= 0) block_size_ = 1024;
+    for (const auto& [name, matrix] : bindings_) {
+      if (matrix->block_size() != block_size_) {
+        return Status::Invalid(
+            "binding " + name + " uses block size " +
+            std::to_string(matrix->block_size()) + ", executor uses " +
+            std::to_string(block_size_));
+      }
+    }
+    return Status::Ok();
+  }
+
+  const PlanNode& NodeOf(int id) const {
+    return plan_.nodes[static_cast<size_t>(id)];
+  }
+
+  DistMatrix& Data(int node_id) {
+    DMAC_CHECK(node_data_[static_cast<size_t>(node_id)] != nullptr)
+        << "node " << node_id << " has no materialized data";
+    return *node_data_[static_cast<size_t>(node_id)];
+  }
+
+  std::shared_ptr<DistMatrix> NewData(int node_id, Shape shape) {
+    const PlanNode& node = NodeOf(node_id);
+    auto dm = std::make_shared<DistMatrix>(BlockGrid{shape, block_size_},
+                                           node.scheme(), opts_.num_workers);
+    node_data_[static_cast<size_t>(node_id)] = dm;
+    return dm;
+  }
+
+  /// Times `fn` and attributes the elapsed seconds to (stage, worker).
+  template <typename Fn>
+  Status TimedWorker(int stage, int worker, Fn&& fn) {
+    Timer timer;
+    Status st = fn();
+    stats_.AddWorkerSeconds(stage, worker, timer.ElapsedSeconds());
+    return st;
+  }
+
+  // ---- step dispatch ------------------------------------------------------
+
+  Status ExecuteStep(const PlanStep& step) {
+    switch (step.kind) {
+      case StepKind::kLoad:
+        return ExecLoad(step);
+      case StepKind::kRandom:
+        return ExecRandom(step);
+      case StepKind::kPartition:
+        return ExecPartition(step);
+      case StepKind::kBroadcast:
+        return ExecBroadcast(step);
+      case StepKind::kTranspose:
+        return ExecTranspose(step);
+      case StepKind::kExtract:
+        return ExecExtract(step);
+      case StepKind::kCompute:
+        return ExecCompute(step);
+      case StepKind::kReduce:
+        return ExecReduce(step);
+      case StepKind::kScalarAssign: {
+        DMAC_ASSIGN_OR_RETURN(double v, EvalScalar(step.scalar, scalars_));
+        scalars_[step.scalar_out] = v;
+        return Status::Ok();
+      }
+    }
+    return Status::Internal("unknown step kind");
+  }
+
+  Status ExecLoad(const PlanStep& step) {
+    auto it = bindings_.find(step.source);
+    if (it == bindings_.end()) {
+      return Status::NotFound("no binding for input matrix " + step.source);
+    }
+    const LocalMatrix& src = *it->second;
+    if (src.shape() != step.decl_shape) {
+      return Status::DimensionMismatch(
+          "binding " + step.source + " is " + src.shape().ToString() +
+          ", declared " + step.decl_shape.ToString());
+    }
+    auto dm = NewData(step.output, src.shape());
+    const bool broadcast = dm->scheme() == Scheme::kBroadcast;
+    double bytes = 0;
+    for (int64_t bi = 0; bi < dm->grid().block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < dm->grid().block_cols(); ++bj) {
+        // Non-owning pointer into the binding: the caller keeps inputs
+        // alive for the duration of Execute().
+        DistMatrix::BlockPtr ptr(std::shared_ptr<void>(),
+                                 &src.BlockAt(bi, bj));
+        const double block_bytes =
+            static_cast<double>(ptr->MemoryBytes());
+        if (broadcast) {
+          for (int w = 0; w < opts_.num_workers; ++w) dm->Put(w, bi, bj, ptr);
+          bytes += block_bytes * opts_.num_workers;
+        } else {
+          dm->Put(dm->OwnerOf(bi, bj), bi, bj, ptr);
+          bytes += block_bytes;
+        }
+      }
+    }
+    if (broadcast) {
+      stats_.broadcast_bytes += bytes;
+      ++stats_.broadcast_events;
+    } else {
+      stats_.shuffle_bytes += bytes;
+      ++stats_.shuffle_events;
+    }
+    return Status::Ok();
+  }
+
+  Status ExecRandom(const PlanStep& step) {
+    auto dm = NewData(step.output, step.decl_shape);
+    const BlockGrid& grid = dm->grid();
+
+    // Deterministic per-block seeds make every replica identical, so a
+    // Broadcast-scheme random matrix costs no communication.
+    const bool broadcast = dm->scheme() == Scheme::kBroadcast;
+    for (int64_t bi = 0; bi < grid.block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < grid.block_cols(); ++bj) {
+        const uint64_t seed =
+            RandomBlockSeed(opts_.seed, step.source, bi, bj);
+        const Shape s = grid.BlockShape(bi, bj);
+        const int owner = broadcast ? 0 : dm->OwnerOf(bi, bj);
+        Status st = TimedWorker(step.stage, owner, [&] {
+          auto ptr = std::make_shared<const Block>(
+              RandomDenseBlock(s.rows, s.cols, seed));
+          if (broadcast) {
+            for (int w = 0; w < opts_.num_workers; ++w) {
+              dm->Put(w, bi, bj, ptr);
+            }
+          } else {
+            dm->Put(owner, bi, bj, ptr);
+          }
+          return Status::Ok();
+        });
+        DMAC_RETURN_NOT_OK(st);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ExecPartition(const PlanStep& step) {
+    const DistMatrix& src = Data(step.inputs[0]);
+    auto dst = NewData(step.output, src.grid().matrix);
+    DMAC_CHECK(dst->scheme() != Scheme::kBroadcast);
+    // A repartition onto the *same* scheme (SystemML-S's hash shuffle of an
+    // already-aligned matrix) keeps block placement in our simulator, but on
+    // a real cluster the hash shuffle still pushes an expected (N-1)/N of
+    // the data across the network; charge that fraction.
+    const bool same_scheme = src.scheme() == dst->scheme();
+    const double hash_fraction =
+        static_cast<double>(opts_.num_workers - 1) / opts_.num_workers;
+    double bytes = 0;
+    for (int64_t bi = 0; bi < src.grid().block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < src.grid().block_cols(); ++bj) {
+        const int to = dst->OwnerOf(bi, bj);
+        // Under a Broadcast source every worker already holds the block.
+        const int from = src.scheme() == Scheme::kBroadcast
+                             ? to
+                             : src.OwnerOf(bi, bj);
+        auto ptr = src.Get(from, bi, bj);
+        if (ptr == nullptr) {
+          return Status::Internal("partition: missing source block");
+        }
+        if (same_scheme) {
+          bytes += static_cast<double>(ptr->MemoryBytes()) * hash_fraction;
+        } else if (from != to) {
+          bytes += static_cast<double>(ptr->MemoryBytes());
+        }
+        dst->Put(to, bi, bj, std::move(ptr));
+      }
+    }
+    stats_.shuffle_bytes += bytes;
+    ++stats_.shuffle_events;
+    return Status::Ok();
+  }
+
+  Status ExecBroadcast(const PlanStep& step) {
+    const DistMatrix& src = Data(step.inputs[0]);
+    auto dst = NewData(step.output, src.grid().matrix);
+    DMAC_CHECK(dst->scheme() == Scheme::kBroadcast);
+    double bytes = 0;
+    for (int64_t bi = 0; bi < src.grid().block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < src.grid().block_cols(); ++bj) {
+        const int from = src.OwnerOf(bi, bj);
+        auto ptr = src.Get(from, bi, bj);
+        if (ptr == nullptr) {
+          return Status::Internal("broadcast: missing source block");
+        }
+        bytes += static_cast<double>(ptr->MemoryBytes()) *
+                 (opts_.num_workers - 1);
+        for (int w = 0; w < opts_.num_workers; ++w) dst->Put(w, bi, bj, ptr);
+      }
+    }
+    stats_.broadcast_bytes += bytes;
+    ++stats_.broadcast_events;
+    return Status::Ok();
+  }
+
+  Status ExecTranspose(const PlanStep& step) {
+    const DistMatrix& src = Data(step.inputs[0]);
+    auto dst = NewData(step.output, src.grid().matrix.Transposed());
+    const bool broadcast = src.scheme() == Scheme::kBroadcast;
+    const int workers = broadcast ? 1 : opts_.num_workers;
+    for (int w = 0; w < workers; ++w) {
+      auto blocks = src.WorkerBlocks(w);
+      StoreSink sink(dst.get(), w);
+      Status st = TimedWorker(step.stage, w, [&] {
+        std::vector<std::function<Status()>> tasks;
+        tasks.reserve(blocks.size());
+        for (auto& [bi, bj, ptr] : blocks) {
+          const int64_t tbi = bj;
+          const int64_t tbj = bi;
+          const Block* block = ptr.get();
+          tasks.push_back([&sink, tbi, tbj, block] {
+            sink(tbi, tbj, block->Transposed());
+            return Status::Ok();
+          });
+        }
+        return engine_.RunTasks(tasks);
+      });
+      DMAC_RETURN_NOT_OK(st);
+    }
+    if (broadcast) {
+      // Replicas are identical: share worker 0's transposed blocks.
+      for (int64_t bi = 0; bi < dst->grid().block_rows(); ++bi) {
+        for (int64_t bj = 0; bj < dst->grid().block_cols(); ++bj) {
+          auto ptr = dst->Get(0, bi, bj);
+          if (ptr == nullptr) {
+            return Status::Internal("transpose: missing block");
+          }
+          for (int w = 1; w < opts_.num_workers; ++w) {
+            dst->Put(w, bi, bj, ptr);
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ExecExtract(const PlanStep& step) {
+    const DistMatrix& src = Data(step.inputs[0]);
+    if (src.scheme() != Scheme::kBroadcast) {
+      return Status::Internal("extract requires a Broadcast source");
+    }
+    auto dst = NewData(step.output, src.grid().matrix);
+    // Each worker filters its owned range out of its local replica — a
+    // pointer copy per block, no data movement.
+    for (int64_t bi = 0; bi < dst->grid().block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < dst->grid().block_cols(); ++bj) {
+        const int w = dst->OwnerOf(bi, bj);
+        auto ptr = src.Get(w, bi, bj);
+        if (ptr == nullptr) {
+          return Status::Internal("extract: missing replica block");
+        }
+        dst->Put(w, bi, bj, std::move(ptr));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // ---- compute steps ------------------------------------------------------
+
+  Status ExecCompute(const PlanStep& step) {
+    switch (step.op_kind) {
+      case OpKind::kMultiply:
+        return ExecMultiply(step);
+      case OpKind::kAdd:
+      case OpKind::kSubtract:
+      case OpKind::kCellMultiply:
+      case OpKind::kCellDivide:
+        return ExecCellwise(step);
+      case OpKind::kScalarMultiply:
+      case OpKind::kScalarAdd:
+        return ExecScalarOp(step);
+      case OpKind::kRowSums:
+      case OpKind::kColSums:
+        return ExecAggregate(step);
+      case OpKind::kCellUnary:
+        return ExecCellUnary(step);
+      default:
+        return Status::Internal("unexpected compute op kind");
+    }
+  }
+
+  Status ExecMultiply(const PlanStep& step) {
+    const DistMatrix& a = Data(step.inputs[0]);
+    const DistMatrix& b = Data(step.inputs[1]);
+    if (a.grid().matrix.cols != b.grid().matrix.rows) {
+      return Status::DimensionMismatch("distributed multiply " +
+                                       a.grid().matrix.ToString() + " by " +
+                                       b.grid().matrix.ToString());
+    }
+    const Shape out_shape{a.grid().matrix.rows, b.grid().matrix.cols};
+    auto c = NewData(step.output, out_shape);
+    const BlockGrid& out_grid = c->grid();
+    const int64_t kb = a.grid().block_cols();
+
+    switch (step.mult_algo) {
+      case MultAlgo::kRMM1: {
+        // A broadcast, B column-partitioned: worker w computes the output
+        // block-columns it owns.
+        DMAC_CHECK(a.scheme() == Scheme::kBroadcast);
+        DMAC_CHECK(b.scheme() == Scheme::kCol);
+        for (int w = 0; w < opts_.num_workers; ++w) {
+          std::vector<MultiplyTask> tasks;
+          int64_t lo, hi;
+          OwnedRange(w, out_grid.block_cols(), opts_.num_workers, &lo, &hi);
+          for (int64_t bj = lo; bj < hi; ++bj) {
+            for (int64_t bi = 0; bi < out_grid.block_rows(); ++bi) {
+              tasks.push_back({bi, bj, 0, kb});
+            }
+          }
+          DMAC_RETURN_NOT_OK(RunMultiplyOnWorker(step, w, out_grid, tasks,
+                                                 a, b, c.get()));
+        }
+        return Status::Ok();
+      }
+      case MultAlgo::kRMM2: {
+        DMAC_CHECK(a.scheme() == Scheme::kRow);
+        DMAC_CHECK(b.scheme() == Scheme::kBroadcast);
+        for (int w = 0; w < opts_.num_workers; ++w) {
+          std::vector<MultiplyTask> tasks;
+          int64_t lo, hi;
+          OwnedRange(w, out_grid.block_rows(), opts_.num_workers, &lo, &hi);
+          for (int64_t bi = lo; bi < hi; ++bi) {
+            for (int64_t bj = 0; bj < out_grid.block_cols(); ++bj) {
+              tasks.push_back({bi, bj, 0, kb});
+            }
+          }
+          DMAC_RETURN_NOT_OK(RunMultiplyOnWorker(step, w, out_grid, tasks,
+                                                 a, b, c.get()));
+        }
+        return Status::Ok();
+      }
+      case MultAlgo::kCPMM:
+        return ExecCpmm(step, a, b, c.get());
+      case MultAlgo::kNone:
+        break;
+    }
+    return Status::Internal("multiply step without an algorithm");
+  }
+
+  Status RunMultiplyOnWorker(const PlanStep& step, int worker,
+                             const BlockGrid& out_grid,
+                             const std::vector<MultiplyTask>& tasks,
+                             const DistMatrix& a, const DistMatrix& b,
+                             DistMatrix* c) {
+    StoreSink sink(c, worker);
+    return TimedWorker(step.stage, worker, [&] {
+      return engine_.MultiplyBlocks(
+          out_grid, tasks,
+          [&a, worker](int64_t bi, int64_t k) { return a.Get(worker, bi, k); },
+          [&b, worker](int64_t k, int64_t bj) { return b.Get(worker, k, bj); },
+          [&sink](int64_t bi, int64_t bj, Block blk) {
+            sink(bi, bj, std::move(blk));
+          });
+    });
+  }
+
+  Status ExecCpmm(const PlanStep& step, const DistMatrix& a,
+                  const DistMatrix& b, DistMatrix* c) {
+    DMAC_CHECK(a.scheme() == Scheme::kCol);
+    DMAC_CHECK(b.scheme() == Scheme::kRow);
+    const BlockGrid& out_grid = c->grid();
+    const int64_t kb = a.grid().block_cols();
+
+    // Phase 1: every worker forms its partial C over its own k-range.
+    // Phase 2: partial blocks are shuffled to their final owner and summed
+    // (the cross-product aggregation whose cost is N·|C|, §4.1).
+    struct Partial {
+      int64_t bi;
+      int64_t bj;
+      DistMatrix::BlockPtr block;
+      int from;
+    };
+    std::vector<std::vector<Partial>> incoming(
+        static_cast<size_t>(opts_.num_workers));
+    double bytes = 0;
+
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      int64_t klo, khi;
+      OwnedRange(w, kb, opts_.num_workers, &klo, &khi);
+      if (klo >= khi) continue;
+      std::vector<MultiplyTask> tasks;
+      for (int64_t bi = 0; bi < out_grid.block_rows(); ++bi) {
+        for (int64_t bj = 0; bj < out_grid.block_cols(); ++bj) {
+          tasks.push_back({bi, bj, klo, khi});
+        }
+      }
+      std::mutex mu;
+      std::vector<Partial> local;
+      Status st = TimedWorker(step.stage, w, [&] {
+        return engine_.MultiplyBlocks(
+            out_grid, tasks,
+            [&a, w](int64_t bi, int64_t k) { return a.Get(w, bi, k); },
+            [&b, w](int64_t k, int64_t bj) { return b.Get(w, k, bj); },
+            [&](int64_t bi, int64_t bj, Block blk) {
+              if (blk.nnz() == 0) return;  // nothing to ship
+              auto ptr = std::make_shared<const Block>(std::move(blk));
+              std::lock_guard<std::mutex> lock(mu);
+              local.push_back({bi, bj, std::move(ptr), w});
+            });
+      });
+      DMAC_RETURN_NOT_OK(st);
+      for (Partial& p : local) {
+        const int dst = c->OwnerOf(p.bi, p.bj);
+        if (dst != p.from) {
+          bytes += static_cast<double>(p.block->MemoryBytes());
+        }
+        incoming[static_cast<size_t>(dst)].push_back(std::move(p));
+      }
+    }
+    stats_.shuffle_bytes += bytes;
+    ++stats_.shuffle_events;
+
+    // Phase 2: aggregation at the owners (next stage's beginning; we account
+    // its compute into the step's stage for simplicity).
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      auto& parts = incoming[static_cast<size_t>(w)];
+      if (parts.empty()) continue;
+      std::unordered_map<int64_t, std::vector<DistMatrix::BlockPtr>> grouped;
+      for (Partial& p : parts) {
+        grouped[p.bi * out_grid.block_cols() + p.bj].push_back(
+            std::move(p.block));
+      }
+      StoreSink sink(c, w);
+      Status st = TimedWorker(step.stage, w, [&] {
+        std::vector<std::function<Status()>> tasks;
+        tasks.reserve(grouped.size());
+        for (auto& [key, blocks] : grouped) {
+          const int64_t bi = key / out_grid.block_cols();
+          const int64_t bj = key % out_grid.block_cols();
+          auto* blocks_ptr = &blocks;
+          tasks.push_back([this, &sink, bi, bj, blocks_ptr] {
+            std::vector<const Block*> parts;
+            parts.reserve(blocks_ptr->size());
+            for (const auto& b : *blocks_ptr) parts.push_back(b.get());
+            auto result = SumBlocks(parts, opts_.density_threshold);
+            if (!result.ok()) return result.status();
+            sink(bi, bj, std::move(*result));
+            return Status::Ok();
+          });
+        }
+        return engine_.RunTasks(tasks);
+      });
+      DMAC_RETURN_NOT_OK(st);
+    }
+
+    // Output blocks with no partials anywhere are zero blocks.
+    for (int64_t bi = 0; bi < out_grid.block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < out_grid.block_cols(); ++bj) {
+        const int w = c->OwnerOf(bi, bj);
+        if (c->Get(w, bi, bj) == nullptr) {
+          const Shape shape = out_grid.BlockShape(bi, bj);
+          c->Put(w, bi, bj,
+                 std::make_shared<const Block>(
+                     CscBlock(shape.rows, shape.cols)));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ExecCellwise(const PlanStep& step) {
+    const DistMatrix& a = Data(step.inputs[0]);
+    const DistMatrix& b = Data(step.inputs[1]);
+    if (a.grid().matrix != b.grid().matrix) {
+      return Status::DimensionMismatch("distributed cell-wise op " +
+                                       a.grid().matrix.ToString() + " vs " +
+                                       b.grid().matrix.ToString());
+    }
+    DMAC_CHECK(a.scheme() == b.scheme());
+    auto c = NewData(step.output, a.grid().matrix);
+    const OpKind kind = step.op_kind;
+
+    const bool broadcast = a.scheme() == Scheme::kBroadcast;
+    const int workers = broadcast ? 1 : opts_.num_workers;
+    for (int w = 0; w < workers; ++w) {
+      auto blocks = a.WorkerBlocks(w);
+      StoreSink sink(c.get(), w);
+      Status st = TimedWorker(step.stage, w, [&] {
+        std::vector<std::function<Status()>> tasks;
+        tasks.reserve(blocks.size());
+        for (auto& [bi, bj, aptr] : blocks) {
+          auto bptr = b.Get(w, bi, bj);
+          if (bptr == nullptr) {
+            return Status::Internal("cell-wise op: operand block missing");
+          }
+          tasks.push_back([&sink, kind, bi = bi, bj = bj, ablk = aptr,
+                           bblk = std::move(bptr)] {
+            Result<Block> res = [&]() -> Result<Block> {
+              switch (kind) {
+                case OpKind::kAdd:
+                  return Add(*ablk, *bblk);
+                case OpKind::kSubtract:
+                  return Subtract(*ablk, *bblk);
+                case OpKind::kCellMultiply:
+                  return CellMultiply(*ablk, *bblk);
+                case OpKind::kCellDivide:
+                  return CellDivide(*ablk, *bblk);
+                default:
+                  return Status::Internal("bad cell-wise kind");
+              }
+            }();
+            if (!res.ok()) return res.status();
+            sink(bi, bj, std::move(*res));
+            return Status::Ok();
+          });
+        }
+        return engine_.RunTasks(tasks);
+      });
+      DMAC_RETURN_NOT_OK(st);
+    }
+    if (broadcast) DMAC_RETURN_NOT_OK(ReplicateFromWorkerZero(c.get()));
+    return Status::Ok();
+  }
+
+  Status ExecScalarOp(const PlanStep& step) {
+    const DistMatrix& a = Data(step.inputs[0]);
+    DMAC_ASSIGN_OR_RETURN(double scalar, EvalScalar(step.scalar, scalars_));
+    auto c = NewData(step.output, a.grid().matrix);
+    const bool add = step.op_kind == OpKind::kScalarAdd;
+
+    const bool broadcast = a.scheme() == Scheme::kBroadcast;
+    const int workers = broadcast ? 1 : opts_.num_workers;
+    for (int w = 0; w < workers; ++w) {
+      auto blocks = a.WorkerBlocks(w);
+      StoreSink sink(c.get(), w);
+      Status st = TimedWorker(step.stage, w, [&] {
+        std::vector<std::function<Status()>> tasks;
+        tasks.reserve(blocks.size());
+        for (auto& [bi, bj, ptr] : blocks) {
+          tasks.push_back([&sink, add, scalar, bi = bi, bj = bj, blk = ptr] {
+            sink(bi, bj,
+                 add ? ScalarAdd(*blk, static_cast<Scalar>(scalar))
+                     : ScalarMultiply(*blk, static_cast<Scalar>(scalar)));
+            return Status::Ok();
+          });
+        }
+        return engine_.RunTasks(tasks);
+      });
+      DMAC_RETURN_NOT_OK(st);
+    }
+    if (broadcast) DMAC_RETURN_NOT_OK(ReplicateFromWorkerZero(c.get()));
+    return Status::Ok();
+  }
+
+  Status ExecCellUnary(const PlanStep& step) {
+    const DistMatrix& a = Data(step.inputs[0]);
+    auto c = NewData(step.output, a.grid().matrix);
+    const UnaryFnKind fn = step.unary_fn;
+
+    const bool broadcast = a.scheme() == Scheme::kBroadcast;
+    const int workers = broadcast ? 1 : opts_.num_workers;
+    for (int w = 0; w < workers; ++w) {
+      auto blocks = a.WorkerBlocks(w);
+      StoreSink sink(c.get(), w);
+      Status st = TimedWorker(step.stage, w, [&] {
+        std::vector<std::function<Status()>> tasks;
+        tasks.reserve(blocks.size());
+        for (auto& [bi, bj, ptr] : blocks) {
+          tasks.push_back([&sink, fn, bi = bi, bj = bj, blk = ptr] {
+            sink(bi, bj, CellUnary(*blk, fn));
+            return Status::Ok();
+          });
+        }
+        return engine_.RunTasks(tasks);
+      });
+      DMAC_RETURN_NOT_OK(st);
+    }
+    if (broadcast) DMAC_RETURN_NOT_OK(ReplicateFromWorkerZero(c.get()));
+    return Status::Ok();
+  }
+
+  /// Row/column sums. Three layouts (mirroring the strategy set): summing
+  /// along the partitioned axis is per-worker local; a Broadcast input is
+  /// reduced once and re-shared; summing across the partitioned axis leaves
+  /// per-worker partial vectors that are shuffled to their owners and added
+  /// (the aggregation whose plan cost is N·|out|).
+  Status ExecAggregate(const PlanStep& step) {
+    const DistMatrix& a = Data(step.inputs[0]);
+    const bool rows = step.op_kind == OpKind::kRowSums;
+    const Shape out_shape =
+        rows ? Shape{a.grid().matrix.rows, 1} : Shape{1, a.grid().matrix.cols};
+    auto c = NewData(step.output, out_shape);
+    const BlockGrid& out_grid = c->grid();
+
+    // Sums one worker's blocks into per-output-block dense accumulators.
+    auto local_partials =
+        [&](int w) -> std::unordered_map<int64_t, DenseBlock> {
+      std::unordered_map<int64_t, DenseBlock> acc;
+      for (auto& [bi, bj, ptr] : a.WorkerBlocks(w)) {
+        const int64_t out_idx = rows ? bi : bj;
+        auto it = acc.find(out_idx);
+        if (it == acc.end()) {
+          const Shape s = rows ? out_grid.BlockShape(out_idx, 0)
+                               : out_grid.BlockShape(0, out_idx);
+          it = acc.emplace(out_idx, DenseBlock(s.rows, s.cols)).first;
+        }
+        const DenseBlock partial = rows ? RowSums(*ptr) : ColSums(*ptr);
+        Status st = AddAccumulate(Block(partial), &it->second);
+        DMAC_CHECK(st.ok()) << st;
+      }
+      return acc;
+    };
+
+    const Scheme aligned = rows ? Scheme::kRow : Scheme::kCol;
+    if (a.scheme() == aligned) {
+      // Local: the worker owning a row (column) range owns every block that
+      // contributes to its slice of the result.
+      for (int w = 0; w < opts_.num_workers; ++w) {
+        Status st = TimedWorker(step.stage, w, [&] {
+          for (auto& [idx, acc] : local_partials(w)) {
+            auto block = std::make_shared<const Block>(
+                CompactFromDense(acc, opts_.density_threshold));
+            if (rows) {
+              c->Put(w, idx, 0, std::move(block));
+            } else {
+              c->Put(w, 0, idx, std::move(block));
+            }
+          }
+          return Status::Ok();
+        });
+        DMAC_RETURN_NOT_OK(st);
+      }
+      return Status::Ok();
+    }
+
+    if (a.scheme() == Scheme::kBroadcast) {
+      Status st = TimedWorker(step.stage, 0, [&] {
+        for (auto& [idx, acc] : local_partials(0)) {
+          auto block = std::make_shared<const Block>(
+              CompactFromDense(acc, opts_.density_threshold));
+          if (rows) {
+            c->Put(0, idx, 0, std::move(block));
+          } else {
+            c->Put(0, 0, idx, std::move(block));
+          }
+        }
+        return Status::Ok();
+      });
+      DMAC_RETURN_NOT_OK(st);
+      return ReplicateFromWorkerZero(c.get());
+    }
+
+    // Crossed: every worker holds a partial over the full output; shuffle
+    // partials to their owners and sum.
+    struct Partial {
+      int64_t idx;
+      DistMatrix::BlockPtr block;
+      int from;
+    };
+    std::vector<std::vector<Partial>> incoming(
+        static_cast<size_t>(opts_.num_workers));
+    double bytes = 0;
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      std::unordered_map<int64_t, DenseBlock> partials;
+      Status st = TimedWorker(step.stage, w, [&] {
+        partials = local_partials(w);
+        return Status::Ok();
+      });
+      DMAC_RETURN_NOT_OK(st);
+      for (auto& [idx, acc] : partials) {
+        auto block = std::make_shared<const Block>(
+            CompactFromDense(acc, opts_.density_threshold));
+        const int dst = rows ? c->OwnerOf(idx, 0) : c->OwnerOf(0, idx);
+        if (dst != w) bytes += static_cast<double>(block->MemoryBytes());
+        incoming[static_cast<size_t>(dst)].push_back(
+            {idx, std::move(block), w});
+      }
+    }
+    stats_.shuffle_bytes += bytes;
+    ++stats_.shuffle_events;
+
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      std::unordered_map<int64_t, std::vector<DistMatrix::BlockPtr>> grouped;
+      for (Partial& p : incoming[static_cast<size_t>(w)]) {
+        grouped[p.idx].push_back(std::move(p.block));
+      }
+      Status st = TimedWorker(step.stage, w, [&] {
+        for (auto& [idx, blocks] : grouped) {
+          std::vector<const Block*> parts;
+          parts.reserve(blocks.size());
+          for (const auto& b : blocks) parts.push_back(b.get());
+          auto sum = SumBlocks(parts, opts_.density_threshold);
+          if (!sum.ok()) return sum.status();
+          auto block = std::make_shared<const Block>(std::move(*sum));
+          if (rows) {
+            c->Put(w, idx, 0, std::move(block));
+          } else {
+            c->Put(w, 0, idx, std::move(block));
+          }
+        }
+        return Status::Ok();
+      });
+      DMAC_RETURN_NOT_OK(st);
+    }
+    // Contributions exist for every output block (inputs cover the grid),
+    // but guard against fully-empty worker shares.
+    for (int64_t bi = 0; bi < out_grid.block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < out_grid.block_cols(); ++bj) {
+        const int w = c->OwnerOf(bi, bj);
+        if (c->Get(w, bi, bj) == nullptr) {
+          const Shape s = out_grid.BlockShape(bi, bj);
+          c->Put(w, bi, bj,
+                 std::make_shared<const Block>(CscBlock(s.rows, s.cols)));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Shares worker 0's blocks with every other replica of a Broadcast
+  /// matrix (all replicas are identical by construction).
+  Status ReplicateFromWorkerZero(DistMatrix* dm) {
+    for (int64_t bi = 0; bi < dm->grid().block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < dm->grid().block_cols(); ++bj) {
+        auto ptr = dm->Get(0, bi, bj);
+        if (ptr == nullptr) {
+          return Status::Internal("broadcast result missing block");
+        }
+        for (int w = 1; w < opts_.num_workers; ++w) dm->Put(w, bi, bj, ptr);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ExecReduce(const PlanStep& step) {
+    const DistMatrix& a = Data(step.inputs[0]);
+    const bool broadcast = a.scheme() == Scheme::kBroadcast;
+    const int workers = broadcast ? 1 : opts_.num_workers;
+    double total = 0;
+    for (int w = 0; w < workers; ++w) {
+      double partial = 0;
+      Status st = TimedWorker(step.stage, w, [&] {
+        for (auto& [bi, bj, ptr] : a.WorkerBlocks(w)) {
+          partial += step.reduce == ReduceKind::kNorm2 ? SumSquares(*ptr)
+                                                       : Sum(*ptr);
+        }
+        return Status::Ok();
+      });
+      DMAC_RETURN_NOT_OK(st);
+      total += partial;
+    }
+    if (step.reduce == ReduceKind::kNorm2) total = std::sqrt(total);
+    scalars_[step.scalar_out] = total;
+    // Driver aggregation: N partial doubles cross the network.
+    stats_.shuffle_bytes += 8.0 * opts_.num_workers;
+    return Status::Ok();
+  }
+
+  // ---- gather -------------------------------------------------------------
+
+  Result<LocalMatrix> Gather(int node_id) {
+    const DistMatrix& dm = Data(node_id);
+    const BlockGrid& grid = dm.grid();
+    std::vector<Block> blocks;
+    blocks.reserve(static_cast<size_t>(grid.num_blocks()));
+    for (int64_t bi = 0; bi < grid.block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < grid.block_cols(); ++bj) {
+        auto ptr = dm.GetOwned(bi, bj);
+        if (ptr == nullptr) {
+          return Status::Internal("gather: missing block (" +
+                                  std::to_string(bi) + "," +
+                                  std::to_string(bj) + ")");
+        }
+        blocks.push_back(*ptr);
+      }
+    }
+    return LocalMatrix::FromBlocks(grid.matrix, grid.block_size,
+                                   std::move(blocks));
+  }
+
+  ExecutorOptions opts_;
+  const Plan& plan_;
+  const Bindings& bindings_;
+  ThreadPool pool_;
+  BufferPool buffers_;
+  LocalEngine engine_;
+  int64_t block_size_ = 0;
+  std::vector<std::shared_ptr<DistMatrix>> node_data_;
+  std::unordered_map<std::string, double> scalars_;
+  ExecStats stats_;
+};
+
+Executor::Executor(ExecutorOptions options) : options_(options) {}
+
+Result<ExecutionResult> Executor::Execute(const Plan& plan,
+                                          const Bindings& bindings) {
+  Impl impl(options_, plan, bindings);
+  return impl.Run();
+}
+
+}  // namespace dmac

@@ -1,0 +1,70 @@
+// Distributed plan execution on the simulated cluster (paper §5).
+//
+// The executor walks a finalized plan stage by stage. Communication steps
+// (load, partition, broadcast, CPMM aggregation) move shared block pointers
+// between per-worker stores and count every byte crossing a worker
+// boundary; everything else runs worker-local through the block engine.
+// Workers are simulated: their local work runs one worker at a time on a
+// shared thread pool (L threads, the paper's local parallelism), and each
+// worker's busy time is recorded per stage so that cluster wall time can be
+// derived as Σ_stage max_worker(compute) + network model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "matrix/local_matrix.h"
+#include "plan/plan.h"
+#include "runtime/dist_matrix.h"
+#include "runtime/exec_stats.h"
+#include "runtime/local_engine.h"
+
+namespace dmac {
+
+/// Named input matrices for a plan's load steps.
+using Bindings = std::unordered_map<std::string, const LocalMatrix*>;
+
+/// Executor configuration.
+struct ExecutorOptions {
+  /// Number of simulated workers (must match the planner's num_workers for
+  /// the cost model to be meaningful).
+  int num_workers = 4;
+  /// Local parallelism L per worker.
+  int threads_per_worker = 2;
+  /// Square block side. 0 = adopt the block size of the first binding.
+  int64_t block_size = 0;
+  /// In-place (DMac) or buffered (ablation) local multiplication.
+  LocalMode local_mode = LocalMode::kInPlace;
+  /// Shared task queue (Fig. 4) or static per-thread chunks (ablation).
+  TaskScheduling task_scheduling = TaskScheduling::kQueue;
+  /// Blocks denser than this are stored dense.
+  double density_threshold = 0.5;
+  /// Seed for `random` leaves.
+  uint64_t seed = 42;
+};
+
+/// Result of executing a plan.
+struct ExecutionResult {
+  std::unordered_map<std::string, LocalMatrix> matrices;
+  std::unordered_map<std::string, double> scalars;
+  ExecStats stats;
+};
+
+/// Executes finalized plans. Reusable across plans with the same options.
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options);
+
+  /// Runs `plan` with the given input bindings.
+  Result<ExecutionResult> Execute(const Plan& plan, const Bindings& bindings);
+
+  const ExecutorOptions& options() const { return options_; }
+
+ private:
+  class Impl;
+  ExecutorOptions options_;
+};
+
+}  // namespace dmac

@@ -1,0 +1,216 @@
+#include "runtime/local_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+namespace dmac {
+
+namespace {
+
+/// Collects the first task failure across threads.
+class StatusCollector {
+ public:
+  void Record(Status status) {
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) first_ = std::move(status);
+  }
+  Status Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  std::mutex mu_;
+  Status first_;
+};
+
+}  // namespace
+
+Status LocalEngine::MultiplyBlocks(const BlockGrid& out_grid,
+                                   const std::vector<MultiplyTask>& tasks,
+                                   const BlockFn& get_a, const BlockFn& get_b,
+                                   const SinkFn& sink) {
+  return mode_ == LocalMode::kInPlace
+             ? MultiplyInPlace(out_grid, tasks, get_a, get_b, sink)
+             : MultiplyBuffered(out_grid, tasks, get_a, get_b, sink);
+}
+
+void LocalEngine::Dispatch(size_t num_tasks,
+                           const std::function<void(size_t)>& run_task) {
+  if (scheduling_ == TaskScheduling::kQueue) {
+    // Fig. 4: one entry per task in the shared queue; idle threads pull.
+    for (size_t i = 0; i < num_tasks; ++i) {
+      pool_->Submit([&run_task, i] { run_task(i); });
+    }
+  } else {
+    // Static ablation: contiguous chunks, no rebalancing.
+    const size_t threads = pool_->num_threads();
+    const size_t chunk = (num_tasks + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+      const size_t lo = t * chunk;
+      const size_t hi = std::min(num_tasks, lo + chunk);
+      if (lo >= hi) break;
+      pool_->Submit([&run_task, lo, hi] {
+        for (size_t i = lo; i < hi; ++i) run_task(i);
+      });
+    }
+  }
+  pool_->WaitIdle();
+}
+
+Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
+                                    const std::vector<MultiplyTask>& tasks,
+                                    const BlockFn& get_a, const BlockFn& get_b,
+                                    const SinkFn& sink) {
+  StatusCollector errors;
+  Dispatch(tasks.size(), [&](size_t task_index) {
+    const MultiplyTask& task = tasks[task_index];
+    {
+      const Shape shape = out_grid.BlockShape(task.bi, task.bj);
+
+      // Collect the task's operand pairs; an all-sparse chain takes the
+      // Gustavson path (one column workspace, no dense accumulator), which
+      // is what keeps In-Place memory bounded on large sparse blocks.
+      std::vector<std::shared_ptr<const Block>> keep_alive;
+      std::vector<std::pair<const CscBlock*, const CscBlock*>> sparse_chain;
+      bool all_sparse = true;
+      for (int64_t k = task.k_begin; k < task.k_end; ++k) {
+        auto a = get_a(task.bi, k);
+        auto b = get_b(k, task.bj);
+        if (a == nullptr || b == nullptr) {
+          errors.Record(Status::Internal("missing operand block in multiply"));
+          return;
+        }
+        all_sparse = all_sparse && a->IsSparse() && b->IsSparse();
+        if (all_sparse) {
+          sparse_chain.emplace_back(&a->sparse(), &b->sparse());
+        }
+        keep_alive.push_back(std::move(a));
+        keep_alive.push_back(std::move(b));
+      }
+
+      if (all_sparse && !sparse_chain.empty()) {
+        auto result = MultiplySparseChain(sparse_chain, shape.rows,
+                                          shape.cols);
+        if (!result.ok()) {
+          errors.Record(result.status());
+          return;
+        }
+        sink(task.bi, task.bj,
+             Block(std::move(*result)).Compacted(density_threshold_));
+        return;
+      }
+
+      DenseBlock acc = buffers_->Acquire(shape.rows, shape.cols);
+      for (size_t i = 0; i + 1 < keep_alive.size(); i += 2) {
+        Status st =
+            MultiplyAccumulate(*keep_alive[i], *keep_alive[i + 1], &acc);
+        if (!st.ok()) {
+          errors.Record(std::move(st));
+          buffers_->Release(std::move(acc));
+          return;
+        }
+      }
+      // Emit in the cheaper representation, then recycle the accumulator.
+      Block result = CompactFromDense(acc, density_threshold_);
+      buffers_->Release(std::move(acc));
+      sink(task.bi, task.bj, std::move(result));
+    }
+  });
+  return errors.Take();
+}
+
+Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
+                                     const std::vector<MultiplyTask>& tasks,
+                                     const BlockFn& get_a, const BlockFn& get_b,
+                                     const SinkFn& sink) {
+  // Phase 1: materialize every partial block product (the traditional
+  // buffered implementation the paper compares against in Fig. 7).
+  struct Partial {
+    int64_t bi;
+    int64_t bj;
+    Block block;
+  };
+  std::mutex partials_mu;
+  std::vector<Partial> partials;
+  StatusCollector errors;
+
+  struct Triple {
+    int64_t bi;
+    int64_t bj;
+    int64_t k;
+  };
+  std::vector<Triple> triples;
+  for (const MultiplyTask& task : tasks) {
+    for (int64_t k = task.k_begin; k < task.k_end; ++k) {
+      triples.push_back({task.bi, task.bj, k});
+    }
+  }
+  Dispatch(triples.size(), [&](size_t i) {
+    const Triple& triple = triples[i];
+    auto a = get_a(triple.bi, triple.k);
+    auto b = get_b(triple.k, triple.bj);
+    if (a == nullptr || b == nullptr) {
+      errors.Record(Status::Internal("missing operand block in multiply"));
+      return;
+    }
+    Block partial;
+    if (a->IsSparse() && b->IsSparse()) {
+      // Sparse partials stay sparse in the buffer, which is why the
+      // Fig. 7 gap narrows on very sparse graphs.
+      auto res = MultiplySparse(a->sparse(), b->sparse());
+      if (!res.ok()) {
+        errors.Record(res.status());
+        return;
+      }
+      partial = Block(std::move(*res));
+    } else {
+      auto res = Multiply(*a, *b);
+      if (!res.ok()) {
+        errors.Record(res.status());
+        return;
+      }
+      partial = std::move(*res);
+    }
+    std::lock_guard<std::mutex> lock(partials_mu);
+    partials.push_back({triple.bi, triple.bj, std::move(partial)});
+  });
+  DMAC_RETURN_NOT_OK(errors.Take());
+
+  // Phase 2: aggregate the buffered partials per output block.
+  std::unordered_map<int64_t, std::vector<Block>> grouped;
+  for (Partial& p : partials) {
+    grouped[p.bi * out_grid.block_cols() + p.bj].push_back(
+        std::move(p.block));
+  }
+  partials.clear();
+
+  std::vector<std::pair<int64_t, std::vector<Block>*>> group_list;
+  group_list.reserve(grouped.size());
+  for (auto& [key, blocks] : grouped) group_list.emplace_back(key, &blocks);
+  Dispatch(group_list.size(), [&](size_t i) {
+    const int64_t bi = group_list[i].first / out_grid.block_cols();
+    const int64_t bj = group_list[i].first % out_grid.block_cols();
+    std::vector<const Block*> parts;
+    parts.reserve(group_list[i].second->size());
+    for (const Block& b : *group_list[i].second) parts.push_back(&b);
+    auto result = SumBlocks(parts, density_threshold_);
+    if (!result.ok()) {
+      errors.Record(result.status());
+      return;
+    }
+    sink(bi, bj, std::move(*result));
+  });
+  return errors.Take();
+}
+
+Status LocalEngine::RunTasks(const std::vector<std::function<Status()>>& tasks) {
+  StatusCollector errors;
+  Dispatch(tasks.size(),
+           [&](size_t i) { errors.Record(tasks[i]()); });
+  return errors.Take();
+}
+
+}  // namespace dmac

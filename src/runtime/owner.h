@@ -1,0 +1,29 @@
+// Worker ownership of block ranges under the one-dimensional schemes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace dmac {
+
+/// Owner of index `i` when `count` indices are split into contiguous chunks
+/// across `workers` workers. The trailing worker absorbs the remainder.
+inline int OwnerOfIndex(int64_t i, int64_t count, int workers) {
+  DMAC_CHECK(i >= 0 && i < count);
+  const int64_t chunk = (count + workers - 1) / workers;
+  const int64_t owner = i / chunk;
+  return owner >= workers ? workers - 1 : static_cast<int>(owner);
+}
+
+/// [begin, end) index range owned by `worker`.
+inline void OwnedRange(int worker, int64_t count, int workers,
+                       int64_t* begin, int64_t* end) {
+  const int64_t chunk = (count + workers - 1) / workers;
+  *begin = chunk * worker;
+  *end = *begin + chunk;
+  if (*begin > count) *begin = count;
+  if (*end > count) *end = count;
+}
+
+}  // namespace dmac

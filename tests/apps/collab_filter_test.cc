@@ -1,0 +1,92 @@
+#include "apps/collab_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/local_interpreter.h"
+#include "apps/runner.h"
+#include "data/netflix_gen.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 16;
+
+TEST(CollabFilterTest, DistributedMatchesLocal) {
+  NetflixSpec spec = NetflixSpec{}.Scaled(8000);  // ~60 x ~2
+  spec.movies = 24;                               // keep a usable item axis
+  spec.users = 48;
+  spec.sparsity = 0.2;
+  CollabFilterConfig config{spec.movies, spec.users, spec.sparsity};
+  Program p = BuildCollabFilterProgram(config);
+
+  LocalMatrix ratings = NetflixRatings(spec, kBs, 3).Transposed();
+  ASSERT_EQ(ratings.rows(), spec.movies);
+  Bindings bindings{{"R", &ratings}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(p, bindings, run);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  auto local = InterpretLocally(p, bindings, kBs, run.seed);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(dist->result.matrices.at("predict").ApproxEqual(
+      local->matrices.at("predict"), 0.05));
+}
+
+TEST(CollabFilterTest, PredictionsMatchExplicitFormula) {
+  CollabFilterConfig config{12, 20, 0.4};
+  Program p = BuildCollabFilterProgram(config);
+  LocalMatrix r = LocalMatrix::RandomSparse({12, 20}, kBs, 0.4, 5);
+  Bindings bindings{{"R", &r}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(p, bindings, run);
+  ASSERT_TRUE(dist.ok());
+
+  auto rrt = r.Multiply(r.Transposed());
+  ASSERT_TRUE(rrt.ok());
+  auto expected = rrt->Multiply(r);
+  ASSERT_TRUE(expected.ok());
+  LocalMatrix normalized = expected->ScalarMultiply(1.0f / 12);
+  EXPECT_TRUE(dist->result.matrices.at("predict").ApproxEqual(normalized,
+                                                              0.05));
+}
+
+TEST(CollabFilterTest, ItemSimilarityIsSymmetricEffect) {
+  // R Rᵀ is symmetric: predictions of identical items coincide.
+  std::vector<Block> unused;
+  LocalMatrix r = LocalMatrix::Zeros({4, 6}, kBs);
+  // Items 0 and 1 have identical rating rows.
+  for (int64_t u : {0, 2, 4}) {
+    r.BlockAt(0, 0).dense().Set(0, u, 3.0f);
+    r.BlockAt(0, 0).dense().Set(1, u, 3.0f);
+  }
+  r.BlockAt(0, 0).dense().Set(2, 1, 5.0f);
+  CollabFilterConfig config{4, 6, 0.5};
+  Bindings bindings{{"R", &r}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(BuildCollabFilterProgram(config), bindings, run);
+  ASSERT_TRUE(dist.ok());
+  const LocalMatrix& predict = dist->result.matrices.at("predict");
+  for (int64_t u = 0; u < 6; ++u) {
+    EXPECT_NEAR(predict.At(0, u), predict.At(1, u), 1e-4);
+  }
+}
+
+TEST(CollabFilterTest, ChainReassociationKeepsIntermediateSmall) {
+  // R(items x users) with items << users: the planner must compute
+  // (R Rᵀ) R, whose intermediate is items², not users².
+  CollabFilterConfig config{50, 5000, 0.01};
+  Program p = BuildCollabFilterProgram(config);
+  RunConfig run;
+  auto plan = PlanProgram(p, run);
+  ASSERT_TRUE(plan.ok());
+  // No node in the plan may be users x users.
+  for (const PlanNode& n : plan->nodes) {
+    EXPECT_FALSE(n.stats.shape.rows == 5000 && n.stats.shape.cols == 5000)
+        << n.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,101 @@
+#include "apps/gnmf.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/local_interpreter.h"
+#include "apps/runner.h"
+#include "data/synthetic.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 16;
+
+TEST(GnmfTest, ProgramStructure) {
+  GnmfConfig config{100, 80, 0.1, 8, 3};
+  Program p = BuildGnmfProgram(config);
+  // load + 2 randoms + 3 iterations x 2 statements.
+  EXPECT_EQ(p.statements.size(), 3u + 6u);
+  EXPECT_EQ(p.outputs.size(), 2u);
+}
+
+TEST(GnmfTest, DistributedMatchesLocal) {
+  GnmfConfig config{64, 48, 0.2, 6, 2};
+  Program p = BuildGnmfProgram(config);
+  LocalMatrix v = SyntheticSparse(64, 48, 0.2, kBs, 31);
+  Bindings bindings{{"V", &v}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(p, bindings, run);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  auto local = InterpretLocally(p, bindings, kBs, run.seed);
+  ASSERT_TRUE(local.ok()) << local.status();
+  EXPECT_TRUE(dist->result.matrices.at("W").ApproxEqual(
+      local->matrices.at("W"), 0.05));
+  EXPECT_TRUE(dist->result.matrices.at("H").ApproxEqual(
+      local->matrices.at("H"), 0.05));
+}
+
+TEST(GnmfTest, FactorsStayNonNegative) {
+  // Multiplicative updates keep W, H >= 0 for non-negative inputs.
+  GnmfConfig config{48, 40, 0.3, 5, 3};
+  LocalMatrix v = SyntheticSparse(48, 40, 0.3, kBs, 9);
+  Bindings bindings{{"V", &v}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(BuildGnmfProgram(config), bindings, run);
+  ASSERT_TRUE(dist.ok());
+  for (const char* name : {"W", "H"}) {
+    const LocalMatrix& m = dist->result.matrices.at(name);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      for (int64_t c = 0; c < m.cols(); ++c) {
+        EXPECT_GE(m.At(r, c), 0.0f) << name;
+      }
+    }
+  }
+}
+
+TEST(GnmfTest, ReconstructionErrorDecreasesOverIterations) {
+  // GNMF is a descent method on ||V - WH||: more iterations must not make
+  // the fit worse.
+  const Shape vshape{60, 50};
+  LocalMatrix v = SyntheticSparse(vshape.rows, vshape.cols, 0.4, kBs, 5);
+  Bindings bindings{{"V", &v}};
+  RunConfig run;
+  run.block_size = kBs;
+
+  auto error_after = [&](int iterations) {
+    GnmfConfig config{vshape.rows, vshape.cols, 0.4, 8, iterations};
+    auto dist = RunProgram(BuildGnmfProgram(config), bindings, run);
+    EXPECT_TRUE(dist.ok());
+    auto wh = dist->result.matrices.at("W").Multiply(
+        dist->result.matrices.at("H"));
+    EXPECT_TRUE(wh.ok());
+    auto diff = v.Subtract(*wh);
+    EXPECT_TRUE(diff.ok());
+    return diff->SumSquares();
+  };
+
+  const double e1 = error_after(1);
+  const double e8 = error_after(8);
+  EXPECT_LT(e8, e1);
+}
+
+TEST(GnmfTest, DmacAndSystemMlConvergeIdentically) {
+  GnmfConfig config{40, 32, 0.3, 4, 2};
+  Program p = BuildGnmfProgram(config);
+  LocalMatrix v = SyntheticSparse(40, 32, 0.3, kBs, 13);
+  Bindings bindings{{"V", &v}};
+  RunConfig dmac_cfg;
+  dmac_cfg.block_size = kBs;
+  RunConfig sysml_cfg = dmac_cfg;
+  sysml_cfg.exploit_dependencies = false;
+  auto r1 = RunProgram(p, bindings, dmac_cfg);
+  auto r2 = RunProgram(p, bindings, sysml_cfg);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->result.matrices.at("W").ApproxEqual(
+      r2->result.matrices.at("W"), 1e-2));
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,83 @@
+#include "apps/local_interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 8;
+
+TEST(LocalInterpreterTest, EvaluatesArithmetic) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {8, 8}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, (a + a) * 0.5);
+  pb.Output(c);
+  LocalMatrix adata = SyntheticDense(8, 8, kBs, 1);
+  Bindings bindings{{"A", &adata}};
+  auto r = InterpretLocally(pb.Build(), bindings, kBs, 42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->matrices.at("C").ApproxEqual(adata, 1e-5));
+}
+
+TEST(LocalInterpreterTest, RandomMatchesExecutorSeeding) {
+  // The interpreter and the executor must generate the same random leaves
+  // for the same (name, block size, seed).
+  ProgramBuilder pb;
+  Mat w = pb.Random("W", {16, 8});
+  Mat c = pb.Var("C");
+  pb.Assign(c, w * 1.0);
+  pb.Output(c);
+  Bindings empty;
+  const Program p = pb.Build();
+  auto r1 = InterpretLocally(p, empty, kBs, 7);
+  auto r2 = InterpretLocally(p, empty, kBs, 7);
+  auto r3 = InterpretLocally(p, empty, kBs, 8);
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_TRUE(r1->matrices.at("C").ApproxEqual(r2->matrices.at("C"), 0));
+  EXPECT_FALSE(r1->matrices.at("C").ApproxEqual(r3->matrices.at("C"), 1e-6));
+}
+
+TEST(LocalInterpreterTest, ScalarFlow) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {4, 4}, 1.0);
+  Scl s = pb.ScalarVar("s", 2.0);
+  pb.Assign(s, a.Sum() * s);
+  Mat c = pb.Var("C");
+  pb.Assign(c, s * a);
+  pb.Output(c);
+  pb.OutputScalar(s);
+  LocalMatrix adata = ConstantMatrix({4, 4}, kBs, 1.0f);
+  Bindings bindings{{"A", &adata}};
+  auto r = InterpretLocally(pb.Build(), bindings, kBs, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->scalars.at("s"), 32.0);  // sum=16, *2
+  EXPECT_FLOAT_EQ(r->matrices.at("C").At(0, 0), 32.0f);
+}
+
+TEST(LocalInterpreterTest, ValueRequiresOneByOne) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {4, 4}, 1.0);
+  Scl s = pb.ScalarVar("s", 0.0);
+  pb.Assign(s, a.Value());
+  pb.OutputScalar(s);
+  LocalMatrix adata = SyntheticDense(4, 4, kBs, 1);
+  Bindings bindings{{"A", &adata}};
+  EXPECT_FALSE(InterpretLocally(pb.Build(), bindings, kBs, 1).ok());
+}
+
+TEST(LocalInterpreterTest, MissingBindingReported) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {4, 4}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a * 2.0);
+  pb.Output(c);
+  Bindings empty;
+  EXPECT_EQ(InterpretLocally(pb.Build(), empty, kBs, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dmac

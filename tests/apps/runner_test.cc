@@ -1,0 +1,68 @@
+#include "apps/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/collab_filter.h"
+#include "apps/gnmf.h"
+#include "runtime/block_size.h"
+
+namespace dmac {
+namespace {
+
+TEST(ChooseProgramBlockSizeTest, BoundedByEverySquareIntermediate) {
+  // CF's R·Rᵀ intermediate (items × items) must constrain the block size,
+  // not just the larger input R.
+  Program p = BuildCollabFilterProgram({1500, 40000, 0.01});
+  auto bs = ChooseProgramBlockSize(p, 4, 2);
+  ASSERT_TRUE(bs.ok()) << bs.status();
+  EXPECT_LE(*bs, BlockSizeUpperBound({1500, 1500}, 4, 2));
+  EXPECT_GE(*bs, 32);
+}
+
+TEST(ChooseProgramBlockSizeTest, VectorsDoNotShredTheGrid) {
+  // LinReg-like shapes: the w/y vectors (n×1) must not drive the block
+  // size toward sqrt(n/LK).
+  ProgramBuilder pb;
+  Mat v = pb.Load("V", {100000, 10000}, 1e-4);
+  Mat y = pb.Load("y", {100000, 1}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, v.t().mm(y));
+  pb.Output(c);
+  auto bs = ChooseProgramBlockSize(pb.Build(), 4, 2);
+  ASSERT_TRUE(bs.ok());
+  // Without the vector exemption this would be sqrt(100000/8) ≈ 112;
+  // with it, the bound comes from V itself.
+  EXPECT_EQ(*bs, BlockSizeUpperBound({100000, 10000}, 4, 2));
+}
+
+TEST(ChooseProgramBlockSizeTest, TinyProgramsGetFloor) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {8, 8}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a));
+  pb.Output(c);
+  auto bs = ChooseProgramBlockSize(pb.Build(), 16, 8);
+  ASSERT_TRUE(bs.ok());
+  EXPECT_GE(*bs, 1);
+  EXPECT_LE(*bs, 8);
+}
+
+TEST(ChooseProgramBlockSizeTest, MoreParallelismMeansSmallerBlocks) {
+  Program p = BuildGnmfProgram({100000, 8000, 0.01, 64, 1});
+  auto small_cluster = ChooseProgramBlockSize(p, 4, 2);
+  auto big_cluster = ChooseProgramBlockSize(p, 20, 8);
+  ASSERT_TRUE(small_cluster.ok() && big_cluster.ok());
+  EXPECT_GT(*small_cluster, *big_cluster);
+}
+
+TEST(RunnerTest, PlanProgramMatchesRunProgramPlan) {
+  Program p = BuildGnmfProgram({1000, 800, 0.1, 8, 1});
+  RunConfig config;
+  auto plan = PlanProgram(p, config);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->steps.size(), 0u);
+  EXPECT_GT(plan->total_comm_bytes, 0);
+}
+
+}  // namespace
+}  // namespace dmac

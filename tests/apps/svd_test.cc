@@ -1,0 +1,133 @@
+#include "apps/svd_lanczos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/runner.h"
+#include "data/synthetic.h"
+#include "data/triplets.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 16;
+
+TEST(TridiagonalTest, DiagonalMatrixEigenvalues) {
+  auto eig = TridiagonalEigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_TRUE(eig.ok());
+  ASSERT_EQ(eig->size(), 3u);
+  EXPECT_NEAR((*eig)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*eig)[1], 2.0, 1e-10);
+  EXPECT_NEAR((*eig)[2], 3.0, 1e-10);
+}
+
+TEST(TridiagonalTest, TwoByTwoClosedForm) {
+  // [[a, b], [b, c]] eigenvalues: (a+c)/2 ± sqrt(((a-c)/2)^2 + b^2).
+  const double a = 2.0, c = 1.0, b = 0.5;
+  auto eig = TridiagonalEigenvalues({a, c}, {b});
+  ASSERT_TRUE(eig.ok());
+  const double mid = (a + c) / 2, rad = std::sqrt(0.25 * (a - c) * (a - c) + b * b);
+  EXPECT_NEAR((*eig)[0], mid - rad, 1e-10);
+  EXPECT_NEAR((*eig)[1], mid + rad, 1e-10);
+}
+
+TEST(TridiagonalTest, TraceAndFrobeniusPreserved) {
+  std::vector<double> alpha = {4.0, 2.5, 3.0, 1.5, 2.0};
+  std::vector<double> beta = {1.0, 0.5, 0.8, 0.3};
+  auto eig = TridiagonalEigenvalues(alpha, beta);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0, eig_sum = 0;
+  for (double a : alpha) trace += a;
+  for (double e : *eig) eig_sum += e;
+  EXPECT_NEAR(trace, eig_sum, 1e-9);
+  // Frobenius: sum of eigenvalue squares = ||T||_F^2.
+  double frob = 0;
+  for (double a : alpha) frob += a * a;
+  for (double b : beta) frob += 2 * b * b;
+  double eig_sq = 0;
+  for (double e : *eig) eig_sq += e * e;
+  EXPECT_NEAR(frob, eig_sq, 1e-8);
+}
+
+TEST(TridiagonalTest, EmptyInput) {
+  auto eig = TridiagonalEigenvalues({}, {});
+  ASSERT_TRUE(eig.ok());
+  EXPECT_TRUE(eig->empty());
+}
+
+TEST(SvdLanczosTest, RecoversSingularValuesOfDiagonalMatrix) {
+  // V = diag(5, 3, 1) (8x8 padded with zeros on the diagonal tail has a
+  // degenerate Krylov space; use a full-rank diagonal instead).
+  const int64_t n = 6;
+  std::vector<Triplet> entries;
+  const double expected[] = {6, 5, 4, 3, 2, 1};
+  for (int64_t i = 0; i < n; ++i) {
+    entries.push_back({i, i, static_cast<Scalar>(expected[i])});
+  }
+  LocalMatrix v = MatrixFromTriplets({n, n}, kBs, entries);
+  SvdConfig config{n, n, 1.0, static_cast<int>(n)};
+  Program p = BuildSvdLanczosProgram(config);
+  Bindings bindings{{"V", &v}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(p, bindings, run);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  auto singular = SingularValuesFromScalars(config, dist->result.scalars);
+  ASSERT_TRUE(singular.ok()) << singular.status();
+  ASSERT_GE(singular->size(), 3u);
+  // Leading singular values are found accurately by Lanczos.
+  EXPECT_NEAR((*singular)[0], 6.0, 0.05);
+  EXPECT_NEAR((*singular)[1], 5.0, 0.1);
+}
+
+TEST(SvdLanczosTest, LeadingValueMatchesPowerIteration) {
+  LocalMatrix v = SyntheticSparse(60, 24, 0.3, kBs, 17);
+  SvdConfig config{60, 24, 0.3, 12};
+  Program p = BuildSvdLanczosProgram(config);
+  Bindings bindings{{"V", &v}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(p, bindings, run);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  auto singular = SingularValuesFromScalars(config, dist->result.scalars);
+  ASSERT_TRUE(singular.ok());
+  ASSERT_FALSE(singular->empty());
+
+  // Power iteration on VᵀV for the dominant eigenvalue.
+  LocalMatrix x = LocalMatrix::RandomDense({24, 1}, kBs, 99);
+  double lambda = 0;
+  for (int it = 0; it < 60; ++it) {
+    auto vx = v.Multiply(x);
+    ASSERT_TRUE(vx.ok());
+    auto vtvx = v.Transposed().Multiply(*vx);
+    ASSERT_TRUE(vtvx.ok());
+    lambda = std::sqrt(vtvx->SumSquares() / x.SumSquares());
+    x = vtvx->ScalarMultiply(static_cast<Scalar>(1.0 / std::sqrt(
+                                 vtvx->SumSquares())));
+  }
+  EXPECT_NEAR((*singular)[0], std::sqrt(lambda), std::sqrt(lambda) * 0.02);
+}
+
+TEST(SvdLanczosTest, ScalarOutputsPresentForEveryStep) {
+  SvdConfig config{30, 12, 0.5, 5};
+  LocalMatrix v = SyntheticSparse(30, 12, 0.5, kBs, 23);
+  Bindings bindings{{"V", &v}};
+  RunConfig run;
+  run.block_size = kBs;
+  auto dist = RunProgram(BuildSvdLanczosProgram(config), bindings, run);
+  ASSERT_TRUE(dist.ok());
+  for (int i = 0; i < config.rank; ++i) {
+    EXPECT_TRUE(dist->result.scalars.count("alpha_" + std::to_string(i)));
+    EXPECT_TRUE(dist->result.scalars.count("beta_" + std::to_string(i)));
+  }
+}
+
+TEST(SvdLanczosTest, MissingScalarReported) {
+  SvdConfig config{10, 10, 1.0, 3};
+  std::unordered_map<std::string, double> empty;
+  EXPECT_FALSE(SingularValuesFromScalars(config, empty).ok());
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,86 @@
+#include "baseline/scalapack_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 8;
+
+TEST(ScalapackSimTest, ProducesCorrectProduct) {
+  LocalMatrix a = SyntheticDense(32, 24, kBs, 1);
+  LocalMatrix b = SyntheticDense(24, 16, kBs, 2);
+  ScalapackSim summa({2, 2});
+  auto result = summa.Multiply(a, b);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto expected = a.Multiply(b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(result->c.ApproxEqual(*expected, 1e-2));
+}
+
+TEST(ScalapackSimTest, SparseInputHandledAsDense) {
+  // The defining ScaLAPACK property in Table 4: sparse and dense inputs of
+  // the same dimensions cost the same communication.
+  LocalMatrix sparse = SyntheticSparse(32, 32, 0.05, kBs, 3);
+  LocalMatrix dense = SyntheticDense(32, 32, kBs, 4);
+  LocalMatrix rhs = SyntheticDense(32, 8, kBs, 5);
+  ScalapackSim summa({2, 2});
+  auto r_sparse = summa.Multiply(sparse, rhs);
+  auto r_dense = summa.Multiply(dense, rhs);
+  ASSERT_TRUE(r_sparse.ok() && r_dense.ok());
+  EXPECT_DOUBLE_EQ(r_sparse->comm_bytes, r_dense->comm_bytes);
+  EXPECT_EQ(r_sparse->comm_messages, r_dense->comm_messages);
+}
+
+TEST(ScalapackSimTest, SparseProductStillCorrect) {
+  LocalMatrix sparse = SyntheticSparse(24, 24, 0.1, kBs, 6);
+  LocalMatrix rhs = SyntheticDense(24, 8, kBs, 7);
+  ScalapackSim summa({2, 2});
+  auto result = summa.Multiply(sparse, rhs);
+  ASSERT_TRUE(result.ok());
+  auto expected = sparse.Multiply(rhs);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(result->c.ApproxEqual(*expected, 1e-2));
+}
+
+TEST(ScalapackSimTest, CommScalesWithGridDimensions) {
+  LocalMatrix a = SyntheticDense(32, 32, kBs, 1);
+  LocalMatrix b = SyntheticDense(32, 32, kBs, 2);
+  auto small = ScalapackSim({1, 1}).Multiply(a, b);
+  auto large = ScalapackSim({4, 4}).Multiply(a, b);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_EQ(small->comm_bytes, 0);  // single process: no messages
+  EXPECT_GT(large->comm_bytes, 0);
+}
+
+TEST(ScalapackSimTest, PerProcessTimesRecorded) {
+  LocalMatrix a = SyntheticDense(64, 64, kBs, 1);
+  LocalMatrix b = SyntheticDense(64, 64, kBs, 2);
+  ScalapackSim summa({2, 3});
+  auto result = summa.Multiply(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->proc_seconds.size(), 6u);
+  EXPECT_GT(result->MaxProcSeconds(), 0);
+  EXPECT_EQ(result->overhead_seconds, 0);
+}
+
+TEST(ScalapackSimTest, DimensionMismatchRejected) {
+  LocalMatrix a = SyntheticDense(8, 8, kBs, 1);
+  LocalMatrix b = SyntheticDense(16, 8, kBs, 2);
+  EXPECT_FALSE(ScalapackSim({2, 2}).Multiply(a, b).ok());
+}
+
+TEST(MmSimResultTest, SimulatedSecondsCombinesComputeAndNetwork) {
+  MmSimResult r;
+  r.c = LocalMatrix::Zeros({1, 1}, 1);
+  r.proc_seconds = {0.5, 1.0};
+  r.comm_bytes = 125e6;  // one second at default bandwidth
+  r.comm_messages = 2;
+  NetworkModel net;
+  EXPECT_NEAR(r.SimulatedSeconds(net), 1.0 + 1.0 + 2 * net.latency_sec, 1e-9);
+}
+
+}  // namespace
+}  // namespace dmac

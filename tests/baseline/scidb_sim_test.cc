@@ -1,0 +1,65 @@
+#include "baseline/scidb_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 8;
+
+ScidbOptions DefaultOptions() {
+  ScidbOptions o;
+  o.grid = {2, 2};
+  return o;
+}
+
+TEST(ScidbSimTest, ProducesCorrectProduct) {
+  LocalMatrix a = SyntheticDense(24, 24, kBs, 1);
+  LocalMatrix b = SyntheticDense(24, 8, kBs, 2);
+  auto result = ScidbSim(DefaultOptions()).Multiply(a, b);
+  ASSERT_TRUE(result.ok());
+  auto expected = a.Multiply(b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(result->c.ApproxEqual(*expected, 1e-2));
+}
+
+TEST(ScidbSimTest, CostsMoreThanScalapack) {
+  // Table 4: SciDB is substantially slower than raw ScaLAPACK because of
+  // redistribution plus chunk bookkeeping.
+  LocalMatrix a = SyntheticDense(32, 32, kBs, 3);
+  LocalMatrix b = SyntheticDense(32, 32, kBs, 4);
+  auto scidb = ScidbSim(DefaultOptions()).Multiply(a, b);
+  auto scalapack = ScalapackSim({2, 2}).Multiply(a, b);
+  ASSERT_TRUE(scidb.ok() && scalapack.ok());
+  EXPECT_GT(scidb->comm_bytes, scalapack->comm_bytes);
+  EXPECT_GT(scidb->overhead_seconds, 0);
+  NetworkModel net;
+  EXPECT_GT(scidb->SimulatedSeconds(net), scalapack->SimulatedSeconds(net));
+}
+
+TEST(ScidbSimTest, RedistributionCountsDenseBytesOfBothOperands) {
+  LocalMatrix a = SyntheticSparse(32, 32, 0.01, kBs, 5);
+  LocalMatrix b = SyntheticDense(32, 8, kBs, 6);
+  auto scidb = ScidbSim(DefaultOptions()).Multiply(a, b);
+  auto scalapack = ScalapackSim({2, 2}).Multiply(a, b);
+  ASSERT_TRUE(scidb.ok() && scalapack.ok());
+  const double extra = scidb->comm_bytes - scalapack->comm_bytes;
+  EXPECT_DOUBLE_EQ(extra, 4.0 * 32 * 32 + 4.0 * 32 * 8);
+}
+
+TEST(ScidbSimTest, OverheadScalesWithChunkCount) {
+  ScidbOptions opts = DefaultOptions();
+  LocalMatrix small_a = SyntheticDense(16, 16, 16, 1);  // 1 chunk each
+  LocalMatrix small_b = SyntheticDense(16, 16, 16, 2);
+  LocalMatrix big_a = SyntheticDense(16, 16, 4, 1);     // 16 chunks each
+  LocalMatrix big_b = SyntheticDense(16, 16, 4, 2);
+  auto few = ScidbSim(opts).Multiply(small_a, small_b);
+  auto many = ScidbSim(opts).Multiply(big_a, big_b);
+  ASSERT_TRUE(few.ok() && many.ok());
+  EXPECT_GT(many->overhead_seconds, few->overhead_seconds);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,72 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace dmac {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ImplicitConversionFromValue) {
+  auto make = []() -> Result<std::string> { return std::string("hello"); };
+  Result<std::string> r = make();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+}
+
+TEST(ResultTest, ImplicitConversionFromStatus) {
+  auto make = []() -> Result<std::string> {
+    return Status::Invalid("bad input");
+  };
+  EXPECT_FALSE(make().ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("x"); };
+  auto outer = [&]() -> Status {
+    DMAC_ASSIGN_OR_RETURN(int v, inner());
+    (void)v;
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnMacroAssignsValue) {
+  auto inner = []() -> Result<int> { return 5; };
+  int seen = 0;
+  auto outer = [&]() -> Status {
+    DMAC_ASSIGN_OR_RETURN(int v, inner());
+    seen = v;
+    return Status::Ok();
+  };
+  EXPECT_TRUE(outer().ok());
+  EXPECT_EQ(seen, 5);
+}
+
+}  // namespace
+}  // namespace dmac

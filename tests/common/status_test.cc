@@ -1,0 +1,72 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::Ok().ok()); }
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::Invalid("a"), StatusCode::kInvalidArgument},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange},
+      {Status::NotFound("c"), StatusCode::kNotFound},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists},
+      {Status::DimensionMismatch("e"), StatusCode::kDimensionMismatch},
+      {Status::Unsupported("f"), StatusCode::kUnsupported},
+      {Status::Internal("g"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::DimensionMismatch("2x3 vs 4x5");
+  EXPECT_EQ(s.ToString(), "DimensionMismatch: 2x3 vs 4x5");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("x"), Status::Invalid("x"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::Invalid("y"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    DMAC_RETURN_NOT_OK(Status::NotFound("missing"));
+    return Status::Ok();  // unreachable
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+
+  auto passes = []() -> Status {
+    DMAC_RETURN_NOT_OK(Status::Ok());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDimensionMismatch),
+               "DimensionMismatch");
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/graph_gen.h"
+#include "data/netflix_gen.h"
+#include "data/synthetic.h"
+#include "data/triplets.h"
+
+namespace dmac {
+namespace {
+
+TEST(TripletsTest, BuildsBlockedMatrix) {
+  std::vector<Triplet> triplets = {{0, 0, 1.0f}, {9, 9, 2.0f}, {5, 3, 3.0f}};
+  LocalMatrix m = MatrixFromTriplets({10, 10}, 4, triplets);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(9, 9), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(5, 3), 3.0f);
+  EXPECT_EQ(m.Nnz(), 3);
+}
+
+TEST(TripletsTest, DuplicatesSummed) {
+  std::vector<Triplet> triplets = {{1, 1, 1.0f}, {1, 1, 2.5f}};
+  LocalMatrix m = MatrixFromTriplets({4, 4}, 2, triplets);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 3.5f);
+  EXPECT_EQ(m.Nnz(), 1);
+}
+
+TEST(SyntheticTest, SparseMatrixMatchesSpec) {
+  LocalMatrix m = SyntheticSparse(200, 100, 0.05, 32, 7);
+  EXPECT_EQ(m.shape(), (Shape{200, 100}));
+  EXPECT_NEAR(static_cast<double>(m.Nnz()) / (200.0 * 100), 0.05, 0.01);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  LocalMatrix a = SyntheticSparse(50, 50, 0.1, 16, 3);
+  LocalMatrix b = SyntheticSparse(50, 50, 0.1, 16, 3);
+  EXPECT_TRUE(a.ApproxEqual(b, 0));
+}
+
+TEST(SyntheticTest, ConstantMatrix) {
+  LocalMatrix m = ConstantMatrix({3, 5}, 2, 0.25f);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 5; ++c) EXPECT_FLOAT_EQ(m.At(r, c), 0.25f);
+  }
+}
+
+TEST(GraphGenTest, PresetsCarryPaperTable3Counts) {
+  EXPECT_EQ(SocPokec().nodes, 1632803);
+  EXPECT_EQ(SocPokec().edges, 30622564);
+  EXPECT_EQ(CitPatents().nodes, 3774768);
+  EXPECT_EQ(LiveJournal().edges, 68993773);
+  EXPECT_EQ(Wikipedia().nodes, 25942254);
+  EXPECT_EQ(Wikipedia().edges, 601038301);
+}
+
+TEST(GraphGenTest, ScaledDividesCounts) {
+  GraphSpec scaled = LiveJournal().Scaled(100);
+  EXPECT_EQ(scaled.nodes, 48475);
+  EXPECT_EQ(scaled.edges, 689937);
+}
+
+TEST(GraphGenTest, AdjacencyIsBinaryAndSized) {
+  GraphSpec spec = SocPokec().Scaled(2000);
+  LocalMatrix adj = AdjacencyMatrix(spec, 256, 1);
+  EXPECT_EQ(adj.rows(), spec.nodes);
+  // Duplicates collapse, so nnz <= edges but should be in the ballpark.
+  EXPECT_LE(adj.Nnz(), spec.edges);
+  EXPECT_GT(adj.Nnz(), spec.edges / 4);
+  // Spot-check values are exactly 1.
+  for (int64_t bi = 0; bi < adj.grid().block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < adj.grid().block_cols(); ++bj) {
+      for (Scalar v : adj.BlockAt(bi, bj).sparse().values()) {
+        EXPECT_FLOAT_EQ(v, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(GraphGenTest, PowerLawSkewConcentratesEdges) {
+  GraphSpec spec = SocPokec().Scaled(2000);
+  LocalMatrix adj = AdjacencyMatrix(spec, 128, 1);
+  // The first block row (hub nodes) must hold far more than a uniform share
+  // of the edges.
+  int64_t first_row_nnz = 0;
+  for (int64_t bj = 0; bj < adj.grid().block_cols(); ++bj) {
+    first_row_nnz += adj.BlockAt(0, bj).nnz();
+  }
+  const double uniform_share =
+      static_cast<double>(adj.Nnz()) / adj.grid().block_rows();
+  EXPECT_GT(static_cast<double>(first_row_nnz), 2.0 * uniform_share);
+}
+
+TEST(GraphGenTest, RowNormalizedLinkRowsSumToOne) {
+  GraphSpec spec = SocPokec().Scaled(5000);
+  LocalMatrix link = RowNormalizedLink(spec, 64, 2);
+  // Row sums are 1 for rows with outgoing edges, 0 for dangling rows.
+  for (int64_t r = 0; r < std::min<int64_t>(spec.nodes, 64); ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < spec.nodes; ++c) sum += link.At(r, c);
+    EXPECT_TRUE(std::abs(sum - 1.0) < 1e-3 || sum == 0.0) << "row " << r;
+  }
+}
+
+TEST(NetflixGenTest, ShapeAndSparsityMatchSpec) {
+  NetflixSpec spec = NetflixSpec{}.Scaled(50);
+  LocalMatrix ratings = NetflixRatings(spec, 512, 3);
+  EXPECT_EQ(ratings.rows(), spec.users);
+  EXPECT_EQ(ratings.cols(), spec.movies);
+  const double sparsity = static_cast<double>(ratings.Nnz()) /
+                          (static_cast<double>(spec.users) * spec.movies);
+  EXPECT_NEAR(sparsity, spec.sparsity, spec.sparsity * 0.2);
+}
+
+TEST(NetflixGenTest, RatingsAreInRange) {
+  NetflixSpec spec = NetflixSpec{}.Scaled(200);
+  LocalMatrix ratings = NetflixRatings(spec, 256, 4);
+  for (int64_t bi = 0; bi < ratings.grid().block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < ratings.grid().block_cols(); ++bj) {
+      for (Scalar v : ratings.BlockAt(bi, bj).sparse().values()) {
+        EXPECT_GE(v, 1.0f);
+        EXPECT_LE(v, 10.0f);  // rare collisions may sum two ratings
+      }
+    }
+  }
+}
+
+TEST(NetflixGenTest, FullSpecMatchesPaperDimensions) {
+  NetflixSpec spec;
+  EXPECT_EQ(spec.users, 480189);
+  EXPECT_EQ(spec.movies, 17770);
+}
+
+}  // namespace
+}  // namespace dmac

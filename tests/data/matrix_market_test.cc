@@ -1,0 +1,106 @@
+#include "data/matrix_market.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+
+namespace dmac {
+namespace {
+
+TEST(MatrixMarketTest, ParsesCoordinateReal) {
+  const std::string mm =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "3 4 -1\n"
+      "2 2 7\n";
+  auto m = ParseMatrixMarket(mm, 2);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->shape(), (Shape{3, 4}));
+  EXPECT_FLOAT_EQ(m->At(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(m->At(2, 3), -1.0f);
+  EXPECT_FLOAT_EQ(m->At(1, 1), 7.0f);
+  EXPECT_EQ(m->Nnz(), 3);
+}
+
+TEST(MatrixMarketTest, ParsesPattern) {
+  const std::string mm =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n";
+  auto m = ParseMatrixMarket(mm, 4);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FLOAT_EQ(m->At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(m->At(1, 0), 1.0f);
+}
+
+TEST(MatrixMarketTest, ParsesSymmetric) {
+  const std::string mm =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 1\n";
+  auto m = ParseMatrixMarket(mm, 4);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FLOAT_EQ(m->At(1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(m->At(0, 1), 5.0f);  // mirrored
+  EXPECT_FLOAT_EQ(m->At(2, 2), 1.0f);  // diagonal not duplicated
+  EXPECT_EQ(m->Nnz(), 3);
+}
+
+TEST(MatrixMarketTest, ParsesDenseArray) {
+  const std::string mm =
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1\n3\n2\n4\n";  // column-major
+  auto m = ParseMatrixMarket(mm, 4);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FLOAT_EQ(m->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m->At(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m->At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m->At(1, 1), 4.0f);
+}
+
+TEST(MatrixMarketTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseMatrixMarket("", 4).ok());
+  EXPECT_FALSE(ParseMatrixMarket("garbage\n1 1 1\n", 4).ok());
+  EXPECT_FALSE(
+      ParseMatrixMarket("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "3 1 1.0\n",  // row out of range
+                        4)
+          .ok());
+  EXPECT_FALSE(
+      ParseMatrixMarket("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 2\n"
+                        "1 1 1.0\n",  // truncated
+                        4)
+          .ok());
+  EXPECT_FALSE(
+      ParseMatrixMarket("%%MatrixMarket vector coordinate real general\n"
+                        "2 2 0\n",
+                        4)
+          .ok());
+}
+
+TEST(MatrixMarketTest, WriteReadRoundTrip) {
+  LocalMatrix original = SyntheticSparse(20, 16, 0.2, 8, 3);
+  const std::string path = ::testing::TempDir() + "/roundtrip.mtx";
+  ASSERT_TRUE(WriteMatrixMarket(original, path).ok());
+  auto loaded = ReadMatrixMarket(path, 8);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->ApproxEqual(original, 1e-5));
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarketTest, MissingFileReported) {
+  EXPECT_EQ(ReadMatrixMarket("/nonexistent/file.mtx", 8).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,210 @@
+// Edge cases and robustness: degenerate shapes, extreme configurations,
+// and input conditions the engine must survive gracefully.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/local_interpreter.h"
+#include "apps/runner.h"
+#include "data/synthetic.h"
+
+namespace dmac {
+namespace {
+
+TEST(EdgeCaseTest, OneByOneMatrices) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {1, 1}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a) + a * a - a);
+  pb.Output(c);
+  LocalMatrix adata = ConstantMatrix({1, 1}, 1, 3.0f);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 1;
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FLOAT_EQ(run->result.matrices.at("C").At(0, 0), 9 + 9 - 3);
+}
+
+TEST(EdgeCaseTest, VectorTimesMatrix) {
+  // 1xN times NxM: the PageRank shape.
+  ProgramBuilder pb;
+  Mat v = pb.Load("v", {1, 30}, 1.0);
+  Mat m = pb.Load("M", {30, 12}, 0.5);
+  Mat c = pb.Var("C");
+  pb.Assign(c, v.mm(m));
+  pb.Output(c);
+  LocalMatrix vdata = SyntheticDense(1, 30, 8, 1);
+  LocalMatrix mdata = SyntheticSparse(30, 12, 0.5, 8, 2);
+  Bindings bindings{{"v", &vdata}, {"M", &mdata}};
+  RunConfig config;
+  config.block_size = 8;
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto expected = vdata.Multiply(mdata);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(run->result.matrices.at("C").ApproxEqual(*expected, 1e-3));
+}
+
+TEST(EdgeCaseTest, BlockSizeLargerThanMatrix) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {5, 7}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.t().mm(a));
+  pb.Output(c);
+  LocalMatrix adata = SyntheticDense(5, 7, 64, 3);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 64;  // one block for everything
+  config.num_workers = 4;  // more workers than blocks
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto expected = adata.Transposed().Multiply(adata);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(run->result.matrices.at("C").ApproxEqual(*expected, 1e-3));
+}
+
+TEST(EdgeCaseTest, ManyMoreWorkersThanBlocks) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {16, 16}, 0.5);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a));
+  pb.Output(c);
+  LocalMatrix adata = SyntheticSparse(16, 16, 0.5, 8, 5);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 8;
+  config.num_workers = 13;  // only 2 block rows exist
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto expected = adata.Multiply(adata);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(run->result.matrices.at("C").ApproxEqual(*expected, 1e-3));
+}
+
+TEST(EdgeCaseTest, AllZeroInputMatrix) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {12, 12}, 0.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a) + a);
+  Scl s = pb.ScalarVar("s", 0.0);
+  pb.Assign(s, c.Sum());
+  pb.Output(c);
+  pb.OutputScalar(s);
+  LocalMatrix adata = LocalMatrix::Zeros({12, 12}, 4).Compacted(1.1);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 4;
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result.matrices.at("C").Nnz(), 0);
+  EXPECT_DOUBLE_EQ(run->result.scalars.at("s"), 0.0);
+}
+
+TEST(EdgeCaseTest, LongDependencyChain) {
+  // 12 chained squarings (normalized) stress scheme propagation.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {20, 20}, 0.4);
+  Mat x = pb.Var("X");
+  pb.Assign(x, a);
+  for (int i = 0; i < 12; ++i) {
+    pb.Assign(x, x.mm(x) * (1.0 / 20.0));
+  }
+  pb.Output(x);
+  Program p = pb.Build();
+  LocalMatrix adata = SyntheticSparse(20, 20, 0.4, 8, 6);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 8;
+  auto run = RunProgram(p, bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto local = InterpretLocally(p, bindings, 8, config.seed);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(run->result.matrices.at("X").ApproxEqual(
+      local->matrices.at("X"), 1e-2));
+}
+
+TEST(EdgeCaseTest, RepeatedOutputsOfSameVariable) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {6, 6}, 1.0);
+  Mat b = pb.Var("B");
+  pb.Assign(b, a + a);
+  pb.Output(b);
+  pb.Output(b);  // duplicate output request
+  LocalMatrix adata = SyntheticDense(6, 6, 4, 7);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 4;
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result.matrices.count("B"), 1u);
+}
+
+TEST(EdgeCaseTest, TransposeOfTransposeIsIdentity) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {9, 5}, 0.6);
+  Mat b = pb.Var("B");
+  pb.Assign(b, a.t().t() - a);
+  pb.Output(b);
+  LocalMatrix adata = SyntheticSparse(9, 5, 0.6, 4, 8);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 4;
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result.matrices.at("B").Nnz(), 0);
+}
+
+TEST(EdgeCaseTest, SingleWorkerSingleThread) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {14, 10}, 0.5);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.t().mm(a).RowSums());
+  pb.Output(c);
+  LocalMatrix adata = SyntheticSparse(14, 10, 0.5, 4, 9);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 4;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto gram = adata.Transposed().Multiply(adata);
+  ASSERT_TRUE(gram.ok());
+  EXPECT_TRUE(run->result.matrices.at("C").ApproxEqual(gram->RowSums(),
+                                                       1e-3));
+}
+
+TEST(EdgeCaseTest, ProgramWithOnlyScalars) {
+  ProgramBuilder pb;
+  Scl x = pb.ScalarVar("x", 2.0);
+  Scl y = pb.ScalarVar("y", 0.0);
+  pb.Assign(y, (x * x + 1.0).Sqrt());
+  pb.OutputScalar(y);
+  Bindings empty;
+  RunConfig config;
+  config.block_size = 4;
+  auto run = RunProgram(pb.Build(), empty, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_NEAR(run->result.scalars.at("y"), std::sqrt(5.0), 1e-9);
+}
+
+TEST(EdgeCaseTest, NegativeValuesSurviveSparsePaths) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {10, 10}, 0.3);
+  Mat c = pb.Var("C");
+  pb.Assign(c, (a - a * 2.0).mm(a));
+  pb.Output(c);
+  LocalMatrix adata = SyntheticSparse(10, 10, 0.3, 4, 10);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = 4;
+  auto run = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto neg = adata.ScalarMultiply(-1.0f).Multiply(adata);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_TRUE(run->result.matrices.at("C").ApproxEqual(*neg, 1e-3));
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,217 @@
+// Whole-pipeline integration tests: for every evaluation application of the
+// paper, the DMac plan, the SystemML-S plan, and the single-machine
+// interpreter must compute the same results, and DMac must never
+// communicate more than SystemML-S.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/collab_filter.h"
+#include "apps/gnmf.h"
+#include "apps/linear_regression.h"
+#include "apps/local_interpreter.h"
+#include "apps/pagerank.h"
+#include "apps/runner.h"
+#include "apps/svd_lanczos.h"
+#include "data/graph_gen.h"
+#include "data/netflix_gen.h"
+#include "data/synthetic.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 16;
+
+struct AppCase {
+  std::string name;
+  Program program;
+  // Owned input data; bindings point into it.
+  std::vector<std::pair<std::string, LocalMatrix>> inputs;
+
+  Bindings MakeBindings() const {
+    Bindings b;
+    for (const auto& [name_, m] : inputs) b.emplace(name_, &m);
+    return b;
+  }
+};
+
+AppCase MakeGnmfCase() {
+  GnmfConfig config{64, 48, 0.2, 6, 2};
+  AppCase c{"gnmf", BuildGnmfProgram(config), {}};
+  c.inputs.emplace_back("V", SyntheticSparse(64, 48, 0.2, kBs, 31));
+  return c;
+}
+
+AppCase MakePageRankCase() {
+  GraphSpec spec = SocPokec().Scaled(30000);
+  PageRankConfig config{spec.nodes, 0.02, 4, 0.85};
+  AppCase c{"pagerank", BuildPageRankProgram(config), {}};
+  c.inputs.emplace_back("link", RowNormalizedLink(spec, kBs, 3));
+  c.inputs.emplace_back(
+      "D", ConstantMatrix({1, spec.nodes}, kBs,
+                          1.0f / static_cast<Scalar>(spec.nodes)));
+  return c;
+}
+
+AppCase MakeLinRegCase() {
+  LinRegConfig config{80, 24, 0.3, 3, 1e-6};
+  AppCase c{"linreg", BuildLinearRegressionProgram(config), {}};
+  c.inputs.emplace_back("V", SyntheticSparse(80, 24, 0.3, kBs, 11));
+  c.inputs.emplace_back("y", SyntheticDense(80, 1, kBs, 12));
+  return c;
+}
+
+AppCase MakeCfCase() {
+  CollabFilterConfig config{24, 40, 0.25};
+  AppCase c{"cf", BuildCollabFilterProgram(config), {}};
+  c.inputs.emplace_back("R",
+                        SyntheticSparse(24, 40, 0.25, kBs, 7));
+  return c;
+}
+
+AppCase MakeSvdCase() {
+  SvdConfig config{40, 20, 0.4, 4};
+  AppCase c{"svd", BuildSvdLanczosProgram(config), {}};
+  c.inputs.emplace_back("V", SyntheticSparse(40, 20, 0.4, kBs, 19));
+  return c;
+}
+
+class AllAppsTest : public ::testing::TestWithParam<int> {
+ protected:
+  static AppCase MakeCase(int index) {
+    switch (index) {
+      case 0:
+        return MakeGnmfCase();
+      case 1:
+        return MakePageRankCase();
+      case 2:
+        return MakeLinRegCase();
+      case 3:
+        return MakeCfCase();
+      default:
+        return MakeSvdCase();
+    }
+  }
+};
+
+TEST_P(AllAppsTest, DmacSystemMlAndLocalAgree) {
+  AppCase c = MakeCase(GetParam());
+  Bindings bindings = c.MakeBindings();
+
+  RunConfig dmac_cfg;
+  dmac_cfg.block_size = kBs;
+  RunConfig sysml_cfg = dmac_cfg;
+  sysml_cfg.exploit_dependencies = false;
+
+  auto dmac_run = RunProgram(c.program, bindings, dmac_cfg);
+  ASSERT_TRUE(dmac_run.ok()) << c.name << ": " << dmac_run.status();
+  auto sysml_run = RunProgram(c.program, bindings, sysml_cfg);
+  ASSERT_TRUE(sysml_run.ok()) << c.name << ": " << sysml_run.status();
+  auto local = InterpretLocally(c.program, bindings, kBs, dmac_cfg.seed);
+  ASSERT_TRUE(local.ok()) << c.name << ": " << local.status();
+
+  for (auto& [name, m] : local->matrices) {
+    EXPECT_TRUE(dmac_run->result.matrices.at(name).ApproxEqual(m, 0.05))
+        << c.name << "/" << name << " (DMac vs local)";
+    EXPECT_TRUE(sysml_run->result.matrices.at(name).ApproxEqual(m, 0.05))
+        << c.name << "/" << name << " (SystemML-S vs local)";
+  }
+  for (auto& [name, v] : local->scalars) {
+    const double tol = std::abs(v) * 5e-3 + 1e-3;
+    EXPECT_NEAR(dmac_run->result.scalars.at(name), v, tol)
+        << c.name << "/" << name;
+    EXPECT_NEAR(sysml_run->result.scalars.at(name), v, tol)
+        << c.name << "/" << name;
+  }
+}
+
+TEST_P(AllAppsTest, DmacNeverCommunicatesMoreThanSystemMl) {
+  AppCase c = MakeCase(GetParam());
+  Bindings bindings = c.MakeBindings();
+  RunConfig dmac_cfg;
+  dmac_cfg.block_size = kBs;
+  RunConfig sysml_cfg = dmac_cfg;
+  sysml_cfg.exploit_dependencies = false;
+  auto dmac_run = RunProgram(c.program, bindings, dmac_cfg);
+  auto sysml_run = RunProgram(c.program, bindings, sysml_cfg);
+  ASSERT_TRUE(dmac_run.ok() && sysml_run.ok()) << c.name;
+  // The guarantee is on the cost model: DMac's plan never costs more.
+  EXPECT_LE(dmac_run->plan.total_comm_bytes,
+            sysml_run->plan.total_comm_bytes)
+      << c.name;
+  // Measured bytes follow the model up to worst-case-vs-actual slack, which
+  // at this toy scale is bounded by a couple of blocks.
+  EXPECT_LE(dmac_run->result.stats.comm_bytes(),
+            sysml_run->result.stats.comm_bytes() + 4096)
+      << c.name;
+}
+
+TEST_P(AllAppsTest, PlanCostModelTracksMeasuredBytes) {
+  // The plan-time estimate uses worst-case sizes, so it must upper-bound
+  // (not wildly underestimate) the measured traffic.
+  AppCase c = MakeCase(GetParam());
+  Bindings bindings = c.MakeBindings();
+  RunConfig cfg;
+  cfg.block_size = kBs;
+  auto run = RunProgram(c.program, bindings, cfg);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(run->result.stats.comm_bytes(),
+            run->plan.total_comm_bytes * 1.6 + 4096)
+      << c.name;
+}
+
+std::string AppCaseName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "Gnmf";
+    case 1:
+      return "PageRank";
+    case 2:
+      return "LinReg";
+    case 3:
+      return "Cf";
+    default:
+      return "Svd";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveApps, AllAppsTest, ::testing::Range(0, 5),
+                         AppCaseName);
+
+TEST(EndToEndTest, WorkerCountDoesNotChangeResults) {
+  AppCase c = MakeGnmfCase();
+  Bindings bindings = c.MakeBindings();
+  RunConfig base;
+  base.block_size = kBs;
+  base.num_workers = 1;
+  auto reference = RunProgram(c.program, bindings, base);
+  ASSERT_TRUE(reference.ok());
+  for (int workers : {2, 3, 5, 8}) {
+    RunConfig cfg = base;
+    cfg.num_workers = workers;
+    auto run = RunProgram(c.program, bindings, cfg);
+    ASSERT_TRUE(run.ok()) << workers;
+    for (auto& [name, m] : reference->result.matrices) {
+      EXPECT_TRUE(run->result.matrices.at(name).ApproxEqual(m, 0.02))
+          << name << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(EndToEndTest, BufferAndInPlaceModesAgree) {
+  AppCase c = MakeCfCase();
+  Bindings bindings = c.MakeBindings();
+  RunConfig inplace;
+  inplace.block_size = kBs;
+  RunConfig buffered = inplace;
+  buffered.local_mode = LocalMode::kBuffer;
+  auto r1 = RunProgram(c.program, bindings, inplace);
+  auto r2 = RunProgram(c.program, bindings, buffered);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  for (auto& [name, m] : r1->result.matrices) {
+    EXPECT_TRUE(r2->result.matrices.at(name).ApproxEqual(m, 1e-3)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,342 @@
+#include "matrix/block_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace dmac {
+namespace {
+
+/// Reference dense multiply for oracle checks.
+DenseBlock NaiveMultiply(const Block& a, const Block& b) {
+  DenseBlock c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (int64_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.At(i, k)) * b.At(k, j);
+      }
+      c.Set(i, j, static_cast<Scalar>(acc));
+    }
+  }
+  return c;
+}
+
+Block MakeOperand(bool sparse, int64_t rows, int64_t cols, uint64_t seed,
+                  double sparsity = 0.3) {
+  return sparse ? RandomSparseBlock(rows, cols, sparsity, seed)
+                : RandomDenseBlock(rows, cols, seed);
+}
+
+// ---- multiply: all four representation combinations --------------------
+
+class MultiplyFormatsTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(MultiplyFormatsTest, MatchesNaiveOracle) {
+  const auto [a_sparse, b_sparse] = GetParam();
+  Block a = MakeOperand(a_sparse, 9, 13, 1);
+  Block b = MakeOperand(b_sparse, 13, 7, 2);
+  auto c = Multiply(a, b);
+  ASSERT_TRUE(c.ok()) << c.status();
+  DenseBlock expected = NaiveMultiply(a, b);
+  EXPECT_TRUE(ApproxEqual(*c, Block(expected), 1e-3));
+}
+
+TEST_P(MultiplyFormatsTest, AccumulateAddsOnTopOfExisting) {
+  const auto [a_sparse, b_sparse] = GetParam();
+  Block a = MakeOperand(a_sparse, 5, 6, 3);
+  Block b = MakeOperand(b_sparse, 6, 4, 4);
+  DenseBlock acc(5, 4);
+  acc.Set(0, 0, 100.0f);
+  ASSERT_TRUE(MultiplyAccumulate(a, b, &acc).ok());
+  DenseBlock expected = NaiveMultiply(a, b);
+  EXPECT_NEAR(acc.At(0, 0), expected.At(0, 0) + 100.0f, 1e-2);
+  EXPECT_NEAR(acc.At(3, 3), expected.At(3, 3), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, MultiplyFormatsTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "SparseA" : "DenseA") +
+             (std::get<1>(info.param) ? "SparseB" : "DenseB");
+    });
+
+TEST(MultiplyTest, DimensionMismatchRejected) {
+  Block a = RandomDenseBlock(3, 4, 1);
+  Block b = RandomDenseBlock(5, 2, 2);
+  EXPECT_EQ(Multiply(a, b).status().code(), StatusCode::kDimensionMismatch);
+}
+
+TEST(MultiplyTest, AccumulatorShapeChecked) {
+  Block a = RandomDenseBlock(3, 4, 1);
+  Block b = RandomDenseBlock(4, 2, 2);
+  DenseBlock acc(3, 3);
+  EXPECT_EQ(MultiplyAccumulate(a, b, &acc).code(),
+            StatusCode::kDimensionMismatch);
+}
+
+TEST(MultiplyTest, IdentityIsNeutral) {
+  Block a = RandomDenseBlock(6, 6, 9);
+  CscBuilder eye(6, 6);
+  for (int i = 0; i < 6; ++i) eye.Add(i, i, 1.0f);
+  Block id(eye.Build());
+  auto left = Multiply(id, a);
+  auto right = Multiply(a, id);
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_TRUE(ApproxEqual(*left, a, 1e-5));
+  EXPECT_TRUE(ApproxEqual(*right, a, 1e-5));
+}
+
+TEST(MultiplySparseTest, MatchesDenseMultiply) {
+  Block a = RandomSparseBlock(12, 15, 0.2, 5);
+  Block b = RandomSparseBlock(15, 9, 0.2, 6);
+  auto sparse = MultiplySparse(a.sparse(), b.sparse());
+  ASSERT_TRUE(sparse.ok());
+  auto dense = Multiply(a, b);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_TRUE(ApproxEqual(Block(*sparse), *dense, 1e-3));
+}
+
+TEST(MultiplySparseTest, ResultIsStructurallySparse) {
+  CscBuilder ab(4, 4);
+  ab.Add(0, 0, 2.0f);
+  Block a(ab.Build());
+  auto c = MultiplySparse(a.sparse(), a.sparse());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->nnz(), 1);
+  EXPECT_FLOAT_EQ(c->At(0, 0), 4.0f);
+}
+
+TEST(MultiplySparseTest, DimensionMismatchRejected) {
+  CscBlock a(3, 4), b(5, 6);
+  EXPECT_FALSE(MultiplySparse(a, b).ok());
+}
+
+// ---- element-wise operators across format combinations ------------------
+
+class CellwiseFormatsTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {
+ protected:
+  void SetUp() override {
+    const auto [a_sparse, b_sparse] = GetParam();
+    a_ = MakeOperand(a_sparse, 8, 11, 21);
+    b_ = MakeOperand(b_sparse, 8, 11, 22);
+  }
+  Block a_, b_;
+};
+
+TEST_P(CellwiseFormatsTest, AddMatchesElementwise) {
+  auto c = Add(a_, b_);
+  ASSERT_TRUE(c.ok());
+  for (int64_t r = 0; r < 8; ++r) {
+    for (int64_t j = 0; j < 11; ++j) {
+      EXPECT_NEAR(c->At(r, j), a_.At(r, j) + b_.At(r, j), 1e-5);
+    }
+  }
+}
+
+TEST_P(CellwiseFormatsTest, SubtractMatchesElementwise) {
+  auto c = Subtract(a_, b_);
+  ASSERT_TRUE(c.ok());
+  for (int64_t r = 0; r < 8; ++r) {
+    for (int64_t j = 0; j < 11; ++j) {
+      EXPECT_NEAR(c->At(r, j), a_.At(r, j) - b_.At(r, j), 1e-5);
+    }
+  }
+}
+
+TEST_P(CellwiseFormatsTest, CellMultiplyMatchesElementwise) {
+  auto c = CellMultiply(a_, b_);
+  ASSERT_TRUE(c.ok());
+  for (int64_t r = 0; r < 8; ++r) {
+    for (int64_t j = 0; j < 11; ++j) {
+      EXPECT_NEAR(c->At(r, j), a_.At(r, j) * b_.At(r, j), 1e-5);
+    }
+  }
+}
+
+TEST_P(CellwiseFormatsTest, SubtractSelfIsZero) {
+  auto c = Subtract(a_, a_);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->nnz(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, CellwiseFormatsTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "SparseA" : "DenseA") +
+             (std::get<1>(info.param) ? "SparseB" : "DenseB");
+    });
+
+TEST(CellwiseTest, AddKeepsSparseWhenBothSparse) {
+  Block a = RandomSparseBlock(10, 10, 0.1, 1);
+  Block b = RandomSparseBlock(10, 10, 0.1, 2);
+  auto c = Add(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsSparse());
+}
+
+TEST(CellwiseTest, CellMultiplyKeepsSparseWhenEitherSparse) {
+  Block a = RandomSparseBlock(10, 10, 0.1, 1);
+  Block b = RandomDenseBlock(10, 10, 2);
+  auto c = CellMultiply(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsSparse());
+  auto c2 = CellMultiply(b, a);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(c2->IsSparse());
+}
+
+TEST(CellwiseTest, DivideSparseNumeratorKeepsPattern) {
+  CscBuilder nb(2, 2);
+  nb.Add(0, 0, 6.0f);
+  Block num(nb.Build());
+  Block den = RandomDenseBlock(2, 2, 3);
+  auto c = CellDivide(num, den);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsSparse());
+  EXPECT_EQ(c->nnz(), 1);
+  EXPECT_NEAR(c->At(0, 0), 6.0f / den.At(0, 0), 1e-4);
+}
+
+TEST(CellwiseTest, DivideByZeroYieldsInf) {
+  DenseBlock n(1, 1), d(1, 1);
+  n.Set(0, 0, 1.0f);
+  auto c = CellDivide(Block(std::move(n)), Block(std::move(d)));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(std::isinf(c->At(0, 0)));
+}
+
+TEST(CellwiseTest, ShapeMismatchRejected) {
+  Block a = RandomDenseBlock(2, 3, 1);
+  Block b = RandomDenseBlock(3, 2, 2);
+  EXPECT_FALSE(Add(a, b).ok());
+  EXPECT_FALSE(Subtract(a, b).ok());
+  EXPECT_FALSE(CellMultiply(a, b).ok());
+  EXPECT_FALSE(CellDivide(a, b).ok());
+}
+
+// ---- scalar ops, reductions, compaction ---------------------------------
+
+TEST(ScalarOpsTest, MultiplyScalesBothFormats) {
+  for (bool sparse : {false, true}) {
+    Block a = MakeOperand(sparse, 5, 5, 31);
+    Block c = ScalarMultiply(a, 2.0f);
+    EXPECT_EQ(c.IsSparse(), sparse);
+    for (int64_t r = 0; r < 5; ++r) {
+      for (int64_t j = 0; j < 5; ++j) {
+        EXPECT_NEAR(c.At(r, j), 2.0f * a.At(r, j), 1e-5);
+      }
+    }
+  }
+}
+
+TEST(ScalarOpsTest, AddZeroIsIdentity) {
+  Block a = RandomSparseBlock(5, 5, 0.2, 31);
+  Block c = ScalarAdd(a, 0.0f);
+  EXPECT_TRUE(c.IsSparse());
+  EXPECT_TRUE(ApproxEqual(a, c, 0));
+}
+
+TEST(ScalarOpsTest, AddNonZeroDensifiesSparse) {
+  Block a = RandomSparseBlock(5, 5, 0.2, 31);
+  Block c = ScalarAdd(a, 1.0f);
+  EXPECT_TRUE(c.IsDense());
+  EXPECT_NEAR(c.At(0, 0), a.At(0, 0) + 1.0f, 1e-5);
+}
+
+TEST(ReductionTest, SumMatchesBothFormats) {
+  Block d = RandomDenseBlock(7, 7, 41);
+  Block s(d.ToSparse());
+  EXPECT_NEAR(Sum(d), Sum(s), 1e-3);
+  double manual = 0;
+  for (int64_t r = 0; r < 7; ++r) {
+    for (int64_t c = 0; c < 7; ++c) manual += d.At(r, c);
+  }
+  EXPECT_NEAR(Sum(d), manual, 1e-3);
+}
+
+TEST(ReductionTest, SumSquaresIsNonNegativeAndExact) {
+  Block d = RandomDenseBlock(6, 3, 43);
+  double manual = 0;
+  for (int64_t r = 0; r < 6; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      manual += static_cast<double>(d.At(r, c)) * d.At(r, c);
+    }
+  }
+  EXPECT_NEAR(SumSquares(d), manual, 1e-4);
+  EXPECT_GE(SumSquares(d), 0);
+}
+
+TEST(CompactTest, FromDenseKeepsValuesBothWays) {
+  DenseBlock dense(4, 4);
+  dense.Set(1, 2, 3.0f);
+  Block sparse_out = CompactFromDense(dense, 0.5);
+  EXPECT_TRUE(sparse_out.IsSparse());
+  EXPECT_FLOAT_EQ(sparse_out.At(1, 2), 3.0f);
+
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 4; ++c) dense.Set(r, c, 1.0f);
+  }
+  Block dense_out = CompactFromDense(dense, 0.5);
+  EXPECT_TRUE(dense_out.IsDense());
+}
+
+TEST(ApproxEqualTest, DetectsDifferences) {
+  Block a = RandomDenseBlock(3, 3, 50);
+  Block b = a;
+  EXPECT_TRUE(ApproxEqual(a, b, 0));
+  b.dense().Set(2, 2, b.dense().At(2, 2) + 1.0f);
+  EXPECT_FALSE(ApproxEqual(a, b, 0.5));
+  EXPECT_TRUE(ApproxEqual(a, b, 1.5));
+}
+
+TEST(ApproxEqualTest, ShapeMismatchIsNotEqual) {
+  EXPECT_FALSE(ApproxEqual(RandomDenseBlock(2, 3, 1),
+                           RandomDenseBlock(3, 2, 1), 100));
+}
+
+// ---- algebraic property sweep -------------------------------------------
+
+class AlgebraPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgebraPropertyTest, MultiplyTransposeIdentity) {
+  // (A·B)^T == B^T · A^T
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Block a = MakeOperand(seed % 2 == 0, 6, 8, seed);
+  Block b = MakeOperand(seed % 3 == 0, 8, 5, seed + 100);
+  auto ab = Multiply(a, b);
+  ASSERT_TRUE(ab.ok());
+  auto btat = Multiply(b.Transposed(), a.Transposed());
+  ASSERT_TRUE(btat.ok());
+  EXPECT_TRUE(ApproxEqual(ab->Transposed(), *btat, 1e-3));
+}
+
+TEST_P(AlgebraPropertyTest, DistributiveLaw) {
+  // A·(B + C) == A·B + A·C
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Block a = MakeOperand(seed % 2 == 1, 5, 6, seed);
+  Block b = MakeOperand(false, 6, 4, seed + 1);
+  Block c = MakeOperand(true, 6, 4, seed + 2);
+  auto bc = Add(b, c);
+  ASSERT_TRUE(bc.ok());
+  auto lhs = Multiply(a, *bc);
+  auto ab = Multiply(a, b);
+  auto ac = Multiply(a, c);
+  ASSERT_TRUE(lhs.ok() && ab.ok() && ac.ok());
+  auto rhs = Add(*ab, *ac);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_TRUE(ApproxEqual(*lhs, *rhs, 1e-2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace dmac

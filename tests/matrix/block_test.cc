@@ -1,0 +1,125 @@
+#include "matrix/block.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/block_ops.h"
+
+namespace dmac {
+namespace {
+
+Block SmallDense() {
+  DenseBlock d(2, 3);
+  d.Set(0, 0, 1);
+  d.Set(1, 2, 5);
+  return Block(std::move(d));
+}
+
+Block SmallSparse() {
+  CscBuilder b(2, 3);
+  b.Add(0, 0, 1);
+  b.Add(1, 2, 5);
+  return Block(b.Build());
+}
+
+TEST(BlockTest, KindDiscrimination) {
+  EXPECT_TRUE(SmallDense().IsDense());
+  EXPECT_FALSE(SmallDense().IsSparse());
+  EXPECT_TRUE(SmallSparse().IsSparse());
+  EXPECT_EQ(SmallSparse().kind(), BlockKind::kSparse);
+}
+
+TEST(BlockTest, GenericAccessorsAgreeAcrossFormats) {
+  Block d = SmallDense();
+  Block s = SmallSparse();
+  ASSERT_EQ(d.shape(), s.shape());
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(d.At(r, c), s.At(r, c));
+    }
+  }
+  EXPECT_EQ(d.nnz(), 2);
+  EXPECT_EQ(s.nnz(), 2);
+}
+
+TEST(BlockTest, ToDenseFromSparse) {
+  DenseBlock d = SmallSparse().ToDense();
+  EXPECT_FLOAT_EQ(d.At(0, 0), 1);
+  EXPECT_FLOAT_EQ(d.At(1, 2), 5);
+  EXPECT_FLOAT_EQ(d.At(0, 1), 0);
+}
+
+TEST(BlockTest, ToSparseFromDense) {
+  CscBlock s = SmallDense().ToSparse();
+  EXPECT_EQ(s.nnz(), 2);
+  EXPECT_FLOAT_EQ(s.At(1, 2), 5);
+}
+
+TEST(BlockTest, RoundTripPreservesValues) {
+  Block original = SmallDense();
+  Block round = Block(Block(original.ToSparse()).ToDense());
+  EXPECT_TRUE(ApproxEqual(original, round, 0));
+}
+
+TEST(BlockTest, TransposedDense) {
+  Block t = SmallDense().Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_FLOAT_EQ(t.At(2, 1), 5);
+}
+
+TEST(BlockTest, TransposedSparse) {
+  Block t = SmallSparse().Transposed();
+  EXPECT_TRUE(t.IsSparse());
+  EXPECT_FLOAT_EQ(t.At(0, 0), 1);
+  EXPECT_FLOAT_EQ(t.At(2, 1), 5);
+}
+
+TEST(BlockTest, CompactedPicksSparseForSparseData) {
+  // 2 non-zeros out of 6 = 1/3 density < 0.5 threshold.
+  Block c = SmallDense().Compacted(0.5);
+  EXPECT_TRUE(c.IsSparse());
+}
+
+TEST(BlockTest, CompactedPicksDenseForDenseData) {
+  DenseBlock d(2, 2);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 2; ++c) d.Set(r, c, 1.0f);
+  }
+  Block sparse(Block(std::move(d)).ToSparse());
+  Block c = sparse.Compacted(0.5);
+  EXPECT_TRUE(c.IsDense());
+}
+
+TEST(BlockTest, RandomDenseDeterministic) {
+  Block a = RandomDenseBlock(8, 8, 77);
+  Block b = RandomDenseBlock(8, 8, 77);
+  EXPECT_TRUE(ApproxEqual(a, b, 0));
+  Block c = RandomDenseBlock(8, 8, 78);
+  EXPECT_FALSE(ApproxEqual(a, c, 1e-9));
+}
+
+TEST(BlockTest, RandomSparseRespectsSparsityRoughly) {
+  Block b = RandomSparseBlock(100, 100, 0.1, 5);
+  // Collisions only reduce the count; expect within 15% of target.
+  EXPECT_GT(b.nnz(), 850);
+  EXPECT_LE(b.nnz(), 1000);
+}
+
+TEST(BlockTest, RandomBlockSeedVariesByNameAndIndex) {
+  const uint64_t s1 = RandomBlockSeed(1, "W", 0, 0);
+  EXPECT_NE(s1, RandomBlockSeed(1, "H", 0, 0));
+  EXPECT_NE(s1, RandomBlockSeed(1, "W", 1, 0));
+  EXPECT_NE(s1, RandomBlockSeed(1, "W", 0, 1));
+  EXPECT_NE(s1, RandomBlockSeed(2, "W", 0, 0));
+  EXPECT_EQ(s1, RandomBlockSeed(1, "W", 0, 0));
+}
+
+TEST(BlockTest, MemoryBytesTracksRepresentation) {
+  Block d = SmallDense();
+  Block s = SmallSparse();
+  EXPECT_EQ(d.MemoryBytes(), 4 * 2 * 3);
+  EXPECT_EQ(s.MemoryBytes(), 4 * 4 + 8 * 2);
+}
+
+}  // namespace
+}  // namespace dmac

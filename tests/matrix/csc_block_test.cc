@@ -1,0 +1,134 @@
+#include "matrix/csc_block.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+CscBlock PaperFigure5Block() {
+  // The example of paper Fig. 5 (4x3):
+  //   [ .  2  . ]        values:     [2 3 2 2 4 2 1]... we encode the
+  //   [ 3  .  4 ]        paper's layout column-wise below.
+  //   [ .  2  1 ]
+  //   [ .  .  2 ]
+  CscBuilder builder(4, 3);
+  builder.Add(1, 0, 3);
+  builder.Add(0, 1, 2);
+  builder.Add(2, 1, 2);
+  builder.Add(1, 2, 4);
+  builder.Add(2, 2, 1);
+  builder.Add(3, 2, 2);
+  return builder.Build();
+}
+
+TEST(CscBlockTest, BuilderProducesSortedCsc) {
+  CscBlock b = PaperFigure5Block();
+  EXPECT_EQ(b.rows(), 4);
+  EXPECT_EQ(b.cols(), 3);
+  EXPECT_EQ(b.nnz(), 6);
+  // Column start index array, as in Fig. 5: 0, 1, 3, 6.
+  ASSERT_EQ(b.col_ptr().size(), 4u);
+  EXPECT_EQ(b.col_ptr()[0], 0);
+  EXPECT_EQ(b.col_ptr()[1], 1);
+  EXPECT_EQ(b.col_ptr()[2], 3);
+  EXPECT_EQ(b.col_ptr()[3], 6);
+}
+
+TEST(CscBlockTest, AtFindsStoredValues) {
+  CscBlock b = PaperFigure5Block();
+  EXPECT_FLOAT_EQ(b.At(1, 0), 3);
+  EXPECT_FLOAT_EQ(b.At(0, 1), 2);
+  EXPECT_FLOAT_EQ(b.At(2, 1), 2);
+  EXPECT_FLOAT_EQ(b.At(1, 2), 4);
+  EXPECT_FLOAT_EQ(b.At(2, 2), 1);
+  EXPECT_FLOAT_EQ(b.At(3, 2), 2);
+}
+
+TEST(CscBlockTest, AtReturnsZeroForAbsent) {
+  CscBlock b = PaperFigure5Block();
+  EXPECT_FLOAT_EQ(b.At(0, 0), 0);
+  EXPECT_FLOAT_EQ(b.At(3, 0), 0);
+  EXPECT_FLOAT_EQ(b.At(1, 1), 0);
+}
+
+TEST(CscBlockTest, BuilderSumsDuplicates) {
+  CscBuilder builder(2, 2);
+  builder.Add(0, 0, 1.5f);
+  builder.Add(0, 0, 2.5f);
+  CscBlock b = builder.Build();
+  EXPECT_EQ(b.nnz(), 1);
+  EXPECT_FLOAT_EQ(b.At(0, 0), 4.0f);
+}
+
+TEST(CscBlockTest, BuilderDropsZeros) {
+  CscBuilder builder(2, 2);
+  builder.Add(0, 0, 0.0f);
+  builder.Add(1, 1, 1.0f);
+  builder.Add(0, 1, 2.0f);
+  builder.Add(0, 1, -2.0f);  // cancels to zero
+  CscBlock b = builder.Build();
+  EXPECT_EQ(b.nnz(), 1);
+  EXPECT_FLOAT_EQ(b.At(1, 1), 1.0f);
+}
+
+TEST(CscBlockTest, MemoryBytesMatchesPaperFormula) {
+  // Mem(b) = 4(n+1) + 8*nnz: 4-byte col pointers, 8 bytes per non-zero.
+  CscBlock b = PaperFigure5Block();
+  EXPECT_EQ(b.MemoryBytes(), 4 * (3 + 1) + 8 * 6);
+}
+
+TEST(CscBlockTest, EmptyBlock) {
+  CscBlock b(5, 7);
+  EXPECT_EQ(b.nnz(), 0);
+  EXPECT_FLOAT_EQ(b.At(4, 6), 0);
+  EXPECT_DOUBLE_EQ(b.Sparsity(), 0.0);
+}
+
+TEST(CscBlockTest, SparsityFraction) {
+  CscBlock b = PaperFigure5Block();
+  EXPECT_NEAR(b.Sparsity(), 6.0 / 12.0, 1e-9);
+}
+
+TEST(CscBlockTest, TransposeRoundTrip) {
+  CscBlock b = PaperFigure5Block();
+  CscBlock tt = b.Transposed().Transposed();
+  ASSERT_EQ(tt.rows(), b.rows());
+  ASSERT_EQ(tt.cols(), b.cols());
+  for (int64_t r = 0; r < b.rows(); ++r) {
+    for (int64_t c = 0; c < b.cols(); ++c) {
+      EXPECT_FLOAT_EQ(tt.At(r, c), b.At(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(CscBlockTest, TransposeSwapsCoordinates) {
+  CscBlock t = PaperFigure5Block().Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_FLOAT_EQ(t.At(0, 1), 3);
+  EXPECT_FLOAT_EQ(t.At(2, 1), 4);
+  EXPECT_FLOAT_EQ(t.At(2, 3), 2);
+}
+
+TEST(CscBlockTest, CopyIsIndependent) {
+  CscBlock a = PaperFigure5Block();
+  CscBlock b = a;
+  EXPECT_EQ(b.nnz(), a.nnz());
+  a = CscBlock(1, 1);
+  EXPECT_EQ(b.nnz(), 6);  // b unaffected
+}
+
+TEST(CscBlockTest, BuilderReusableAfterBuild) {
+  CscBuilder builder(2, 2);
+  builder.Add(0, 0, 1.0f);
+  CscBlock first = builder.Build();
+  builder.Add(1, 1, 2.0f);
+  CscBlock second = builder.Build();
+  EXPECT_EQ(first.nnz(), 1);
+  EXPECT_EQ(second.nnz(), 1);
+  EXPECT_FLOAT_EQ(second.At(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(second.At(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace dmac

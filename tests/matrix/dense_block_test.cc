@@ -1,0 +1,85 @@
+#include "matrix/dense_block.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(DenseBlockTest, ConstructsZeroed) {
+  DenseBlock b(3, 4);
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 4);
+  for (int64_t c = 0; c < 4; ++c) {
+    for (int64_t r = 0; r < 3; ++r) EXPECT_EQ(b.At(r, c), 0.0f);
+  }
+}
+
+TEST(DenseBlockTest, SetAndGet) {
+  DenseBlock b(2, 2);
+  b.Set(0, 1, 3.5f);
+  b.Set(1, 0, -2.0f);
+  EXPECT_FLOAT_EQ(b.At(0, 1), 3.5f);
+  EXPECT_FLOAT_EQ(b.At(1, 0), -2.0f);
+  EXPECT_FLOAT_EQ(b.At(0, 0), 0.0f);
+}
+
+TEST(DenseBlockTest, ColumnMajorLayout) {
+  DenseBlock b(3, 2);
+  b.Set(2, 1, 7.0f);
+  // Column 1 starts at offset rows()=3; element (2,1) is at offset 5.
+  EXPECT_FLOAT_EQ(b.data()[5], 7.0f);
+  EXPECT_FLOAT_EQ(b.col(1)[2], 7.0f);
+}
+
+TEST(DenseBlockTest, AccumulateAdds) {
+  DenseBlock b(2, 2);
+  b.Accumulate(1, 1, 2.0f);
+  b.Accumulate(1, 1, 3.0f);
+  EXPECT_FLOAT_EQ(b.At(1, 1), 5.0f);
+}
+
+TEST(DenseBlockTest, ClearZeroes) {
+  DenseBlock b(2, 3);
+  b.Set(1, 2, 9.0f);
+  b.Clear();
+  EXPECT_EQ(b.CountNonZeros(), 0);
+}
+
+TEST(DenseBlockTest, CountNonZeros) {
+  DenseBlock b(4, 4);
+  EXPECT_EQ(b.CountNonZeros(), 0);
+  b.Set(0, 0, 1.0f);
+  b.Set(3, 3, -1.0f);
+  EXPECT_EQ(b.CountNonZeros(), 2);
+}
+
+TEST(DenseBlockTest, MemoryBytesIsFourMN) {
+  DenseBlock b(10, 20);
+  EXPECT_EQ(b.MemoryBytes(), 4 * 10 * 20);
+}
+
+TEST(DenseBlockTest, CopyIsDeep) {
+  DenseBlock a(2, 2);
+  a.Set(0, 0, 1.0f);
+  DenseBlock b = a;
+  b.Set(0, 0, 2.0f);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(b.At(0, 0), 2.0f);
+}
+
+TEST(DenseBlockTest, MoveTransfersOwnership) {
+  DenseBlock a(2, 2);
+  a.Set(1, 1, 4.0f);
+  DenseBlock b = std::move(a);
+  EXPECT_FLOAT_EQ(b.At(1, 1), 4.0f);
+  EXPECT_EQ(a.rows(), 0);  // NOLINT(bugprone-use-after-move): documented state
+}
+
+TEST(DenseBlockTest, EmptyBlock) {
+  DenseBlock b(0, 0);
+  EXPECT_EQ(b.MemoryBytes(), 0);
+  EXPECT_EQ(b.CountNonZeros(), 0);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,158 @@
+#include "matrix/local_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(LocalMatrixTest, ZerosHasExpectedGrid) {
+  LocalMatrix m = LocalMatrix::Zeros({10, 7}, 4);
+  EXPECT_EQ(m.grid().block_rows(), 3);
+  EXPECT_EQ(m.grid().block_cols(), 2);
+  EXPECT_EQ(m.BlockAt(2, 1).rows(), 2);  // trailing block 2x3
+  EXPECT_EQ(m.BlockAt(2, 1).cols(), 3);
+  EXPECT_EQ(m.Nnz(), 0);
+}
+
+TEST(LocalMatrixTest, AtRoutesThroughBlocks) {
+  LocalMatrix m = LocalMatrix::RandomDense({9, 9}, 4, 3);
+  // Spot-check against the owning block.
+  EXPECT_FLOAT_EQ(m.At(5, 7), m.BlockAt(1, 1).At(1, 3));
+  EXPECT_FLOAT_EQ(m.At(8, 8), m.BlockAt(2, 2).At(0, 0));
+}
+
+TEST(LocalMatrixTest, RandomDeterministicPerSeed) {
+  LocalMatrix a = LocalMatrix::RandomDense({8, 8}, 4, 5);
+  LocalMatrix b = LocalMatrix::RandomDense({8, 8}, 4, 5);
+  EXPECT_TRUE(a.ApproxEqual(b, 0));
+  LocalMatrix c = LocalMatrix::RandomDense({8, 8}, 4, 6);
+  EXPECT_FALSE(a.ApproxEqual(c, 1e-6));
+}
+
+TEST(LocalMatrixTest, MultiplyMatchesSingleBlockReference) {
+  // Same data with different blockings must multiply identically.
+  LocalMatrix a_small = LocalMatrix::RandomDense({12, 10}, 3, 1);
+  LocalMatrix b_small = LocalMatrix::RandomDense({10, 8}, 3, 2);
+  auto c_small = a_small.Multiply(b_small);
+  ASSERT_TRUE(c_small.ok());
+
+  // Re-block the same values with block size 5 via element copy.
+  LocalMatrix a_big = LocalMatrix::Zeros({12, 10}, 5);
+  LocalMatrix b_big = LocalMatrix::Zeros({10, 8}, 5);
+  for (int64_t r = 0; r < 12; ++r) {
+    for (int64_t c = 0; c < 10; ++c) {
+      a_big.BlockAt(r / 5, c / 5).dense().Set(r % 5, c % 5, a_small.At(r, c));
+    }
+  }
+  for (int64_t r = 0; r < 10; ++r) {
+    for (int64_t c = 0; c < 8; ++c) {
+      b_big.BlockAt(r / 5, c / 5).dense().Set(r % 5, c % 5, b_small.At(r, c));
+    }
+  }
+  auto c_big = a_big.Multiply(b_big);
+  ASSERT_TRUE(c_big.ok());
+  for (int64_t r = 0; r < 12; ++r) {
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(c_small->At(r, c), c_big->At(r, c), 1e-3);
+    }
+  }
+}
+
+TEST(LocalMatrixTest, MultiplyValidatesShapes) {
+  LocalMatrix a = LocalMatrix::RandomDense({4, 5}, 2, 1);
+  LocalMatrix b = LocalMatrix::RandomDense({4, 5}, 2, 2);
+  EXPECT_EQ(a.Multiply(b).status().code(), StatusCode::kDimensionMismatch);
+}
+
+TEST(LocalMatrixTest, MultiplyValidatesBlockSizes) {
+  LocalMatrix a = LocalMatrix::RandomDense({4, 4}, 2, 1);
+  LocalMatrix b = LocalMatrix::RandomDense({4, 4}, 4, 2);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(LocalMatrixTest, CellwiseOpsMatchElementwise) {
+  LocalMatrix a = LocalMatrix::RandomDense({7, 6}, 3, 1);
+  LocalMatrix b = LocalMatrix::RandomDense({7, 6}, 3, 2);
+  auto add = a.Add(b);
+  auto sub = a.Subtract(b);
+  auto mul = a.CellMultiply(b);
+  auto div = a.CellDivide(b);
+  ASSERT_TRUE(add.ok() && sub.ok() && mul.ok() && div.ok());
+  for (int64_t r = 0; r < 7; ++r) {
+    for (int64_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(add->At(r, c), a.At(r, c) + b.At(r, c), 1e-5);
+      EXPECT_NEAR(sub->At(r, c), a.At(r, c) - b.At(r, c), 1e-5);
+      EXPECT_NEAR(mul->At(r, c), a.At(r, c) * b.At(r, c), 1e-5);
+      EXPECT_NEAR(div->At(r, c), a.At(r, c) / b.At(r, c), 1e-3);
+    }
+  }
+}
+
+TEST(LocalMatrixTest, TransposeRoundTrip) {
+  LocalMatrix a = LocalMatrix::RandomSparse({11, 6}, 4, 0.3, 9);
+  LocalMatrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 6);
+  EXPECT_EQ(t.cols(), 11);
+  for (int64_t r = 0; r < 11; ++r) {
+    for (int64_t c = 0; c < 6; ++c) {
+      EXPECT_FLOAT_EQ(a.At(r, c), t.At(c, r));
+    }
+  }
+  EXPECT_TRUE(t.Transposed().ApproxEqual(a, 0));
+}
+
+TEST(LocalMatrixTest, ScalarOps) {
+  LocalMatrix a = LocalMatrix::RandomDense({5, 5}, 2, 4);
+  LocalMatrix scaled = a.ScalarMultiply(3.0f);
+  LocalMatrix shifted = a.ScalarAdd(-1.0f);
+  for (int64_t r = 0; r < 5; ++r) {
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(scaled.At(r, c), 3.0f * a.At(r, c), 1e-5);
+      EXPECT_NEAR(shifted.At(r, c), a.At(r, c) - 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST(LocalMatrixTest, SumAndSumSquares) {
+  LocalMatrix a = LocalMatrix::RandomDense({6, 7}, 3, 8);
+  double sum = 0, sq = 0;
+  for (int64_t r = 0; r < 6; ++r) {
+    for (int64_t c = 0; c < 7; ++c) {
+      sum += a.At(r, c);
+      sq += static_cast<double>(a.At(r, c)) * a.At(r, c);
+    }
+  }
+  EXPECT_NEAR(a.Sum(), sum, 1e-3);
+  EXPECT_NEAR(a.SumSquares(), sq, 1e-3);
+}
+
+TEST(LocalMatrixTest, CompactedShrinksSparseData) {
+  LocalMatrix a = LocalMatrix::RandomSparse({20, 20}, 10, 0.05, 3);
+  // Densify everything first.
+  for (int64_t bi = 0; bi < a.grid().block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < a.grid().block_cols(); ++bj) {
+      a.BlockAt(bi, bj) = Block(a.BlockAt(bi, bj).ToDense());
+    }
+  }
+  const int64_t dense_bytes = a.MemoryBytes();
+  LocalMatrix c = a.Compacted();
+  EXPECT_LT(c.MemoryBytes(), dense_bytes);
+  EXPECT_TRUE(c.ApproxEqual(a, 0));
+}
+
+TEST(LocalMatrixTest, FromBlockSingleton) {
+  DenseBlock d(3, 2);
+  d.Set(2, 1, 5.0f);
+  LocalMatrix m = LocalMatrix::FromBlock(Block(std::move(d)));
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_FLOAT_EQ(m.At(2, 1), 5.0f);
+}
+
+TEST(LocalMatrixTest, RandomSparseHitsTargetSparsity) {
+  LocalMatrix m = LocalMatrix::RandomSparse({100, 100}, 25, 0.1, 13);
+  EXPECT_NEAR(static_cast<double>(m.Nnz()) / (100 * 100), 0.1, 0.02);
+}
+
+}  // namespace
+}  // namespace dmac

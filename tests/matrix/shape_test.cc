@@ -1,0 +1,58 @@
+#include "matrix/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(ShapeTest, Basics) {
+  Shape s{3, 7};
+  EXPECT_EQ(s.NumElements(), 21);
+  EXPECT_EQ(s.Transposed(), (Shape{7, 3}));
+  EXPECT_EQ(s.ToString(), "3x7");
+  EXPECT_TRUE(s == (Shape{3, 7}));
+  EXPECT_TRUE(s != (Shape{7, 3}));
+}
+
+TEST(BlockGridTest, NumBlocksRoundsUp) {
+  EXPECT_EQ(NumBlocks(10, 4), 3);
+  EXPECT_EQ(NumBlocks(8, 4), 2);
+  EXPECT_EQ(NumBlocks(1, 4), 1);
+  EXPECT_EQ(NumBlocks(4, 4), 1);
+}
+
+TEST(BlockGridTest, TrailingBlockExtent) {
+  EXPECT_EQ(BlockExtent(10, 4, 0), 4);
+  EXPECT_EQ(BlockExtent(10, 4, 1), 4);
+  EXPECT_EQ(BlockExtent(10, 4, 2), 2);  // trailing remainder
+  EXPECT_EQ(BlockExtent(8, 4, 1), 4);   // exact fit
+}
+
+TEST(BlockGridTest, GridArithmetic) {
+  BlockGrid grid{{10, 7}, 4};
+  EXPECT_EQ(grid.block_rows(), 3);
+  EXPECT_EQ(grid.block_cols(), 2);
+  EXPECT_EQ(grid.num_blocks(), 6);
+  EXPECT_EQ(grid.BlockShape(0, 0), (Shape{4, 4}));
+  EXPECT_EQ(grid.BlockShape(2, 1), (Shape{2, 3}));
+}
+
+TEST(BlockGridTest, BlockShapesTileTheMatrix) {
+  BlockGrid grid{{23, 17}, 5};
+  int64_t total = 0;
+  for (int64_t bi = 0; bi < grid.block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < grid.block_cols(); ++bj) {
+      total += grid.BlockShape(bi, bj).NumElements();
+    }
+  }
+  EXPECT_EQ(total, grid.matrix.NumElements());
+}
+
+TEST(BlockGridTest, SingleBlockGrid) {
+  BlockGrid grid{{5, 5}, 100};
+  EXPECT_EQ(grid.num_blocks(), 1);
+  EXPECT_EQ(grid.BlockShape(0, 0), (Shape{5, 5}));
+}
+
+}  // namespace
+}  // namespace dmac

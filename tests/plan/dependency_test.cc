@@ -1,0 +1,131 @@
+// Exhaustive verification of the paper's Table 2: all 18 combinations of
+// {B = A, B = Aᵀ} × {pi ∈ r,c,b} × {pj ∈ r,c,b} map onto exactly the eight
+// dependency types, with the right communication category.
+#include "plan/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace dmac {
+namespace {
+
+constexpr Scheme kR = Scheme::kRow;
+constexpr Scheme kC = Scheme::kCol;
+constexpr Scheme kB = Scheme::kBroadcast;
+
+struct Table2Row {
+  bool transposed;  // B == Aᵀ
+  Scheme pi;        // producer scheme
+  Scheme pj;        // consumer requirement
+  DependencyType expected;
+};
+
+// The full 18-row truth table.
+const Table2Row kTable2[] = {
+    // --- A = B ---
+    {false, kR, kR, DependencyType::kReference},
+    {false, kC, kC, DependencyType::kReference},
+    {false, kB, kB, DependencyType::kReference},
+    {false, kR, kC, DependencyType::kPartition},
+    {false, kC, kR, DependencyType::kPartition},
+    {false, kR, kB, DependencyType::kBroadcast},
+    {false, kC, kB, DependencyType::kBroadcast},
+    {false, kB, kR, DependencyType::kExtract},
+    {false, kB, kC, DependencyType::kExtract},
+    // --- B = Aᵀ ---
+    {true, kR, kR, DependencyType::kTransposePartition},
+    {true, kC, kC, DependencyType::kTransposePartition},
+    {true, kR, kC, DependencyType::kTranspose},
+    {true, kC, kR, DependencyType::kTranspose},
+    {true, kB, kB, DependencyType::kTranspose},
+    {true, kR, kB, DependencyType::kTransposeBroadcast},
+    {true, kC, kB, DependencyType::kTransposeBroadcast},
+    {true, kB, kR, DependencyType::kExtractTranspose},
+    {true, kB, kC, DependencyType::kExtractTranspose},
+};
+
+class Table2Test : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2Test, ClassificationMatchesPaper) {
+  const Table2Row& row = GetParam();
+  EXPECT_EQ(ClassifyDependency(row.transposed, row.pi, row.pj), row.expected)
+      << (row.transposed ? "B=A^T " : "B=A ") << SchemeChar(row.pi) << "->"
+      << SchemeChar(row.pj);
+}
+
+TEST_P(Table2Test, CommunicationCategoryMatchesPaper) {
+  const Table2Row& row = GetParam();
+  const bool expect_comm = row.expected == DependencyType::kPartition ||
+                           row.expected == DependencyType::kTransposePartition ||
+                           row.expected == DependencyType::kBroadcast ||
+                           row.expected == DependencyType::kTransposeBroadcast;
+  EXPECT_EQ(IsCommunicationDependency(
+                ClassifyDependency(row.transposed, row.pi, row.pj)),
+            expect_comm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEighteenCombinations, Table2Test, ::testing::ValuesIn(kTable2),
+    [](const ::testing::TestParamInfo<Table2Row>& info) {
+      const Table2Row& r = info.param;
+      return std::string(r.transposed ? "T" : "N") + SchemeChar(r.pi) +
+             SchemeChar(r.pj);
+    });
+
+TEST(DependencyTest, EveryCombinationClassified) {
+  // No (transposed, pi, pj) combination may fall through to kNone.
+  for (bool t : {false, true}) {
+    for (Scheme pi : {kR, kC, kB}) {
+      for (Scheme pj : {kR, kC, kB}) {
+        EXPECT_NE(ClassifyDependency(t, pi, pj), DependencyType::kNone);
+      }
+    }
+  }
+}
+
+TEST(DependencyTest, ExactlyEightDistinctTypesUsed) {
+  std::set<DependencyType> seen;
+  for (bool t : {false, true}) {
+    for (Scheme pi : {kR, kC, kB}) {
+      for (Scheme pj : {kR, kC, kB}) {
+        seen.insert(ClassifyDependency(t, pi, pj));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(DependencyCostTest, SituationCostsMatchSection41) {
+  const double bytes = 1000;
+  const int n = 4;
+  // Situation 1: non-communication → 0.
+  EXPECT_EQ(DependencyCommBytes(DependencyType::kReference, bytes, n), 0);
+  EXPECT_EQ(DependencyCommBytes(DependencyType::kTranspose, bytes, n), 0);
+  EXPECT_EQ(DependencyCommBytes(DependencyType::kExtract, bytes, n), 0);
+  EXPECT_EQ(DependencyCommBytes(DependencyType::kExtractTranspose, bytes, n),
+            0);
+  // Situation 2: |A|.
+  EXPECT_EQ(DependencyCommBytes(DependencyType::kPartition, bytes, n), bytes);
+  EXPECT_EQ(
+      DependencyCommBytes(DependencyType::kTransposePartition, bytes, n),
+      bytes);
+  // Situation 3: N · |A|.
+  EXPECT_EQ(DependencyCommBytes(DependencyType::kBroadcast, bytes, n),
+            n * bytes);
+  EXPECT_EQ(
+      DependencyCommBytes(DependencyType::kTransposeBroadcast, bytes, n),
+      n * bytes);
+}
+
+TEST(DependencyTest, NamesAreStable) {
+  EXPECT_STREQ(DependencyTypeName(DependencyType::kReference), "Reference");
+  EXPECT_STREQ(DependencyTypeName(DependencyType::kExtractTranspose),
+               "Extract-Transpose");
+  EXPECT_STREQ(DependencyTypeName(DependencyType::kTransposeBroadcast),
+               "Transpose-Broadcast");
+}
+
+}  // namespace
+}  // namespace dmac

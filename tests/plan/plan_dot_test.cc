@@ -1,0 +1,63 @@
+#include "plan/plan_dot.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/gnmf.h"
+#include "lang/decompose.h"
+#include "plan/planner.h"
+
+namespace dmac {
+namespace {
+
+Plan GnmfPlan() {
+  Program p = BuildGnmfProgram({1000, 800, 0.1, 16, 1});
+  auto ops = Decompose(p);
+  EXPECT_TRUE(ops.ok());
+  auto plan = GeneratePlan(*ops, PlannerOptions{});
+  EXPECT_TRUE(plan.ok());
+  return *plan;
+}
+
+TEST(PlanDotTest, ProducesWellFormedDigraph) {
+  const std::string dot = PlanToDot(GnmfPlan());
+  EXPECT_EQ(dot.rfind("digraph plan {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+  // Balanced braces.
+  int depth = 0;
+  for (char c : dot) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(PlanDotTest, EveryNodeAndStageAppears) {
+  Plan plan = GnmfPlan();
+  const std::string dot = PlanToDot(plan);
+  for (const PlanNode& node : plan.nodes) {
+    EXPECT_NE(dot.find("n" + std::to_string(node.id) + " "),
+              std::string::npos)
+        << node.ToString();
+  }
+  for (int s = 1; s <= plan.num_stages; ++s) {
+    EXPECT_NE(dot.find("cluster_stage" + std::to_string(s)),
+              std::string::npos);
+  }
+}
+
+TEST(PlanDotTest, CommunicationEdgesHighlighted) {
+  const std::string dot = PlanToDot(GnmfPlan());
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(PlanDotTest, SchemeAnnotationsPresent) {
+  const std::string dot = PlanToDot(GnmfPlan());
+  // Fig. 3 style labels like V#1(r) / ...(b).
+  EXPECT_NE(dot.find("(r)"), std::string::npos);
+  EXPECT_NE(dot.find("(b)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,279 @@
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/gnmf.h"
+#include "apps/linear_regression.h"
+#include "apps/pagerank.h"
+#include "lang/decompose.h"
+#include "lang/program.h"
+
+namespace dmac {
+namespace {
+
+Plan MustPlan(const Program& p, PlannerOptions opts) {
+  auto ops = Decompose(p);
+  EXPECT_TRUE(ops.ok()) << ops.status();
+  auto plan = GeneratePlan(*ops, opts);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return *plan;
+}
+
+int CountSteps(const Plan& plan, StepKind kind) {
+  int n = 0;
+  for (const PlanStep& s : plan.steps) n += s.kind == kind;
+  return n;
+}
+
+PlannerOptions DmacOpts(int workers = 4) {
+  PlannerOptions o;
+  o.num_workers = workers;
+  return o;
+}
+
+PlannerOptions SystemMlOpts(int workers = 4) {
+  PlannerOptions o;
+  o.num_workers = workers;
+  o.exploit_dependencies = false;
+  return o;
+}
+
+// ---- basic structure -----------------------------------------------------
+
+TEST(PlannerTest, SimpleMultiplyPlanIsValid) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {1000, 500}, 0.1);
+  Mat b = pb.Load("B", {500, 100}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(b));
+  pb.Output(c);
+  Plan plan = MustPlan(pb.Build(), DmacOpts());
+  EXPECT_GE(plan.num_stages, 1);
+  ASSERT_EQ(plan.outputs.size(), 1u);
+  EXPECT_EQ(plan.outputs[0].variable, "C");
+  // Every step's inputs are produced by earlier steps (topological order).
+  std::set<int> produced;
+  for (const PlanStep& s : plan.steps) {
+    for (int in : s.inputs) EXPECT_TRUE(produced.count(in)) << "step " << s.id;
+    if (s.output >= 0) produced.insert(s.output);
+  }
+}
+
+TEST(PlannerTest, StagesAreCutAtCommunication) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {1000, 500}, 0.1);
+  Mat b = pb.Load("B", {500, 100}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(b));
+  pb.Output(c);
+  Plan plan = MustPlan(pb.Build(), DmacOpts());
+  // Within a stage no step may communicate except the ones that start it:
+  // a communicating step's inputs must come from strictly earlier stages.
+  for (const PlanStep& s : plan.steps) {
+    if (!s.Communicates()) continue;
+    for (int in : s.inputs) {
+      EXPECT_LT(plan.nodes[static_cast<size_t>(in)].stage, s.stage);
+    }
+  }
+}
+
+TEST(PlannerTest, FlexibleSchemesAllCollapsedAfterFinalize) {
+  GnmfConfig config{4000, 3000, 0.05, 50, 2};
+  Plan plan = MustPlan(BuildGnmfProgram(config), DmacOpts());
+  for (const PlanNode& n : plan.nodes) {
+    EXPECT_TRUE(SchemeSetIsSingle(n.schemes)) << n.ToString();
+  }
+}
+
+// ---- the paper's central claims -------------------------------------------
+
+TEST(PlannerTest, DmacBeatsSystemMlOnGnmfCommunication) {
+  GnmfConfig config{480189, 17770, 0.011, 200, 10};
+  Program p = BuildGnmfProgram(config);
+  Plan dmac = MustPlan(p, DmacOpts());
+  Plan sysml = MustPlan(p, SystemMlOpts());
+  // Fig. 6(b): an order-of-magnitude gap (paper: ~40GB vs ~1.5GB).
+  EXPECT_LT(dmac.total_comm_bytes * 10, sysml.total_comm_bytes);
+}
+
+TEST(PlannerTest, GnmfSteadyStateCommunicationIsIterationInvariant) {
+  // The communication of iterations 2..n must be identical per iteration —
+  // dependencies from the previous iteration are reused, never repaid.
+  GnmfConfig c5{100000, 8000, 0.01, 100, 5};
+  GnmfConfig c9 = c5;
+  c9.iterations = 9;
+  const double comm5 = MustPlan(BuildGnmfProgram(c5), DmacOpts())
+                           .total_comm_bytes;
+  const double comm9 = MustPlan(BuildGnmfProgram(c9), DmacOpts())
+                           .total_comm_bytes;
+  const double per_iter = (comm9 - comm5) / 4.0;
+  GnmfConfig c6 = c5;
+  c6.iterations = 6;
+  const double comm6 = MustPlan(BuildGnmfProgram(c6), DmacOpts())
+                           .total_comm_bytes;
+  EXPECT_NEAR(comm6 - comm5, per_iter, per_iter * 0.01 + 1);
+}
+
+TEST(PlannerTest, LinRegPartitionsInputOnlyOnce) {
+  // §6.5: "the input matrix V only needs to be partitioned once through the
+  // whole computation process" — V-sized communication must not recur.
+  LinRegConfig config{1000000, 100000, 1e-4, 10, 1e-6};
+  Plan plan = MustPlan(BuildLinearRegressionProgram(config), DmacOpts());
+  const double v_bytes =
+      MatrixStats{{config.examples, config.features}, config.sparsity}
+          .EstimatedBytes();
+  // Count steps whose traffic is within a factor 2 of |V|.
+  int v_scale_moves = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.comm_bytes > v_bytes / 2) ++v_scale_moves;
+  }
+  EXPECT_LE(v_scale_moves, 1);
+}
+
+TEST(PlannerTest, SystemMlRepartitionsLinRegInputEveryIteration) {
+  // §6.5: SystemML-S repartitions V (via its transpose) every iteration.
+  LinRegConfig config{1000000, 100000, 1e-4, 10, 1e-6};
+  Plan plan = MustPlan(BuildLinearRegressionProgram(config), SystemMlOpts());
+  const double v_bytes =
+      MatrixStats{{config.examples, config.features}, config.sparsity}
+          .EstimatedBytes();
+  int v_scale_moves = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.comm_bytes > v_bytes / 2) ++v_scale_moves;
+  }
+  EXPECT_GE(v_scale_moves, config.iterations);
+}
+
+TEST(PlannerTest, PageRankBroadcastsOnlyRankVector) {
+  // §6.4: with the link matrix cached under its Column scheme, only the
+  // (small) rank vector moves each iteration.
+  PageRankConfig config{1000000, 1e-5, 10, 0.85};
+  Plan plan = MustPlan(BuildPageRankProgram(config), DmacOpts());
+  const double link_bytes =
+      MatrixStats{{config.nodes, config.nodes}, config.link_sparsity}
+          .EstimatedBytes();
+  double moved_after_load = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.kind != StepKind::kLoad) moved_after_load += s.comm_bytes;
+  }
+  // Per-iteration traffic is one broadcast of the rank vector (N·|rank|),
+  // and in particular the link matrix never moves again.
+  const double rank_bytes = 4.0 * static_cast<double>(config.nodes);
+  EXPECT_LE(moved_after_load,
+            config.iterations * 4 /*workers*/ * rank_bytes * 1.5);
+  EXPECT_LT(moved_after_load, link_bytes * config.iterations / 2);
+}
+
+TEST(PlannerTest, PageRankSystemMlMovesLinkEveryIteration) {
+  PageRankConfig config{1000000, 1e-5, 10, 0.85};
+  Plan plan = MustPlan(BuildPageRankProgram(config), SystemMlOpts());
+  const double link_bytes =
+      MatrixStats{{config.nodes, config.nodes}, config.link_sparsity}
+          .EstimatedBytes();
+  double moved_after_load = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.kind != StepKind::kLoad) moved_after_load += s.comm_bytes;
+  }
+  EXPECT_GT(moved_after_load, link_bytes * (config.iterations - 1));
+}
+
+// ---- heuristics -----------------------------------------------------------
+
+TEST(PlannerTest, PullUpBroadcastNeverHurts) {
+  GnmfConfig config{50000, 8000, 0.02, 64, 3};
+  Program p = BuildGnmfProgram(config);
+  PlannerOptions with = DmacOpts();
+  PlannerOptions without = DmacOpts();
+  without.pull_up_broadcast = false;
+  EXPECT_LE(MustPlan(p, with).total_comm_bytes,
+            MustPlan(p, without).total_comm_bytes);
+}
+
+TEST(PlannerTest, ReassignmentNeverHurts) {
+  GnmfConfig config{50000, 8000, 0.02, 64, 3};
+  Program p = BuildGnmfProgram(config);
+  PlannerOptions without = DmacOpts();
+  without.reassignment = false;
+  EXPECT_LE(MustPlan(p, DmacOpts()).total_comm_bytes,
+            MustPlan(p, without).total_comm_bytes);
+}
+
+TEST(PlannerTest, PullUpBroadcastConvertsPartitionToBroadcast) {
+  // A is first consumed row-partitioned (costly), then broadcast: H1 must
+  // rewrite the partition into a broadcast + extract.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {20000, 20000}, 0.001);
+  Mat b = pb.Load("B", {20000, 200}, 1.0);
+  Mat x = pb.Var("X");
+  // First use: A row-partitioned.
+  pb.Assign(x, a.mm(b));        // RMM2 wants A(r)
+  Mat y = pb.Var("Y");
+  Mat small = pb.Load("S", {200, 20000}, 1.0);
+  pb.Assign(y, small.mm(a));    // RMM2 wants A broadcast... (S(r), A(b))
+  pb.Output(x);
+  pb.Output(y);
+  Program p = pb.Build();
+
+  PlannerOptions with = DmacOpts();
+  PlannerOptions without = DmacOpts();
+  without.pull_up_broadcast = false;
+  const double comm_with = MustPlan(p, with).total_comm_bytes;
+  const double comm_without = MustPlan(p, without).total_comm_bytes;
+  EXPECT_LE(comm_with, comm_without);
+}
+
+// ---- cost model accounting -------------------------------------------------
+
+TEST(PlannerTest, TotalCommIsSumOfStepComm) {
+  GnmfConfig config{10000, 5000, 0.05, 32, 2};
+  Plan plan = MustPlan(BuildGnmfProgram(config), DmacOpts());
+  double sum = 0;
+  for (const PlanStep& s : plan.steps) sum += s.comm_bytes;
+  EXPECT_DOUBLE_EQ(plan.total_comm_bytes, sum);
+}
+
+TEST(PlannerTest, OnlyCommunicatingStepsCarryCost) {
+  GnmfConfig config{10000, 5000, 0.05, 32, 2};
+  Plan plan = MustPlan(BuildGnmfProgram(config), SystemMlOpts());
+  for (const PlanStep& s : plan.steps) {
+    if (!s.Communicates()) {
+      EXPECT_EQ(s.comm_bytes, 0) << StepKindName(s.kind);
+    }
+  }
+}
+
+TEST(PlannerTest, MoreWorkersRaiseBroadcastCost) {
+  GnmfConfig config{100000, 8000, 0.01, 100, 3};
+  Program p = BuildGnmfProgram(config);
+  const double comm4 = MustPlan(p, DmacOpts(4)).total_comm_bytes;
+  const double comm20 = MustPlan(p, DmacOpts(20)).total_comm_bytes;
+  EXPECT_GT(comm20, comm4);
+}
+
+TEST(PlannerTest, ScalarAssignStepsCarrySemantics) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {100, 100}, 0.5);
+  Scl s = pb.ScalarVar("s", 2.0);
+  pb.Assign(s, (a * a).Sum());
+  Mat c = pb.Var("C");
+  pb.Assign(c, s * a);
+  pb.Output(c);
+  pb.OutputScalar(s);
+  Plan plan = MustPlan(pb.Build(), DmacOpts());
+  EXPECT_GE(CountSteps(plan, StepKind::kReduce), 1);
+  EXPECT_GE(CountSteps(plan, StepKind::kScalarAssign), 1);
+  ASSERT_EQ(plan.scalar_outputs.size(), 1u);
+  EXPECT_EQ(plan.scalar_outputs[0].first, "s");
+}
+
+TEST(PlannerTest, BaselineHasMoreStagesThanDmac) {
+  GnmfConfig config{480189, 17770, 0.011, 200, 3};
+  Program p = BuildGnmfProgram(config);
+  EXPECT_LT(MustPlan(p, DmacOpts()).num_stages,
+            MustPlan(p, SystemMlOpts()).num_stages);
+}
+
+}  // namespace
+}  // namespace dmac

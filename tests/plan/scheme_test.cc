@@ -1,0 +1,87 @@
+#include "plan/scheme.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+constexpr Scheme kR = Scheme::kRow;
+constexpr Scheme kC = Scheme::kCol;
+constexpr Scheme kB = Scheme::kBroadcast;
+
+TEST(SchemeTest, EqualBOnlyForTwoBroadcasts) {
+  EXPECT_TRUE(EqualB(kB, kB));
+  EXPECT_FALSE(EqualB(kR, kR));
+  EXPECT_FALSE(EqualB(kB, kR));
+  EXPECT_FALSE(EqualB(kC, kB));
+}
+
+TEST(SchemeTest, EqualRCOnlyForSameRowOrColumn) {
+  EXPECT_TRUE(EqualRC(kR, kR));
+  EXPECT_TRUE(EqualRC(kC, kC));
+  EXPECT_FALSE(EqualRC(kB, kB));
+  EXPECT_FALSE(EqualRC(kR, kC));
+  EXPECT_FALSE(EqualRC(kR, kB));
+}
+
+TEST(SchemeTest, OpposeOnlyRowVsColumn) {
+  EXPECT_TRUE(Oppose(kR, kC));
+  EXPECT_TRUE(Oppose(kC, kR));
+  EXPECT_FALSE(Oppose(kR, kR));
+  EXPECT_FALSE(Oppose(kB, kR));
+  EXPECT_FALSE(Oppose(kC, kB));
+}
+
+TEST(SchemeTest, ContainIsBroadcastOverRowColumn) {
+  EXPECT_TRUE(Contain(kB, kR));
+  EXPECT_TRUE(Contain(kB, kC));
+  EXPECT_FALSE(Contain(kB, kB));
+  EXPECT_FALSE(Contain(kR, kB));
+  EXPECT_FALSE(Contain(kR, kC));
+}
+
+TEST(SchemeTest, PredicatesPartitionAllPairs) {
+  // For every (pi, pj), exactly one of the four Table 1 relations that the
+  // dependency table uses per row must hold:
+  //   same-matrix rows: Oppose | (EqualRC||EqualB) | Contain(pj,pi) |
+  //   Contain(pi,pj).
+  for (Scheme pi : {kR, kC, kB}) {
+    for (Scheme pj : {kR, kC, kB}) {
+      const int hits = (Oppose(pi, pj) ? 1 : 0) +
+                       ((EqualRC(pi, pj) || EqualB(pi, pj)) ? 1 : 0) +
+                       (Contain(pj, pi) ? 1 : 0) + (Contain(pi, pj) ? 1 : 0);
+      EXPECT_EQ(hits, 1) << SchemeChar(pi) << SchemeChar(pj);
+    }
+  }
+}
+
+TEST(SchemeTest, OppositeScheme) {
+  EXPECT_EQ(OppositeScheme(kR), kC);
+  EXPECT_EQ(OppositeScheme(kC), kR);
+  EXPECT_EQ(OppositeScheme(kB), kB);
+}
+
+TEST(SchemeSetTest, BitOperations) {
+  SchemeSet set = SchemeBit(kR) | SchemeBit(kC);
+  EXPECT_TRUE(SchemeSetContains(set, kR));
+  EXPECT_TRUE(SchemeSetContains(set, kC));
+  EXPECT_FALSE(SchemeSetContains(set, kB));
+  EXPECT_FALSE(SchemeSetIsSingle(set));
+  EXPECT_TRUE(SchemeSetIsSingle(SchemeBit(kB)));
+  EXPECT_FALSE(SchemeSetIsSingle(kNoSchemes));
+}
+
+TEST(SchemeSetTest, FirstPrefersLowestBit) {
+  EXPECT_EQ(SchemeSetFirst(SchemeBit(kR) | SchemeBit(kC)), kR);
+  EXPECT_EQ(SchemeSetFirst(SchemeBit(kC) | SchemeBit(kB)), kC);
+  EXPECT_EQ(SchemeSetFirst(SchemeBit(kB)), kB);
+}
+
+TEST(SchemeSetTest, ToStringRendersMembers) {
+  EXPECT_EQ(SchemeSetToString(SchemeBit(kR) | SchemeBit(kC)), "r|c");
+  EXPECT_EQ(SchemeSetToString(SchemeBit(kB)), "b");
+  EXPECT_EQ(SchemeSetToString(kNoSchemes), "-");
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,202 @@
+// Row/column-sum aggregation: kernels, strategies, and distributed
+// execution across every input partition scheme.
+#include <gtest/gtest.h>
+
+#include "apps/local_interpreter.h"
+#include "apps/runner.h"
+#include "data/synthetic.h"
+#include "lang/parser.h"
+#include "plan/strategy.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 16;
+
+TEST(AggregateKernelTest, RowSumsMatchesManual) {
+  for (bool sparse : {false, true}) {
+    Block a = sparse ? RandomSparseBlock(9, 7, 0.3, 3)
+                     : RandomDenseBlock(9, 7, 3);
+    DenseBlock sums = RowSums(a);
+    ASSERT_EQ(sums.rows(), 9);
+    ASSERT_EQ(sums.cols(), 1);
+    for (int64_t r = 0; r < 9; ++r) {
+      double expected = 0;
+      for (int64_t c = 0; c < 7; ++c) expected += a.At(r, c);
+      EXPECT_NEAR(sums.At(r, 0), expected, 1e-4);
+    }
+  }
+}
+
+TEST(AggregateKernelTest, ColSumsMatchesManual) {
+  for (bool sparse : {false, true}) {
+    Block a = sparse ? RandomSparseBlock(9, 7, 0.3, 5)
+                     : RandomDenseBlock(9, 7, 5);
+    DenseBlock sums = ColSums(a);
+    ASSERT_EQ(sums.rows(), 1);
+    ASSERT_EQ(sums.cols(), 7);
+    for (int64_t c = 0; c < 7; ++c) {
+      double expected = 0;
+      for (int64_t r = 0; r < 9; ++r) expected += a.At(r, c);
+      EXPECT_NEAR(sums.At(0, c), expected, 1e-4);
+    }
+  }
+}
+
+TEST(AggregateKernelTest, LocalMatrixAggregations) {
+  LocalMatrix m = LocalMatrix::RandomSparse({25, 18}, 8, 0.3, 7);
+  LocalMatrix rs = m.RowSums();
+  LocalMatrix cs = m.ColSums();
+  EXPECT_EQ(rs.shape(), (Shape{25, 1}));
+  EXPECT_EQ(cs.shape(), (Shape{1, 18}));
+  EXPECT_NEAR(rs.Sum(), m.Sum(), 1e-3);
+  EXPECT_NEAR(cs.Sum(), m.Sum(), 1e-3);
+  for (int64_t r = 0; r < 25; ++r) {
+    double expected = 0;
+    for (int64_t c = 0; c < 18; ++c) expected += m.At(r, c);
+    EXPECT_NEAR(rs.At(r, 0), expected, 1e-4);
+  }
+}
+
+TEST(AggregateStrategyTest, AlignedIsLocalCrossedAggregates) {
+  Operator op;
+  op.kind = OpKind::kRowSums;
+  op.inputs = {{"A", false}};
+  op.output = "S";
+  auto strategies = CandidateStrategies(op);
+  ASSERT_EQ(strategies.size(), 3u);
+  // {r} → r, local.
+  EXPECT_EQ(strategies[0].input_schemes[0], Scheme::kRow);
+  EXPECT_FALSE(strategies[0].output_comm);
+  // {b} → b, local.
+  EXPECT_EQ(strategies[1].input_schemes[0], Scheme::kBroadcast);
+  EXPECT_FALSE(strategies[1].output_comm);
+  // {c} → r|c with an aggregation shuffle.
+  EXPECT_EQ(strategies[2].input_schemes[0], Scheme::kCol);
+  EXPECT_TRUE(strategies[2].output_comm);
+}
+
+/// Builds `S = rowsums(A)` (or colsums) preceded by a shaping operation
+/// that leaves A in a particular scheme.
+Program AggregateProgram(bool rows, const char* pre) {
+  const std::string fn = rows ? "rowsums" : "colsums";
+  std::string src = "A = load(\"A\", 40, 30, 0.4)\n";
+  src += pre;  // e.g. "B = A %*% t(A)\n" to force schemes
+  src += "S = " + fn + "(A)\noutput(S)\n";
+  auto p = ParseProgram(src);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return *p;
+}
+
+class AggregateExecutionTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AggregateExecutionTest, DistributedMatchesLocal) {
+  const bool rows = GetParam();
+  Program p = AggregateProgram(rows, "");
+  LocalMatrix a = SyntheticSparse(40, 30, 0.4, kBs, 3);
+  Bindings bindings{{"A", &a}};
+  for (bool exploit : {true, false}) {
+    RunConfig config;
+    config.block_size = kBs;
+    config.num_workers = 3;
+    config.exploit_dependencies = exploit;
+    auto dist = RunProgram(p, bindings, config);
+    ASSERT_TRUE(dist.ok()) << dist.status();
+    LocalMatrix expected = rows ? a.RowSums() : a.ColSums();
+    EXPECT_TRUE(dist->result.matrices.at("S").ApproxEqual(expected, 1e-3))
+        << (exploit ? "dmac" : "sysml");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAxes, AggregateExecutionTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "RowSums" : "ColSums";
+                         });
+
+TEST(AggregateExecutionTest, CrossedSchemeAggregationIsExercised) {
+  // Force A into the crossed scheme first: t(A) %*% A consumes A(c)+A(r);
+  // rowsums can then resolve from whichever got materialized.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {48, 32}, 0.3);
+  Mat g = pb.Var("G");
+  pb.Assign(g, a.t().mm(a));
+  Mat s = pb.Var("S");
+  pb.Assign(s, g.RowSums());  // G is 32x32, CPMM output r|c
+  Mat cs = pb.Var("CS");
+  pb.Assign(cs, g.ColSums());
+  pb.Output(s);
+  pb.Output(cs);
+  Program p = pb.Build();
+
+  LocalMatrix adata = SyntheticSparse(48, 32, 0.3, kBs, 9);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = kBs;
+  auto dist = RunProgram(p, bindings, config);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  auto local = InterpretLocally(p, bindings, kBs, config.seed);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(dist->result.matrices.at("S").ApproxEqual(
+      local->matrices.at("S"), 1e-2));
+  EXPECT_TRUE(dist->result.matrices.at("CS").ApproxEqual(
+      local->matrices.at("CS"), 1e-2));
+}
+
+TEST(AggregateExecutionTest, SumOfRowSumsEqualsTotal) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {36, 28}, 0.5);
+  Scl total = pb.ScalarVar("total", 0.0);
+  pb.Assign(total, a.Sum());
+  Mat s = pb.Var("S");
+  pb.Assign(s, a.RowSums());
+  Scl via_rows = pb.ScalarVar("via_rows", 0.0);
+  pb.Assign(via_rows, s.Sum());
+  pb.OutputScalar(total);
+  pb.OutputScalar(via_rows);
+  LocalMatrix adata = SyntheticSparse(36, 28, 0.5, kBs, 4);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.block_size = kBs;
+  auto dist = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  EXPECT_NEAR(dist->result.scalars.at("total"),
+              dist->result.scalars.at("via_rows"),
+              std::abs(dist->result.scalars.at("total")) * 1e-4);
+}
+
+TEST(AggregateParserTest, RowsumsColsumsParse) {
+  auto p = ParseProgram(
+      "A = load(\"A\", 10, 8, 1)\n"
+      "r = rowsums(A)\n"
+      "c = colsums(A)\n"
+      "output(r)\noutput(c)\n");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->statements[1].matrix->kind, MatrixExpr::Kind::kRowSums);
+  EXPECT_EQ(p->statements[2].matrix->kind, MatrixExpr::Kind::kColSums);
+}
+
+TEST(AggregateParserTest, PageRankWithNormalization) {
+  // A realistic use: normalize ranks by their total each iteration.
+  const std::string src =
+      "link = load(\"link\", 60, 60, 0.1)\n"
+      "rank = random(1, 60)\n"
+      "for i in 0:3 {\n"
+      "  rank = (rank %*% link) * 0.85 + 0.0025\n"
+      "  total = value(rowsums(rank))\n"
+      "  rank = rank / total\n"
+      "}\n"
+      "output(rank)\n";
+  auto p = ParseProgram(src);
+  ASSERT_TRUE(p.ok()) << p.status();
+  LocalMatrix link = SyntheticSparse(60, 60, 0.1, kBs, 8);
+  Bindings bindings{{"link", &link}};
+  RunConfig config;
+  config.block_size = kBs;
+  auto dist = RunProgram(*p, bindings, config);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  // Normalized: total rank mass is 1.
+  EXPECT_NEAR(dist->result.matrices.at("rank").Sum(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace dmac

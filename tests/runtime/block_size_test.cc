@@ -1,0 +1,75 @@
+#include "runtime/block_size.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmac {
+namespace {
+
+TEST(BlockSizeTest, UpperBoundMatchesEquation3) {
+  // m <= sqrt(M*N / (L*K)).
+  const Shape shape{4847571, 4847571};  // LiveJournal-sized
+  const int workers = 4, threads = 8;
+  const int64_t bound = BlockSizeUpperBound(shape, workers, threads);
+  const double expected = std::sqrt(
+      static_cast<double>(shape.rows) * shape.cols / (workers * threads));
+  EXPECT_NEAR(static_cast<double>(bound), expected, 1.0);
+  // Paper §6.3: threshold ~856k for LiveJournal on the 4-node/8-thread
+  // cluster.
+  EXPECT_NEAR(static_cast<double>(bound) / 1000.0, 856, 2);
+}
+
+TEST(BlockSizeTest, PaperThresholdsForAllGraphs) {
+  // §6.3 quotes ~856k, ~289k, ~667k for LiveJournal, soc-pokec, cit-Patents.
+  EXPECT_NEAR(BlockSizeUpperBound({1632803, 1632803}, 4, 8) / 1000.0, 289, 2);
+  EXPECT_NEAR(BlockSizeUpperBound({3774768, 3774768}, 4, 8) / 1000.0, 667, 2);
+}
+
+TEST(BlockSizeTest, MoreParallelismShrinksBlocks) {
+  const Shape shape{100000, 100000};
+  EXPECT_GT(BlockSizeUpperBound(shape, 4, 8),
+            BlockSizeUpperBound(shape, 20, 8));
+  EXPECT_GT(BlockSizeUpperBound(shape, 4, 2),
+            BlockSizeUpperBound(shape, 4, 16));
+}
+
+TEST(BlockSizeTest, ChooseClampsToMatrixExtent) {
+  // A tiny matrix with one worker/thread: bound may exceed the extent.
+  const int64_t chosen = ChooseBlockSize({4, 4}, 1, 1);
+  EXPECT_GE(chosen, 1);
+  EXPECT_LE(chosen, 4);
+}
+
+TEST(BlockSizeTest, ChooseNeverZero) {
+  EXPECT_GE(ChooseBlockSize({1, 1}, 64, 64), 1);
+}
+
+TEST(BlockSizeTest, PartitionedMemoryModelEquation2) {
+  // Sparse: 4*N*(M/m) + 8*M*N*S; overhead shrinks as blocks grow.
+  const Shape shape{100000, 100000};
+  const double sparsity = 1e-4;
+  const double small_blocks =
+      EstimatedPartitionedBytes(shape, sparsity, 1000);
+  const double large_blocks =
+      EstimatedPartitionedBytes(shape, sparsity, 50000);
+  EXPECT_GT(small_blocks, large_blocks);
+
+  // Dense matrices are insensitive to block size: 4*M*N.
+  EXPECT_DOUBLE_EQ(EstimatedPartitionedBytes(shape, 1.0, 1000),
+                   4.0 * 100000 * 100000);
+  EXPECT_DOUBLE_EQ(EstimatedPartitionedBytes(shape, 1.0, 50000),
+                   4.0 * 100000 * 100000);
+}
+
+TEST(BlockSizeTest, MemoryModelMatchesClosedForm) {
+  const Shape shape{10000, 8000};
+  const double s = 0.001;
+  const int64_t m = 2000;
+  const double expected = 4.0 * 8000 * std::ceil(10000.0 / 2000) +
+                          8.0 * 10000 * 8000 * s;
+  EXPECT_DOUBLE_EQ(EstimatedPartitionedBytes(shape, s, m), expected);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,66 @@
+#include "runtime/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dmac {
+namespace {
+
+TEST(BufferPoolTest, AcquireReturnsZeroedBlock) {
+  BufferPool pool;
+  DenseBlock b = pool.Acquire(4, 5);
+  EXPECT_EQ(b.rows(), 4);
+  EXPECT_EQ(b.cols(), 5);
+  EXPECT_EQ(b.CountNonZeros(), 0);
+}
+
+TEST(BufferPoolTest, RecyclesReleasedBlocks) {
+  BufferPool pool;
+  DenseBlock b = pool.Acquire(8, 8);
+  b.Set(0, 0, 1.0f);
+  pool.Release(std::move(b));
+  EXPECT_EQ(pool.IdleBlocks(), 1u);
+  DenseBlock again = pool.Acquire(8, 8);
+  EXPECT_EQ(pool.IdleBlocks(), 0u);
+  // Recycled block must come back clean.
+  EXPECT_EQ(again.CountNonZeros(), 0);
+}
+
+TEST(BufferPoolTest, ShapesAreSegregated) {
+  BufferPool pool;
+  pool.Release(DenseBlock(2, 2));
+  DenseBlock other = pool.Acquire(3, 3);
+  EXPECT_EQ(other.rows(), 3);
+  EXPECT_EQ(pool.IdleBlocks(), 1u);  // the 2x2 is still idle
+}
+
+TEST(BufferPoolTest, CapacityBoundPerShape) {
+  BufferPool pool(/*max_per_shape=*/2);
+  pool.Release(DenseBlock(4, 4));
+  pool.Release(DenseBlock(4, 4));
+  pool.Release(DenseBlock(4, 4));  // dropped
+  EXPECT_EQ(pool.IdleBlocks(), 2u);
+}
+
+TEST(BufferPoolTest, ConcurrentAcquireRelease) {
+  BufferPool pool(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 200; ++i) {
+        DenseBlock b = pool.Acquire(16, 16);
+        b.Set(0, 0, 1.0f);
+        pool.Release(std::move(b));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(pool.IdleBlocks(), 8u);
+  // Blocks coming out are always clean.
+  EXPECT_EQ(pool.Acquire(16, 16).CountNonZeros(), 0);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,92 @@
+#include "runtime/dist_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(OwnerTest, ContiguousChunks) {
+  // 10 indices over 4 workers: chunk = 3 → owners 0,0,0,1,1,1,2,2,2,3.
+  EXPECT_EQ(OwnerOfIndex(0, 10, 4), 0);
+  EXPECT_EQ(OwnerOfIndex(2, 10, 4), 0);
+  EXPECT_EQ(OwnerOfIndex(3, 10, 4), 1);
+  EXPECT_EQ(OwnerOfIndex(8, 10, 4), 2);
+  EXPECT_EQ(OwnerOfIndex(9, 10, 4), 3);
+}
+
+TEST(OwnerTest, FewerIndicesThanWorkers) {
+  EXPECT_EQ(OwnerOfIndex(0, 2, 4), 0);
+  EXPECT_EQ(OwnerOfIndex(1, 2, 4), 1);
+}
+
+TEST(OwnerTest, RangesCoverAllIndicesDisjointly) {
+  for (int workers : {1, 3, 4, 7}) {
+    for (int64_t count : {1, 5, 12, 100}) {
+      int64_t covered = 0;
+      for (int w = 0; w < workers; ++w) {
+        int64_t lo, hi;
+        OwnedRange(w, count, workers, &lo, &hi);
+        for (int64_t i = lo; i < hi; ++i) {
+          EXPECT_EQ(OwnerOfIndex(i, count, workers), w);
+        }
+        covered += hi - lo;
+      }
+      EXPECT_EQ(covered, count) << workers << " workers, " << count;
+    }
+  }
+}
+
+TEST(DistMatrixTest, RowSchemeOwnership) {
+  DistMatrix dm(BlockGrid{{100, 100}, 10}, Scheme::kRow, 4);
+  // 10 block rows over 4 workers.
+  EXPECT_EQ(dm.OwnerOf(0, 5), 0);
+  EXPECT_EQ(dm.OwnerOf(3, 0), 1);
+  EXPECT_EQ(dm.OwnerOf(9, 9), 3);
+  // Row scheme: owner independent of block column.
+  for (int64_t bj = 0; bj < 10; ++bj) {
+    EXPECT_EQ(dm.OwnerOf(4, bj), dm.OwnerOf(4, 0));
+  }
+}
+
+TEST(DistMatrixTest, ColSchemeOwnership) {
+  DistMatrix dm(BlockGrid{{100, 100}, 10}, Scheme::kCol, 4);
+  for (int64_t bi = 0; bi < 10; ++bi) {
+    EXPECT_EQ(dm.OwnerOf(bi, 7), dm.OwnerOf(0, 7));
+  }
+  EXPECT_EQ(dm.OwnerOf(0, 0), 0);
+  EXPECT_EQ(dm.OwnerOf(0, 9), 3);
+}
+
+TEST(DistMatrixTest, PutGetRoundTrip) {
+  DistMatrix dm(BlockGrid{{20, 20}, 10}, Scheme::kRow, 2);
+  auto block = std::make_shared<const Block>(RandomDenseBlock(10, 10, 1));
+  dm.Put(1, 1, 0, block);
+  EXPECT_EQ(dm.Get(1, 1, 0), block);
+  EXPECT_EQ(dm.Get(0, 1, 0), nullptr);
+  EXPECT_EQ(dm.GetOwned(1, 0), dm.Get(dm.OwnerOf(1, 0), 1, 0));
+}
+
+TEST(DistMatrixTest, WorkerBlocksEnumeratesStore) {
+  DistMatrix dm(BlockGrid{{30, 30}, 10}, Scheme::kRow, 3);
+  for (int64_t bj = 0; bj < 3; ++bj) {
+    dm.Put(1, 1, bj,
+           std::make_shared<const Block>(RandomDenseBlock(10, 10, bj)));
+  }
+  auto blocks = dm.WorkerBlocks(1);
+  EXPECT_EQ(blocks.size(), 3u);
+  EXPECT_TRUE(dm.WorkerBlocks(0).empty());
+  for (auto& [bi, bj, ptr] : blocks) {
+    EXPECT_EQ(bi, 1);
+    EXPECT_NE(ptr, nullptr);
+  }
+}
+
+TEST(DistMatrixTest, TotalStoredBytesCountsReplicas) {
+  DistMatrix dm(BlockGrid{{10, 10}, 10}, Scheme::kBroadcast, 3);
+  auto block = std::make_shared<const Block>(RandomDenseBlock(10, 10, 1));
+  for (int w = 0; w < 3; ++w) dm.Put(w, 0, 0, block);
+  EXPECT_EQ(dm.TotalStoredBytes(), 3 * block->MemoryBytes());
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,76 @@
+#include "runtime/exec_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(ExecStatsTest, WorkerSecondsAccumulatePerStage) {
+  ExecStats stats;
+  stats.AddWorkerSeconds(1, 0, 0.5);
+  stats.AddWorkerSeconds(1, 0, 0.25);
+  stats.AddWorkerSeconds(1, 1, 0.4);
+  stats.AddWorkerSeconds(3, 2, 1.0);  // skips stage 2
+  ASSERT_EQ(stats.stage_worker_seconds.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.stage_worker_seconds[0][0], 0.75);
+  EXPECT_DOUBLE_EQ(stats.stage_worker_seconds[0][1], 0.4);
+  EXPECT_TRUE(stats.stage_worker_seconds[1].empty());
+  EXPECT_DOUBLE_EQ(stats.stage_worker_seconds[2][2], 1.0);
+}
+
+TEST(ExecStatsTest, ComputeWallIsSumOfStageMaxima) {
+  ExecStats stats;
+  stats.AddWorkerSeconds(1, 0, 0.75);
+  stats.AddWorkerSeconds(1, 1, 0.4);
+  stats.AddWorkerSeconds(2, 0, 0.1);
+  stats.AddWorkerSeconds(2, 1, 0.9);
+  EXPECT_DOUBLE_EQ(stats.ComputeWallSeconds(), 0.75 + 0.9);
+}
+
+TEST(ExecStatsTest, CommSecondsFollowsNetworkModel) {
+  ExecStats stats;
+  stats.shuffle_bytes = 250e6;
+  stats.broadcast_bytes = 125e6;
+  stats.shuffle_events = 2;
+  stats.broadcast_events = 1;
+  NetworkModel net;
+  net.bandwidth_bytes_per_sec = 125e6;
+  net.latency_sec = 0.5;
+  EXPECT_DOUBLE_EQ(stats.CommSeconds(net), 3.0 + 3 * 0.5);
+  EXPECT_DOUBLE_EQ(stats.SimulatedSeconds(net),
+                   stats.ComputeWallSeconds() + 4.5);
+}
+
+TEST(ExecStatsTest, MergeAccumulatesEverything) {
+  ExecStats a;
+  a.shuffle_bytes = 100;
+  a.broadcast_events = 1;
+  a.AddWorkerSeconds(1, 0, 0.5);
+  a.peak_memory_bytes = 500;
+
+  ExecStats b;
+  b.shuffle_bytes = 50;
+  b.shuffle_events = 2;
+  b.AddWorkerSeconds(1, 0, 0.25);
+  b.AddWorkerSeconds(2, 1, 1.0);
+  b.peak_memory_bytes = 400;
+
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.shuffle_bytes, 150);
+  EXPECT_EQ(a.shuffle_events, 2);
+  EXPECT_EQ(a.broadcast_events, 1);
+  EXPECT_DOUBLE_EQ(a.stage_worker_seconds[0][0], 0.75);
+  EXPECT_DOUBLE_EQ(a.stage_worker_seconds[1][1], 1.0);
+  EXPECT_EQ(a.peak_memory_bytes, 500);  // max, not sum
+}
+
+TEST(ExecStatsTest, EmptyStatsAreZero) {
+  ExecStats stats;
+  EXPECT_DOUBLE_EQ(stats.comm_bytes(), 0);
+  EXPECT_EQ(stats.comm_events(), 0);
+  EXPECT_DOUBLE_EQ(stats.ComputeWallSeconds(), 0);
+  EXPECT_DOUBLE_EQ(stats.SimulatedSeconds(NetworkModel{}), 0);
+}
+
+}  // namespace
+}  // namespace dmac

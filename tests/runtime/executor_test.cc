@@ -1,0 +1,382 @@
+// End-to-end executor tests: distributed execution must agree with the
+// single-machine interpreter on every program, across worker counts, block
+// sizes, planner modes, and local execution modes.
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/local_interpreter.h"
+#include "apps/runner.h"
+#include "data/synthetic.h"
+#include "lang/program.h"
+
+namespace dmac {
+namespace {
+
+constexpr int64_t kBs = 16;
+
+Program SingleOpProgram(BinOpKind op, Shape a_shape, Shape b_shape,
+                        double a_sparsity, double b_sparsity) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", a_shape, a_sparsity);
+  Mat b = pb.Load("B", b_shape, b_sparsity);
+  Mat c = pb.Var("C");
+  switch (op) {
+    case BinOpKind::kMultiply:
+      pb.Assign(c, a.mm(b));
+      break;
+    case BinOpKind::kAdd:
+      pb.Assign(c, a + b);
+      break;
+    case BinOpKind::kSubtract:
+      pb.Assign(c, a - b);
+      break;
+    case BinOpKind::kCellMultiply:
+      pb.Assign(c, a * b);
+      break;
+    case BinOpKind::kCellDivide:
+      pb.Assign(c, a / b);
+      break;
+  }
+  pb.Output(c);
+  return pb.Build();
+}
+
+/// Runs distributed and local, returns max |difference| proxy via
+/// ApproxEqual.
+void ExpectDistributedMatchesLocal(const Program& p, const Bindings& bindings,
+                                   const RunConfig& config,
+                                   double tol = 5e-2) {
+  auto outcome = RunProgram(p, bindings, config);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  auto local = InterpretLocally(p, bindings, kBs, config.seed);
+  ASSERT_TRUE(local.ok()) << local.status();
+  ASSERT_EQ(outcome->result.matrices.size(), local->matrices.size());
+  for (auto& [name, dist_m] : outcome->result.matrices) {
+    ASSERT_TRUE(local->matrices.count(name)) << name;
+    EXPECT_TRUE(dist_m.ApproxEqual(local->matrices.at(name), tol))
+        << "matrix " << name << " differs";
+  }
+  for (auto& [name, value] : outcome->result.scalars) {
+    ASSERT_TRUE(local->scalars.count(name)) << name;
+    const double expected = local->scalars.at(name);
+    EXPECT_NEAR(value, expected, std::abs(expected) * 1e-3 + 1e-3) << name;
+  }
+}
+
+// ---- every binary operator, every planner mode ---------------------------
+
+class OperatorExecutionTest
+    : public ::testing::TestWithParam<std::tuple<BinOpKind, bool>> {};
+
+TEST_P(OperatorExecutionTest, DistributedMatchesLocal) {
+  const auto [op, exploit] = GetParam();
+  const Shape a_shape = op == BinOpKind::kMultiply ? Shape{50, 40}
+                                                   : Shape{50, 40};
+  const Shape b_shape = op == BinOpKind::kMultiply ? Shape{40, 30}
+                                                   : Shape{50, 40};
+  LocalMatrix a = SyntheticSparse(a_shape.rows, a_shape.cols, 0.3, kBs, 11);
+  // Dense, strictly-positive B avoids division blowups.
+  LocalMatrix b =
+      SyntheticDense(b_shape.rows, b_shape.cols, kBs, 12).ScalarAdd(0.5f);
+  Bindings bindings{{"A", &a}, {"B", &b}};
+
+  RunConfig config;
+  config.num_workers = 3;
+  config.block_size = kBs;
+  config.exploit_dependencies = exploit;
+  ExpectDistributedMatchesLocal(
+      SingleOpProgram(op, a_shape, b_shape, 0.3, 1.0), bindings, config);
+}
+
+std::string OperatorCaseName(
+    const ::testing::TestParamInfo<std::tuple<BinOpKind, bool>>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case BinOpKind::kMultiply:
+      name = "Multiply";
+      break;
+    case BinOpKind::kAdd:
+      name = "Add";
+      break;
+    case BinOpKind::kSubtract:
+      name = "Subtract";
+      break;
+    case BinOpKind::kCellMultiply:
+      name = "CellMultiply";
+      break;
+    case BinOpKind::kCellDivide:
+      name = "CellDivide";
+      break;
+  }
+  return name + (std::get<1>(info.param) ? "Dmac" : "SystemMl");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OperatorExecutionTest,
+    ::testing::Combine(
+        ::testing::Values(BinOpKind::kMultiply, BinOpKind::kAdd,
+                          BinOpKind::kSubtract, BinOpKind::kCellMultiply,
+                          BinOpKind::kCellDivide),
+        ::testing::Bool()),
+    OperatorCaseName);
+
+// ---- every multiplication strategy ----------------------------------------
+
+TEST(ExecutorTest, TransposedOperandsMultiply) {
+  // C = A^T * A exercises transpose dependencies end to end.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {60, 20}, 0.4);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.t().mm(a));
+  pb.Output(c);
+  LocalMatrix adata = SyntheticSparse(60, 20, 0.4, kBs, 3);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.num_workers = 4;
+  config.block_size = kBs;
+  ExpectDistributedMatchesLocal(pb.Build(), bindings, config);
+}
+
+TEST(ExecutorTest, ChainedProgramWithScalars) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {40, 40}, 0.5);
+  Scl total = pb.ScalarVar("total", 0.0);
+  pb.Assign(total, a.Sum());
+  Mat c = pb.Var("C");
+  pb.Assign(c, (a.mm(a) + a) * 0.5);
+  Scl norm = pb.ScalarVar("norm", 0.0);
+  pb.Assign(norm, (c * c).Sum().Sqrt());
+  pb.Output(c);
+  pb.OutputScalar(total);
+  pb.OutputScalar(norm);
+  LocalMatrix adata = SyntheticSparse(40, 40, 0.5, kBs, 5);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.num_workers = 2;
+  config.block_size = kBs;
+  ExpectDistributedMatchesLocal(pb.Build(), bindings, config);
+}
+
+// ---- worker-count / block-size sweep --------------------------------------
+
+class ExecutionSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(ExecutionSweepTest, IterativeProgramMatchesLocal) {
+  const auto [workers, block_size] = GetParam();
+  ProgramBuilder pb;
+  Mat v = pb.Load("V", {48, 36}, 0.2);
+  Mat w = pb.Random("W", {48, 6});
+  Mat h = pb.Random("H", {6, 36});
+  for (int i = 0; i < 2; ++i) {
+    pb.Assign(h, h * (w.t().mm(v)) / (w.t().mm(w).mm(h)));
+    pb.Assign(w, w * (v.mm(h.t())) / (w.mm(h).mm(h.t())));
+  }
+  pb.Output(w);
+  pb.Output(h);
+  Program p = pb.Build();
+
+  LocalMatrix vdata = SyntheticSparse(48, 36, 0.2, block_size, 17);
+  Bindings bindings{{"V", &vdata}};
+  RunConfig config;
+  config.num_workers = workers;
+  config.block_size = block_size;
+
+  auto outcome = RunProgram(p, bindings, config);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  auto local = InterpretLocally(p, bindings, block_size, config.seed);
+  ASSERT_TRUE(local.ok()) << local.status();
+  EXPECT_TRUE(outcome->result.matrices.at("W").ApproxEqual(
+      local->matrices.at("W"), 0.05));
+  EXPECT_TRUE(outcome->result.matrices.at("H").ApproxEqual(
+      local->matrices.at("H"), 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndBlocks, ExecutionSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                       ::testing::Values<int64_t>(8, 16, 48)),
+    [](const auto& info) {
+      return "W" + std::to_string(std::get<0>(info.param)) + "B" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- local execution modes --------------------------------------------------
+
+TEST(ExecutorTest, BufferModeProducesSameResults) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {40, 40}, 0.3);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a));
+  pb.Output(c);
+  Program p = pb.Build();
+  LocalMatrix adata = SyntheticSparse(40, 40, 0.3, kBs, 9);
+  Bindings bindings{{"A", &adata}};
+
+  RunConfig inplace;
+  inplace.block_size = kBs;
+  RunConfig buffered = inplace;
+  buffered.local_mode = LocalMode::kBuffer;
+
+  auto r1 = RunProgram(p, bindings, inplace);
+  auto r2 = RunProgram(p, bindings, buffered);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->result.matrices.at("C").ApproxEqual(
+      r2->result.matrices.at("C"), 1e-3));
+}
+
+TEST(ExecutorTest, StaticSchedulingProducesSameResults) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {48, 48}, 0.3);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a) + a.RowSums().mm(a.ColSums()) * 0.01);
+  pb.Output(c);
+  Program p = pb.Build();
+  LocalMatrix adata = SyntheticSparse(48, 48, 0.3, kBs, 13);
+  Bindings bindings{{"A", &adata}};
+
+  RunConfig queue_cfg;
+  queue_cfg.block_size = kBs;
+  RunConfig static_cfg = queue_cfg;
+  static_cfg.task_scheduling = TaskScheduling::kStatic;
+
+  auto r1 = RunProgram(p, bindings, queue_cfg);
+  auto r2 = RunProgram(p, bindings, static_cfg);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->result.matrices.at("C").ApproxEqual(
+      r2->result.matrices.at("C"), 1e-3));
+  // Scheduling changes timing only, never traffic.
+  EXPECT_DOUBLE_EQ(r1->result.stats.comm_bytes(),
+                   r2->result.stats.comm_bytes());
+}
+
+// ---- accounting invariants ---------------------------------------------------
+
+TEST(ExecutorTest, SingleWorkerMovesNoShuffleBytes) {
+  // With one worker everything is local: partition/broadcast move nothing
+  // (loads still count as the initial read).
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {32, 32}, 0.5);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a));
+  pb.Output(c);
+  LocalMatrix adata = SyntheticSparse(32, 32, 0.5, kBs, 2);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.num_workers = 1;
+  config.block_size = kBs;
+  auto outcome = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(outcome.ok());
+  const ExecStats& stats = outcome->result.stats;
+  // Only the load's initial distribution counts.
+  double load_bytes = 0;
+  for (const PlanStep& s : outcome->plan.steps) {
+    if (s.kind == StepKind::kLoad) load_bytes += s.comm_bytes;
+  }
+  EXPECT_LE(stats.comm_bytes(), load_bytes + 64);
+}
+
+TEST(ExecutorTest, DmacMovesFewerBytesThanSystemMl) {
+  ProgramBuilder pb;
+  Mat v = pb.Load("V", {64, 48}, 0.2);
+  Mat w = pb.Random("W", {64, 4});
+  Mat h = pb.Random("H", {4, 48});
+  for (int i = 0; i < 3; ++i) {
+    pb.Assign(h, h * (w.t().mm(v)) / (w.t().mm(w).mm(h)));
+    pb.Assign(w, w * (v.mm(h.t())) / (w.mm(h).mm(h.t())));
+  }
+  pb.Output(w);
+  Program p = pb.Build();
+  LocalMatrix vdata = SyntheticSparse(64, 48, 0.2, kBs, 23);
+  Bindings bindings{{"V", &vdata}};
+
+  RunConfig dmac_cfg;
+  dmac_cfg.block_size = kBs;
+  RunConfig sysml_cfg = dmac_cfg;
+  sysml_cfg.exploit_dependencies = false;
+
+  auto dmac_run = RunProgram(p, bindings, dmac_cfg);
+  auto sysml_run = RunProgram(p, bindings, sysml_cfg);
+  ASSERT_TRUE(dmac_run.ok() && sysml_run.ok());
+  EXPECT_LT(dmac_run->result.stats.comm_bytes(),
+            sysml_run->result.stats.comm_bytes());
+  EXPECT_LT(dmac_run->result.stats.comm_events(),
+            sysml_run->result.stats.comm_events());
+}
+
+TEST(ExecutorTest, StatsTrackPerStageWorkerTime) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {64, 64}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a));
+  pb.Output(c);
+  LocalMatrix adata = SyntheticDense(64, 64, kBs, 2);
+  Bindings bindings{{"A", &adata}};
+  RunConfig config;
+  config.num_workers = 2;
+  config.block_size = kBs;
+  auto outcome = RunProgram(pb.Build(), bindings, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->result.stats.stage_worker_seconds.empty());
+  EXPECT_GT(outcome->result.stats.ComputeWallSeconds(), 0);
+  EXPECT_GT(outcome->result.stats.peak_memory_bytes, 0);
+}
+
+TEST(ExecutorTest, MissingBindingReported) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {8, 8}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a));
+  pb.Output(c);
+  RunConfig config;
+  config.block_size = 8;
+  Bindings empty;
+  auto outcome = RunProgram(pb.Build(), empty, config);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, BindingShapeMismatchReported) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {8, 8}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(a));
+  pb.Output(c);
+  LocalMatrix wrong = SyntheticDense(9, 9, 8, 1);
+  Bindings bindings{{"A", &wrong}};
+  RunConfig config;
+  config.block_size = 8;
+  auto outcome = RunProgram(pb.Build(), bindings, config);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDimensionMismatch);
+}
+
+TEST(ExecutorTest, MismatchedBindingBlockSizeReported) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {8, 8}, 1.0);
+  Mat b = pb.Load("B", {8, 8}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(b));
+  pb.Output(c);
+  LocalMatrix adata = SyntheticDense(8, 8, 8, 1);
+  LocalMatrix bdata = SyntheticDense(8, 8, 4, 2);  // different block size
+  Bindings bindings{{"A", &adata}, {"B", &bdata}};
+  RunConfig config;
+  auto outcome = RunProgram(pb.Build(), bindings, config);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(ExecutorTest, NetworkModelTimeIsMonotoneInBytes) {
+  ExecStats fast, slow;
+  fast.shuffle_bytes = 1e6;
+  slow.shuffle_bytes = 1e9;
+  fast.shuffle_events = slow.shuffle_events = 1;
+  NetworkModel net;
+  EXPECT_LT(fast.SimulatedSeconds(net), slow.SimulatedSeconds(net));
+}
+
+}  // namespace
+}  // namespace dmac

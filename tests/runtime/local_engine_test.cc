@@ -1,0 +1,160 @@
+#include "runtime/local_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "matrix/local_matrix.h"
+#include "matrix/mem_tracker.h"
+
+namespace dmac {
+namespace {
+
+/// Test fixture providing a worker environment (pool + buffers) and a block
+/// source built from a LocalMatrix.
+class LocalEngineTest : public ::testing::TestWithParam<LocalMode> {
+ protected:
+  LocalEngineTest() : pool_(2), buffers_(4) {}
+
+  LocalEngine MakeEngine(LocalMode mode) {
+    return LocalEngine(&pool_, &buffers_, mode, 0.5);
+  }
+
+  static LocalEngine::BlockFn Source(const LocalMatrix& m) {
+    return [&m](int64_t bi, int64_t bj) {
+      return std::shared_ptr<const Block>(std::shared_ptr<void>(),
+                                          &m.BlockAt(bi, bj));
+    };
+  }
+
+  ThreadPool pool_;
+  BufferPool buffers_;
+};
+
+TEST_P(LocalEngineTest, BlockedMultiplyMatchesOracle) {
+  const LocalMatrix a = LocalMatrix::RandomSparse({40, 36}, 8, 0.2, 1);
+  const LocalMatrix b = LocalMatrix::RandomDense({36, 24}, 8, 2);
+  auto expected = a.Multiply(b);
+  ASSERT_TRUE(expected.ok());
+
+  LocalEngine engine = MakeEngine(GetParam());
+  const BlockGrid out_grid{{40, 24}, 8};
+  std::vector<MultiplyTask> tasks;
+  for (int64_t bi = 0; bi < out_grid.block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < out_grid.block_cols(); ++bj) {
+      tasks.push_back({bi, bj, 0, a.grid().block_cols()});
+    }
+  }
+  std::mutex mu;
+  std::map<std::pair<int64_t, int64_t>, Block> results;
+  Status st = engine.MultiplyBlocks(
+      out_grid, tasks, Source(a), Source(b),
+      [&](int64_t bi, int64_t bj, Block blk) {
+        std::lock_guard<std::mutex> lock(mu);
+        results.emplace(std::make_pair(bi, bj), std::move(blk));
+      });
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(results.size(), static_cast<size_t>(out_grid.num_blocks()));
+  for (auto& [key, blk] : results) {
+    EXPECT_TRUE(
+        ApproxEqual(blk, expected->BlockAt(key.first, key.second), 1e-3))
+        << key.first << "," << key.second;
+  }
+}
+
+TEST_P(LocalEngineTest, PartialKRangeMultiply) {
+  // CPMM-style task: only k in [1,3).
+  const LocalMatrix a = LocalMatrix::RandomDense({8, 24}, 8, 3);
+  const LocalMatrix b = LocalMatrix::RandomDense({24, 8}, 8, 4);
+  LocalEngine engine = MakeEngine(GetParam());
+  const BlockGrid out_grid{{8, 8}, 8};
+
+  std::mutex mu;
+  Block result;
+  Status st = engine.MultiplyBlocks(
+      out_grid, {{0, 0, 1, 3}}, Source(a), Source(b),
+      [&](int64_t, int64_t, Block blk) {
+        std::lock_guard<std::mutex> lock(mu);
+        result = std::move(blk);
+      });
+  ASSERT_TRUE(st.ok());
+
+  DenseBlock expected(8, 8);
+  for (int64_t k = 1; k < 3; ++k) {
+    ASSERT_TRUE(
+        MultiplyAccumulate(a.BlockAt(0, k), b.BlockAt(k, 0), &expected).ok());
+  }
+  EXPECT_TRUE(ApproxEqual(result, Block(expected), 1e-3));
+}
+
+TEST_P(LocalEngineTest, MissingBlockReportsError) {
+  LocalEngine engine = MakeEngine(GetParam());
+  const BlockGrid out_grid{{8, 8}, 8};
+  auto null_source = [](int64_t, int64_t) {
+    return std::shared_ptr<const Block>();
+  };
+  Status st = engine.MultiplyBlocks(out_grid, {{0, 0, 0, 1}}, null_source,
+                                    null_source,
+                                    [](int64_t, int64_t, Block) {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_P(LocalEngineTest, RunTasksPropagatesFirstError) {
+  LocalEngine engine = MakeEngine(GetParam());
+  std::vector<std::function<Status()>> tasks;
+  tasks.push_back([] { return Status::Ok(); });
+  tasks.push_back([] { return Status::Invalid("boom"); });
+  tasks.push_back([] { return Status::Ok(); });
+  Status st = engine.RunTasks(tasks);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, LocalEngineTest,
+                         ::testing::Values(LocalMode::kInPlace,
+                                           LocalMode::kBuffer),
+                         [](const auto& info) {
+                           return info.param == LocalMode::kInPlace
+                                      ? "InPlace"
+                                      : "Buffer";
+                         });
+
+TEST(LocalEngineMemoryTest, BufferModeUsesMoreMemoryThanInPlace) {
+  // Dense multiply with a long k-chain: Buffer materializes k partials per
+  // output block, In-Place folds them into one accumulator (Fig. 7).
+  const LocalMatrix a = LocalMatrix::RandomDense({32, 256}, 32, 7);
+  const LocalMatrix b = LocalMatrix::RandomDense({256, 32}, 32, 8);
+  const BlockGrid out_grid{{32, 32}, 32};
+
+  auto run = [&](LocalMode mode) {
+    ThreadPool pool(2);
+    BufferPool buffers(4);
+    LocalEngine engine(&pool, &buffers, mode, 0.5);
+    auto source = [](const LocalMatrix& m) {
+      return [&m](int64_t bi, int64_t bj) {
+        return std::shared_ptr<const Block>(std::shared_ptr<void>(),
+                                            &m.BlockAt(bi, bj));
+      };
+    };
+    MemTracker::Global().ResetPeak();
+    const int64_t before = MemTracker::Global().peak_bytes();
+    std::mutex mu;
+    std::vector<Block> results;
+    Status st = engine.MultiplyBlocks(
+        out_grid, {{0, 0, 0, 8}}, source(a), source(b),
+        [&](int64_t, int64_t, Block blk) {
+          std::lock_guard<std::mutex> lock(mu);
+          results.push_back(std::move(blk));
+        });
+    EXPECT_TRUE(st.ok());
+    return MemTracker::Global().peak_bytes() - before;
+  };
+
+  const int64_t inplace_peak = run(LocalMode::kInPlace);
+  const int64_t buffer_peak = run(LocalMode::kBuffer);
+  EXPECT_GT(buffer_peak, inplace_peak);
+}
+
+}  // namespace
+}  // namespace dmac
