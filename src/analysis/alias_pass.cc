@@ -1,0 +1,144 @@
+// In-place / aliasing safety (pass 5).
+//
+// The §5 in-place optimization folds results into live buffers, which is
+// only sound when nothing else still reads them. In SSA form that hazard
+// shows up as a definition overwriting a name that a later operator still
+// consumes. Checks:
+//
+//   operator level: an operator must not list its own output among its
+//   inputs (self-aliasing update), and must not redefine an SSA name while
+//   an earlier definition of it is still live (read by a later operator) —
+//   redefinitions themselves are the dependency-graph pass's finding; this
+//   pass reports the liveness overlap that makes them unsafe to execute.
+//
+//   plan level: a step must not read its own output node, and two steps must
+//   not write materializations with identical (matrix, orientation, scheme)
+//   while the first is still live — the executor would not be able to tell
+//   the two buffers apart, and an in-place engine would clobber the live one.
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/passes.h"
+
+namespace dmac {
+
+namespace {
+
+constexpr char kPass[] = "alias-safety";
+
+class AliasSafetyPass final : public AnalysisPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    if (ctx.ops != nullptr) CheckOperators(*ctx.ops, out);
+    if (ctx.plan != nullptr) CheckPlan(*ctx.plan, out);
+  }
+
+ private:
+  void CheckOperators(const OperatorList& ops,
+                      std::vector<Diagnostic>* out) const {
+    // Last operator reading each SSA name (and export liveness).
+    std::unordered_map<std::string, int> last_use;
+    for (const Operator& op : ops.ops) {
+      for (const MatrixRef& ref : op.inputs) last_use[ref.name] = op.id;
+    }
+    const int end_of_program = static_cast<int>(ops.ops.size());
+    for (const auto& [var, ref] : ops.output_bindings) {
+      last_use[ref.name] = end_of_program;
+    }
+
+    std::unordered_map<std::string, int> defined;  // name -> def op id
+    for (const Operator& op : ops.ops) {
+      if (op.output.empty()) continue;
+      for (const MatrixRef& ref : op.inputs) {
+        if (ref.name == op.output) {
+          out->push_back({Severity::kError, kPass, op.id,
+                          op.ToString() + ": updates " + op.output +
+                              " in place while reading it",
+                          "give the result a fresh SSA name"});
+        }
+      }
+      auto it = defined.find(op.output);
+      if (it != defined.end()) {
+        auto use = last_use.find(op.output);
+        if (use != last_use.end() && use->second > op.id) {
+          out->push_back(
+              {Severity::kError, kPass, op.id,
+               op.ToString() + ": overwrites " + op.output +
+                   " (defined by op " + std::to_string(it->second) +
+                   ") while it is still live at op " +
+                   std::to_string(use->second),
+               "an in-place update of a live matrix loses its readers' "
+               "data; rename the result"});
+        }
+      } else {
+        defined.emplace(op.output, op.id);
+      }
+    }
+  }
+
+  void CheckPlan(const Plan& plan, std::vector<Diagnostic>* out) const {
+    const int num_steps = static_cast<int>(plan.steps.size());
+
+    // Last step reading each node (outputs stay live to the end).
+    std::unordered_map<int, int> last_use;
+    for (const PlanStep& step : plan.steps) {
+      for (int id : step.inputs) last_use[id] = step.id;
+    }
+    for (const PlanOutput& po : plan.outputs) last_use[po.node] = num_steps;
+
+    // Self-aliasing steps.
+    for (const PlanStep& step : plan.steps) {
+      for (int id : step.inputs) {
+        if (id == step.output) {
+          out->push_back({Severity::kError, kPass, step.id,
+                          StepLabel(step) + " reads and writes node " +
+                              NodeLabel(plan, id) + " (id " +
+                              std::to_string(id) + ")",
+                          "materialize the result as a new node"});
+        }
+      }
+    }
+
+    // Identical (matrix, orientation, scheme) materializations with
+    // overlapping live ranges. The planner's availability map replaces the
+    // old node on Register(), so a well-formed plan never re-materializes a
+    // tuple whose previous instance is still read later.
+    std::map<std::tuple<std::string, bool, SchemeSet>, int> live;  // -> node
+    for (const PlanStep& step : plan.steps) {
+      if (!ValidNode(plan, step.output)) continue;
+      const PlanNode& node = plan.nodes[static_cast<size_t>(step.output)];
+      const auto key = std::make_tuple(node.matrix, node.transposed,
+                                       node.schemes);
+      auto it = live.find(key);
+      if (it != live.end() && it->second != node.id) {
+        auto use = last_use.find(it->second);
+        if (use != last_use.end() && use->second > step.id) {
+          out->push_back(
+              {Severity::kWarning, kPass, step.id,
+               StepLabel(step) + " re-materializes " + node.ToString() +
+                   " while node id " + std::to_string(it->second) +
+                   " (same matrix, orientation, and scheme) is still "
+                   "read at step s" +
+                   std::to_string(use->second),
+               "an in-place executor would clobber the live copy; reuse "
+               "the existing node or let the first die before rewriting"});
+        }
+      }
+      live[key] = node.id;
+    }
+  }
+};
+
+}  // namespace
+
+AnalysisPassPtr MakeAliasSafetyPass() {
+  return std::make_unique<AliasSafetyPass>();
+}
+
+}  // namespace dmac

@@ -1,0 +1,112 @@
+#include "analysis/analyzer.h"
+
+#include "analysis/passes.h"
+
+namespace dmac {
+
+// ---- shared helpers ------------------------------------------------------
+
+bool ValidNode(const Plan& plan, int id) {
+  return id >= 0 && static_cast<size_t>(id) < plan.nodes.size();
+}
+
+std::string StepLabel(const PlanStep& step) {
+  std::string out = "step s" + std::to_string(step.id) + " (";
+  out += StepKindName(step.kind);
+  if (step.kind == StepKind::kCompute) {
+    out += "[";
+    out += OpKindName(step.op_kind);
+    if (step.mult_algo != MultAlgo::kNone) {
+      out += ":";
+      out += MultAlgoName(step.mult_algo);
+    }
+    out += "]";
+  }
+  out += ")";
+  return out;
+}
+
+std::string NodeLabel(const Plan& plan, int id) {
+  if (!ValidNode(plan, id)) {
+    return "<invalid node " + std::to_string(id) + ">";
+  }
+  return plan.nodes[static_cast<size_t>(id)].ToString();
+}
+
+int ExpectedOperandCount(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLoad:
+    case OpKind::kRandom:
+    case OpKind::kScalarAssign:
+      return 0;
+    case OpKind::kScalarMultiply:
+    case OpKind::kScalarAdd:
+    case OpKind::kRowSums:
+    case OpKind::kColSums:
+    case OpKind::kCellUnary:
+    case OpKind::kReduce:
+      return 1;
+    case OpKind::kMultiply:
+    case OpKind::kAdd:
+    case OpKind::kSubtract:
+    case OpKind::kCellMultiply:
+    case OpKind::kCellDivide:
+      return 2;
+  }
+  return 0;
+}
+
+// ---- analyzer ------------------------------------------------------------
+
+Analyzer Analyzer::Default() {
+  Analyzer a;
+  a.AddPass(MakeDependencyGraphPass());
+  a.AddPass(MakeShapeInferencePass());
+  a.AddPass(MakeSchemeConsistencyPass());
+  a.AddPass(MakeCommCostPass());
+  a.AddPass(MakeAliasSafetyPass());
+  return a;
+}
+
+AnalysisReport Analyzer::Run(const AnalysisContext& ctx) const {
+  AnalysisReport report;
+  for (const AnalysisPassPtr& pass : passes_) {
+    pass->Run(ctx, &report.diagnostics);
+  }
+  return report;
+}
+
+AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
+                              int num_workers) {
+  AnalysisContext ctx;
+  ctx.ops = ops;
+  ctx.plan = plan;
+  ctx.num_workers = num_workers;
+  if (ops != nullptr) {
+    // Only feed the stats cross-check when the list is structurally sound —
+    // EstimateSizes indexes operand arrays without arity guards.
+    bool arity_ok = true;
+    for (const Operator& op : ops->ops) {
+      if (static_cast<int>(op.inputs.size()) !=
+          ExpectedOperandCount(op.kind)) {
+        arity_ok = false;
+      }
+    }
+    if (arity_ok) {
+      Result<StatsMap> stats = EstimateSizes(*ops);
+      if (stats.ok()) ctx.stats = std::move(*stats);
+    }
+  }
+  return Analyzer::Default().Run(ctx);
+}
+
+Status VerifyPlan(const OperatorList& ops, const Plan& plan,
+                  int num_workers) {
+  return AnalyzeProgram(&ops, &plan, num_workers).ToStatus();
+}
+
+Status CheckOperators(const OperatorList& ops) {
+  return AnalyzeProgram(&ops, nullptr, /*num_workers=*/1).ToStatus();
+}
+
+}  // namespace dmac

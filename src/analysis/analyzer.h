@@ -1,0 +1,52 @@
+// The analyzer: a pass pipeline over (OperatorList, Plan) pairs.
+//
+// Three entry points, matching the three places the verifier is wired:
+//   * Analyzer::Default().Run(ctx)      — full report (dmac_lint)
+//   * AnalyzeProgram(ops, plan, n)      — convenience wrapper building the
+//                                         context (stats recomputation)
+//   * VerifyPlan(ops, plan, n)          — Status-returning form used by the
+//                                         GeneratePlan debug post-pass and
+//                                         dmac_run --verify-plan
+#pragma once
+
+#include <vector>
+
+#include "analysis/pass.h"
+
+namespace dmac {
+
+/// An ordered pipeline of analysis passes.
+class Analyzer {
+ public:
+  Analyzer() = default;
+
+  /// The five built-in passes, in dependency order (structural checks
+  /// before the checks that assume structure).
+  static Analyzer Default();
+
+  void AddPass(AnalysisPassPtr pass) { passes_.push_back(std::move(pass)); }
+  size_t num_passes() const { return passes_.size(); }
+
+  /// Runs every pass over `ctx` and aggregates the findings.
+  AnalysisReport Run(const AnalysisContext& ctx) const;
+
+ private:
+  std::vector<AnalysisPassPtr> passes_;
+};
+
+/// Builds an AnalysisContext (recomputing worst-case stats from `ops` when
+/// possible) and runs the default pipeline. Either of `ops` / `plan` may be
+/// null for operator-only or plan-only analysis.
+AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
+                              int num_workers);
+
+/// OK when the default pipeline reports no error on (ops, plan); otherwise
+/// an error Status listing every error diagnostic.
+Status VerifyPlan(const OperatorList& ops, const Plan& plan, int num_workers);
+
+/// Operator-level well-formedness gate used by GeneratePlan before it runs
+/// Algorithm 1: arity, def-before-use, conformance, aliasing. Guarantees the
+/// planner can index operand arrays without UB.
+Status CheckOperators(const OperatorList& ops);
+
+}  // namespace dmac

@@ -1,0 +1,128 @@
+// Communication lower-bound cross-check (pass 4).
+//
+// Recomputes every step's communication bytes from the matrix shapes and
+// partition schemes with the §4.1 cost situations — 0 for local
+// dependencies, |A| for a repartition, N·|A| for a broadcast (and N·|C| for
+// a strategy that shuffles its own output) — and flags any step whose
+// recorded estimate diverges from the recomputation, plus plans whose total
+// does not equal the per-step sum. A divergence means the executor-visible
+// cost can drift arbitrarily far from what the cost model claimed when it
+// chose the strategy, i.e. the planner optimized the wrong objective.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+
+namespace dmac {
+
+namespace {
+
+constexpr char kPass[] = "comm-cost";
+
+/// Relative tolerance: the recomputation uses the same double arithmetic as
+/// the planner, so anything beyond rounding noise is a genuine divergence.
+constexpr double kRelTol = 1e-9;
+
+bool Close(double a, double b) {
+  return std::abs(a - b) <= kRelTol * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+class CommCostPass final : public AnalysisPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    if (ctx.plan == nullptr) return;
+    const Plan& plan = *ctx.plan;
+    const double n = static_cast<double>(ctx.num_workers);
+
+    double total = 0;
+    for (const PlanStep& step : plan.steps) {
+      total += step.comm_bytes;
+      double expected = 0;
+      switch (step.kind) {
+        case StepKind::kLoad: {
+          if (!ValidNode(plan, step.output)) continue;
+          const double bytes = BaseBytes(ctx, plan, step.output);
+          const PlanNode& node = plan.nodes[static_cast<size_t>(step.output)];
+          const bool broadcast =
+              SchemeSetContains(node.schemes, Scheme::kBroadcast);
+          expected = (broadcast ? n : 1.0) * bytes;
+          break;
+        }
+        case StepKind::kPartition: {
+          // Situation 2: the repartitioned matrix crosses the network once.
+          if (!ValidNode(plan, step.output)) continue;
+          expected = BaseBytes(ctx, plan, step.output);
+          break;
+        }
+        case StepKind::kBroadcast: {
+          // Situation 3: every worker receives a full copy.
+          if (!ValidNode(plan, step.output)) continue;
+          expected = n * BaseBytes(ctx, plan, step.output);
+          break;
+        }
+        case StepKind::kCompute: {
+          if (step.output_comm) {
+            // CPMM cross-product aggregation / crossed row- or column-sum:
+            // N partial results of the output's size are shuffled.
+            if (!ValidNode(plan, step.output)) continue;
+            expected = n * BaseBytes(ctx, plan, step.output);
+          }
+          break;
+        }
+        case StepKind::kRandom:
+        case StepKind::kTranspose:
+        case StepKind::kExtract:
+        case StepKind::kReduce:
+        case StepKind::kScalarAssign:
+          expected = 0;  // worker-local (Situation 1) or driver-side
+          break;
+      }
+      if (!Close(step.comm_bytes, expected)) {
+        out->push_back(
+            {Severity::kError, kPass, step.id,
+             StepLabel(step) + " claims " + FormatBytes(step.comm_bytes) +
+                 " of communication; shapes and schemes imply " +
+                 FormatBytes(expected),
+             "the cost model and the plan diverged; re-run the planner"});
+      }
+    }
+    if (!Close(plan.total_comm_bytes, total)) {
+      out->push_back({Severity::kError, kPass, -1,
+                      "plan total_comm_bytes is " +
+                          FormatBytes(plan.total_comm_bytes) +
+                          " but the steps sum to " + FormatBytes(total),
+                      "Finalize() must re-accumulate the total"});
+    }
+  }
+
+ private:
+  /// Cost-model bytes of the node's base (untransposed) matrix — the same
+  /// quantity the planner prices. Prefers the SizeEstimator stats map; falls
+  /// back to the node's own stats (transposed back when needed).
+  static double BaseBytes(const AnalysisContext& ctx, const Plan& plan,
+                          int node_id) {
+    const PlanNode& node = plan.nodes[static_cast<size_t>(node_id)];
+    auto it = ctx.stats.find(node.matrix);
+    if (it != ctx.stats.end()) return it->second.EstimatedBytes();
+    const MatrixStats base =
+        node.transposed ? node.stats.Transposed() : node.stats;
+    return base.EstimatedBytes();
+  }
+
+  static std::string FormatBytes(double bytes) {
+    return std::to_string(static_cast<int64_t>(bytes)) + " bytes";
+  }
+};
+
+}  // namespace
+
+AnalysisPassPtr MakeCommCostPass() {
+  return std::make_unique<CommCostPass>();
+}
+
+}  // namespace dmac

@@ -1,0 +1,70 @@
+#include "analysis/diagnostic.h"
+
+namespace dmac {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += ": [" + pass + "]";
+  if (op_id >= 0) out += " (op " + std::to_string(op_id) + ")";
+  out += " " + message;
+  if (!fixit_hint.empty()) out += " (fix: " + fixit_hint + ")";
+  return out;
+}
+
+int AnalysisReport::ErrorCount() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) n += d.severity == Severity::kError;
+  return n;
+}
+
+int AnalysisReport::WarningCount() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == Severity::kWarning;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> AnalysisReport::FromPass(
+    const std::string& pass) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.pass == pass) out.push_back(d);
+  }
+  return out;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) out += d.ToString() + "\n";
+  out += std::to_string(ErrorCount()) + " error(s), " +
+         std::to_string(WarningCount()) + " warning(s)\n";
+  return out;
+}
+
+Status AnalysisReport::ToStatus() const {
+  if (!HasErrors()) return Status::Ok();
+  std::string msg = "plan verification failed:";
+  bool shape_error = false;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    msg += "\n  " + d.ToString();
+    if (d.pass == "shape-inference") shape_error = true;
+  }
+  return shape_error ? Status::DimensionMismatch(std::move(msg))
+                     : Status::Invalid(std::move(msg));
+}
+
+}  // namespace dmac

@@ -1,0 +1,59 @@
+// Diagnostic model of the static plan verifier (src/analysis).
+//
+// Every analysis pass reports findings as Diagnostics; an AnalysisReport
+// aggregates them across passes. Severities follow the compiler convention:
+// an error means the plan (or operator list) violates an invariant the
+// executor relies on, a warning flags something suspicious but runnable,
+// and a note carries supplementary context.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmac {
+
+/// Severity of one finding.
+enum class Severity : uint8_t { kNote = 0, kWarning = 1, kError = 2 };
+
+const char* SeverityName(Severity s);
+
+/// One finding of an analysis pass.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Name of the producing pass, e.g. "scheme-consistency".
+  std::string pass;
+  /// Operator id (operator-list findings) or plan step id (plan findings);
+  /// -1 when the finding is not tied to one operator.
+  int op_id = -1;
+  /// What is wrong.
+  std::string message;
+  /// How to fix it (may be empty).
+  std::string fixit_hint;
+
+  /// Renders "error: [pass] (op 3) message (fix: hint)".
+  std::string ToString() const;
+};
+
+/// All findings of one analyzer run, in pass order.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  int ErrorCount() const;
+  int WarningCount() const;
+  bool HasErrors() const { return ErrorCount() > 0; }
+
+  /// Diagnostics emitted by the pass named `pass`.
+  std::vector<Diagnostic> FromPass(const std::string& pass) const;
+
+  /// One line per diagnostic plus a summary line.
+  std::string ToString() const;
+
+  /// OK when no error-severity diagnostic exists; otherwise an error Status
+  /// whose message lists every error (shape findings map to
+  /// kDimensionMismatch, everything else to kInvalidArgument).
+  Status ToStatus() const;
+};
+
+}  // namespace dmac

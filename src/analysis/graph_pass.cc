@@ -1,0 +1,210 @@
+// Dependency-graph validation (pass 3).
+//
+// Operator level: SSA single definition, def-before-use of matrix and
+// scalar names, and dead-operator detection (an operator whose output no
+// later operator consumes and that is not bound to a program output).
+//
+// Plan level: every referenced node id is valid, every consumed node has
+// exactly one producer step, steps are topologically ordered (a producer
+// precedes all of its consumers — which also proves acyclicity of the step
+// graph), and nodes no step or output binding consumes are flagged.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/passes.h"
+
+namespace dmac {
+
+namespace {
+
+constexpr char kPass[] = "dependency-graph";
+
+void CollectScalarRefs(const ScalarExprPtr& e,
+                       std::unordered_set<std::string>* refs,
+                       std::unordered_set<std::string>* matrix_refs) {
+  if (e == nullptr) return;
+  if (e->kind == ScalarExpr::Kind::kVarRef) refs->insert(e->name);
+  if (e->matrix != nullptr && matrix_refs != nullptr &&
+      e->matrix->kind == MatrixExpr::Kind::kVarRef) {
+    matrix_refs->insert(e->matrix->name);
+  }
+  CollectScalarRefs(e->lhs, refs, matrix_refs);
+  CollectScalarRefs(e->rhs, refs, matrix_refs);
+}
+
+class DependencyGraphPass final : public AnalysisPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    if (ctx.ops != nullptr) CheckOperators(*ctx.ops, out);
+    if (ctx.plan != nullptr) CheckPlan(*ctx.plan, out);
+  }
+
+ private:
+  void CheckOperators(const OperatorList& ops,
+                      std::vector<Diagnostic>* out) const {
+    std::unordered_map<std::string, int> def_site;     // matrix SSA -> op id
+    std::unordered_map<std::string, int> scalar_site;  // scalar SSA -> op id
+    std::unordered_set<std::string> consumed;
+    std::unordered_set<std::string> scalar_consumed;
+
+    for (const Operator& op : ops.ops) {
+      for (const MatrixRef& ref : op.inputs) {
+        if (def_site.find(ref.name) == def_site.end()) {
+          out->push_back({Severity::kError, kPass, op.id,
+                          op.ToString() + ": input " + ref.ToString() +
+                              " is not defined by any earlier operator",
+                          "the operator list violates def-before-use"});
+        }
+        consumed.insert(ref.name);
+      }
+      std::unordered_set<std::string> scalar_refs;
+      CollectScalarRefs(op.scalar, &scalar_refs, nullptr);
+      for (const std::string& s : scalar_refs) {
+        if (scalar_site.find(s) == scalar_site.end()) {
+          out->push_back({Severity::kError, kPass, op.id,
+                          op.ToString() + ": scalar " + s +
+                              " is not defined by any earlier operator",
+                          "the operator list violates def-before-use"});
+        }
+        scalar_consumed.insert(s);
+      }
+      if (!op.output.empty()) {
+        auto [it, inserted] = def_site.emplace(op.output, op.id);
+        if (!inserted) {
+          out->push_back({Severity::kError, kPass, op.id,
+                          op.ToString() + ": redefines SSA matrix " +
+                              op.output + " (first defined by op " +
+                              std::to_string(it->second) + ")",
+                          "SSA names must be defined exactly once"});
+        }
+      }
+      if (!op.scalar_out.empty()) {
+        auto [it, inserted] = scalar_site.emplace(op.scalar_out, op.id);
+        if (!inserted) {
+          out->push_back({Severity::kError, kPass, op.id,
+                          op.ToString() + ": redefines SSA scalar " +
+                              op.scalar_out + " (first defined by op " +
+                              std::to_string(it->second) + ")",
+                          "SSA names must be defined exactly once"});
+        }
+      }
+    }
+
+    // Dead operators: outputs nobody consumes and no binding exports.
+    std::unordered_set<std::string> exported;
+    for (const auto& [var, ref] : ops.output_bindings) exported.insert(ref.name);
+    for (const auto& [var, ssa] : ops.scalar_output_bindings) {
+      scalar_consumed.insert(ssa);
+    }
+    for (const Operator& op : ops.ops) {
+      const bool dead_matrix = !op.output.empty() &&
+                               consumed.find(op.output) == consumed.end() &&
+                               exported.find(op.output) == exported.end();
+      const bool dead_scalar =
+          !op.scalar_out.empty() &&
+          scalar_consumed.find(op.scalar_out) == scalar_consumed.end();
+      if (dead_matrix || (op.output.empty() && dead_scalar)) {
+        out->push_back({Severity::kWarning, kPass, op.id,
+                        op.ToString() + ": result " +
+                            (dead_matrix ? op.output : op.scalar_out) +
+                            " is never consumed",
+                        "dead operator; drop it from the program"});
+      }
+    }
+  }
+
+  void CheckPlan(const Plan& plan, std::vector<Diagnostic>* out) const {
+    const int num_nodes = static_cast<int>(plan.nodes.size());
+    std::unordered_map<int, int> producer;  // node id -> producing step id
+    std::unordered_set<int> consumed;
+
+    // Pass A: producers, valid ids, single-producer.
+    for (const PlanStep& step : plan.steps) {
+      if (step.output >= 0) {
+        if (step.output >= num_nodes) {
+          out->push_back({Severity::kError, kPass, step.id,
+                          StepLabel(step) + " writes node id " +
+                              std::to_string(step.output) +
+                              " outside the node table (size " +
+                              std::to_string(num_nodes) + ")",
+                          "the plan's node table is corrupted"});
+        } else {
+          auto [it, inserted] = producer.emplace(step.output, step.id);
+          if (!inserted) {
+            out->push_back({Severity::kError, kPass, step.id,
+                            StepLabel(step) + " writes node " +
+                                NodeLabel(plan, step.output) + " (id " +
+                                std::to_string(step.output) +
+                                ") already produced by step s" +
+                                std::to_string(it->second),
+                            "every node must have exactly one producer"});
+          }
+        }
+      }
+    }
+
+    // Pass B: def-before-use in step order (topological order implies an
+    // acyclic step graph).
+    std::unordered_set<int> materialized;
+    for (const PlanStep& step : plan.steps) {
+      for (int id : step.inputs) {
+        if (id < 0 || id >= num_nodes) {
+          out->push_back({Severity::kError, kPass, step.id,
+                          StepLabel(step) + " reads node id " +
+                              std::to_string(id) +
+                              " outside the node table (size " +
+                              std::to_string(num_nodes) + ")",
+                          "the plan's node table is corrupted"});
+          continue;
+        }
+        consumed.insert(id);
+        if (producer.find(id) == producer.end()) {
+          out->push_back({Severity::kError, kPass, step.id,
+                          StepLabel(step) + " reads node " +
+                              NodeLabel(plan, id) + " (id " +
+                              std::to_string(id) + ") that no step produces",
+                          "a producer step is missing or was deleted"});
+        } else if (materialized.find(id) == materialized.end()) {
+          out->push_back({Severity::kError, kPass, step.id,
+                          StepLabel(step) + " reads node " +
+                              NodeLabel(plan, id) + " (id " +
+                              std::to_string(id) +
+                              ") before its producer step s" +
+                              std::to_string(producer[id]) + " ran",
+                          "steps are not topologically ordered; re-run "
+                          "Finalize()"});
+        }
+      }
+      if (step.output >= 0 && step.output < num_nodes) {
+        materialized.insert(step.output);
+      }
+    }
+
+    // Pass C: dead nodes. Output bindings keep their node alive.
+    for (const PlanOutput& po : plan.outputs) consumed.insert(po.node);
+    for (const PlanNode& node : plan.nodes) {
+      if (producer.find(node.id) != producer.end() &&
+          consumed.find(node.id) == consumed.end()) {
+        out->push_back({Severity::kNote, kPass,
+                        producer.find(node.id)->second,
+                        "node " + node.ToString() + " (id " +
+                            std::to_string(node.id) +
+                            ") is materialized but never consumed",
+                        "dead materialization; the planner left it behind"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+AnalysisPassPtr MakeDependencyGraphPass() {
+  return std::make_unique<DependencyGraphPass>();
+}
+
+}  // namespace dmac

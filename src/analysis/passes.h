@@ -1,0 +1,37 @@
+// Factories for the built-in analysis passes.
+//
+// The five passes mirror the invariants the planner (paper §4, Algorithm 1)
+// is supposed to establish:
+//
+//  shape-inference      operator arity, def-before-use of names, dimension
+//                       conformance, and agreement with the SizeEstimator;
+//                       at the plan level, every step's output shape is
+//                       recomputed from its inputs.
+//  scheme-consistency   every step's input partition schemes satisfy the
+//                       chosen strategy (RMM1/RMM2/CPMM operand schemes,
+//                       aligned cell-wise operands, broadcast-only extract
+//                       sources, ...) and its output scheme is the one the
+//                       strategy produces.
+//  dependency-graph     SSA single definition, def-before-use, topological
+//                       step order, single producer per node, acyclicity,
+//                       and dead-operator/-node detection.
+//  comm-cost            each communicating step's byte estimate is
+//                       recomputed from shapes + schemes (§4.1: 0 / |A| /
+//                       N·|A|) and compared against the planner's claim;
+//                       the plan total must equal the per-step sum.
+//  alias-safety         no operator updates a matrix that is still live as
+//                       another operator's input (the §5 in-place hazard),
+//                       no step reads its own output node.
+#pragma once
+
+#include "analysis/pass.h"
+
+namespace dmac {
+
+AnalysisPassPtr MakeShapeInferencePass();
+AnalysisPassPtr MakeSchemeConsistencyPass();
+AnalysisPassPtr MakeDependencyGraphPass();
+AnalysisPassPtr MakeCommCostPass();
+AnalysisPassPtr MakeAliasSafetyPass();
+
+}  // namespace dmac

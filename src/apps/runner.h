@@ -27,6 +27,9 @@ struct RunConfig {
   LocalMode local_mode = LocalMode::kInPlace;
   /// Task-queue vs static local scheduling (Fig. 4 ablation).
   TaskScheduling task_scheduling = TaskScheduling::kQueue;
+  /// Run the static plan verifier (src/analysis) after planning; planning
+  /// fails on any error diagnostic. Defaults on in debug builds.
+  bool verify_plan = kVerifyPlanDefault;
   uint64_t seed = 42;
 };
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "analysis/analyzer.h"
 #include "common/logging.h"
 #include "plan/dependency.h"
 
@@ -40,6 +41,10 @@ class Planner {
       : ops_(ops), opts_(options) {}
 
   Result<Plan> Run() {
+    // Shape-inference gate: reject malformed operator lists (wrong arity,
+    // undefined names, non-conforming shapes) with a Status instead of
+    // letting the strategy/estimation code index past operand arrays.
+    DMAC_RETURN_NOT_OK(CheckOperators(ops_));
     DMAC_ASSIGN_OR_RETURN(stats_, EstimateSizes(ops_));
 
     for (const Operator& op : ops_.ops) {
@@ -47,6 +52,11 @@ class Planner {
     }
     DMAC_RETURN_NOT_OK(BindOutputs());
     DMAC_RETURN_NOT_OK(plan_.Finalize());
+    if (opts_.verify_plan) {
+      // Post-pass: the static verifier re-derives every invariant Algorithm 1
+      // is supposed to establish and fails planning on any violation.
+      DMAC_RETURN_NOT_OK(VerifyPlan(ops_, plan_, opts_.num_workers));
+    }
     return std::move(plan_);
   }
 

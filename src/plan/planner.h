@@ -7,6 +7,14 @@
 
 namespace dmac {
 
+/// Default of PlannerOptions::verify_plan: the static plan verifier runs
+/// after every GeneratePlan in assert-enabled builds.
+#ifdef NDEBUG
+inline constexpr bool kVerifyPlanDefault = false;
+#else
+inline constexpr bool kVerifyPlanDefault = true;
+#endif
+
 /// Planner configuration.
 struct PlannerOptions {
   /// N in the cost model: number of workers in the cluster.
@@ -32,6 +40,12 @@ struct PlannerOptions {
   /// strategies (e.g. the RMM1/RMM2 tie on B·Bᵀ the paper discusses, and
   /// the Row/Column tie when loading an input). 0 disables lookahead.
   int lookahead_edges = 8;
+
+  /// Run the static plan verifier (src/analysis) over the finalized plan
+  /// and fail planning on any error-severity diagnostic. Mandatory in
+  /// assert-enabled (debug) builds, where a planner bug should fail loudly
+  /// instead of becoming a wrong answer; off by default in release builds.
+  bool verify_plan = kVerifyPlanDefault;
 };
 
 /// Runs Algorithm 1 over the decomposed program and returns a finalized,

@@ -1,0 +1,59 @@
+// Shared helpers of the analysis test suite: parse a script into an
+// operator list, plan it with the debug post-pass enabled, and query an
+// AnalysisReport for an expected finding.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "lang/decompose.h"
+#include "lang/parser.h"
+#include "plan/planner.h"
+
+namespace dmac {
+
+/// Parses and decomposes an inline script; fails the test on any error.
+inline OperatorList ParseOps(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto ops = Decompose(*program);
+  EXPECT_TRUE(ops.ok()) << ops.status().ToString();
+  return std::move(*ops);
+}
+
+/// Plans with the verifier forced on, so every test that goes through this
+/// helper also exercises the GeneratePlan debug post-pass regardless of the
+/// build type.
+inline Plan MustPlan(const OperatorList& ops, int workers = 4,
+                     bool exploit_dependencies = true) {
+  PlannerOptions opts;
+  opts.num_workers = workers;
+  opts.exploit_dependencies = exploit_dependencies;
+  opts.verify_plan = true;
+  auto plan = GeneratePlan(ops, opts);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(*plan);
+}
+
+/// True when the report holds a diagnostic from `pass` at `severity` whose
+/// message contains `substring`.
+inline bool HasDiag(const AnalysisReport& report, const std::string& pass,
+                    Severity severity, const std::string& substring) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.pass == pass && d.severity == severity &&
+        d.message.find(substring) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// gtest-friendly dump of a report for failure messages.
+inline std::string Dump(const AnalysisReport& report) {
+  return report.ToString();
+}
+
+}  // namespace dmac

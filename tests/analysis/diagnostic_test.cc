@@ -1,0 +1,90 @@
+#include "analysis/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(DiagnosticTest, ToStringRendersSeverityPassOpAndFixit) {
+  Diagnostic d{Severity::kError, "scheme-consistency", 3,
+               "step s3 requires r", "re-run the planner"};
+  EXPECT_EQ(d.ToString(),
+            "error: [scheme-consistency] (op 3) step s3 requires r "
+            "(fix: re-run the planner)");
+}
+
+TEST(DiagnosticTest, ToStringOmitsOpAndFixitWhenAbsent) {
+  Diagnostic d{Severity::kWarning, "dependency-graph", -1, "plan is odd", ""};
+  EXPECT_EQ(d.ToString(), "warning: [dependency-graph] plan is odd");
+}
+
+TEST(DiagnosticTest, SeverityNames) {
+  EXPECT_STREQ(SeverityName(Severity::kNote), "note");
+  EXPECT_STREQ(SeverityName(Severity::kWarning), "warning");
+  EXPECT_STREQ(SeverityName(Severity::kError), "error");
+}
+
+AnalysisReport MixedReport() {
+  AnalysisReport r;
+  r.diagnostics.push_back(
+      {Severity::kError, "shape-inference", 1, "bad shape", ""});
+  r.diagnostics.push_back(
+      {Severity::kWarning, "dependency-graph", 2, "dead op", ""});
+  r.diagnostics.push_back(
+      {Severity::kNote, "dependency-graph", 3, "dead node", ""});
+  r.diagnostics.push_back(
+      {Severity::kError, "comm-cost", 4, "wrong bytes", ""});
+  return r;
+}
+
+TEST(AnalysisReportTest, CountsBySeverity) {
+  const AnalysisReport r = MixedReport();
+  EXPECT_EQ(r.ErrorCount(), 2);
+  EXPECT_EQ(r.WarningCount(), 1);
+  EXPECT_TRUE(r.HasErrors());
+  EXPECT_FALSE(AnalysisReport{}.HasErrors());
+}
+
+TEST(AnalysisReportTest, FromPassFilters) {
+  const AnalysisReport r = MixedReport();
+  EXPECT_EQ(r.FromPass("dependency-graph").size(), 2u);
+  EXPECT_EQ(r.FromPass("comm-cost").size(), 1u);
+  EXPECT_TRUE(r.FromPass("alias-safety").empty());
+}
+
+TEST(AnalysisReportTest, ToStatusOkWithoutErrors) {
+  AnalysisReport r;
+  r.diagnostics.push_back(
+      {Severity::kWarning, "dependency-graph", 2, "dead op", ""});
+  EXPECT_TRUE(r.ToStatus().ok());
+}
+
+TEST(AnalysisReportTest, ToStatusMapsShapeErrorsToDimensionMismatch) {
+  AnalysisReport r;
+  r.diagnostics.push_back(
+      {Severity::kError, "shape-inference", 1, "bad shape", ""});
+  const Status s = r.ToStatus();
+  EXPECT_EQ(s.code(), StatusCode::kDimensionMismatch);
+  EXPECT_NE(s.ToString().find("bad shape"), std::string::npos);
+}
+
+TEST(AnalysisReportTest, ToStatusMapsOtherErrorsToInvalidArgument) {
+  const Status s = MixedReport().ToStatus();
+  // The shape error takes precedence here; a pure scheme error maps to
+  // kInvalidArgument.
+  AnalysisReport scheme_only;
+  scheme_only.diagnostics.push_back(
+      {Severity::kError, "scheme-consistency", 1, "bad scheme", ""});
+  EXPECT_EQ(scheme_only.ToStatus().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(AnalysisReportTest, ToStringListsEveryDiagnosticAndASummary) {
+  const std::string s = MixedReport().ToString();
+  EXPECT_NE(s.find("bad shape"), std::string::npos);
+  EXPECT_NE(s.find("dead op"), std::string::npos);
+  EXPECT_NE(s.find("2 error(s), 1 warning(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,149 @@
+// Golden diagnostics of the dependency-graph pass: SSA discipline over the
+// operator list, and producer/consumer ordering over the plan.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "analysis_test_util.h"
+#include "plan/planner.h"
+
+namespace dmac {
+namespace {
+
+Operator Load(int id, const std::string& out, int64_t rows, int64_t cols) {
+  Operator op;
+  op.id = id;
+  op.kind = OpKind::kLoad;
+  op.output = out;
+  op.decl_shape = {rows, cols};
+  op.source = out;
+  return op;
+}
+
+TEST(GraphPassTest, UseBeforeDefIsDiagnosed) {
+  OperatorList ops;
+  Operator mul;
+  mul.id = 0;
+  mul.kind = OpKind::kMultiply;
+  mul.inputs = {{"A#1", false}, {"B#1", false}};  // neither is defined
+  mul.output = "C#1";
+  ops.ops.push_back(mul);
+  ops.output_bindings["C"] = {"C#1", false};
+
+  const AnalysisReport report = AnalyzeProgram(&ops, nullptr, 4);
+  EXPECT_TRUE(HasDiag(report, "dependency-graph", Severity::kError,
+                      "is not defined by any earlier operator"))
+      << Dump(report);
+  // GeneratePlan's front gate turns this into a Status, not UB.
+  EXPECT_FALSE(GeneratePlan(ops, PlannerOptions{}).ok());
+}
+
+TEST(GraphPassTest, SsaRedefinitionIsDiagnosed) {
+  OperatorList ops;
+  ops.ops.push_back(Load(0, "A#1", 10, 10));
+  ops.ops.push_back(Load(1, "A#1", 10, 10));  // redefines A#1
+  ops.output_bindings["A"] = {"A#1", false};
+
+  const AnalysisReport report = AnalyzeProgram(&ops, nullptr, 4);
+  EXPECT_TRUE(HasDiag(report, "dependency-graph", Severity::kError,
+                      "redefines SSA matrix A#1"))
+      << Dump(report);
+}
+
+TEST(GraphPassTest, DeadOperatorIsAWarningNotAnError) {
+  OperatorList ops;
+  ops.ops.push_back(Load(0, "A#1", 10, 10));
+  ops.ops.push_back(Load(1, "B#1", 10, 10));  // never consumed, not output
+  ops.output_bindings["A"] = {"A#1", false};
+
+  const AnalysisReport report = AnalyzeProgram(&ops, nullptr, 4);
+  EXPECT_TRUE(HasDiag(report, "dependency-graph", Severity::kWarning,
+                      "is never consumed"))
+      << Dump(report);
+  EXPECT_FALSE(report.HasErrors()) << Dump(report);
+  // Warnings do not fail planning.
+  PlannerOptions opts;
+  opts.verify_plan = true;
+  EXPECT_TRUE(GeneratePlan(ops, opts).ok());
+}
+
+const char kSmallProgram[] =
+    "V = load(\"V\", 50000, 2000, 0.001)\n"
+    "w = random(2000, 1)\n"
+    "p = V %*% w\n"
+    "q = t(V) %*% p\n"
+    "output(q)\n";
+
+TEST(GraphPassTest, StepReadingOutsideNodeTableIsDiagnosed) {
+  const OperatorList ops = ParseOps(kSmallProgram);
+  Plan plan = MustPlan(ops);
+  ASSERT_FALSE(plan.steps.empty());
+  PlanStep* compute = nullptr;
+  for (PlanStep& step : plan.steps) {
+    if (!step.inputs.empty()) compute = &step;
+  }
+  ASSERT_NE(compute, nullptr);
+  compute->inputs[0] = 999;  // out of range
+
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(HasDiag(report, "dependency-graph", Severity::kError,
+                      "outside the node table"))
+      << Dump(report);
+}
+
+TEST(GraphPassTest, ConsumerBeforeProducerIsDiagnosed) {
+  const OperatorList ops = ParseOps(kSmallProgram);
+  Plan plan = MustPlan(ops);
+
+  // Swap a producer in front of its consumer: find a step whose input node
+  // is produced by an earlier step and exchange the two.
+  int producer_pos = -1, consumer_pos = -1;
+  for (size_t i = 0; i < plan.steps.size() && consumer_pos < 0; ++i) {
+    for (int input : plan.steps[i].inputs) {
+      const int producer = plan.nodes[static_cast<size_t>(input)].producer_step;
+      for (size_t j = 0; j < i; ++j) {
+        if (plan.steps[j].id == producer) {
+          producer_pos = static_cast<int>(j);
+          consumer_pos = static_cast<int>(i);
+          break;
+        }
+      }
+      if (consumer_pos >= 0) break;
+    }
+  }
+  ASSERT_GE(consumer_pos, 0);
+  std::swap(plan.steps[static_cast<size_t>(producer_pos)],
+            plan.steps[static_cast<size_t>(consumer_pos)]);
+
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(HasDiag(report, "dependency-graph", Severity::kError,
+                      "before its producer step"))
+      << Dump(report);
+}
+
+TEST(GraphPassTest, DoubleProducerIsDiagnosed) {
+  const OperatorList ops = ParseOps(kSmallProgram);
+  Plan plan = MustPlan(ops);
+  // Make the second step claim the first step's output node as well.
+  ASSERT_GE(plan.steps.size(), 2u);
+  ASSERT_GE(plan.steps[0].output, 0);
+  plan.steps[1].output = plan.steps[0].output;
+
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(HasDiag(report, "dependency-graph", Severity::kError,
+                      "already produced by step"))
+      << Dump(report);
+}
+
+TEST(GraphPassTest, CleanProgramHasNoGraphFindings) {
+  const OperatorList ops = ParseOps(kSmallProgram);
+  const Plan plan = MustPlan(ops);
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  for (const Diagnostic& d : report.FromPass("dependency-graph")) {
+    EXPECT_NE(d.severity, Severity::kError) << d.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dmac

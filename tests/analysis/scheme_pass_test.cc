@@ -1,0 +1,117 @@
+// Golden diagnostics of the scheme-consistency pass: the Algorithm 1
+// invariant that every step's input schemes satisfy its chosen strategy.
+// Plans are corrupted *after* planning, the exact failure mode the verifier
+// exists for.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis_test_util.h"
+
+namespace dmac {
+namespace {
+
+const char kTwoMultiplies[] =
+    "V = load(\"V\", 100000, 1000, 0.001)\n"
+    "w = random(1000, 1)\n"
+    "p = V %*% w\n"
+    "q = t(V) %*% p\n"
+    "output(q)\n";
+
+TEST(SchemePassTest, ValidPlanIsSchemeClean) {
+  const OperatorList ops = ParseOps(kTwoMultiplies);
+  const Plan plan = MustPlan(ops);
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(report.FromPass("scheme-consistency").empty()) << Dump(report);
+}
+
+TEST(SchemePassTest, FlippedInputSchemeNamesTheOffendingStep) {
+  const OperatorList ops = ParseOps(kTwoMultiplies);
+  Plan plan = MustPlan(ops);
+
+  // Flip the scheme of a node some compute step actually consumes.
+  int victim = -1;
+  for (const PlanStep& step : plan.steps) {
+    if (step.kind == StepKind::kCompute && !step.inputs.empty()) {
+      victim = step.inputs[0];
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  PlanNode& node = plan.nodes[static_cast<size_t>(victim)];
+  const Scheme flipped = node.scheme() == Scheme::kBroadcast
+                             ? Scheme::kRow
+                             : OppositeScheme(node.scheme());
+  node.schemes = SchemeBit(flipped);
+
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(HasDiag(report, "scheme-consistency", Severity::kError,
+                      "(id " + std::to_string(victim) + ")"))
+      << Dump(report);
+  const Status status = VerifyPlan(ops, plan, 4);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("scheme-consistency"), std::string::npos);
+}
+
+TEST(SchemePassTest, UncollapsedFlexibleSchemeIsDiagnosed) {
+  const OperatorList ops = ParseOps(kTwoMultiplies);
+  Plan plan = MustPlan(ops);
+  plan.nodes[0].schemes = SchemeBit(Scheme::kRow) | SchemeBit(Scheme::kCol);
+
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(HasDiag(report, "scheme-consistency", Severity::kError,
+                      "does not carry exactly one scheme"))
+      << Dump(report);
+}
+
+TEST(SchemePassTest, MultiplyWithoutAnAlgorithmIsDiagnosed) {
+  const OperatorList ops = ParseOps(kTwoMultiplies);
+  Plan plan = MustPlan(ops);
+  bool corrupted = false;
+  for (PlanStep& step : plan.steps) {
+    if (step.kind == StepKind::kCompute && step.op_kind == OpKind::kMultiply) {
+      step.mult_algo = MultAlgo::kNone;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(HasDiag(report, "scheme-consistency", Severity::kError,
+                      "multiply step carries no algorithm"))
+      << Dump(report);
+}
+
+TEST(SchemePassTest, AlteredStrategyOutputSchemeIsDiagnosed) {
+  const OperatorList ops = ParseOps(kTwoMultiplies);
+  Plan plan = MustPlan(ops);
+
+  // Corrupt the output node of the first multiply: whatever single scheme
+  // the strategy produced, the opposite is inconsistent (RMM outputs are
+  // never Broadcast, so OppositeScheme always changes it).
+  int out_node = -1;
+  for (const PlanStep& step : plan.steps) {
+    if (step.kind == StepKind::kCompute && step.op_kind == OpKind::kMultiply) {
+      out_node = step.output;
+      break;
+    }
+  }
+  ASSERT_GE(out_node, 0);
+  PlanNode& node = plan.nodes[static_cast<size_t>(out_node)];
+  ASSERT_NE(node.scheme(), Scheme::kBroadcast);
+  node.schemes = SchemeBit(OppositeScheme(node.scheme()));
+
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(report.HasErrors()) << Dump(report);
+  EXPECT_FALSE(report.FromPass("scheme-consistency").empty()) << Dump(report);
+}
+
+TEST(SchemePassTest, BaselinePlansAreSchemeCleanToo) {
+  const OperatorList ops = ParseOps(kTwoMultiplies);
+  const Plan plan = MustPlan(ops, 4, /*exploit_dependencies=*/false);
+  const AnalysisReport report = AnalyzeProgram(&ops, &plan, 4);
+  EXPECT_TRUE(report.FromPass("scheme-consistency").empty()) << Dump(report);
+}
+
+}  // namespace
+}  // namespace dmac

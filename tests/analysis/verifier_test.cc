@@ -1,0 +1,148 @@
+// End-to-end verifier tests: the default pipeline, the GeneratePlan debug
+// post-pass, and the negative guarantee that every paper workload plans
+// lint-clean under both planners.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/passes.h"
+#include "analysis_test_util.h"
+#include "apps/gnmf.h"
+#include "apps/linear_regression.h"
+#include "apps/logistic_regression.h"
+#include "apps/pagerank.h"
+#include "apps/svd_lanczos.h"
+#include "lang/decompose.h"
+
+namespace dmac {
+namespace {
+
+TEST(AnalyzerTest, DefaultPipelineHasFivePasses) {
+  EXPECT_EQ(Analyzer::Default().num_passes(), 5u);
+}
+
+TEST(AnalyzerTest, EmptyContextProducesNoFindings) {
+  const AnalysisReport report = Analyzer::Default().Run(AnalysisContext{});
+  EXPECT_TRUE(report.diagnostics.empty()) << Dump(report);
+}
+
+TEST(AnalyzerTest, PassesCanRunIndividually) {
+  const OperatorList ops = ParseOps(
+      "V = load(\"V\", 1000, 100, 1)\n"
+      "s = colsums(V)\n"
+      "output(s)\n");
+  AnalysisContext ctx;
+  ctx.ops = &ops;
+  std::vector<Diagnostic> out;
+  MakeShapeInferencePass()->Run(ctx, &out);
+  MakeDependencyGraphPass()->Run(ctx, &out);
+  MakeAliasSafetyPass()->Run(ctx, &out);
+  for (const Diagnostic& d : out) {
+    EXPECT_NE(d.severity, Severity::kError) << d.ToString();
+  }
+}
+
+/// Every paper workload, as its application builder emits it.
+std::vector<std::pair<std::string, Program>> PaperPrograms() {
+  std::vector<std::pair<std::string, Program>> programs;
+  GnmfConfig gnmf;
+  gnmf.rows = 100000;
+  gnmf.cols = 10000;
+  gnmf.sparsity = 1e-4;
+  gnmf.iterations = 2;
+  programs.emplace_back("gnmf", BuildGnmfProgram(gnmf));
+
+  PageRankConfig pagerank;
+  pagerank.nodes = 100000;
+  pagerank.link_sparsity = 1e-4;
+  pagerank.iterations = 2;
+  programs.emplace_back("pagerank", BuildPageRankProgram(pagerank));
+
+  LinRegConfig linreg;
+  linreg.examples = 100000;
+  linreg.features = 10000;
+  linreg.sparsity = 1e-4;
+  linreg.iterations = 2;
+  programs.emplace_back("linreg", BuildLinearRegressionProgram(linreg));
+
+  LogRegConfig logreg;
+  logreg.examples = 100000;
+  logreg.features = 10000;
+  logreg.sparsity = 1e-4;
+  logreg.iterations = 2;
+  programs.emplace_back("logreg", BuildLogisticRegressionProgram(logreg));
+
+  SvdConfig svd;
+  svd.rows = 100000;
+  svd.cols = 10000;
+  svd.sparsity = 1e-4;
+  svd.rank = 3;
+  programs.emplace_back("svd", BuildSvdLanczosProgram(svd));
+  return programs;
+}
+
+TEST(VerifierTest, AllPaperWorkloadsLintCleanUnderBothPlanners) {
+  for (const auto& [name, program] : PaperPrograms()) {
+    auto ops = Decompose(program);
+    ASSERT_TRUE(ops.ok()) << name << ": " << ops.status().ToString();
+    for (bool exploit : {true, false}) {
+      for (int workers : {2, 4, 16}) {
+        // MustPlan runs GeneratePlan with verify_plan=true: the debug
+        // post-pass itself must accept every workload.
+        const Plan plan = MustPlan(*ops, workers, exploit);
+        const AnalysisReport report = AnalyzeProgram(&*ops, &plan, workers);
+        EXPECT_FALSE(report.HasErrors())
+            << name << " exploit=" << exploit << " workers=" << workers
+            << "\n" << Dump(report);
+        EXPECT_TRUE(VerifyPlan(*ops, plan, workers).ok()) << name;
+      }
+    }
+  }
+}
+
+TEST(VerifierTest, VerifyPlanCatchesPostPlanningCorruption) {
+  GnmfConfig config;
+  config.rows = 100000;
+  config.cols = 10000;
+  config.sparsity = 1e-4;
+  config.iterations = 1;
+  auto ops = Decompose(BuildGnmfProgram(config));
+  ASSERT_TRUE(ops.ok());
+  Plan plan = MustPlan(*ops);
+
+  ASSERT_FALSE(plan.nodes.empty());
+  PlanNode& node = plan.nodes[0];
+  const Scheme flipped = node.scheme() == Scheme::kBroadcast
+                             ? Scheme::kRow
+                             : OppositeScheme(node.scheme());
+  node.schemes = SchemeBit(flipped);
+
+  const Status status = VerifyPlan(*ops, plan, 4);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("scheme-consistency"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(VerifierTest, CheckOperatorsGateMirrorsGeneratePlan) {
+  // A well-formed list passes the gate...
+  const OperatorList good = ParseOps(
+      "V = load(\"V\", 100, 100, 1)\n"
+      "W = V %*% V\n"
+      "output(W)\n");
+  EXPECT_TRUE(CheckOperators(good).ok());
+
+  // ...a malformed one is rejected with the same Status GeneratePlan gives.
+  OperatorList bad = good;
+  bad.ops[1].inputs.clear();
+  const Status gate = CheckOperators(bad);
+  ASSERT_FALSE(gate.ok());
+  auto plan = GeneratePlan(bad, PlannerOptions{});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), gate.code());
+}
+
+}  // namespace
+}  // namespace dmac

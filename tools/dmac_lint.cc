@@ -1,0 +1,145 @@
+// dmac_lint — static analysis of a matrix-language script and its plan.
+//
+//   dmac_lint SCRIPT.dmac [options]
+//
+// Runs the src/analysis pass pipeline twice: once over the decomposed
+// operator list (shape conformance, def-before-use, aliasing) and — when
+// that is clean enough to plan — once over the finalized execution plan
+// (scheme consistency, communication cost cross-check, dead nodes).
+//
+// Options:
+//   --workers N        simulated workers for the cost cross-check (default 4)
+//   --baseline         lint the SystemML-S (dependency-oblivious) plan
+//   --no-plan          operator-level checks only; skip planning
+//   --werror           treat warnings as errors for the exit code
+//   --corrupt-node ID  deliberately flip node ID's partition scheme after
+//                      planning (testing hook: proves the verifier catches
+//                      a corrupted plan)
+//
+// Exit status: 0 clean, 1 diagnostics at error severity (or any finding
+// with --werror), 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "lang/decompose.h"
+#include "lang/parser.h"
+#include "plan/planner.h"
+
+using namespace dmac;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s SCRIPT.dmac [--workers N] [--baseline] [--no-plan] "
+               "[--werror] [--corrupt-node ID]\n",
+               argv0);
+  return 2;
+}
+
+/// Exit code for a report under the --werror policy.
+int ExitCode(const AnalysisReport& report, bool werror) {
+  if (report.HasErrors()) return 1;
+  if (werror && !report.diagnostics.empty()) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string script_path = argv[1];
+
+  int num_workers = 4;
+  bool baseline = false, no_plan = false, werror = false;
+  int corrupt_node = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      num_workers = std::atoi(v);
+    } else if (arg == "--baseline") {
+      baseline = true;
+    } else if (arg == "--no-plan") {
+      no_plan = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--corrupt-node") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      corrupt_node = std::atoi(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::ifstream file(script_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  auto program = ParseProgram(buffer.str());
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", script_path.c_str(),
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  auto ops = Decompose(*program);
+  if (!ops.ok()) {
+    std::fprintf(stderr, "%s: decompose error: %s\n", script_path.c_str(),
+                 ops.status().ToString().c_str());
+    return 1;
+  }
+
+  // Operator-level analysis first: if the program itself is malformed the
+  // planner cannot run, so report what the passes found and stop.
+  AnalysisReport ops_report = AnalyzeProgram(&*ops, nullptr, num_workers);
+  if (no_plan || ops_report.HasErrors()) {
+    std::printf("%s (operators): %s", script_path.c_str(),
+                ops_report.ToString().c_str());
+    return ExitCode(ops_report, werror);
+  }
+
+  PlannerOptions popts;
+  popts.num_workers = num_workers;
+  popts.exploit_dependencies = !baseline;
+  popts.verify_plan = false;  // lint reports diagnostics itself
+  auto plan = GeneratePlan(*ops, popts);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s: plan error: %s\n", script_path.c_str(),
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  if (corrupt_node >= 0) {
+    if (corrupt_node >= static_cast<int>(plan->nodes.size())) {
+      std::fprintf(stderr, "--corrupt-node %d: plan has only %zu nodes\n",
+                   corrupt_node, plan->nodes.size());
+      return 2;
+    }
+    PlanNode& node = plan->nodes[corrupt_node];
+    const Scheme old_scheme = SchemeSetFirst(node.schemes);
+    const Scheme new_scheme = old_scheme == Scheme::kBroadcast
+                                  ? Scheme::kRow
+                                  : OppositeScheme(old_scheme);
+    node.schemes = SchemeBit(new_scheme);
+    std::fprintf(stderr, "note: corrupted node %d (%s): scheme %c -> %c\n",
+                 corrupt_node, node.matrix.c_str(), SchemeChar(old_scheme),
+                 SchemeChar(new_scheme));
+  }
+
+  AnalysisReport report = AnalyzeProgram(&*ops, &*plan, num_workers);
+  std::printf("%s: %s", script_path.c_str(), report.ToString().c_str());
+  return ExitCode(report, werror);
+}

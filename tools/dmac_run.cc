@@ -12,6 +12,8 @@
 //   --dot             with --plan-only: emit Graphviz instead of text
 //   --stats           print a per-stage compute breakdown after execution
 //   --compare         run both planners and print a side-by-side summary
+//   --verify-plan     run the static plan verifier (src/analysis) after
+//                     planning; abort on any error diagnostic
 //   --seed S          RNG seed (default 42)
 //
 // Loads without a --bind are synthesized from their declared shape and
@@ -104,6 +106,8 @@ int main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--baseline") {
       config.exploit_dependencies = false;
+    } else if (arg == "--verify-plan") {
+      config.verify_plan = true;
     } else if (arg == "--plan-only") {
       plan_only = true;
     } else if (arg == "--dot") {
