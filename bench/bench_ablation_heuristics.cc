@@ -14,6 +14,7 @@ using namespace dmac;
 using namespace dmac::bench;
 
 int main() {
+  ObsSession obs;
   PrintHeader("Ablation: planner heuristics (plan-time communication)");
 
   struct Case {

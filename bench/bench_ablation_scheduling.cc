@@ -44,6 +44,7 @@ double RunWith(const LocalMatrix& a, int64_t bs, TaskScheduling scheduling) {
 }  // namespace
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(200);
 
   PrintHeader("Ablation: dynamic task queue vs static task partitioning");

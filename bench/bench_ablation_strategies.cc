@@ -87,6 +87,7 @@ Plan ForcedMultiplyPlan(Shape a_shape, double a_sparsity, Shape b_shape,
 }  // namespace
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(40);
 
   struct Regime {

@@ -22,6 +22,7 @@ using namespace dmac;
 using namespace dmac::bench;
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(400);
   PrintHeader("Cost-model validation: plan estimate vs measured bytes");
   std::printf("%-10s | %-9s | %12s | %12s | %6s\n", "app", "planner",

@@ -47,6 +47,7 @@ Pair RunBoth(const Program& p, const Bindings& bindings, int64_t bs,
 }  // namespace
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(400);
   const int iterations = 3;
   const int64_t cols = static_cast<int64_t>(100000 / 10);

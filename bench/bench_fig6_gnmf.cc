@@ -22,6 +22,7 @@ using namespace dmac;
 using namespace dmac::bench;
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(16);
   NetflixSpec spec = NetflixSpec{}.Scaled(scale);
   const int64_t factors = std::max<int64_t>(8, static_cast<int64_t>(200 / scale) * 4);

@@ -61,6 +61,7 @@ double EnginePeak(const LocalMatrix& adj, LocalMode mode, int threads) {
 }  // namespace
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(150);
   const int threads = 2;
 

@@ -19,6 +19,7 @@ using namespace dmac;
 using namespace dmac::bench;
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(400);
   const int workers = 4;
   const int threads = 2;

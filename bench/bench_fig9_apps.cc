@@ -49,6 +49,7 @@ Pair RunBoth(const Program& p, const Bindings& bindings, int64_t bs) {
 }  // namespace
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(300);
   const int iterations = 5;
 

@@ -48,6 +48,7 @@ double RunDmacStyle(const LocalMatrix& a, const LocalMatrix& b,
 }  // namespace
 
 int main() {
+  ObsSession obs;
   const double scale = ScaleFactor(24);
   // V1: Netflix-dimension sparse matrix (as 17770 x 480189 so that the
   // multiply by the 200-column dense H type-checks), scaled.

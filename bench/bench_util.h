@@ -5,10 +5,45 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/session.h"
 #include "runtime/exec_stats.h"
 
 namespace dmac {
 namespace bench {
+
+/// Opt-in observability for any bench binary (docs/observability.md):
+/// setting DMAC_TRACE_OUT and/or DMAC_METRICS_OUT enables tracing/metrics
+/// for the whole run and writes the files when the benchmark exits. Unset
+/// (the default, and how all reported numbers are measured) this is a no-op
+/// and the observability layer stays on its disabled fast path.
+class ObsSession {
+ public:
+  ObsSession() {
+    if (const char* env = std::getenv("DMAC_TRACE_OUT")) trace_out_ = env;
+    if (const char* env = std::getenv("DMAC_METRICS_OUT")) metrics_out_ = env;
+    if (!trace_out_.empty() || !metrics_out_.empty()) EnableObservability();
+  }
+  ~ObsSession() {
+    if (!trace_out_.empty()) {
+      Status st = WriteTraceFile(trace_out_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "DMAC_TRACE_OUT: %s\n", st.ToString().c_str());
+      }
+    }
+    if (!metrics_out_.empty()) {
+      Status st = WriteMetricsFile(metrics_out_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "DMAC_METRICS_OUT: %s\n", st.ToString().c_str());
+      }
+    }
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
 
 /// Global scale divisor: workloads are the paper's divided by this factor.
 /// Override with the DMAC_BENCH_SCALE environment variable (>1 = smaller

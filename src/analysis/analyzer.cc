@@ -1,6 +1,9 @@
 #include "analysis/analyzer.h"
 
 #include "analysis/passes.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmac {
 
@@ -71,6 +74,10 @@ Analyzer Analyzer::Default() {
 AnalysisReport Analyzer::Run(const AnalysisContext& ctx) const {
   AnalysisReport report;
   for (const AnalysisPassPtr& pass : passes_) {
+    TraceSpan span =
+        TraceRecorder::Global().enabled()
+            ? TraceSpan(kTracePlan, std::string("pass ") + pass->name())
+            : TraceSpan();
     pass->Run(ctx, &report.diagnostics);
   }
   return report;
@@ -102,7 +109,13 @@ AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
 
 Status VerifyPlan(const OperatorList& ops, const Plan& plan,
                   int num_workers) {
-  return AnalyzeProgram(&ops, &plan, num_workers).ToStatus();
+  TraceSpan span(kTracePlan, "verify-plan");
+  Timer timer;
+  Status st = AnalyzeProgram(&ops, &plan, num_workers).ToStatus();
+  static Gauge* verify_seconds =
+      MetricRegistry::Global().gauge(kMetricPlanVerifySeconds);
+  verify_seconds->Set(timer.ElapsedSeconds());
+  return st;
 }
 
 Status CheckOperators(const OperatorList& ops) {

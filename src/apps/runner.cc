@@ -5,6 +5,8 @@
 
 #include "common/timer.h"
 #include "lang/decompose.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/size_estimator.h"
 #include "runtime/block_size.h"
 
@@ -22,11 +24,34 @@ PlannerOptions ToPlannerOptions(const RunConfig& config) {
   return opts;
 }
 
+/// Decompose() with a plan-phase trace span and a planning-time gauge.
+Result<OperatorList> TimedDecompose(const Program& program) {
+  TraceSpan span(kTracePlan, "decompose");
+  Timer timer;
+  Result<OperatorList> ops = Decompose(program);
+  static Gauge* decompose_seconds =
+      MetricRegistry::Global().gauge(kMetricPlanDecomposeSeconds);
+  decompose_seconds->Set(timer.ElapsedSeconds());
+  return ops;
+}
+
+/// GeneratePlan() with a plan-phase trace span and a planning-time gauge.
+Result<Plan> TimedGeneratePlan(const OperatorList& ops,
+                               const PlannerOptions& opts) {
+  TraceSpan span(kTracePlan, "generate-plan");
+  Timer timer;
+  Result<Plan> plan = GeneratePlan(ops, opts);
+  static Gauge* generate_seconds =
+      MetricRegistry::Global().gauge(kMetricPlanGenerateSeconds);
+  generate_seconds->Set(timer.ElapsedSeconds());
+  return plan;
+}
+
 }  // namespace
 
 Result<Plan> PlanProgram(const Program& program, const RunConfig& config) {
-  DMAC_ASSIGN_OR_RETURN(OperatorList ops, Decompose(program));
-  return GeneratePlan(ops, ToPlannerOptions(config));
+  DMAC_ASSIGN_OR_RETURN(OperatorList ops, TimedDecompose(program));
+  return TimedGeneratePlan(ops, ToPlannerOptions(config));
 }
 
 Result<int64_t> ChooseProgramBlockSize(const Program& program, int workers,
@@ -59,8 +84,9 @@ Result<int64_t> ChooseProgramBlockSize(const Program& program, int workers,
 Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
                               const RunConfig& config) {
   Timer plan_timer;
-  DMAC_ASSIGN_OR_RETURN(OperatorList ops, Decompose(program));
-  DMAC_ASSIGN_OR_RETURN(Plan plan, GeneratePlan(ops, ToPlannerOptions(config)));
+  DMAC_ASSIGN_OR_RETURN(OperatorList ops, TimedDecompose(program));
+  DMAC_ASSIGN_OR_RETURN(Plan plan,
+                        TimedGeneratePlan(ops, ToPlannerOptions(config)));
   const double plan_seconds = plan_timer.ElapsedSeconds();
 
   ExecutorOptions eopts;

@@ -1,0 +1,27 @@
+// Chrome-trace JSON exporter (docs/observability.md).
+//
+// Renders TraceEvents in the Trace Event Format's "JSON object" flavor,
+// loadable by chrome://tracing and https://ui.perfetto.dev. The simulated
+// cluster maps onto the format's process/thread grid:
+//
+//   pid 0    = the driver (plan, stage, step, comm spans)
+//   pid w+1  = simulated worker w (its compute spans and block tasks)
+//   tid      = the recording OS thread (driver or pool thread)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace dmac {
+
+/// Renders `events` as a complete Chrome-trace JSON document.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes ChromeTraceJson(events) to `path` (overwrites).
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<TraceEvent>& events);
+
+}  // namespace dmac

@@ -1,0 +1,295 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace dmac {
+
+namespace {
+
+/// Lock-free add for atomic doubles (no fetch_add before C++20 on all
+/// toolchains; the CAS loop is equivalent).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<MetricSpec>& MetricCatalog() {
+  static const std::vector<MetricSpec>* catalog = new std::vector<MetricSpec>{
+      {kMetricShuffleBytes, MetricKind::kCounter, "bytes",
+       "bytes moved between distinct workers by shuffles (partition, CPMM "
+       "aggregation, crossed row/col sums, reduce)"},
+      {kMetricBroadcastBytes, MetricKind::kCounter, "bytes",
+       "bytes replicated to all workers by broadcasts (incl. broadcast "
+       "loads)"},
+      {kMetricShuffleRounds, MetricKind::kCounter, "rounds",
+       "shuffle communication rounds (one per shuffling step)"},
+      {kMetricBroadcastRounds, MetricKind::kCounter, "rounds",
+       "broadcast communication rounds"},
+      {kMetricStepsExecuted, MetricKind::kCounter, "steps",
+       "plan steps executed"},
+      {kMetricStages, MetricKind::kGauge, "stages",
+       "barrier stages of the last executed plan"},
+      {kMetricPeakMemoryBytes, MetricKind::kGauge, "bytes",
+       "peak tracked block memory over the last execution"},
+      {kMetricEngineTasks, MetricKind::kCounter, "tasks",
+       "block tasks run by the worker-local engine"},
+      {kMetricQueueWaitSeconds, MetricKind::kHistogram, "seconds",
+       "time a block task waited in the worker task queue before a thread "
+       "picked it up"},
+      {kMetricTaskSecondsMultiply, MetricKind::kHistogram, "seconds",
+       "per-task kernel time of block-multiply tasks"},
+      {kMetricTaskSecondsTranspose, MetricKind::kHistogram, "seconds",
+       "per-task kernel time of block-transpose tasks"},
+      {kMetricTaskSecondsElementwise, MetricKind::kHistogram, "seconds",
+       "per-task kernel time of cell-wise, scalar, and unary tasks"},
+      {kMetricTaskSecondsAggregate, MetricKind::kHistogram, "seconds",
+       "per-task kernel time of partial-sum aggregation tasks (CPMM phase "
+       "2, row/col-sum merges)"},
+      {kMetricPoolAcquires, MetricKind::kCounter, "blocks",
+       "dense accumulator blocks acquired from the result buffer pool"},
+      {kMetricPoolReuses, MetricKind::kCounter, "blocks",
+       "acquires satisfied by a recycled block instead of an allocation"},
+      {kMetricPoolDiscards, MetricKind::kCounter, "blocks",
+       "released blocks dropped because the shape's idle slot was full"},
+      {kMetricPlanDecomposeSeconds, MetricKind::kGauge, "seconds",
+       "driver time of the last program decomposition"},
+      {kMetricPlanGenerateSeconds, MetricKind::kGauge, "seconds",
+       "driver time of the last plan generation (Algorithm 1, incl. the "
+       "verifier when enabled)"},
+      {kMetricPlanVerifySeconds, MetricKind::kGauge, "seconds",
+       "driver time of the last static plan verification (all analysis "
+       "passes)"},
+  };
+  return *catalog;
+}
+
+// ---- instruments ---------------------------------------------------------
+
+void Counter::Add(double delta) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  AtomicAdd(&value_, delta);
+}
+
+void Gauge::Set(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  int bucket = 0;
+  if (value >= kMinValue) {
+    bucket = static_cast<int>(std::floor(std::log2(value / kMinValue)));
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::Quantile(double q) const {
+  const int64_t n = count();
+  if (n == 0) return 0;
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(n - 1));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    rank -= buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (rank < 0) return kMinValue * std::pow(2.0, i + 1);  // bucket's edge
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---- registry ------------------------------------------------------------
+
+struct MetricRegistry::Instrument {
+  const MetricSpec* spec;
+  // Exactly one of these is non-null, matching spec->kind.
+  Counter* counter = nullptr;
+  Gauge* gauge = nullptr;
+  Histogram* histogram = nullptr;
+};
+
+MetricRegistry::MetricRegistry() {
+  for (const MetricSpec& spec : MetricCatalog()) {
+    auto* inst = new Instrument{&spec};
+    switch (spec.kind) {
+      case MetricKind::kCounter:
+        inst->counter = new Counter(&enabled_);
+        break;
+      case MetricKind::kGauge:
+        inst->gauge = new Gauge(&enabled_);
+        break;
+      case MetricKind::kHistogram:
+        inst->histogram = new Histogram(&enabled_);
+        break;
+    }
+    instruments_.push_back(inst);
+  }
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+const MetricRegistry::Instrument* MetricRegistry::Find(
+    const std::string& name, MetricKind kind) const {
+  for (const Instrument* inst : instruments_) {
+    if (name == inst->spec->name) {
+      DMAC_CHECK(inst->spec->kind == kind)
+          << "metric " << name << " is a " << KindName(inst->spec->kind)
+          << ", requested as " << KindName(kind);
+      return inst;
+    }
+  }
+  DMAC_CHECK(false) << "metric " << name
+                    << " is not in the catalog (obs/metrics.cc)";
+  return nullptr;
+}
+
+Counter* MetricRegistry::counter(const std::string& name) {
+  return Find(name, MetricKind::kCounter)->counter;
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name) {
+  return Find(name, MetricKind::kGauge)->gauge;
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name) {
+  return Find(name, MetricKind::kHistogram)->histogram;
+}
+
+void MetricRegistry::Reset() {
+  for (Instrument* inst : instruments_) {
+    switch (inst->spec->kind) {
+      case MetricKind::kCounter:
+        inst->counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        inst->gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        inst->histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::vector<MetricValue> MetricRegistry::Collect() const {
+  std::vector<MetricValue> out;
+  for (const Instrument* inst : instruments_) {
+    MetricValue v;
+    v.name = inst->spec->name;
+    v.kind = inst->spec->kind;
+    v.unit = inst->spec->unit;
+    switch (inst->spec->kind) {
+      case MetricKind::kCounter:
+        v.value = inst->counter->value();
+        if (v.value == 0) continue;
+        break;
+      case MetricKind::kGauge:
+        v.value = inst->gauge->value();
+        if (v.value == 0) continue;
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *inst->histogram;
+        if (h.count() == 0) continue;
+        v.value = h.sum();
+        v.count = h.count();
+        v.mean = h.mean();
+        v.p50 = h.Quantile(0.5);
+        v.p99 = h.Quantile(0.99);
+        v.max = h.max();
+        break;
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& v : Collect()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + v.name + "\",\"kind\":\"" + KindName(v.kind) +
+           "\",\"unit\":\"" + v.unit + "\",\"value\":" + FormatDouble(v.value);
+    if (v.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(v.count) +
+             ",\"mean\":" + FormatDouble(v.mean) +
+             ",\"p50\":" + FormatDouble(v.p50) +
+             ",\"p99\":" + FormatDouble(v.p99) +
+             ",\"max\":" + FormatDouble(v.max);
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string MetricRegistry::ToCsv() const {
+  std::string out = "name,kind,unit,value,count,mean,p50,p99,max\n";
+  for (const MetricValue& v : Collect()) {
+    out += v.name;
+    out += ",";
+    out += KindName(v.kind);
+    out += ",";
+    out += v.unit;
+    out += "," + FormatDouble(v.value);
+    if (v.kind == MetricKind::kHistogram) {
+      out += "," + std::to_string(v.count) + "," + FormatDouble(v.mean) +
+             "," + FormatDouble(v.p50) + "," + FormatDouble(v.p99) + "," +
+             FormatDouble(v.max);
+    } else {
+      out += ",,,,,";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dmac

@@ -1,0 +1,43 @@
+#include "obs/session.h"
+
+#include <fstream>
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dmac {
+
+void EnableObservability() {
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().SetEnabled(true);
+  MetricRegistry::Global().Reset();
+  MetricRegistry::Global().SetEnabled(true);
+}
+
+void DisableObservability() {
+  TraceRecorder::Global().SetEnabled(false);
+  MetricRegistry::Global().SetEnabled(false);
+}
+
+Status WriteTraceFile(const std::string& path) {
+  return WriteChromeTraceFile(path, TraceRecorder::Global().Snapshot());
+}
+
+Status WriteMetricsFile(const std::string& path) {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::Invalid("cannot open metrics output file " + path);
+  }
+  file << (csv ? MetricRegistry::Global().ToCsv()
+               : MetricRegistry::Global().ToJson());
+  file.flush();
+  if (!file) {
+    return Status::Invalid("failed writing metrics output file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dmac

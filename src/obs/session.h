@@ -1,0 +1,27 @@
+// Convenience wiring of the observability layer for CLIs and benchmarks.
+//
+// `dmac_run --trace-out/--metrics-out` and the bench binaries' ObsSession
+// hook both go through these helpers: enable the recorder + registry with a
+// clean slate, run, then write the Chrome-trace and metrics files.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dmac {
+
+/// Enables (and clears) the global trace recorder and metric registry.
+void EnableObservability();
+
+/// Disables both; buffered data stays readable until the next Enable.
+void DisableObservability();
+
+/// Writes the recorder's current snapshot as Chrome-trace JSON.
+Status WriteTraceFile(const std::string& path);
+
+/// Writes the registry's current values; a path ending in ".csv" selects
+/// CSV, anything else the JSON dump.
+Status WriteMetricsFile(const std::string& path);
+
+}  // namespace dmac

@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace dmac {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Renders a JSON string literal (with escapes) into `out`.
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(SteadyNowNs()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+int64_t TraceRecorder::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  // One buffer per (thread, process lifetime); the registry keeps it alive
+  // past thread exit so Snapshot() still sees short-lived pool threads.
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  if (local == nullptr) {
+    local = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    local->tid = next_tid_++;
+    buffers_.push_back(local);
+  }
+  return local.get();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.tid = buf->tid;
+  buf->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceArg(const std::string& key, const std::string& value) {
+  std::string out;
+  AppendJsonString(key, &out);
+  out.push_back(':');
+  AppendJsonString(value, &out);
+  return out;
+}
+
+std::string TraceArg(const std::string& key, double value) {
+  std::string out;
+  AppendJsonString(key, &out);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out.push_back(':');
+  out += buf;
+  return out;
+}
+
+std::string TraceArg(const std::string& key, int64_t value) {
+  std::string out;
+  AppendJsonString(key, &out);
+  out.push_back(':');
+  out += std::to_string(value);
+  return out;
+}
+
+}  // namespace dmac

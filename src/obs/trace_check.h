@@ -1,0 +1,40 @@
+// Structural validator for emitted Chrome-trace JSON.
+//
+// Used by tools/dmac_trace_check (the CI smoke checker) and the obs tests.
+// It re-parses the emitted document with a small self-contained JSON parser
+// — deliberately not the exporter's own code — and checks the Trace Event
+// Format contract plus this repo's span-model guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace dmac {
+
+/// What the validator found in a well-formed trace.
+struct TraceCheckSummary {
+  int64_t total_events = 0;     // "X" (complete) events
+  int64_t metadata_events = 0;  // "M" events
+  int64_t stage_spans = 0;      // cat == "stage"
+  int64_t comm_spans = 0;       // cat == "comm"
+  int64_t task_spans = 0;       // cat == "task"
+  int64_t worker_spans = 0;     // cat == "worker"
+  int64_t plan_spans = 0;       // cat == "plan"
+  int64_t worker_attributed = 0;  // events with pid > 0 (a worker process)
+  int max_pid = 0;
+
+  std::string ToString() const;
+};
+
+/// Validates `json` as a Chrome-trace document: parseable JSON, a
+/// `traceEvents` array, every event an object with the fields its phase
+/// requires (`X` events: name, cat, numeric ts/dur/pid/tid). Returns the
+/// summary, or an error Status naming the first violation.
+Result<TraceCheckSummary> CheckChromeTrace(const std::string& json);
+
+/// CheckChromeTrace over a file's contents.
+Result<TraceCheckSummary> CheckChromeTraceFile(const std::string& path);
+
+}  // namespace dmac

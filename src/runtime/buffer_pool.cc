@@ -1,8 +1,26 @@
 #include "runtime/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace dmac {
 
+namespace {
+
+struct PoolMetrics {
+  Counter* acquires = MetricRegistry::Global().counter(kMetricPoolAcquires);
+  Counter* reuses = MetricRegistry::Global().counter(kMetricPoolReuses);
+  Counter* discards = MetricRegistry::Global().counter(kMetricPoolDiscards);
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 DenseBlock BufferPool::Acquire(int64_t rows, int64_t cols) {
+  Metrics().acquires->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = free_.find({rows, cols});
@@ -10,6 +28,7 @@ DenseBlock BufferPool::Acquire(int64_t rows, int64_t cols) {
       DenseBlock block = std::move(it->second.back());
       it->second.pop_back();
       block.Clear();
+      Metrics().reuses->Increment();
       return block;
     }
   }
@@ -19,7 +38,11 @@ DenseBlock BufferPool::Acquire(int64_t rows, int64_t cols) {
 void BufferPool::Release(DenseBlock block) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = free_[{block.rows(), block.cols()}];
-  if (slot.size() < max_per_shape_) slot.push_back(std::move(block));
+  if (slot.size() < max_per_shape_) {
+    slot.push_back(std::move(block));
+  } else {
+    Metrics().discards->Increment();
+  }
 }
 
 size_t BufferPool::IdleBlocks() const {

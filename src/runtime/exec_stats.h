@@ -29,8 +29,11 @@ struct ExecStats {
   int64_t shuffle_events = 0;
   int64_t broadcast_events = 0;
 
-  /// Measured local compute seconds, per stage and per worker.
-  /// stage_worker_seconds[s][w] is worker w's busy time in stage s+1.
+  /// Measured local compute seconds, per stage and per worker. Stages are
+  /// numbered 1-based everywhere they are user-visible (plans, --stats
+  /// output, AddWorkerSeconds), but this vector is 0-indexed:
+  /// stage_worker_seconds[s][w] is worker w's busy time in stage number
+  /// s + 1. See docs/runtime.md.
   std::vector<std::vector<double>> stage_worker_seconds;
 
   /// Peak tracked block memory over the run (process-wide).
@@ -39,7 +42,8 @@ struct ExecStats {
   double comm_bytes() const { return shuffle_bytes + broadcast_bytes; }
   int64_t comm_events() const { return shuffle_events + broadcast_events; }
 
-  /// Adds `seconds` of busy time for `worker` in `stage` (1-based).
+  /// Adds `seconds` of busy time for `worker` in stage number `stage`
+  /// (1-based, i.e. stored at stage_worker_seconds[stage - 1]).
   void AddWorkerSeconds(int stage, int worker, double seconds) {
     if (stage < 1) stage = 1;
     if (static_cast<size_t>(stage) > stage_worker_seconds.size()) {
@@ -60,6 +64,17 @@ struct ExecStats {
       double mx = 0;
       for (double s : per_worker) mx = std::max(mx, s);
       total += mx;
+    }
+    return total;
+  }
+
+  /// Total busy CPU time across all stages and workers — the cluster's
+  /// aggregate compute, as opposed to ComputeWallSeconds()' critical path.
+  /// Their ratio is a direct read on per-worker skew.
+  double TotalComputeSeconds() const {
+    double total = 0;
+    for (const auto& per_worker : stage_worker_seconds) {
+      for (double s : per_worker) total += s;
     }
     return total;
   }

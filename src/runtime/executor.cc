@@ -1,7 +1,9 @@
 #include "runtime/executor.h"
 
 #include <cmath>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -10,6 +12,8 @@
 #include "common/timer.h"
 #include "common/thread_pool.h"
 #include "matrix/mem_tracker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/buffer_pool.h"
 
 namespace dmac {
@@ -72,6 +76,22 @@ class StoreSink {
   int worker_;
 };
 
+/// Trace-span name of a step: "compute[multiply:RMM1]", "broadcast", ...
+std::string StepSpanName(const PlanStep& step) {
+  std::string name = StepKindName(step.kind);
+  if (step.kind == StepKind::kCompute) {
+    name += "[";
+    name += OpKindName(step.op_kind);
+    if (step.mult_algo != MultAlgo::kNone) {
+      name += ":";
+      name += MultAlgoName(step.mult_algo);
+    }
+    name += "]";
+  }
+  if (!step.source.empty()) name += " " + step.source;
+  return name;
+}
+
 }  // namespace
 
 class Executor::Impl {
@@ -91,9 +111,32 @@ class Executor::Impl {
     MemTracker::Global().ResetPeak();
     const int64_t mem_before_peak = MemTracker::Global().peak_bytes();
 
+    // Steps run in dependency order, so stage numbers may interleave; each
+    // contiguous run of same-stage steps becomes one stage span (the same
+    // grouping Plan::ToString uses for its "=== Stage" headers).
+    int current_stage = std::numeric_limits<int>::min();
+    std::optional<TraceSpan> stage_span;
     for (const PlanStep& step : plan_.steps) {
+      const bool tracing = TraceRecorder::Global().enabled();
+      if (step.stage != current_stage) {
+        stage_span.reset();
+        current_stage = step.stage;
+        if (tracing) {
+          stage_span.emplace(kTraceStage,
+                             "stage " + std::to_string(current_stage), -1,
+                             TraceArg("stage", int64_t{current_stage}));
+        }
+      }
+      TraceSpan step_span =
+          tracing ? TraceSpan(kTraceStep, StepSpanName(step), -1,
+                              TraceArg("stage", int64_t{step.stage}) + "," +
+                                  TraceArg("step", int64_t{step.id}))
+                  : TraceSpan();
       DMAC_RETURN_NOT_OK(ExecuteStep(step));
+      metric_steps_->Increment();
     }
+    stage_span.reset();
+    metric_stages_->Set(plan_.num_stages);
 
     ExecutionResult result;
     for (const PlanOutput& out : plan_.outputs) {
@@ -110,6 +153,7 @@ class Executor::Impl {
     }
     stats_.peak_memory_bytes =
         std::max(MemTracker::Global().peak_bytes(), mem_before_peak);
+    metric_peak_memory_->Set(static_cast<double>(stats_.peak_memory_bytes));
     result.stats = std::move(stats_);
     return result;
   }
@@ -155,13 +199,37 @@ class Executor::Impl {
     return dm;
   }
 
-  /// Times `fn` and attributes the elapsed seconds to (stage, worker).
+  /// Times `fn` and attributes the elapsed seconds to (step.stage, worker),
+  /// both in ExecStats and as a worker-attributed trace span. Block tasks
+  /// the engine runs inside `fn` inherit the worker id for their spans.
   template <typename Fn>
-  Status TimedWorker(int stage, int worker, Fn&& fn) {
+  Status TimedWorker(const PlanStep& step, int worker, Fn&& fn) {
+    TraceSpan span =
+        TraceRecorder::Global().enabled()
+            ? TraceSpan(kTraceWorker, StepSpanName(step), worker,
+                        TraceArg("stage", int64_t{step.stage}))
+            : TraceSpan();
+    engine_.SetWorkerContext(worker);
     Timer timer;
     Status st = fn();
-    stats_.AddWorkerSeconds(stage, worker, timer.ElapsedSeconds());
+    stats_.AddWorkerSeconds(step.stage, worker, timer.ElapsedSeconds());
     return st;
+  }
+
+  /// Counts one shuffle round of `bytes` (stats + metrics).
+  void CountShuffle(double bytes) {
+    stats_.shuffle_bytes += bytes;
+    ++stats_.shuffle_events;
+    metric_shuffle_bytes_->Add(bytes);
+    metric_shuffle_rounds_->Increment();
+  }
+
+  /// Counts one broadcast round of `bytes` (stats + metrics).
+  void CountBroadcast(double bytes) {
+    stats_.broadcast_bytes += bytes;
+    ++stats_.broadcast_events;
+    metric_broadcast_bytes_->Add(bytes);
+    metric_broadcast_rounds_->Increment();
   }
 
   // ---- step dispatch ------------------------------------------------------
@@ -206,6 +274,9 @@ class Executor::Impl {
     }
     auto dm = NewData(step.output, src.shape());
     const bool broadcast = dm->scheme() == Scheme::kBroadcast;
+    TraceSpan span = TraceRecorder::Global().enabled()
+                         ? TraceSpan(kTraceComm, "load " + step.source)
+                         : TraceSpan();
     double bytes = 0;
     for (int64_t bi = 0; bi < dm->grid().block_rows(); ++bi) {
       for (int64_t bj = 0; bj < dm->grid().block_cols(); ++bj) {
@@ -225,11 +296,13 @@ class Executor::Impl {
       }
     }
     if (broadcast) {
-      stats_.broadcast_bytes += bytes;
-      ++stats_.broadcast_events;
+      CountBroadcast(bytes);
     } else {
-      stats_.shuffle_bytes += bytes;
-      ++stats_.shuffle_events;
+      CountShuffle(bytes);
+    }
+    if (span.active()) {
+      span.set_args(TraceArg("bytes", bytes) + "," +
+                    TraceArg("kind", broadcast ? "broadcast" : "shuffle"));
     }
     return Status::Ok();
   }
@@ -247,7 +320,7 @@ class Executor::Impl {
             RandomBlockSeed(opts_.seed, step.source, bi, bj);
         const Shape s = grid.BlockShape(bi, bj);
         const int owner = broadcast ? 0 : dm->OwnerOf(bi, bj);
-        Status st = TimedWorker(step.stage, owner, [&] {
+        Status st = TimedWorker(step, owner, [&] {
           auto ptr = std::make_shared<const Block>(
               RandomDenseBlock(s.rows, s.cols, seed));
           if (broadcast) {
@@ -276,6 +349,7 @@ class Executor::Impl {
     const bool same_scheme = src.scheme() == dst->scheme();
     const double hash_fraction =
         static_cast<double>(opts_.num_workers - 1) / opts_.num_workers;
+    TraceSpan span(kTraceComm, "partition");
     double bytes = 0;
     for (int64_t bi = 0; bi < src.grid().block_rows(); ++bi) {
       for (int64_t bj = 0; bj < src.grid().block_cols(); ++bj) {
@@ -296,8 +370,11 @@ class Executor::Impl {
         dst->Put(to, bi, bj, std::move(ptr));
       }
     }
-    stats_.shuffle_bytes += bytes;
-    ++stats_.shuffle_events;
+    CountShuffle(bytes);
+    if (span.active()) {
+      span.set_args(TraceArg("bytes", bytes) + "," +
+                    TraceArg("kind", "shuffle"));
+    }
     return Status::Ok();
   }
 
@@ -305,6 +382,7 @@ class Executor::Impl {
     const DistMatrix& src = Data(step.inputs[0]);
     auto dst = NewData(step.output, src.grid().matrix);
     DMAC_CHECK(dst->scheme() == Scheme::kBroadcast);
+    TraceSpan span(kTraceComm, "broadcast");
     double bytes = 0;
     for (int64_t bi = 0; bi < src.grid().block_rows(); ++bi) {
       for (int64_t bj = 0; bj < src.grid().block_cols(); ++bj) {
@@ -318,8 +396,11 @@ class Executor::Impl {
         for (int w = 0; w < opts_.num_workers; ++w) dst->Put(w, bi, bj, ptr);
       }
     }
-    stats_.broadcast_bytes += bytes;
-    ++stats_.broadcast_events;
+    CountBroadcast(bytes);
+    if (span.active()) {
+      span.set_args(TraceArg("bytes", bytes) + "," +
+                    TraceArg("kind", "broadcast"));
+    }
     return Status::Ok();
   }
 
@@ -331,7 +412,7 @@ class Executor::Impl {
     for (int w = 0; w < workers; ++w) {
       auto blocks = src.WorkerBlocks(w);
       StoreSink sink(dst.get(), w);
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         std::vector<std::function<Status()>> tasks;
         tasks.reserve(blocks.size());
         for (auto& [bi, bj, ptr] : blocks) {
@@ -343,7 +424,7 @@ class Executor::Impl {
             return Status::Ok();
           });
         }
-        return engine_.RunTasks(tasks);
+        return engine_.RunTasks(tasks, TaskKind::kTranspose);
       });
       DMAC_RETURN_NOT_OK(st);
     }
@@ -473,7 +554,7 @@ class Executor::Impl {
                              const DistMatrix& a, const DistMatrix& b,
                              DistMatrix* c) {
     StoreSink sink(c, worker);
-    return TimedWorker(step.stage, worker, [&] {
+    return TimedWorker(step, worker, [&] {
       return engine_.MultiplyBlocks(
           out_grid, tasks,
           [&a, worker](int64_t bi, int64_t k) { return a.Get(worker, bi, k); },
@@ -516,7 +597,7 @@ class Executor::Impl {
       }
       std::mutex mu;
       std::vector<Partial> local;
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         return engine_.MultiplyBlocks(
             out_grid, tasks,
             [&a, w](int64_t bi, int64_t k) { return a.Get(w, bi, k); },
@@ -537,8 +618,12 @@ class Executor::Impl {
         incoming[static_cast<size_t>(dst)].push_back(std::move(p));
       }
     }
-    stats_.shuffle_bytes += bytes;
-    ++stats_.shuffle_events;
+    CountShuffle(bytes);
+    if (TraceRecorder::Global().enabled()) {
+      TraceSpan span(kTraceComm, "cpmm-shuffle");
+      span.set_args(TraceArg("bytes", bytes) + "," +
+                    TraceArg("kind", "shuffle"));
+    }
 
     // Phase 2: aggregation at the owners (next stage's beginning; we account
     // its compute into the step's stage for simplicity).
@@ -551,7 +636,7 @@ class Executor::Impl {
             std::move(p.block));
       }
       StoreSink sink(c, w);
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         std::vector<std::function<Status()>> tasks;
         tasks.reserve(grouped.size());
         for (auto& [key, blocks] : grouped) {
@@ -568,7 +653,7 @@ class Executor::Impl {
             return Status::Ok();
           });
         }
-        return engine_.RunTasks(tasks);
+        return engine_.RunTasks(tasks, TaskKind::kAggregate);
       });
       DMAC_RETURN_NOT_OK(st);
     }
@@ -605,7 +690,7 @@ class Executor::Impl {
     for (int w = 0; w < workers; ++w) {
       auto blocks = a.WorkerBlocks(w);
       StoreSink sink(c.get(), w);
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         std::vector<std::function<Status()>> tasks;
         tasks.reserve(blocks.size());
         for (auto& [bi, bj, aptr] : blocks) {
@@ -634,7 +719,7 @@ class Executor::Impl {
             return Status::Ok();
           });
         }
-        return engine_.RunTasks(tasks);
+        return engine_.RunTasks(tasks, TaskKind::kElementwise);
       });
       DMAC_RETURN_NOT_OK(st);
     }
@@ -653,7 +738,7 @@ class Executor::Impl {
     for (int w = 0; w < workers; ++w) {
       auto blocks = a.WorkerBlocks(w);
       StoreSink sink(c.get(), w);
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         std::vector<std::function<Status()>> tasks;
         tasks.reserve(blocks.size());
         for (auto& [bi, bj, ptr] : blocks) {
@@ -664,7 +749,7 @@ class Executor::Impl {
             return Status::Ok();
           });
         }
-        return engine_.RunTasks(tasks);
+        return engine_.RunTasks(tasks, TaskKind::kElementwise);
       });
       DMAC_RETURN_NOT_OK(st);
     }
@@ -682,7 +767,7 @@ class Executor::Impl {
     for (int w = 0; w < workers; ++w) {
       auto blocks = a.WorkerBlocks(w);
       StoreSink sink(c.get(), w);
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         std::vector<std::function<Status()>> tasks;
         tasks.reserve(blocks.size());
         for (auto& [bi, bj, ptr] : blocks) {
@@ -691,7 +776,7 @@ class Executor::Impl {
             return Status::Ok();
           });
         }
-        return engine_.RunTasks(tasks);
+        return engine_.RunTasks(tasks, TaskKind::kElementwise);
       });
       DMAC_RETURN_NOT_OK(st);
     }
@@ -736,7 +821,7 @@ class Executor::Impl {
       // Local: the worker owning a row (column) range owns every block that
       // contributes to its slice of the result.
       for (int w = 0; w < opts_.num_workers; ++w) {
-        Status st = TimedWorker(step.stage, w, [&] {
+        Status st = TimedWorker(step, w, [&] {
           for (auto& [idx, acc] : local_partials(w)) {
             auto block = std::make_shared<const Block>(
                 CompactFromDense(acc, opts_.density_threshold));
@@ -754,7 +839,7 @@ class Executor::Impl {
     }
 
     if (a.scheme() == Scheme::kBroadcast) {
-      Status st = TimedWorker(step.stage, 0, [&] {
+      Status st = TimedWorker(step, 0, [&] {
         for (auto& [idx, acc] : local_partials(0)) {
           auto block = std::make_shared<const Block>(
               CompactFromDense(acc, opts_.density_threshold));
@@ -782,7 +867,7 @@ class Executor::Impl {
     double bytes = 0;
     for (int w = 0; w < opts_.num_workers; ++w) {
       std::unordered_map<int64_t, DenseBlock> partials;
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         partials = local_partials(w);
         return Status::Ok();
       });
@@ -796,15 +881,19 @@ class Executor::Impl {
             {idx, std::move(block), w});
       }
     }
-    stats_.shuffle_bytes += bytes;
-    ++stats_.shuffle_events;
+    CountShuffle(bytes);
+    if (TraceRecorder::Global().enabled()) {
+      TraceSpan span(kTraceComm, "aggregate-shuffle");
+      span.set_args(TraceArg("bytes", bytes) + "," +
+                    TraceArg("kind", "shuffle"));
+    }
 
     for (int w = 0; w < opts_.num_workers; ++w) {
       std::unordered_map<int64_t, std::vector<DistMatrix::BlockPtr>> grouped;
       for (Partial& p : incoming[static_cast<size_t>(w)]) {
         grouped[p.idx].push_back(std::move(p.block));
       }
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         for (auto& [idx, blocks] : grouped) {
           std::vector<const Block*> parts;
           parts.reserve(blocks.size());
@@ -859,7 +948,7 @@ class Executor::Impl {
     double total = 0;
     for (int w = 0; w < workers; ++w) {
       double partial = 0;
-      Status st = TimedWorker(step.stage, w, [&] {
+      Status st = TimedWorker(step, w, [&] {
         for (auto& [bi, bj, ptr] : a.WorkerBlocks(w)) {
           partial += step.reduce == ReduceKind::kNorm2 ? SumSquares(*ptr)
                                                        : Sum(*ptr);
@@ -871,8 +960,15 @@ class Executor::Impl {
     }
     if (step.reduce == ReduceKind::kNorm2) total = std::sqrt(total);
     scalars_[step.scalar_out] = total;
-    // Driver aggregation: N partial doubles cross the network.
+    // Driver aggregation: N partial doubles cross the network (bytes only,
+    // no extra round — the reduce piggybacks on the stage boundary).
     stats_.shuffle_bytes += 8.0 * opts_.num_workers;
+    metric_shuffle_bytes_->Add(8.0 * opts_.num_workers);
+    if (TraceRecorder::Global().enabled()) {
+      TraceSpan span(kTraceComm, "reduce");
+      span.set_args(TraceArg("bytes", 8.0 * opts_.num_workers) + "," +
+                    TraceArg("kind", "shuffle"));
+    }
     return Status::Ok();
   }
 
@@ -908,6 +1004,21 @@ class Executor::Impl {
   std::vector<std::shared_ptr<DistMatrix>> node_data_;
   std::unordered_map<std::string, double> scalars_;
   ExecStats stats_;
+
+  // Cached metric instruments (stable pointers; no-ops while the registry
+  // is disabled).
+  Counter* metric_shuffle_bytes_ =
+      MetricRegistry::Global().counter(kMetricShuffleBytes);
+  Counter* metric_broadcast_bytes_ =
+      MetricRegistry::Global().counter(kMetricBroadcastBytes);
+  Counter* metric_shuffle_rounds_ =
+      MetricRegistry::Global().counter(kMetricShuffleRounds);
+  Counter* metric_broadcast_rounds_ =
+      MetricRegistry::Global().counter(kMetricBroadcastRounds);
+  Counter* metric_steps_ = MetricRegistry::Global().counter(kMetricStepsExecuted);
+  Gauge* metric_stages_ = MetricRegistry::Global().gauge(kMetricStages);
+  Gauge* metric_peak_memory_ =
+      MetricRegistry::Global().gauge(kMetricPeakMemoryBytes);
 };
 
 Executor::Executor(ExecutorOptions options) : options_(options) {}

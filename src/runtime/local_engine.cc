@@ -4,9 +4,36 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dmac {
 
 namespace {
+
+/// Kernel-time histogram for one task kind (stable instrument pointers).
+Histogram* TaskHistogram(TaskKind kind) {
+  static Histogram* multiply =
+      MetricRegistry::Global().histogram(kMetricTaskSecondsMultiply);
+  static Histogram* transpose =
+      MetricRegistry::Global().histogram(kMetricTaskSecondsTranspose);
+  static Histogram* elementwise =
+      MetricRegistry::Global().histogram(kMetricTaskSecondsElementwise);
+  static Histogram* aggregate =
+      MetricRegistry::Global().histogram(kMetricTaskSecondsAggregate);
+  switch (kind) {
+    case TaskKind::kMultiply:
+      return multiply;
+    case TaskKind::kTranspose:
+      return transpose;
+    case TaskKind::kElementwise:
+      return elementwise;
+    case TaskKind::kAggregate:
+      return aggregate;
+  }
+  return elementwise;
+}
 
 /// Collects the first task failure across threads.
 class StatusCollector {
@@ -28,6 +55,20 @@ class StatusCollector {
 
 }  // namespace
 
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kMultiply:
+      return "multiply";
+    case TaskKind::kTranspose:
+      return "transpose";
+    case TaskKind::kElementwise:
+      return "elementwise";
+    case TaskKind::kAggregate:
+      return "aggregate";
+  }
+  return "?";
+}
+
 Status LocalEngine::MultiplyBlocks(const BlockGrid& out_grid,
                                    const std::vector<MultiplyTask>& tasks,
                                    const BlockFn& get_a, const BlockFn& get_b,
@@ -38,22 +79,72 @@ Status LocalEngine::MultiplyBlocks(const BlockGrid& out_grid,
 }
 
 void LocalEngine::Dispatch(size_t num_tasks,
-                           const std::function<void(size_t)>& run_task) {
+                           const std::function<void(size_t)>& run_task,
+                           TaskKind kind) {
+  // Disabled path: identical to the uninstrumented engine — one relaxed
+  // load per batch decides which dispatch body runs.
+  const bool observe = TraceRecorder::Global().enabled() ||
+                       MetricRegistry::Global().enabled();
+  if (!observe) {
+    if (scheduling_ == TaskScheduling::kQueue) {
+      // Fig. 4: one entry per task in the shared queue; idle threads pull.
+      for (size_t i = 0; i < num_tasks; ++i) {
+        pool_->Submit([&run_task, i] { run_task(i); });
+      }
+    } else {
+      // Static ablation: contiguous chunks, no rebalancing.
+      const size_t threads = pool_->num_threads();
+      const size_t chunk = (num_tasks + threads - 1) / threads;
+      for (size_t t = 0; t < threads; ++t) {
+        const size_t lo = t * chunk;
+        const size_t hi = std::min(num_tasks, lo + chunk);
+        if (lo >= hi) break;
+        pool_->Submit([&run_task, lo, hi] {
+          for (size_t i = lo; i < hi; ++i) run_task(i);
+        });
+      }
+    }
+    pool_->WaitIdle();
+    return;
+  }
+
+  // Observed path: each task records its queue wait (submit -> first
+  // instruction), a worker-attributed trace span, and its kernel time.
+  // Under kStatic the whole chunk shares one submit time, so later tasks in
+  // a chunk report growing waits — exactly the skew the ablation shows.
+  Histogram* wait_hist =
+      MetricRegistry::Global().histogram(kMetricQueueWaitSeconds);
+  Histogram* task_hist = TaskHistogram(kind);
+  static Counter* task_counter =
+      MetricRegistry::Global().counter(kMetricEngineTasks);
+  const char* name = TaskKindName(kind);
+  const int worker = trace_worker_;
+  auto observed = [&run_task, wait_hist, task_hist, name, worker](
+                      size_t i, int64_t submit_ns) {
+    const int64_t start_ns = TraceRecorder::Global().NowNs();
+    wait_hist->Observe(static_cast<double>(start_ns - submit_ns) * 1e-9);
+    TraceSpan span(kTraceTask, name, worker);
+    Timer timer;
+    run_task(i);
+    task_hist->Observe(timer.ElapsedSeconds());
+    task_counter->Increment();
+  };
+
   if (scheduling_ == TaskScheduling::kQueue) {
-    // Fig. 4: one entry per task in the shared queue; idle threads pull.
     for (size_t i = 0; i < num_tasks; ++i) {
-      pool_->Submit([&run_task, i] { run_task(i); });
+      const int64_t submit_ns = TraceRecorder::Global().NowNs();
+      pool_->Submit([&observed, i, submit_ns] { observed(i, submit_ns); });
     }
   } else {
-    // Static ablation: contiguous chunks, no rebalancing.
     const size_t threads = pool_->num_threads();
     const size_t chunk = (num_tasks + threads - 1) / threads;
     for (size_t t = 0; t < threads; ++t) {
       const size_t lo = t * chunk;
       const size_t hi = std::min(num_tasks, lo + chunk);
       if (lo >= hi) break;
-      pool_->Submit([&run_task, lo, hi] {
-        for (size_t i = lo; i < hi; ++i) run_task(i);
+      const int64_t submit_ns = TraceRecorder::Global().NowNs();
+      pool_->Submit([&observed, lo, hi, submit_ns] {
+        for (size_t i = lo; i < hi; ++i) observed(i, submit_ns);
       });
     }
   }
@@ -118,7 +209,7 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
       buffers_->Release(std::move(acc));
       sink(task.bi, task.bj, std::move(result));
     }
-  });
+  }, TaskKind::kMultiply);
   return errors.Take();
 }
 
@@ -176,7 +267,7 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
     }
     std::lock_guard<std::mutex> lock(partials_mu);
     partials.push_back({triple.bi, triple.bj, std::move(partial)});
-  });
+  }, TaskKind::kMultiply);
   DMAC_RETURN_NOT_OK(errors.Take());
 
   // Phase 2: aggregate the buffered partials per output block.
@@ -202,14 +293,15 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
       return;
     }
     sink(bi, bj, std::move(*result));
-  });
+  }, TaskKind::kAggregate);
   return errors.Take();
 }
 
-Status LocalEngine::RunTasks(const std::vector<std::function<Status()>>& tasks) {
+Status LocalEngine::RunTasks(const std::vector<std::function<Status()>>& tasks,
+                             TaskKind kind) {
   StatusCollector errors;
   Dispatch(tasks.size(),
-           [&](size_t i) { errors.Record(tasks[i]()); });
+           [&](size_t i) { errors.Record(tasks[i]()); }, kind);
   return errors.Take();
 }
 

@@ -44,6 +44,12 @@ struct MultiplyTask {
   int64_t k_end;
 };
 
+/// What a batch of block tasks computes — the label used for their trace
+/// spans and per-kind kernel-time histograms (docs/observability.md).
+enum class TaskKind { kMultiply, kTranspose, kElementwise, kAggregate };
+
+const char* TaskKindName(TaskKind kind);
+
 /// Executes block tasks on one worker using a shared thread pool.
 class LocalEngine {
  public:
@@ -73,8 +79,15 @@ class LocalEngine {
                         const SinkFn& sink);
 
   /// Runs arbitrary independent block tasks (cell-wise operators, scalar
-  /// ops, transposes) through the task queue.
-  Status RunTasks(const std::vector<std::function<Status()>>& tasks);
+  /// ops, transposes) through the task queue. `kind` labels the tasks'
+  /// trace spans and kernel-time histogram.
+  Status RunTasks(const std::vector<std::function<Status()>>& tasks,
+                  TaskKind kind = TaskKind::kElementwise);
+
+  /// Sets the simulated worker the following calls run on behalf of (trace
+  /// attribution only). The executor calls this; -1 means unattributed.
+  /// Call only between batches — Dispatch reads it from pool threads.
+  void SetWorkerContext(int worker) { trace_worker_ = worker; }
 
  private:
   Status MultiplyInPlace(const BlockGrid& out_grid,
@@ -87,14 +100,18 @@ class LocalEngine {
                           const SinkFn& sink);
 
   /// Dispatches one closure per task (kQueue) or one closure per contiguous
-  /// chunk of tasks (kStatic), then waits for completion.
-  void Dispatch(size_t num_tasks, const std::function<void(size_t)>& run_task);
+  /// chunk of tasks (kStatic), then waits for completion. When tracing or
+  /// metrics are enabled each task additionally records a span, its queue
+  /// wait, and its kernel time under `kind`.
+  void Dispatch(size_t num_tasks, const std::function<void(size_t)>& run_task,
+                TaskKind kind);
 
   ThreadPool* pool_;
   BufferPool* buffers_;
   LocalMode mode_;
   double density_threshold_;
   TaskScheduling scheduling_;
+  int trace_worker_ = -1;
 };
 
 }  // namespace dmac

@@ -1,0 +1,93 @@
+// Enforces catalog <-> documentation parity: every metric the registry can
+// emit is documented in docs/observability.md's catalog table, and the
+// table lists no metric the registry doesn't know. This is the test the
+// catalog comments point at — adding a metric without documenting it (or
+// documenting a renamed one) fails here.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dmac {
+namespace {
+
+std::string ReadDoc() {
+  const std::string path =
+      std::string(DMAC_SOURCE_DIR) + "/docs/observability.md";
+  std::ifstream file(path);
+  EXPECT_TRUE(file) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Metric names from the doc's catalog table: backticked first cells of
+/// rows between the "<!-- metric-catalog-begin -->" / "-end" markers.
+std::set<std::string> DocumentedNames(const std::string& doc) {
+  std::set<std::string> names;
+  const size_t begin = doc.find("<!-- metric-catalog-begin -->");
+  const size_t end = doc.find("<!-- metric-catalog-end -->");
+  EXPECT_NE(begin, std::string::npos) << "catalog begin marker missing";
+  EXPECT_NE(end, std::string::npos) << "catalog end marker missing";
+  if (begin == std::string::npos || end == std::string::npos) return names;
+  std::istringstream lines(doc.substr(begin, end - begin));
+  std::string line;
+  while (std::getline(lines, line)) {
+    // Table rows look like: | `exec.shuffle.bytes` | counter | ...
+    const size_t open = line.find("| `");
+    if (open != 0) continue;
+    const size_t close = line.find('`', open + 3);
+    if (close == std::string::npos) continue;
+    names.insert(line.substr(open + 3, close - open - 3));
+  }
+  return names;
+}
+
+TEST(CatalogDocTest, EveryCatalogMetricIsDocumented) {
+  const std::set<std::string> documented = DocumentedNames(ReadDoc());
+  for (const MetricSpec& spec : MetricCatalog()) {
+    EXPECT_TRUE(documented.count(spec.name))
+        << "metric " << spec.name
+        << " is in MetricCatalog() but not in docs/observability.md";
+  }
+}
+
+TEST(CatalogDocTest, EveryDocumentedMetricIsInTheCatalog) {
+  std::set<std::string> catalog;
+  for (const MetricSpec& spec : MetricCatalog()) catalog.insert(spec.name);
+  for (const std::string& name : DocumentedNames(ReadDoc())) {
+    EXPECT_TRUE(catalog.count(name))
+        << "docs/observability.md documents " << name
+        << ", which MetricCatalog() does not define";
+  }
+}
+
+TEST(CatalogDocTest, DocTableStatesEachMetricsUnit) {
+  // Each documented row must carry the catalog's unit for its metric, so
+  // the doc cannot silently drift on units either.
+  const std::string doc = ReadDoc();
+  const size_t begin = doc.find("<!-- metric-catalog-begin -->");
+  const size_t end = doc.find("<!-- metric-catalog-end -->");
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  const std::string table = doc.substr(begin, end - begin);
+  for (const MetricSpec& spec : MetricCatalog()) {
+    std::istringstream lines(table);
+    std::string line;
+    bool found = false;
+    while (std::getline(lines, line)) {
+      if (line.find("| `" + std::string(spec.name) + "`") != 0) continue;
+      found = true;
+      EXPECT_NE(line.find(spec.unit), std::string::npos)
+          << spec.name << " row does not state unit " << spec.unit;
+    }
+    EXPECT_TRUE(found) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace dmac

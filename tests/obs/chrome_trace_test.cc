@@ -1,0 +1,118 @@
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.h"
+
+namespace dmac {
+namespace {
+
+/// Deterministic event set covering every span category, driver and worker
+/// attribution, and args rendering. Mirrors testdata/golden_trace.json.
+std::vector<TraceEvent> GoldenEvents() {
+  auto make = [](const char* cat, std::string name, int64_t start_ns,
+                 int64_t dur_ns, int worker, uint32_t tid, std::string args) {
+    TraceEvent e;
+    e.category = cat;
+    e.name = std::move(name);
+    e.start_ns = start_ns;
+    e.dur_ns = dur_ns;
+    e.worker = worker;
+    e.tid = tid;
+    e.args = std::move(args);
+    return e;
+  };
+  return {
+      make(kTracePlan, "decompose", 1000, 2000, -1, 0, ""),
+      make(kTraceStage, "stage 1", 5000, 10000, -1, 0, "\"stage\":1"),
+      make(kTraceComm, "broadcast", 6000, 1500, -1, 0,
+           "\"bytes\":4096,\"kind\":\"broadcast\""),
+      make(kTraceWorker, "compute[multiply:RMM1]", 8000, 4000, 0, 0,
+           "\"stage\":1"),
+      make(kTraceTask, "multiply", 9000, 250, 1, 2, ""),
+  };
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(ChromeTraceTest, MatchesGoldenFile) {
+  // The exporter's output format is a stable contract (Perfetto parses
+  // it); any change must be deliberate and update the golden file.
+  const std::string golden =
+      ReadFile(std::string(DMAC_SOURCE_DIR) +
+               "/tests/obs/testdata/golden_trace.json");
+  EXPECT_EQ(ChromeTraceJson(GoldenEvents()), golden);
+}
+
+TEST(ChromeTraceTest, GoldenPassesTheValidator) {
+  auto summary = CheckChromeTrace(ChromeTraceJson(GoldenEvents()));
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->total_events, 5);
+  EXPECT_EQ(summary->metadata_events, 6);  // 3 pids x (name + sort_index)
+  EXPECT_EQ(summary->plan_spans, 1);
+  EXPECT_EQ(summary->stage_spans, 1);
+  EXPECT_EQ(summary->comm_spans, 1);
+  EXPECT_EQ(summary->worker_spans, 1);
+  EXPECT_EQ(summary->task_spans, 1);
+  EXPECT_EQ(summary->worker_attributed, 2);  // the worker + task spans
+  EXPECT_EQ(summary->max_pid, 2);
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsValid) {
+  auto summary = CheckChromeTrace(ChromeTraceJson({}));
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->total_events, 0);
+  EXPECT_EQ(summary->metadata_events, 0);
+}
+
+TEST(ChromeTraceTest, FileRoundTripThroughTheValidator) {
+  const std::string path =
+      ::testing::TempDir() + "/chrome_trace_roundtrip.json";
+  ASSERT_TRUE(WriteChromeTraceFile(path, GoldenEvents()).ok());
+  auto summary = CheckChromeTraceFile(path);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->total_events, 5);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(
+      WriteChromeTraceFile("/nonexistent-dir/trace.json", {}).ok());
+}
+
+TEST(ChromeTraceTest, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(CheckChromeTrace("not json").ok());
+  EXPECT_FALSE(CheckChromeTrace("{}").ok());  // no traceEvents
+  EXPECT_FALSE(CheckChromeTrace("{\"traceEvents\":42}").ok());
+  // X event missing its required timing fields.
+  EXPECT_FALSE(
+      CheckChromeTrace(
+          "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\",\"cat\":\"task\"}]}")
+          .ok());
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharactersInNames) {
+  TraceEvent e;
+  e.category = kTraceComm;
+  e.name = "load \"file\\path\"\n";
+  e.start_ns = 0;
+  e.dur_ns = 1;
+  const std::string json = ChromeTraceJson({e});
+  EXPECT_NE(json.find("load \\\"file\\\\path\\\"\\n"), std::string::npos);
+  EXPECT_TRUE(CheckChromeTrace(json).ok());
+}
+
+}  // namespace
+}  // namespace dmac

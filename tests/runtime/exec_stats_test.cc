@@ -27,6 +27,18 @@ TEST(ExecStatsTest, ComputeWallIsSumOfStageMaxima) {
   EXPECT_DOUBLE_EQ(stats.ComputeWallSeconds(), 0.75 + 0.9);
 }
 
+TEST(ExecStatsTest, TotalComputeSumsAllStagesAndWorkers) {
+  ExecStats stats;
+  EXPECT_DOUBLE_EQ(stats.TotalComputeSeconds(), 0);
+  stats.AddWorkerSeconds(1, 0, 0.75);
+  stats.AddWorkerSeconds(1, 1, 0.4);
+  stats.AddWorkerSeconds(2, 0, 0.1);
+  stats.AddWorkerSeconds(2, 1, 0.9);
+  EXPECT_DOUBLE_EQ(stats.TotalComputeSeconds(), 0.75 + 0.4 + 0.1 + 0.9);
+  // Total >= wall: the gap is idle worker time (skew).
+  EXPECT_GE(stats.TotalComputeSeconds(), stats.ComputeWallSeconds());
+}
+
 TEST(ExecStatsTest, CommSecondsFollowsNetworkModel) {
   ExecStats stats;
   stats.shuffle_bytes = 250e6;

@@ -14,6 +14,10 @@
 //   --compare         run both planners and print a side-by-side summary
 //   --verify-plan     run the static plan verifier (src/analysis) after
 //                     planning; abort on any error diagnostic
+//   --trace-out F     enable tracing; write a Chrome-trace JSON file to F
+//                     after the run (open in Perfetto / chrome://tracing)
+//   --metrics-out F   enable metrics; write the metric dump to F after the
+//                     run (.csv suffix selects CSV, anything else JSON)
 //   --seed S          RNG seed (default 42)
 //
 // Loads without a --bind are synthesized from their declared shape and
@@ -35,6 +39,7 @@
 #include "data/matrix_market.h"
 #include "data/synthetic.h"
 #include "lang/parser.h"
+#include "obs/session.h"
 #include "plan/plan_dot.h"
 #include "runtime/block_size.h"
 
@@ -69,7 +74,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SCRIPT.dmac [--workers N] [--threads L] "
                "[--block B] [--baseline] [--bind NAME=FILE] [--plan-only] "
-               "[--dot] [--seed S]\n",
+               "[--dot] [--trace-out FILE] [--metrics-out FILE] [--seed S]\n",
                argv0);
   return 2;
 }
@@ -82,13 +87,32 @@ int main(int argc, char** argv) {
 
   RunConfig config;
   bool plan_only = false, dot = false, stats_flag = false, compare = false;
+  std::string trace_out, metrics_out;
   std::map<std::string, std::string> file_bindings;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--workers") {
+    // Accepts both "--flag VALUE" and "--flag=VALUE" for the output paths.
+    auto path_flag = [&](const char* flag, std::string* out) -> bool {
+      if (arg == flag) {
+        const char* v = next_value();
+        if (v) *out = v;
+        return true;
+      }
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        *out = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    if (path_flag("--trace-out", &trace_out)) {
+      if (trace_out.empty()) return Usage(argv[0]);
+    } else if (path_flag("--metrics-out", &metrics_out)) {
+      if (metrics_out.empty()) return Usage(argv[0]);
+    } else if (arg == "--workers") {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
       config.num_workers = std::atoi(v);
@@ -143,6 +167,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const bool obs = !trace_out.empty() || !metrics_out.empty();
+  if (obs) EnableObservability();
+  // Writes the requested trace / metrics files. Every successful path
+  // returns this, so a failed write turns into a nonzero exit code.
+  auto finish_obs = [&]() -> int {
+    if (!trace_out.empty()) {
+      Status st = WriteTraceFile(trace_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "--trace-out: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!metrics_out.empty()) {
+      Status st = WriteMetricsFile(metrics_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "--metrics-out: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
+  };
+
   if (plan_only) {
     auto plan = PlanProgram(*program, config);
     if (!plan.ok()) {
@@ -152,7 +198,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", dot ? PlanToDot(*plan).c_str()
                           : plan->ToString().c_str());
-    return 0;
+    return finish_obs();
   }
 
   // Assemble the input data: --bind files, synthetic for the rest.
@@ -221,7 +267,7 @@ int main(int argc, char** argv) {
                   s.ComputeWallSeconds(),
                   s.SimulatedSeconds(NetworkModel{}));
     }
-    return 0;
+    return finish_obs();
   }
 
   auto outcome = RunProgram(*program, bindings, config);
@@ -265,5 +311,5 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
-  return 0;
+  return finish_obs();
 }

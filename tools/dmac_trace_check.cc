@@ -1,0 +1,54 @@
+// dmac_trace_check — validate a Chrome-trace JSON file emitted by
+// `dmac_run --trace-out` (or any obs exporter).
+//
+//   dmac_trace_check TRACE.json [--require-spans]
+//
+// Exits 0 and prints a one-line summary when the file satisfies the Trace
+// Event Format contract. With --require-spans it additionally demands at
+// least one stage, comm, and task span with worker attribution — the CI
+// smoke contract for an executed script.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace_check.h"
+
+using namespace dmac;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s TRACE.json [--require-spans]\n", argv[0]);
+    return 2;
+  }
+  bool require_spans = false;
+  if (argc == 3) {
+    if (std::strcmp(argv[2], "--require-spans") != 0) {
+      std::fprintf(stderr, "usage: %s TRACE.json [--require-spans]\n",
+                   argv[0]);
+      return 2;
+    }
+    require_spans = true;
+  }
+
+  Result<TraceCheckSummary> summary = CheckChromeTraceFile(argv[1]);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[1],
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n", argv[1], summary->ToString().c_str());
+
+  if (require_spans) {
+    auto require = [&](const char* what, int64_t n) {
+      if (n > 0) return true;
+      std::fprintf(stderr, "%s: no %s spans\n", argv[1], what);
+      return false;
+    };
+    bool ok = require("stage", summary->stage_spans);
+    ok = require("comm", summary->comm_spans) && ok;
+    ok = require("task", summary->task_spans) && ok;
+    ok = require("worker-attributed", summary->worker_attributed) && ok;
+    if (!ok) return 1;
+  }
+  return 0;
+}
