@@ -68,6 +68,7 @@ Analyzer Analyzer::Default() {
   a.AddPass(MakeSchemeConsistencyPass());
   a.AddPass(MakeCommCostPass());
   a.AddPass(MakeAliasSafetyPass());
+  a.AddPass(MakeLineageCompletenessPass());
   return a;
 }
 

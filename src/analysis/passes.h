@@ -1,6 +1,6 @@
 // Factories for the built-in analysis passes.
 //
-// The five passes mirror the invariants the planner (paper §4, Algorithm 1)
+// The six passes mirror the invariants the planner (paper §4, Algorithm 1)
 // is supposed to establish:
 //
 //  shape-inference      operator arity, def-before-use of names, dimension
@@ -22,6 +22,12 @@
 //  alias-safety         no operator updates a matrix that is still live as
 //                       another operator's input (the §5 in-place hazard),
 //                       no step reads its own output node.
+//  lineage-completeness every node's producer_step annotation names the
+//                       step that writes it, every consumed node is
+//                       producible, and the producer closure of each
+//                       program output terminates at load/random sources
+//                       without cycles — the static precondition of
+//                       lineage-based fault recovery.
 #pragma once
 
 #include "analysis/pass.h"
@@ -33,5 +39,6 @@ AnalysisPassPtr MakeSchemeConsistencyPass();
 AnalysisPassPtr MakeDependencyGraphPass();
 AnalysisPassPtr MakeCommCostPass();
 AnalysisPassPtr MakeAliasSafetyPass();
+AnalysisPassPtr MakeLineageCompletenessPass();
 
 }  // namespace dmac

@@ -13,6 +13,10 @@ Program BuildGnmfProgram(const GnmfConfig& config) {
   }
   pb.Output(W);
   pb.Output(H);
+  // The factors are the iteration state: checkpointing them bounds how far
+  // back lineage recovery must recompute after a fault.
+  pb.CheckpointHint(W);
+  pb.CheckpointHint(H);
   return pb.Build();
 }
 

@@ -13,6 +13,8 @@ Program BuildPageRankProgram(const PageRankConfig& config) {
                         D * (1.0 - config.damping));
   }
   pb.Output(rank);
+  // The rank vector is the iteration state; checkpoints cut its lineage.
+  pb.CheckpointHint(rank);
   return pb.Build();
 }
 

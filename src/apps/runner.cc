@@ -96,6 +96,8 @@ Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
   eopts.local_mode = config.local_mode;
   eopts.task_scheduling = config.task_scheduling;
   eopts.seed = config.seed;
+  eopts.fault = config.fault;
+  eopts.checkpoint_every = config.checkpoint_every;
   Executor executor(eopts);
 
   Timer exec_timer;

@@ -31,6 +31,12 @@ struct RunConfig {
   /// fails on any error diagnostic. Defaults on in debug builds.
   bool verify_plan = kVerifyPlanDefault;
   uint64_t seed = 42;
+  /// Fault injection and lineage recovery (docs/fault_tolerance.md).
+  /// Disabled by default: the fault machinery then costs one branch per
+  /// step and results are unchanged.
+  FaultSpec fault;
+  /// Checkpoint hinted matrices every K producing steps (0 = never).
+  int checkpoint_every = 0;
 };
 
 /// Outcome of a run: results, runtime statistics, and the plan that ran.

@@ -19,6 +19,11 @@ enum class StatusCode : uint8_t {
   kDimensionMismatch,
   kUnsupported,
   kInternal,
+  /// Transient inability to run (a worker failed mid-step); retryable.
+  kUnavailable,
+  /// A stored block is missing or failed checksum verification; retryable
+  /// after lineage recovery (docs/fault_tolerance.md).
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -55,6 +60,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,44 @@
+#include "fault/checksum.h"
+
+namespace dmac {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t HashInt(uint64_t v, uint64_t h) {
+  return Fnv1a(&v, sizeof(v), h);
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  uint64_t h = seed == 0 ? kFnvOffset : seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t BlockChecksum(const Block& block) {
+  uint64_t h = kFnvOffset;
+  h = HashInt(block.IsDense() ? 1 : 2, h);
+  h = HashInt(static_cast<uint64_t>(block.rows()), h);
+  h = HashInt(static_cast<uint64_t>(block.cols()), h);
+  if (block.IsDense()) {
+    const DenseBlock& d = block.dense();
+    h = Fnv1a(d.data(),
+              sizeof(Scalar) * static_cast<size_t>(d.rows() * d.cols()), h);
+  } else {
+    const CscBlock& s = block.sparse();
+    h = Fnv1a(s.col_ptr().data(), sizeof(int32_t) * s.col_ptr().size(), h);
+    h = Fnv1a(s.row_idx().data(), sizeof(int32_t) * s.row_idx().size(), h);
+    h = Fnv1a(s.values().data(), sizeof(Scalar) * s.values().size(), h);
+  }
+  return h;
+}
+
+}  // namespace dmac

@@ -1,0 +1,27 @@
+// Block payload checksums for corruption detection (docs/fault_tolerance.md).
+//
+// The partition stores attach an FNV-1a hash to every block they hold so
+// that silent payload corruption (injected by the fault framework, or on a
+// real cluster a flipped bit on disk or the wire) is *detected* rather than
+// computed through. The hash covers the storage kind, the dimensions, and
+// every payload array, so dense/sparse re-encodings of the same values hash
+// differently — a block must round-trip bit-identically to verify.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/block.h"
+
+namespace dmac {
+
+/// FNV-1a offset basis — the checksum of zero bytes. Never the checksum of
+/// any real block (blocks always contribute their header fields).
+inline constexpr uint64_t kNoChecksum = 0;
+
+/// 64-bit FNV-1a over `len` bytes, continuing from `seed`.
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed);
+
+/// Checksum of a block: kind tag, dimensions, and payload arrays.
+uint64_t BlockChecksum(const Block& block);
+
+}  // namespace dmac

@@ -1,0 +1,133 @@
+#include "fault/fault_spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dmac {
+
+namespace {
+
+Status CheckProb(const char* name, double v) {
+  if (v < 0 || v > 1) {
+    return Status::Invalid(std::string(name) + " must be in [0, 1], got " +
+                           std::to_string(v));
+  }
+  return Status::Ok();
+}
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Status ParseBool(const std::string& key, const std::string& value,
+                 bool* out) {
+  if (value == "true" || value == "1") {
+    *out = true;
+    return Status::Ok();
+  }
+  if (value == "false" || value == "0") {
+    *out = false;
+    return Status::Ok();
+  }
+  return Status::Invalid(key + ": expected true/false, got '" + value + "'");
+}
+
+Status ParseDouble(const std::string& key, const std::string& value,
+                   double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::Invalid(key + ": expected a number, got '" + value + "'");
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FaultSpec::Validate() const {
+  DMAC_RETURN_NOT_OK(CheckProb("crash_prob", crash_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("lost_block_prob", lost_block_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("corrupt_prob", corrupt_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("transient_prob", transient_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("straggler_prob", straggler_prob));
+  if (straggler_delay_seconds < 0) {
+    return Status::Invalid("straggler_delay_seconds must be >= 0");
+  }
+  if (max_retries < 0) {
+    return Status::Invalid("max_retries must be >= 0");
+  }
+  if (backoff_base_seconds < 0) {
+    return Status::Invalid("backoff_base_seconds must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  spec.enabled = true;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::Invalid("fault spec line " + std::to_string(lineno) +
+                             ": expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key == "enabled") {
+      DMAC_RETURN_NOT_OK(ParseBool(key, value, &spec.enabled));
+    } else if (key == "seed") {
+      spec.seed = static_cast<uint64_t>(std::strtoull(value.c_str(),
+                                                      nullptr, 10));
+    } else if (key == "crash_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.crash_prob));
+    } else if (key == "lost_block_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.lost_block_prob));
+    } else if (key == "corrupt_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.corrupt_prob));
+    } else if (key == "transient_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.transient_prob));
+    } else if (key == "straggler_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.straggler_prob));
+    } else if (key == "straggler_delay_seconds") {
+      DMAC_RETURN_NOT_OK(
+          ParseDouble(key, value, &spec.straggler_delay_seconds));
+    } else if (key == "speculate") {
+      DMAC_RETURN_NOT_OK(ParseBool(key, value, &spec.speculate));
+    } else if (key == "max_retries") {
+      spec.max_retries = std::atoi(value.c_str());
+    } else if (key == "backoff_base_seconds") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.backoff_base_seconds));
+    } else if (key == "permanent_fail_step") {
+      spec.permanent_fail_step = std::atoi(value.c_str());
+    } else {
+      return Status::Invalid("fault spec line " + std::to_string(lineno) +
+                             ": unknown key '" + key + "'");
+    }
+  }
+  DMAC_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+Result<FaultSpec> LoadFaultSpecFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open fault spec " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseFaultSpec(buffer.str());
+}
+
+}  // namespace dmac

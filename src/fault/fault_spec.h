@@ -1,0 +1,90 @@
+// Fault-injection configuration (docs/fault_tolerance.md).
+//
+// A FaultSpec describes a *distribution* of faults; the concrete schedule
+// is drawn deterministically from `seed` by the FaultInjector, so a (spec,
+// seed, program) triple always injects exactly the same faults at exactly
+// the same points. Specs are built in code or parsed from the simple
+// `key = value` file format accepted by `dmac_run --fault-spec`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace dmac {
+
+/// Probabilities and policy knobs of the simulated failure model.
+///
+/// Injection points:
+///  * step boundaries — worker crashes (a worker loses every block it
+///    holds), lost blocks (one store entry dropped), corrupted blocks (one
+///    store entry silently replaced by a bit-flipped copy);
+///  * worker task launches — transient execution failures (retried with
+///    exponential backoff) and stragglers (injected extra latency, subject
+///    to speculative re-execution).
+struct FaultSpec {
+  /// Master switch. When false the executor's fault path is a single
+  /// branch and nothing below is consulted.
+  bool enabled = false;
+
+  /// Seed of the injector's private RNG (independent of the data seed, so
+  /// fault schedules never perturb generated inputs).
+  uint64_t seed = 1;
+
+  /// Per step boundary: probability that one worker crashes and loses its
+  /// entire partition store.
+  double crash_prob = 0;
+  /// Per stored block per step boundary: probability the entry vanishes.
+  double lost_block_prob = 0;
+  /// Per stored block per step boundary: probability the payload is
+  /// silently corrupted (checksum left stale, detection is the store's
+  /// job).
+  double corrupt_prob = 0;
+
+  /// Per worker task launch: probability of a transient failure. The
+  /// injector stops failing a given step once `max_retries` failures have
+  /// been injected for it, so transient faults always resolve.
+  double transient_prob = 0;
+
+  /// Per worker task launch: probability the worker straggles.
+  double straggler_prob = 0;
+  /// Injected extra latency of a straggler (simulated seconds).
+  double straggler_delay_seconds = 0.05;
+  /// Re-execute straggler work on a backup worker and take the faster copy
+  /// (Spark-style speculation). The abandoned attempt is accounted as
+  /// recovery work, not useful compute.
+  bool speculate = true;
+
+  /// Attempts per step beyond the first before the executor gives up and
+  /// surfaces a clean error.
+  int max_retries = 4;
+  /// Simulated backoff before retry r is `backoff_base_seconds * 2^r`.
+  double backoff_base_seconds = 0.01;
+
+  /// Test hook: a step id that fails on every attempt (a *permanent*
+  /// fault), regardless of `transient_prob` and the injector's budget.
+  /// -1 disables.
+  int permanent_fail_step = -1;
+
+  /// True when any probability is positive (the spec can ever fire).
+  bool AnyFaultPossible() const {
+    return crash_prob > 0 || lost_block_prob > 0 || corrupt_prob > 0 ||
+           transient_prob > 0 || straggler_prob > 0 ||
+           permanent_fail_step >= 0;
+  }
+
+  /// Rejects probabilities outside [0, 1] and nonsensical knobs.
+  Status Validate() const;
+};
+
+/// Parses the `key = value` spec format: one assignment per line, `#`
+/// comments, unknown keys rejected. Keys match the field names above
+/// (e.g. `crash_prob = 0.05`). `enabled` defaults to true in parsed specs —
+/// writing a spec file is the opt-in.
+Result<FaultSpec> ParseFaultSpec(const std::string& text);
+
+/// Reads and parses a spec file.
+Result<FaultSpec> LoadFaultSpecFile(const std::string& path);
+
+}  // namespace dmac

@@ -1,0 +1,81 @@
+#include "fault/injector.h"
+
+#include <cstring>
+
+namespace dmac {
+
+bool FaultInjector::DrawCrash(int num_workers, int* worker) {
+  if (!Draw(spec_.crash_prob)) return false;
+  *worker = static_cast<int>(
+      rng_.NextBounded(static_cast<uint64_t>(num_workers)));
+  return true;
+}
+
+bool FaultInjector::DrawTransientFailure(int step_id) {
+  if (step_id == spec_.permanent_fail_step) {
+    ++faults_drawn_;
+    return true;
+  }
+  if (spec_.transient_prob <= 0) return false;
+  int& injected = transient_injected_[step_id];
+  if (injected >= spec_.max_retries) return false;
+  if (!Draw(spec_.transient_prob)) return false;
+  ++injected;
+  return true;
+}
+
+double FaultInjector::DrawStragglerDelay() {
+  if (!Draw(spec_.straggler_prob)) return 0;
+  return spec_.straggler_delay_seconds;
+}
+
+namespace {
+
+/// Flips one bit of a Scalar. A bit flip always changes the stored bytes
+/// (unlike adding a delta, which can round away), so the checksum is
+/// guaranteed to diverge.
+Scalar FlipBit(Scalar v, uint64_t seed) {
+  static_assert(sizeof(Scalar) == sizeof(uint32_t),
+                "bit-flip corruption assumes 4-byte scalars");
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits ^= 1u << (seed % 32);
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Block CorruptedCopy(const Block& block, uint64_t seed) {
+  if (block.IsDense()) {
+    DenseBlock d = block.dense();
+    const int64_t n = d.rows() * d.cols();
+    if (n == 0) return Block(std::move(d));
+    Scalar* data = d.data();
+    const uint64_t pos = seed % static_cast<uint64_t>(n);
+    data[pos] = FlipBit(data[pos], seed / 32);
+    return Block(std::move(d));
+  }
+  const CscBlock& s = block.sparse();
+  if (s.nnz() == 0) {
+    // No payload values to flip: materialize one spurious non-zero.
+    CscBuilder builder(s.rows(), s.cols());
+    if (s.rows() > 0 && s.cols() > 0) {
+      builder.Add(static_cast<int64_t>(seed % static_cast<uint64_t>(s.rows())),
+                  static_cast<int64_t>((seed / 7) %
+                                       static_cast<uint64_t>(s.cols())),
+                  Scalar(1));
+    }
+    return Block(builder.Build());
+  }
+  std::vector<Scalar> values = s.values();
+  const uint64_t pos = seed % values.size();
+  values[pos] = FlipBit(values[pos], seed / 32);
+  // Flipping can produce an exact zero, which CSC may not store; nudge to a
+  // representable non-zero instead so the structure stays valid.
+  if (values[pos] == Scalar(0)) values[pos] = Scalar(-1);
+  return Block(CscBlock(s.rows(), s.cols(), s.col_ptr(), s.row_idx(),
+                        std::move(values)));
+}
+
+}  // namespace dmac

@@ -1,0 +1,73 @@
+// Deterministic fault drawing (docs/fault_tolerance.md).
+//
+// The injector owns the only RNG in the fault framework. Every decision —
+// whether a boundary crashes a worker, which block vanishes, whether a task
+// launch fails — is a draw against the FaultSpec's probabilities, consumed
+// in the executor's deterministic iteration order, so one (spec.seed,
+// program) pair replays the identical fault schedule on every run. The
+// injector holds no cluster state; the executor applies its verdicts to the
+// partition stores.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "fault/fault_spec.h"
+#include "matrix/block.h"
+
+namespace dmac {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec)
+      : spec_(spec), rng_(spec.seed) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Step boundary: does one worker crash, and which one.
+  bool DrawCrash(int num_workers, int* worker);
+
+  /// Step boundary, per stored block: does this entry vanish.
+  bool DrawLostBlock() { return Draw(spec_.lost_block_prob); }
+
+  /// Step boundary, per stored block: is this entry silently corrupted.
+  bool DrawCorruptBlock() { return Draw(spec_.corrupt_prob); }
+
+  /// Task launch: does this worker's execution of `step_id` fail
+  /// transiently. Internally budgeted to `max_retries` injected failures
+  /// per step so transient faults always resolve within the retry bound;
+  /// `permanent_fail_step` bypasses the budget.
+  bool DrawTransientFailure(int step_id);
+
+  /// Task launch: injected straggler latency in simulated seconds (0 = not
+  /// a straggler).
+  double DrawStragglerDelay();
+
+  /// Fresh seed for corrupted-copy generation.
+  uint64_t DrawSeed() { return rng_.Next(); }
+
+  /// Faults this injector has decided so far (schedule size).
+  int64_t faults_drawn() const { return faults_drawn_; }
+
+ private:
+  bool Draw(double prob) {
+    if (prob <= 0) return false;
+    const bool hit = rng_.NextDouble() < prob;
+    if (hit) ++faults_drawn_;
+    return hit;
+  }
+
+  FaultSpec spec_;
+  Rng rng_;
+  int64_t faults_drawn_ = 0;
+  // Transient failures injected per step id (budget bookkeeping).
+  std::unordered_map<int, int> transient_injected_;
+};
+
+/// Deep, silently corrupted copy of `block`: one payload value is perturbed
+/// (position and delta drawn from `seed`), dimensions and representation
+/// kept, so only a checksum can tell it from the original.
+Block CorruptedCopy(const Block& block, uint64_t seed);
+
+}  // namespace dmac

@@ -1,0 +1,58 @@
+// Per-node lineage manifests for lost-partition recovery
+// (docs/fault_tolerance.md).
+//
+// After each successful producing step the executor records, per plan node,
+// which step produced it, which nodes it consumed, and the exact (worker,
+// block key, checksum) layout of its partition store. The manifest is the
+// ground truth the recovery path compares the cluster against: a store
+// entry that is missing or hashes differently from its manifest record is
+// damage, and the producer-step chain recorded here is the recipe for
+// rebuilding it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dmac {
+
+/// One block of a node's partition store at record time.
+struct LineageBlockRecord {
+  int worker = 0;
+  int64_t key = 0;
+  uint64_t checksum = 0;
+};
+
+/// A node's recorded provenance and healthy store layout.
+struct NodeLineage {
+  int node_id = -1;
+  /// Plan step whose re-execution rebuilds this node.
+  int producer_step = -1;
+  /// Node ids the producer step consumed (recovery recurses through these).
+  std::vector<int> inputs;
+  /// Healthy layout, sorted by (worker, key) for deterministic comparison.
+  std::vector<LineageBlockRecord> blocks;
+};
+
+/// Driver-side registry of NodeLineage records, keyed by node id. Recording
+/// a node again (an iterative app rebinding a variable, or a recovery
+/// rebuild) replaces the previous manifest.
+class LineageTracker {
+ public:
+  /// Records (or replaces) a node's manifest. `blocks` is sorted here.
+  void Record(NodeLineage lineage);
+
+  /// The manifest for `node_id`, or nullptr if never recorded.
+  const NodeLineage* Find(int node_id) const;
+
+  /// Drops the manifest for `node_id` (node freed by the executor).
+  void Forget(int node_id);
+
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<int, NodeLineage> records_;
+};
+
+}  // namespace dmac

@@ -118,6 +118,7 @@ class Decomposer {
       }
       result_.scalar_output_bindings[out] = it->second;
     }
+    result_.checkpoint_vars = program.checkpoint_hints;
     EliminateDeadOperators();
     return std::move(result_);
   }

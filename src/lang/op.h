@@ -87,6 +87,9 @@ struct OperatorList {
   std::unordered_map<std::string, MatrixRef> output_bindings;
   /// program scalar output → SSA scalar name.
   std::unordered_map<std::string, std::string> scalar_output_bindings;
+  /// Program variables hinted for checkpointing (every SSA version of a
+  /// hinted variable inherits the hint when the plan is generated).
+  std::vector<std::string> checkpoint_vars;
 
   std::string ToString() const;
 };

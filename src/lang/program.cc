@@ -156,6 +156,13 @@ void ProgramBuilder::OutputScalar(const Scl& var) {
   program_.scalar_outputs.push_back(var.expr()->name);
 }
 
+void ProgramBuilder::CheckpointHint(const Mat& var) {
+  DMAC_CHECK(var.expr() != nullptr &&
+             var.expr()->kind == MatrixExpr::Kind::kVarRef)
+      << "CheckpointHint must name a matrix variable";
+  program_.checkpoint_hints.push_back(var.expr()->name);
+}
+
 Program ProgramBuilder::Build() { return std::move(program_); }
 
 }  // namespace dmac

@@ -111,6 +111,10 @@ struct Program {
   std::vector<Statement> statements;
   std::vector<std::string> outputs;         // matrix variables to fetch
   std::vector<std::string> scalar_outputs;  // scalar variables to fetch
+  /// Matrix variables hinted for fault-tolerance checkpointing
+  /// (docs/fault_tolerance.md) — typically the iteration state of an
+  /// iterative app, whose lineage chain otherwise grows unboundedly.
+  std::vector<std::string> checkpoint_hints;
 };
 
 /// Builds a Program from DSL expressions; loops are unrolled by executing
@@ -142,6 +146,10 @@ class ProgramBuilder {
 
   /// Marks a scalar variable as a program output.
   void OutputScalar(const Scl& var);
+
+  /// Hints that a matrix variable is worth checkpointing under fault
+  /// tolerance (cuts its lineage chain in iterative programs).
+  void CheckpointHint(const Mat& var);
 
   /// Finalizes and returns the program.
   Program Build();

@@ -93,6 +93,24 @@ const std::vector<MetricSpec>& MetricCatalog() {
       {kMetricPlanVerifySeconds, MetricKind::kGauge, "seconds",
        "driver time of the last static plan verification (all analysis "
        "passes)"},
+      {kMetricFaultInjected, MetricKind::kCounter, "faults",
+       "faults injected by the fault framework (crashes, lost blocks, "
+       "corruptions, transient failures, stragglers)"},
+      {kMetricFaultRetries, MetricKind::kCounter, "retries",
+       "plan-step attempts repeated after a retryable failure"},
+      {kMetricFaultRecomputedBlocks, MetricKind::kCounter, "blocks",
+       "damaged blocks rebuilt by re-running their lineage producer steps"},
+      {kMetricFaultRestoredBlocks, MetricKind::kCounter, "blocks",
+       "damaged blocks restored from a checkpoint or a surviving broadcast "
+       "replica instead of recomputation"},
+      {kMetricFaultSpeculatedTasks, MetricKind::kCounter, "tasks",
+       "straggler worker tasks re-executed speculatively on a backup "
+       "worker"},
+      {kMetricFaultCheckpointBytes, MetricKind::kCounter, "bytes",
+       "block payload bytes deep-copied into the driver checkpoint store"},
+      {kMetricFaultRecoverySeconds, MetricKind::kCounter, "seconds",
+       "simulated worker time spent on recovery instead of useful compute "
+       "(retried attempts, backoff waits, abandoned straggler attempts)"},
   };
   return *catalog;
 }

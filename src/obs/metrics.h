@@ -184,5 +184,17 @@ inline constexpr const char* kMetricPlanDecomposeSeconds =
 inline constexpr const char* kMetricPlanGenerateSeconds =
     "plan.generate.seconds";
 inline constexpr const char* kMetricPlanVerifySeconds = "plan.verify.seconds";
+inline constexpr const char* kMetricFaultInjected = "fault.injected";
+inline constexpr const char* kMetricFaultRetries = "fault.retries";
+inline constexpr const char* kMetricFaultRecomputedBlocks =
+    "fault.recomputed.blocks";
+inline constexpr const char* kMetricFaultRestoredBlocks =
+    "fault.restored.blocks";
+inline constexpr const char* kMetricFaultSpeculatedTasks =
+    "fault.speculated.tasks";
+inline constexpr const char* kMetricFaultCheckpointBytes =
+    "fault.checkpoint.bytes";
+inline constexpr const char* kMetricFaultRecoverySeconds =
+    "fault.recovery.seconds";
 
 }  // namespace dmac

@@ -29,6 +29,7 @@ inline constexpr const char* kTraceStep = "step";    // one plan step
 inline constexpr const char* kTraceComm = "comm";    // shuffle / broadcast
 inline constexpr const char* kTraceWorker = "worker";  // one worker's compute
 inline constexpr const char* kTraceTask = "task";    // one block task
+inline constexpr const char* kTraceRecovery = "recovery";  // fault recovery
 
 /// One completed span. `worker` is -1 for driver-side work.
 struct TraceEvent {

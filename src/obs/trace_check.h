@@ -22,6 +22,7 @@ struct TraceCheckSummary {
   int64_t task_spans = 0;       // cat == "task"
   int64_t worker_spans = 0;     // cat == "worker"
   int64_t plan_spans = 0;       // cat == "plan"
+  int64_t recovery_spans = 0;   // cat == "recovery"
   int64_t worker_attributed = 0;  // events with pid > 0 (a worker process)
   int max_pid = 0;
 

@@ -49,6 +49,10 @@ struct PlanNode {
   MatrixStats stats;
   int producer_step = -1;
   int stage = -1;
+  /// Program-level checkpoint hint (ProgramBuilder::CheckpointHint): the
+  /// executor's periodic checkpointing snapshots only hinted nodes when any
+  /// exist in the plan (docs/fault_tolerance.md).
+  bool checkpoint_hint = false;
 
   Scheme scheme() const { return SchemeSetFirst(schemes); }
   std::string ToString() const {

@@ -51,6 +51,7 @@ class Planner {
       DMAC_RETURN_NOT_OK(PlanOperator(op));
     }
     DMAC_RETURN_NOT_OK(BindOutputs());
+    MarkCheckpointHints();
     DMAC_RETURN_NOT_OK(plan_.Finalize());
     if (opts_.verify_plan) {
       // Post-pass: the static verifier re-derives every invariant Algorithm 1
@@ -61,6 +62,24 @@ class Planner {
   }
 
  private:
+  /// Stamps PlanNode::checkpoint_hint on every SSA version of a hinted
+  /// program variable ("W#3" inherits a hint on "W"). Temps ("_tN") carry
+  /// no '#' and never match.
+  void MarkCheckpointHints() {
+    if (ops_.checkpoint_vars.empty()) return;
+    for (PlanNode& node : plan_.nodes) {
+      const size_t hash = node.matrix.find('#');
+      if (hash == std::string::npos) continue;
+      const std::string base = node.matrix.substr(0, hash);
+      for (const std::string& var : ops_.checkpoint_vars) {
+        if (base == var) {
+          node.checkpoint_hint = true;
+          break;
+        }
+      }
+    }
+  }
+
   // ---- node/step construction ------------------------------------------
 
   int NewNode(const std::string& matrix, bool transposed, SchemeSet schemes,

@@ -9,6 +9,7 @@
 // network layer (executor) copies across stores and counts bytes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <tuple>
@@ -16,6 +17,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
+#include "fault/checksum.h"
 #include "matrix/block.h"
 #include "plan/scheme.h"
 #include "runtime/owner.h"
@@ -51,17 +54,21 @@ class DistMatrix {
     return 0;
   }
 
-  /// Places a block in `worker`'s store.
+  /// Places a block in `worker`'s store. The entry starts unverifiable
+  /// (no checksum) — fault-tolerant runs stamp checksums in batch via
+  /// SetChecksums() after the producing step, keeping the fault-free path
+  /// free of hashing work.
   void Put(int worker, int64_t bi, int64_t bj, BlockPtr block) {
     DMAC_CHECK(worker >= 0 && worker < num_workers_);
-    stores_[static_cast<size_t>(worker)][Key(bi, bj)] = std::move(block);
+    stores_[static_cast<size_t>(worker)][Key(bi, bj)] = {std::move(block),
+                                                         kNoChecksum};
   }
 
   /// Block (bi, bj) from `worker`'s store; null when absent there.
   BlockPtr Get(int worker, int64_t bi, int64_t bj) const {
     const auto& store = stores_[static_cast<size_t>(worker)];
     auto it = store.find(Key(bi, bj));
-    return it == store.end() ? nullptr : it->second;
+    return it == store.end() ? nullptr : it->second.block;
   }
 
   /// Block (bi, bj) from its owner's store (any replica for Broadcast).
@@ -75,33 +82,124 @@ class DistMatrix {
     std::vector<std::tuple<int64_t, int64_t, BlockPtr>> out;
     const auto& store = stores_[static_cast<size_t>(worker)];
     out.reserve(store.size());
-    for (const auto& [key, block] : store) {
+    for (const auto& [key, entry] : store) {
       out.emplace_back(key / grid_.block_cols(), key % grid_.block_cols(),
-                       block);
+                       entry.block);
     }
     return out;
+  }
+
+  /// Keys of `worker`'s store in ascending order. Deterministic iteration
+  /// order for fault injection and lineage capture; decompose a key with
+  /// bi = key / grid().block_cols(), bj = key % grid().block_cols().
+  std::vector<int64_t> SortedWorkerKeys(int worker) const {
+    const auto& store = stores_[static_cast<size_t>(worker)];
+    std::vector<int64_t> keys;
+    keys.reserve(store.size());
+    for (const auto& [key, entry] : store) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
   }
 
   /// Total payload bytes across all stores (replicas counted).
   int64_t TotalStoredBytes() const {
     int64_t total = 0;
     for (const auto& store : stores_) {
-      for (const auto& [key, block] : store) total += block->MemoryBytes();
+      for (const auto& [key, entry] : store) {
+        total += entry.block->MemoryBytes();
+      }
     }
     return total;
   }
 
- private:
+  /// Flat store key of block (bi, bj) — the identifier used in lineage
+  /// records and checkpoints.
   int64_t Key(int64_t bi, int64_t bj) const {
     DMAC_CHECK(bi >= 0 && bi < grid_.block_rows());
     DMAC_CHECK(bj >= 0 && bj < grid_.block_cols());
     return bi * grid_.block_cols() + bj;
   }
 
+  // --- Integrity (docs/fault_tolerance.md) ---------------------------------
+
+  /// Stamps a checksum on every entry that lacks one. Shared payloads
+  /// (Broadcast replicas, referenced blocks) are hashed once.
+  void SetChecksums() {
+    std::unordered_map<const Block*, uint64_t> cache;
+    for (auto& store : stores_) {
+      for (auto& [key, entry] : store) {
+        if (entry.checksum != kNoChecksum) continue;
+        auto [it, inserted] = cache.try_emplace(entry.block.get(), 0);
+        if (inserted) it->second = BlockChecksum(*entry.block);
+        entry.checksum = it->second;
+      }
+    }
+  }
+
+  /// Stored checksum of (bi, bj) at `worker`; kNoChecksum if absent or
+  /// never stamped.
+  uint64_t ChecksumAt(int worker, int64_t bi, int64_t bj) const {
+    const auto& store = stores_[static_cast<size_t>(worker)];
+    auto it = store.find(Key(bi, bj));
+    return it == store.end() ? kNoChecksum : it->second.checksum;
+  }
+
+  /// Verifies (bi, bj) at `worker`: present, and — when a checksum was
+  /// stamped — hashing to it. Missing or mismatching entries are DataLoss
+  /// (retryable after lineage recovery); unstamped entries pass.
+  Status VerifyAt(int worker, int64_t bi, int64_t bj) const {
+    const auto& store = stores_[static_cast<size_t>(worker)];
+    auto it = store.find(Key(bi, bj));
+    if (it == store.end()) {
+      return Status::DataLoss("block (" + std::to_string(bi) + ", " +
+                              std::to_string(bj) + ") missing on worker " +
+                              std::to_string(worker));
+    }
+    const Entry& entry = it->second;
+    if (entry.checksum != kNoChecksum &&
+        BlockChecksum(*entry.block) != entry.checksum) {
+      return Status::DataLoss("block (" + std::to_string(bi) + ", " +
+                              std::to_string(bj) + ") corrupt on worker " +
+                              std::to_string(worker));
+    }
+    return Status::Ok();
+  }
+
+  // --- Injector mutation hooks (fault framework only) ----------------------
+
+  /// Drops entry (bi, bj) from `worker`'s store. True if it was present.
+  bool Drop(int worker, int64_t bi, int64_t bj) {
+    return stores_[static_cast<size_t>(worker)].erase(Key(bi, bj)) > 0;
+  }
+
+  /// Empties `worker`'s store (simulated crash). Returns entries lost.
+  int64_t ClearWorker(int worker) {
+    auto& store = stores_[static_cast<size_t>(worker)];
+    const int64_t lost = static_cast<int64_t>(store.size());
+    store.clear();
+    return lost;
+  }
+
+  /// Swaps the payload of (bi, bj) at `worker` *keeping the old checksum* —
+  /// silent corruption, detectable only by VerifyAt. True if present.
+  bool ReplacePayload(int worker, int64_t bi, int64_t bj, BlockPtr block) {
+    auto& store = stores_[static_cast<size_t>(worker)];
+    auto it = store.find(Key(bi, bj));
+    if (it == store.end()) return false;
+    it->second.block = std::move(block);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    BlockPtr block;
+    uint64_t checksum = kNoChecksum;
+  };
+
   BlockGrid grid_;
   Scheme scheme_;
   int num_workers_;
-  std::vector<std::unordered_map<int64_t, BlockPtr>> stores_;
+  std::vector<std::unordered_map<int64_t, Entry>> stores_;
 };
 
 }  // namespace dmac

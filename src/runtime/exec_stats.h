@@ -39,6 +39,27 @@ struct ExecStats {
   /// Peak tracked block memory over the run (process-wide).
   int64_t peak_memory_bytes = 0;
 
+  // --- Fault tolerance (docs/fault_tolerance.md). All zero in a fault-free
+  // run. Recovery work is kept out of the useful-compute and useful-comm
+  // totals above so TotalComputeSeconds()/comm_bytes() still measure the
+  // algorithm, not the failure handling; the recovery side is accounted
+  // separately below.
+  int64_t faults_injected = 0;
+  int64_t retries = 0;            // step attempts repeated after a failure
+  int64_t recomputed_blocks = 0;  // rebuilt by re-running lineage producers
+  int64_t restored_blocks = 0;    // restored from checkpoint / replica
+  int64_t speculated_tasks = 0;   // straggler tasks re-run on a backup
+  int64_t checkpoint_bytes = 0;   // deep-copied into the checkpoint store
+  double recovery_bytes = 0;      // comm bytes moved by retried/recovery work
+  int64_t recovery_events = 0;    // comm rounds of retried/recovery work
+  /// Worker busy seconds attributed to recovery per stage (1-based stages
+  /// stored 0-indexed like stage_worker_seconds, but summed over workers).
+  std::vector<double> stage_recovery_seconds;
+  /// Step attempts repeated, per stage (same indexing).
+  std::vector<int64_t> stage_retries;
+  /// Blocks rebuilt from lineage, per stage (same indexing).
+  std::vector<int64_t> stage_recomputed_blocks;
+
   double comm_bytes() const { return shuffle_bytes + broadcast_bytes; }
   int64_t comm_events() const { return shuffle_events + broadcast_events; }
 
@@ -79,6 +100,30 @@ struct ExecStats {
     return total;
   }
 
+  /// Adds recovery-attributed busy time in stage number `stage` (1-based).
+  void AddRecoverySeconds(int stage, double seconds) {
+    GrowStage(&stage_recovery_seconds, stage) += seconds;
+  }
+
+  /// Counts one repeated attempt of a step in stage number `stage`.
+  void AddRetry(int stage) {
+    ++retries;
+    ++GrowStage(&stage_retries, stage);
+  }
+
+  /// Counts blocks rebuilt from lineage while recovering in `stage`.
+  void AddRecomputed(int stage, int64_t blocks) {
+    recomputed_blocks += blocks;
+    GrowStage(&stage_recomputed_blocks, stage) += blocks;
+  }
+
+  /// Aggregate worker time spent on recovery instead of useful compute.
+  double TotalRecoverySeconds() const {
+    double total = 0;
+    for (double s : stage_recovery_seconds) total += s;
+    return total;
+  }
+
   /// Modeled network transfer time under `net`.
   double CommSeconds(const NetworkModel& net) const {
     return comm_bytes() / net.bandwidth_bytes_per_sec +
@@ -103,6 +148,35 @@ struct ExecStats {
       }
     }
     peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
+    faults_injected += other.faults_injected;
+    retries += other.retries;
+    recomputed_blocks += other.recomputed_blocks;
+    restored_blocks += other.restored_blocks;
+    speculated_tasks += other.speculated_tasks;
+    checkpoint_bytes += other.checkpoint_bytes;
+    recovery_bytes += other.recovery_bytes;
+    recovery_events += other.recovery_events;
+    MergeStage(&stage_recovery_seconds, other.stage_recovery_seconds);
+    MergeStage(&stage_retries, other.stage_retries);
+    MergeStage(&stage_recomputed_blocks, other.stage_recomputed_blocks);
+  }
+
+ private:
+  /// Element for 1-based stage number `stage`, growing the vector as needed.
+  template <typename T>
+  static T& GrowStage(std::vector<T>* v, int stage) {
+    if (stage < 1) stage = 1;
+    if (static_cast<size_t>(stage) > v->size()) {
+      v->resize(static_cast<size_t>(stage), T(0));
+    }
+    return (*v)[static_cast<size_t>(stage - 1)];
+  }
+
+  template <typename T>
+  static void MergeStage(std::vector<T>* into, const std::vector<T>& from) {
+    for (size_t s = 0; s < from.size(); ++s) {
+      GrowStage(into, static_cast<int>(s) + 1) += from[s];
+    }
   }
 };
 

@@ -11,6 +11,9 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "common/thread_pool.h"
+#include "fault/checkpoint.h"
+#include "fault/injector.h"
+#include "fault/lineage.h"
 #include "matrix/mem_tracker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -108,6 +111,7 @@ class Executor::Impl {
 
   Result<ExecutionResult> Run() {
     DMAC_RETURN_NOT_OK(PickBlockSize());
+    DMAC_RETURN_NOT_OK(SetUpFaultTolerance());
     MemTracker::Global().ResetPeak();
     const int64_t mem_before_peak = MemTracker::Global().peak_bytes();
 
@@ -132,11 +136,20 @@ class Executor::Impl {
                               TraceArg("stage", int64_t{step.stage}) + "," +
                                   TraceArg("step", int64_t{step.id}))
                   : TraceSpan();
-      DMAC_RETURN_NOT_OK(ExecuteStep(step));
+      DMAC_RETURN_NOT_OK(ft_ ? RunStepWithRecovery(step) : ExecuteStep(step));
       metric_steps_->Increment();
     }
     stage_span.reset();
     metric_stages_->Set(plan_.num_stages);
+
+    if (injector_ != nullptr) {
+      // Boundary faults injected after the last consumer of a node can
+      // linger into the gather; one final recovery sweep repairs them.
+      DMAC_RETURN_NOT_OK(RecoverAll());
+      stats_.faults_injected = injector_->faults_drawn();
+      metric_fault_injected_->Add(
+          static_cast<double>(stats_.faults_injected));
+    }
 
     ExecutionResult result;
     for (const PlanOutput& out : plan_.outputs) {
@@ -202,22 +215,90 @@ class Executor::Impl {
   /// Times `fn` and attributes the elapsed seconds to (step.stage, worker),
   /// both in ExecStats and as a worker-attributed trace span. Block tasks
   /// the engine runs inside `fn` inherit the worker id for their spans.
+  ///
+  /// This is also the task-launch fault-injection point: with an active
+  /// injector (and outside recovery) the launch can fail transiently or
+  /// straggle. `idempotent` marks whether running `fn` twice yields the
+  /// same state — true for the sink-writing sites (a second run overwrites
+  /// the same store keys with identical blocks), false for the accumulating
+  /// closures (CPMM phase 1, reduce) — and gates straggler speculation.
   template <typename Fn>
-  Status TimedWorker(const PlanStep& step, int worker, Fn&& fn) {
+  Status TimedWorker(const PlanStep& step, int worker, Fn&& fn,
+                     bool idempotent = true) {
+    // Recovery attempts are not re-injected — except a permanent fault,
+    // which by definition fails every attempt until retries exhaust.
+    if (injector_ != nullptr &&
+        (!recovering_ ||
+         step.id == injector_->spec().permanent_fail_step)) {
+      if (injector_->DrawTransientFailure(step.id)) {
+        return Status::Unavailable("injected transient failure on worker " +
+                                   std::to_string(worker) + " in step " +
+                                   std::to_string(step.id));
+      }
+      const double delay = injector_->DrawStragglerDelay();
+      if (delay > 0) {
+        return StraggledWorker(step, worker, std::forward<Fn>(fn), idempotent,
+                               delay);
+      }
+    }
     TraceSpan span =
         TraceRecorder::Global().enabled()
-            ? TraceSpan(kTraceWorker, StepSpanName(step), worker,
+            ? TraceSpan(recovering_ ? kTraceRecovery : kTraceWorker,
+                        StepSpanName(step), worker,
                         TraceArg("stage", int64_t{step.stage}))
             : TraceSpan();
     engine_.SetWorkerContext(worker);
     Timer timer;
     Status st = fn();
-    stats_.AddWorkerSeconds(step.stage, worker, timer.ElapsedSeconds());
+    if (recovering_) {
+      AddRecoverySeconds(step.stage, timer.ElapsedSeconds());
+    } else {
+      stats_.AddWorkerSeconds(step.stage, worker, timer.ElapsedSeconds());
+    }
     return st;
   }
 
-  /// Counts one shuffle round of `bytes` (stats + metrics).
+  /// Runs a worker task whose launch drew an injected straggler delay
+  /// (simulated seconds — nothing sleeps). With speculation the backup
+  /// worker's re-execution is the useful copy and the straggler attempt is
+  /// charged to recovery; without it the stage just absorbs the delay.
+  template <typename Fn>
+  Status StraggledWorker(const PlanStep& step, int worker, Fn&& fn,
+                         bool idempotent, double delay) {
+    TraceSpan span =
+        TraceRecorder::Global().enabled()
+            ? TraceSpan(kTraceRecovery, "straggler " + StepSpanName(step),
+                        worker, TraceArg("delay_s", delay))
+            : TraceSpan();
+    engine_.SetWorkerContext(worker);
+    Timer timer;
+    Status st = fn();
+    const double measured = timer.ElapsedSeconds();
+    if (st.ok() && opts_.fault.speculate && idempotent &&
+        opts_.num_workers > 1) {
+      AddRecoverySeconds(step.stage, measured + delay);
+      ++stats_.speculated_tasks;
+      metric_fault_speculated_->Increment();
+      const int backup = (worker + 1) % opts_.num_workers;
+      engine_.SetWorkerContext(backup);
+      Timer backup_timer;
+      st = fn();
+      stats_.AddWorkerSeconds(step.stage, backup,
+                              backup_timer.ElapsedSeconds());
+      return st;
+    }
+    stats_.AddWorkerSeconds(step.stage, worker, measured + delay);
+    return st;
+  }
+
+  /// Counts one shuffle round of `bytes` (stats + metrics). Bytes moved by
+  /// recovery work are kept out of the useful-communication totals.
   void CountShuffle(double bytes) {
+    if (recovering_) {
+      stats_.recovery_bytes += bytes;
+      ++stats_.recovery_events;
+      return;
+    }
     stats_.shuffle_bytes += bytes;
     ++stats_.shuffle_events;
     metric_shuffle_bytes_->Add(bytes);
@@ -226,10 +307,346 @@ class Executor::Impl {
 
   /// Counts one broadcast round of `bytes` (stats + metrics).
   void CountBroadcast(double bytes) {
+    if (recovering_) {
+      stats_.recovery_bytes += bytes;
+      ++stats_.recovery_events;
+      return;
+    }
     stats_.broadcast_bytes += bytes;
     ++stats_.broadcast_events;
     metric_broadcast_bytes_->Add(bytes);
     metric_broadcast_rounds_->Increment();
+  }
+
+  void AddRecoverySeconds(int stage, double seconds) {
+    stats_.AddRecoverySeconds(stage, seconds);
+    metric_fault_recovery_seconds_->Add(seconds);
+  }
+
+  /// Reads a block for a cross-worker transfer, verifying integrity in
+  /// fault-tolerant runs. Missing blocks are DataLoss (retryable after
+  /// recovery) rather than an internal error.
+  Result<DistMatrix::BlockPtr> VerifiedGet(const DistMatrix& src, int worker,
+                                           int64_t bi, int64_t bj,
+                                           const char* what) {
+    auto ptr = src.Get(worker, bi, bj);
+    if (ptr == nullptr) {
+      return Status::DataLoss(std::string(what) + ": block (" +
+                              std::to_string(bi) + ", " + std::to_string(bj) +
+                              ") missing on worker " + std::to_string(worker));
+    }
+    if (ft_) DMAC_RETURN_NOT_OK(src.VerifyAt(worker, bi, bj));
+    return ptr;
+  }
+
+  // ---- fault tolerance (docs/fault_tolerance.md) --------------------------
+
+  Status SetUpFaultTolerance() {
+    ft_ = opts_.fault.enabled || opts_.checkpoint_every > 0;
+    if (!ft_) return Status::Ok();
+    if (opts_.fault.enabled) {
+      DMAC_RETURN_NOT_OK(opts_.fault.Validate());
+      injector_ = std::make_unique<FaultInjector>(opts_.fault);
+    }
+    plan_has_hints_ = false;
+    for (const PlanNode& node : plan_.nodes) {
+      plan_has_hints_ = plan_has_hints_ || node.checkpoint_hint;
+    }
+    return Status::Ok();
+  }
+
+  /// Fault-tolerant step execution: inject boundary faults, then attempt
+  /// the step up to 1 + max_retries times. A retryable failure (transient
+  /// Unavailable, detected DataLoss) triggers exponential backoff and full
+  /// lineage recovery before the next attempt; retried attempts run as
+  /// recovery work so the useful-compute totals stay clean. On success the
+  /// output's lineage manifest is recorded and checkpointing may trigger.
+  Status RunStepWithRecovery(const PlanStep& step) {
+    if (injector_ != nullptr) InjectBoundaryFaults();
+    Status st;
+    for (int attempt = 0;; ++attempt) {
+      st = AttemptStep(step, attempt);
+      if (st.ok()) break;
+      const bool retryable = st.code() == StatusCode::kUnavailable ||
+                             st.code() == StatusCode::kDataLoss;
+      if (!retryable || attempt >= opts_.fault.max_retries) {
+        // Give up cleanly: no partial output may survive in the stores.
+        if (step.output >= 0) {
+          node_data_[static_cast<size_t>(step.output)] = nullptr;
+        }
+        if (retryable) {
+          const std::string msg = "step " + std::to_string(step.id) +
+                                  " failed after " +
+                                  std::to_string(attempt + 1) +
+                                  " attempts: " + st.message();
+          return st.code() == StatusCode::kUnavailable
+                     ? Status::Unavailable(msg)
+                     : Status::DataLoss(msg);
+        }
+        return st;
+      }
+      TraceSpan span(kTraceRecovery, "retry " + StepSpanName(step), -1,
+                     TraceArg("step", int64_t{step.id}) + "," +
+                         TraceArg("attempt", int64_t{attempt + 1}));
+      stats_.AddRetry(step.stage);
+      metric_fault_retries_->Increment();
+      // Simulated exponential backoff; transient faults clear with time.
+      AddRecoverySeconds(step.stage,
+                         opts_.fault.backoff_base_seconds *
+                             std::ldexp(1.0, std::min(attempt, 40)));
+      DMAC_RETURN_NOT_OK(RecoverAll());
+    }
+    DMAC_RETURN_NOT_OK(AfterStepSuccess(step));
+    return st;
+  }
+
+  Status AttemptStep(const PlanStep& step, int attempt) {
+    // The first attempt is the useful one; repeats are recovery work (no
+    // further injection, seconds and bytes attributed to recovery).
+    recovering_ = attempt > 0;
+    Status st = PreflightStepInputs(step);
+    if (st.ok()) st = ExecuteStep(step);
+    recovering_ = false;
+    return st;
+  }
+
+  /// Verifies every input node of `step` against its lineage manifest:
+  /// all recorded blocks present and hashing to their recorded checksums.
+  Status PreflightStepInputs(const PlanStep& step) {
+    for (int input : step.inputs) {
+      const NodeLineage* lin = lineage_.Find(input);
+      if (lin == nullptr) continue;  // produced before fault mode engaged
+      const auto& dm = node_data_[static_cast<size_t>(input)];
+      if (dm == nullptr) {
+        return Status::DataLoss("input node " + std::to_string(input) +
+                                " has no materialized data");
+      }
+      const int64_t bcols = dm->grid().block_cols();
+      for (const LineageBlockRecord& rec : lin->blocks) {
+        DMAC_RETURN_NOT_OK(
+            dm->VerifyAt(rec.worker, rec.key / bcols, rec.key % bcols));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Step-boundary injection: worker crashes and per-entry lost/corrupted
+  /// blocks, applied to every live node in a deterministic sweep (nodes by
+  /// id, workers ascending, store keys ascending) so a seed always yields
+  /// the same schedule.
+  void InjectBoundaryFaults() {
+    int victim = -1;
+    if (injector_->DrawCrash(opts_.num_workers, &victim)) {
+      TraceSpan span(kTraceRecovery, "inject-crash", victim);
+      for (auto& dm : node_data_) {
+        if (dm != nullptr) dm->ClearWorker(victim);
+      }
+    }
+    const bool per_entry = opts_.fault.lost_block_prob > 0 ||
+                           opts_.fault.corrupt_prob > 0;
+    if (!per_entry) return;
+    for (auto& dm : node_data_) {
+      if (dm == nullptr) continue;
+      const int64_t bcols = dm->grid().block_cols();
+      for (int w = 0; w < opts_.num_workers; ++w) {
+        for (int64_t key : dm->SortedWorkerKeys(w)) {
+          const int64_t bi = key / bcols;
+          const int64_t bj = key % bcols;
+          if (injector_->DrawLostBlock()) {
+            dm->Drop(w, bi, bj);
+            continue;
+          }
+          if (injector_->DrawCorruptBlock()) {
+            auto ptr = dm->Get(w, bi, bj);
+            dm->ReplacePayload(w, bi, bj,
+                               std::make_shared<const Block>(CorruptedCopy(
+                                   *ptr, injector_->DrawSeed())));
+          }
+        }
+      }
+    }
+  }
+
+  /// Repairs every damaged node, cheapest source first: checkpoint restore,
+  /// then a surviving Broadcast replica, then recomputation by re-running
+  /// the lineage producer step. Walks nodes in producer-step order, so a
+  /// recomputed step always reads already-repaired inputs. All repaired
+  /// state is re-verified against the lineage manifests — recovery is only
+  /// allowed to reproduce the run bit-identically.
+  Status RecoverAll() {
+    TraceSpan span(kTraceRecovery, "recover-all");
+    recovering_ = true;
+    Status st = RecoverAllImpl();
+    recovering_ = false;
+    return st;
+  }
+
+  Status RecoverAllImpl() {
+    for (const PlanStep& step : plan_.steps) {
+      if (step.output < 0) continue;
+      const NodeLineage* lin = lineage_.Find(step.output);
+      if (lin == nullptr) continue;  // not (successfully) produced yet
+      DMAC_RETURN_NOT_OK(RecoverNode(step.output, *lin));
+    }
+    return Status::Ok();
+  }
+
+  Status RecoverNode(int node_id, const NodeLineage& lin) {
+    auto& dm = node_data_[static_cast<size_t>(node_id)];
+    std::vector<LineageBlockRecord> dirty;
+    if (dm == nullptr) {
+      dirty = lin.blocks;
+    } else {
+      const int64_t bcols = dm->grid().block_cols();
+      for (const LineageBlockRecord& rec : lin.blocks) {
+        if (!dm->VerifyAt(rec.worker, rec.key / bcols, rec.key % bcols)
+                 .ok()) {
+          dirty.push_back(rec);
+        }
+      }
+    }
+    if (dirty.empty()) return Status::Ok();
+
+    TraceSpan span =
+        TraceRecorder::Global().enabled()
+            ? TraceSpan(kTraceRecovery, "recover node " + NodeOf(node_id).ToString(),
+                        -1, TraceArg("node", int64_t{node_id}) + "," +
+                                TraceArg("dirty",
+                                         static_cast<int64_t>(dirty.size())))
+            : TraceSpan();
+
+    // 1. Checkpoint restore: exact deep copies taken at record time.
+    if (dm != nullptr) {
+      if (const auto* snap = checkpoints_.Find(node_id)) {
+        std::vector<LineageBlockRecord> remaining;
+        const int64_t bcols = dm->grid().block_cols();
+        for (const LineageBlockRecord& rec : dirty) {
+          const CheckpointBlock* found = nullptr;
+          for (const CheckpointBlock& cb : *snap) {
+            if (cb.worker == rec.worker && cb.key == rec.key &&
+                cb.checksum == rec.checksum) {
+              found = &cb;
+              break;
+            }
+          }
+          if (found != nullptr) {
+            dm->Put(rec.worker, rec.key / bcols, rec.key % bcols,
+                    found->block);
+            ++stats_.restored_blocks;
+            metric_fault_restored_->Increment();
+          } else {
+            remaining.push_back(rec);
+          }
+        }
+        dirty = std::move(remaining);
+      }
+    }
+
+    // 2. Broadcast replica repair: copy a surviving, verifying replica.
+    if (dm != nullptr && !dirty.empty() &&
+        dm->scheme() == Scheme::kBroadcast) {
+      std::vector<LineageBlockRecord> remaining;
+      const int64_t bcols = dm->grid().block_cols();
+      for (const LineageBlockRecord& rec : dirty) {
+        const int64_t bi = rec.key / bcols;
+        const int64_t bj = rec.key % bcols;
+        bool repaired = false;
+        for (int w = 0; w < opts_.num_workers && !repaired; ++w) {
+          if (w == rec.worker) continue;
+          if (dm->VerifyAt(w, bi, bj).ok()) {
+            dm->Put(rec.worker, bi, bj, dm->Get(w, bi, bj));
+            ++stats_.restored_blocks;
+            metric_fault_restored_->Increment();
+            repaired = true;
+          }
+        }
+        if (!repaired) remaining.push_back(rec);
+      }
+      dirty = std::move(remaining);
+    }
+
+    // 3. Recompute from lineage: re-run the producer step (deterministic,
+    //    so the rebuilt matrix is bit-identical). Inputs were repaired by
+    //    earlier iterations of the producer-order walk.
+    if (!dirty.empty()) {
+      const PlanStep& producer =
+          plan_.steps[static_cast<size_t>(lin.producer_step)];
+      DMAC_RETURN_NOT_OK(ExecuteStep(producer));
+      stats_.AddRecomputed(producer.stage,
+                           static_cast<int64_t>(dirty.size()));
+      metric_fault_recomputed_->Add(static_cast<double>(dirty.size()));
+    }
+
+    // Re-stamp and enforce bit-identity with the recorded manifest.
+    auto& repaired = node_data_[static_cast<size_t>(node_id)];
+    if (repaired == nullptr) {
+      return Status::Internal("recovery left node " +
+                              std::to_string(node_id) + " unmaterialized");
+    }
+    repaired->SetChecksums();
+    const int64_t bcols = repaired->grid().block_cols();
+    for (const LineageBlockRecord& rec : lin.blocks) {
+      if (repaired->ChecksumAt(rec.worker, rec.key / bcols,
+                               rec.key % bcols) != rec.checksum) {
+        return Status::Internal(
+            "recovery of node " + std::to_string(node_id) +
+            " diverged from its lineage manifest at block key " +
+            std::to_string(rec.key) + " on worker " +
+            std::to_string(rec.worker));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Post-success bookkeeping of a fault-tolerant step: stamp checksums,
+  /// record the output's lineage manifest, and checkpoint when due.
+  Status AfterStepSuccess(const PlanStep& step) {
+    if (step.output < 0) return Status::Ok();
+    DistMatrix& dm = Data(step.output);
+    dm.SetChecksums();
+    NodeLineage lin;
+    lin.node_id = step.output;
+    lin.producer_step = step.id;
+    lin.inputs = step.inputs;
+    const int64_t bcols = dm.grid().block_cols();
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      for (int64_t key : dm.SortedWorkerKeys(w)) {
+        lin.blocks.push_back(
+            {w, key, dm.ChecksumAt(w, key / bcols, key % bcols)});
+      }
+    }
+    lineage_.Record(std::move(lin));
+    MaybeCheckpoint(step);
+    return Status::Ok();
+  }
+
+  void MaybeCheckpoint(const PlanStep& step) {
+    if (opts_.checkpoint_every <= 0) return;
+    const PlanNode& node = NodeOf(step.output);
+    if (plan_has_hints_ && !node.checkpoint_hint) return;
+    if (++checkpoint_counter_ % opts_.checkpoint_every != 0) return;
+    TraceSpan span(kTraceRecovery, "checkpoint " + node.ToString(), -1,
+                   TraceArg("node", int64_t{node.id}));
+    const DistMatrix& dm = Data(step.output);
+    const int64_t bcols = dm.grid().block_cols();
+    // Deep copies, deduplicated per payload so Broadcast replicas (shared
+    // pointers) are copied — and billed — once.
+    std::unordered_map<const Block*, std::shared_ptr<const Block>> copies;
+    std::vector<CheckpointBlock> blocks;
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      for (int64_t key : dm.SortedWorkerKeys(w)) {
+        auto ptr = dm.Get(w, key / bcols, key % bcols);
+        auto [it, inserted] = copies.try_emplace(ptr.get(), nullptr);
+        if (inserted) it->second = std::make_shared<const Block>(*ptr);
+        blocks.push_back({w, key, dm.ChecksumAt(w, key / bcols, key % bcols),
+                          it->second});
+      }
+    }
+    const int64_t before = checkpoints_.bytes_written();
+    checkpoints_.Put(step.output, std::move(blocks));
+    const int64_t written = checkpoints_.bytes_written() - before;
+    stats_.checkpoint_bytes += written;
+    metric_fault_checkpoint_bytes_->Add(static_cast<double>(written));
   }
 
   // ---- step dispatch ------------------------------------------------------
@@ -358,10 +775,8 @@ class Executor::Impl {
         const int from = src.scheme() == Scheme::kBroadcast
                              ? to
                              : src.OwnerOf(bi, bj);
-        auto ptr = src.Get(from, bi, bj);
-        if (ptr == nullptr) {
-          return Status::Internal("partition: missing source block");
-        }
+        DMAC_ASSIGN_OR_RETURN(auto ptr,
+                              VerifiedGet(src, from, bi, bj, "partition"));
         if (same_scheme) {
           bytes += static_cast<double>(ptr->MemoryBytes()) * hash_fraction;
         } else if (from != to) {
@@ -387,10 +802,8 @@ class Executor::Impl {
     for (int64_t bi = 0; bi < src.grid().block_rows(); ++bi) {
       for (int64_t bj = 0; bj < src.grid().block_cols(); ++bj) {
         const int from = src.OwnerOf(bi, bj);
-        auto ptr = src.Get(from, bi, bj);
-        if (ptr == nullptr) {
-          return Status::Internal("broadcast: missing source block");
-        }
+        DMAC_ASSIGN_OR_RETURN(auto ptr,
+                              VerifiedGet(src, from, bi, bj, "broadcast"));
         bytes += static_cast<double>(ptr->MemoryBytes()) *
                  (opts_.num_workers - 1);
         for (int w = 0; w < opts_.num_workers; ++w) dst->Put(w, bi, bj, ptr);
@@ -456,10 +869,8 @@ class Executor::Impl {
     for (int64_t bi = 0; bi < dst->grid().block_rows(); ++bi) {
       for (int64_t bj = 0; bj < dst->grid().block_cols(); ++bj) {
         const int w = dst->OwnerOf(bi, bj);
-        auto ptr = src.Get(w, bi, bj);
-        if (ptr == nullptr) {
-          return Status::Internal("extract: missing replica block");
-        }
+        DMAC_ASSIGN_OR_RETURN(auto ptr,
+                              VerifiedGet(src, w, bi, bj, "extract"));
         dst->Put(w, bi, bj, std::move(ptr));
       }
     }
@@ -608,7 +1019,8 @@ class Executor::Impl {
               std::lock_guard<std::mutex> lock(mu);
               local.push_back({bi, bj, std::move(ptr), w});
             });
-      });
+      },
+      /*idempotent=*/false);  // a second run would duplicate `local`
       DMAC_RETURN_NOT_OK(st);
       for (Partial& p : local) {
         const int dst = c->OwnerOf(p.bi, p.bj);
@@ -954,7 +1366,8 @@ class Executor::Impl {
                                                        : Sum(*ptr);
         }
         return Status::Ok();
-      });
+      },
+      /*idempotent=*/false);  // a second run would double `partial`
       DMAC_RETURN_NOT_OK(st);
       total += partial;
     }
@@ -962,8 +1375,12 @@ class Executor::Impl {
     scalars_[step.scalar_out] = total;
     // Driver aggregation: N partial doubles cross the network (bytes only,
     // no extra round — the reduce piggybacks on the stage boundary).
-    stats_.shuffle_bytes += 8.0 * opts_.num_workers;
-    metric_shuffle_bytes_->Add(8.0 * opts_.num_workers);
+    if (recovering_) {
+      stats_.recovery_bytes += 8.0 * opts_.num_workers;
+    } else {
+      stats_.shuffle_bytes += 8.0 * opts_.num_workers;
+      metric_shuffle_bytes_->Add(8.0 * opts_.num_workers);
+    }
     if (TraceRecorder::Global().enabled()) {
       TraceSpan span(kTraceComm, "reduce");
       span.set_args(TraceArg("bytes", 8.0 * opts_.num_workers) + "," +
@@ -1005,6 +1422,18 @@ class Executor::Impl {
   std::unordered_map<std::string, double> scalars_;
   ExecStats stats_;
 
+  // Fault tolerance (docs/fault_tolerance.md). `ft_` is the master switch
+  // the hot paths branch on; `injector_` is non-null only when injection is
+  // configured; `recovering_` marks work that must be attributed to
+  // recovery (and must not be re-injected).
+  bool ft_ = false;
+  bool recovering_ = false;
+  bool plan_has_hints_ = false;
+  int64_t checkpoint_counter_ = 0;
+  std::unique_ptr<FaultInjector> injector_;
+  LineageTracker lineage_;
+  CheckpointStore checkpoints_;
+
   // Cached metric instruments (stable pointers; no-ops while the registry
   // is disabled).
   Counter* metric_shuffle_bytes_ =
@@ -1019,6 +1448,20 @@ class Executor::Impl {
   Gauge* metric_stages_ = MetricRegistry::Global().gauge(kMetricStages);
   Gauge* metric_peak_memory_ =
       MetricRegistry::Global().gauge(kMetricPeakMemoryBytes);
+  Counter* metric_fault_injected_ =
+      MetricRegistry::Global().counter(kMetricFaultInjected);
+  Counter* metric_fault_retries_ =
+      MetricRegistry::Global().counter(kMetricFaultRetries);
+  Counter* metric_fault_recomputed_ =
+      MetricRegistry::Global().counter(kMetricFaultRecomputedBlocks);
+  Counter* metric_fault_restored_ =
+      MetricRegistry::Global().counter(kMetricFaultRestoredBlocks);
+  Counter* metric_fault_speculated_ =
+      MetricRegistry::Global().counter(kMetricFaultSpeculatedTasks);
+  Counter* metric_fault_checkpoint_bytes_ =
+      MetricRegistry::Global().counter(kMetricFaultCheckpointBytes);
+  Counter* metric_fault_recovery_seconds_ =
+      MetricRegistry::Global().counter(kMetricFaultRecoverySeconds);
 };
 
 Executor::Executor(ExecutorOptions options) : options_(options) {}

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "fault/fault_spec.h"
 #include "matrix/local_matrix.h"
 #include "plan/plan.h"
 #include "runtime/dist_matrix.h"
@@ -43,6 +44,14 @@ struct ExecutorOptions {
   double density_threshold = 0.5;
   /// Seed for `random` leaves.
   uint64_t seed = 42;
+  /// Fault injection and recovery (docs/fault_tolerance.md). While
+  /// `fault.enabled` is false the fault machinery costs one branch per
+  /// step and nothing else.
+  FaultSpec fault;
+  /// Checkpoint designated matrices every K producing steps (0 = never).
+  /// When the plan carries checkpoint hints only hinted nodes count toward
+  /// K and are snapshotted; without hints every producing step does.
+  int checkpoint_every = 0;
 };
 
 /// Result of executing a plan.

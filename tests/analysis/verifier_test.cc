@@ -20,8 +20,8 @@
 namespace dmac {
 namespace {
 
-TEST(AnalyzerTest, DefaultPipelineHasFivePasses) {
-  EXPECT_EQ(Analyzer::Default().num_passes(), 5u);
+TEST(AnalyzerTest, DefaultPipelineHasSixPasses) {
+  EXPECT_EQ(Analyzer::Default().num_passes(), 6u);
 }
 
 TEST(AnalyzerTest, EmptyContextProducesNoFindings) {

@@ -27,6 +27,8 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::DimensionMismatch("e"), StatusCode::kDimensionMismatch},
       {Status::Unsupported("f"), StatusCode::kUnsupported},
       {Status::Internal("g"), StatusCode::kInternal},
+      {Status::Unavailable("h"), StatusCode::kUnavailable},
+      {Status::DataLoss("i"), StatusCode::kDataLoss},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -1,0 +1,103 @@
+// FaultSpec defaults, validation, and the key = value file format.
+#include "fault/fault_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace dmac {
+namespace {
+
+TEST(FaultSpecTest, DefaultIsDisabledAndValid) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.enabled);
+  EXPECT_FALSE(spec.AnyFaultPossible());
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(FaultSpecTest, AnyFaultPossibleCoversEveryKnob) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.AnyFaultPossible());
+  spec.crash_prob = 0.1;
+  EXPECT_TRUE(spec.AnyFaultPossible());
+  spec = FaultSpec{};
+  spec.permanent_fail_step = 3;
+  EXPECT_TRUE(spec.AnyFaultPossible());
+  spec = FaultSpec{};
+  spec.straggler_prob = 0.5;
+  EXPECT_TRUE(spec.AnyFaultPossible());
+}
+
+TEST(FaultSpecTest, ValidateRejectsOutOfRangeKnobs) {
+  FaultSpec spec;
+  spec.crash_prob = 1.5;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec = FaultSpec{};
+  spec.corrupt_prob = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.max_retries = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.backoff_base_seconds = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(FaultSpecTest, ParsesKeysCommentsAndBlanks) {
+  auto spec = ParseFaultSpec(
+      "# smoke schedule\n"
+      "seed = 7\n"
+      "crash_prob = 0.02   # one worker per ~50 steps\n"
+      "\n"
+      "lost_block_prob = 0.001\n"
+      "corrupt_prob = 0.0005\n"
+      "transient_prob = 0.01\n"
+      "straggler_prob = 0.1\n"
+      "straggler_delay_seconds = 0.25\n"
+      "speculate = false\n"
+      "max_retries = 6\n"
+      "backoff_base_seconds = 0.5\n"
+      "permanent_fail_step = 9\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  // Writing a spec file is the opt-in: parsed specs default enabled.
+  EXPECT_TRUE(spec->enabled);
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->crash_prob, 0.02);
+  EXPECT_DOUBLE_EQ(spec->lost_block_prob, 0.001);
+  EXPECT_DOUBLE_EQ(spec->corrupt_prob, 0.0005);
+  EXPECT_DOUBLE_EQ(spec->transient_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec->straggler_prob, 0.1);
+  EXPECT_DOUBLE_EQ(spec->straggler_delay_seconds, 0.25);
+  EXPECT_FALSE(spec->speculate);
+  EXPECT_EQ(spec->max_retries, 6);
+  EXPECT_DOUBLE_EQ(spec->backoff_base_seconds, 0.5);
+  EXPECT_EQ(spec->permanent_fail_step, 9);
+}
+
+TEST(FaultSpecTest, ExplicitEnabledFalseWins) {
+  auto spec = ParseFaultSpec("enabled = false\ncrash_prob = 0.5\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->enabled);
+}
+
+TEST(FaultSpecTest, RejectsUnknownKeys) {
+  auto spec = ParseFaultSpec("crash_probability = 0.5\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().ToString().find("unknown key"), std::string::npos)
+      << spec.status();
+}
+
+TEST(FaultSpecTest, RejectsMalformedLinesAndValues) {
+  EXPECT_FALSE(ParseFaultSpec("crash_prob\n").ok());
+  EXPECT_FALSE(ParseFaultSpec("crash_prob = lots\n").ok());
+  EXPECT_FALSE(ParseFaultSpec("speculate = maybe\n").ok());
+  // Parse runs Validate: a well-formed but out-of-range spec is rejected.
+  EXPECT_FALSE(ParseFaultSpec("crash_prob = 2.0\n").ok());
+}
+
+TEST(FaultSpecTest, LoadMissingFileIsNotFound) {
+  auto spec = LoadFaultSpecFile("/nonexistent/faults.spec");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,105 @@
+// LineageTracker manifests and the driver-side CheckpointStore.
+#include "fault/lineage.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/checkpoint.h"
+#include "fault/checksum.h"
+#include "matrix/block.h"
+
+namespace dmac {
+namespace {
+
+NodeLineage MakeLineage(int node_id) {
+  NodeLineage lin;
+  lin.node_id = node_id;
+  lin.producer_step = 3;
+  lin.inputs = {0, 1};
+  lin.blocks = {{1, 7, 0xbeef}, {0, 2, 0xcafe}, {0, 5, 0xfeed}};
+  return lin;
+}
+
+TEST(LineageTrackerTest, RecordFindForgetRoundTrip) {
+  LineageTracker tracker;
+  EXPECT_EQ(tracker.Find(4), nullptr);
+  tracker.Record(MakeLineage(4));
+  const NodeLineage* found = tracker.Find(4);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->producer_step, 3);
+  EXPECT_EQ(found->inputs, (std::vector<int>{0, 1}));
+  EXPECT_EQ(tracker.size(), 1u);
+  tracker.Forget(4);
+  EXPECT_EQ(tracker.Find(4), nullptr);
+  EXPECT_EQ(tracker.size(), 0u);
+}
+
+TEST(LineageTrackerTest, BlocksAreSortedForDeterministicComparison) {
+  LineageTracker tracker;
+  tracker.Record(MakeLineage(9));
+  const NodeLineage* found = tracker.Find(9);
+  ASSERT_NE(found, nullptr);
+  ASSERT_EQ(found->blocks.size(), 3u);
+  EXPECT_EQ(found->blocks[0].worker, 0);
+  EXPECT_EQ(found->blocks[0].key, 2);
+  EXPECT_EQ(found->blocks[1].worker, 0);
+  EXPECT_EQ(found->blocks[1].key, 5);
+  EXPECT_EQ(found->blocks[2].worker, 1);
+  EXPECT_EQ(found->blocks[2].key, 7);
+}
+
+TEST(LineageTrackerTest, ReRecordingReplacesTheManifest) {
+  LineageTracker tracker;
+  tracker.Record(MakeLineage(4));
+  NodeLineage updated = MakeLineage(4);
+  updated.producer_step = 8;
+  updated.blocks.clear();
+  tracker.Record(std::move(updated));
+  const NodeLineage* found = tracker.Find(4);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->producer_step, 8);
+  EXPECT_TRUE(found->blocks.empty());
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+// ---- checkpoint store ---------------------------------------------------
+
+std::vector<CheckpointBlock> Snapshot(uint64_t seed) {
+  std::vector<CheckpointBlock> blocks;
+  auto block = std::make_shared<const Block>(RandomDenseBlock(4, 4, seed));
+  blocks.push_back({0, 0, BlockChecksum(*block), block});
+  return blocks;
+}
+
+TEST(CheckpointStoreTest, PutFindForgetRoundTrip) {
+  CheckpointStore store;
+  EXPECT_EQ(store.Find(2), nullptr);
+  store.Put(2, Snapshot(1));
+  const auto* snap = store.Find(2);
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->size(), 1u);
+  EXPECT_EQ((*snap)[0].checksum, BlockChecksum(*(*snap)[0].block));
+  EXPECT_EQ(store.size(), 1u);
+  store.Forget(2);
+  EXPECT_EQ(store.Find(2), nullptr);
+  EXPECT_EQ(store.total_bytes(), 0);
+}
+
+TEST(CheckpointStoreTest, ReplacementKeepsTotalButGrowsWritten) {
+  CheckpointStore store;
+  store.Put(2, Snapshot(1));
+  const int64_t bytes = store.total_bytes();
+  ASSERT_GT(bytes, 0);
+  EXPECT_EQ(store.bytes_written(), bytes);
+  // A later iteration re-checkpoints the same node: the live footprint is
+  // one snapshot, the lifetime-written metric keeps accumulating.
+  store.Put(2, Snapshot(2));
+  EXPECT_EQ(store.total_bytes(), bytes);
+  EXPECT_EQ(store.bytes_written(), 2 * bytes);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dmac

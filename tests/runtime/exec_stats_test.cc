@@ -76,6 +76,63 @@ TEST(ExecStatsTest, MergeAccumulatesEverything) {
   EXPECT_EQ(a.peak_memory_bytes, 500);  // max, not sum
 }
 
+TEST(ExecStatsTest, RecoveryAccountingIsSeparateFromUsefulCompute) {
+  ExecStats stats;
+  stats.AddWorkerSeconds(1, 0, 2.0);
+  stats.AddRecoverySeconds(1, 0.5);
+  stats.AddRecoverySeconds(3, 0.25);
+  stats.AddRetry(3);
+  stats.AddRetry(3);
+  stats.AddRecomputed(3, 4);
+
+  // Recovered work never inflates the useful-compute totals.
+  EXPECT_DOUBLE_EQ(stats.TotalComputeSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.ComputeWallSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.TotalRecoverySeconds(), 0.75);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.recomputed_blocks, 4);
+  ASSERT_EQ(stats.stage_retries.size(), 3u);
+  EXPECT_EQ(stats.stage_retries[2], 2);
+  ASSERT_EQ(stats.stage_recomputed_blocks.size(), 3u);
+  EXPECT_EQ(stats.stage_recomputed_blocks[2], 4);
+  ASSERT_EQ(stats.stage_recovery_seconds.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.stage_recovery_seconds[0], 0.5);
+  EXPECT_DOUBLE_EQ(stats.stage_recovery_seconds[2], 0.25);
+}
+
+TEST(ExecStatsTest, MergeAccumulatesFaultCounters) {
+  ExecStats a;
+  a.faults_injected = 1;
+  a.restored_blocks = 2;
+  a.checkpoint_bytes = 100;
+  a.AddRetry(1);
+  a.AddRecoverySeconds(1, 0.5);
+
+  ExecStats b;
+  b.faults_injected = 3;
+  b.speculated_tasks = 1;
+  b.recovery_bytes = 64;
+  b.recovery_events = 2;
+  b.AddRetry(1);
+  b.AddRetry(2);
+  b.AddRecomputed(2, 5);
+  b.AddRecoverySeconds(2, 0.25);
+
+  a.Merge(b);
+  EXPECT_EQ(a.faults_injected, 4);
+  EXPECT_EQ(a.retries, 3);
+  EXPECT_EQ(a.recomputed_blocks, 5);
+  EXPECT_EQ(a.restored_blocks, 2);
+  EXPECT_EQ(a.speculated_tasks, 1);
+  EXPECT_EQ(a.checkpoint_bytes, 100);
+  EXPECT_DOUBLE_EQ(a.recovery_bytes, 64);
+  EXPECT_EQ(a.recovery_events, 2);
+  ASSERT_EQ(a.stage_retries.size(), 2u);
+  EXPECT_EQ(a.stage_retries[0], 2);
+  EXPECT_EQ(a.stage_retries[1], 1);
+  EXPECT_DOUBLE_EQ(a.TotalRecoverySeconds(), 0.75);
+}
+
 TEST(ExecStatsTest, EmptyStatsAreZero) {
   ExecStats stats;
   EXPECT_DOUBLE_EQ(stats.comm_bytes(), 0);

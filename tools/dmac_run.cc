@@ -19,6 +19,11 @@
 //   --metrics-out F   enable metrics; write the metric dump to F after the
 //                     run (.csv suffix selects CSV, anything else JSON)
 //   --seed S          RNG seed (default 42)
+//   --fault-spec F    enable fault injection from a key=value spec file
+//                     (docs/fault_tolerance.md); recovery statistics are
+//                     printed on a [fault] summary line
+//   --checkpoint-every K
+//                     checkpoint hinted matrices every K producing steps
 //
 // Loads without a --bind are synthesized from their declared shape and
 // sparsity, so any script runs out of the box:
@@ -74,7 +79,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SCRIPT.dmac [--workers N] [--threads L] "
                "[--block B] [--baseline] [--bind NAME=FILE] [--plan-only] "
-               "[--dot] [--trace-out FILE] [--metrics-out FILE] [--seed S]\n",
+               "[--dot] [--trace-out FILE] [--metrics-out FILE] [--seed S] "
+               "[--fault-spec FILE] [--checkpoint-every K]\n",
                argv0);
   return 2;
 }
@@ -87,7 +93,7 @@ int main(int argc, char** argv) {
 
   RunConfig config;
   bool plan_only = false, dot = false, stats_flag = false, compare = false;
-  std::string trace_out, metrics_out;
+  std::string trace_out, metrics_out, fault_spec_path;
   std::map<std::string, std::string> file_bindings;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +118,12 @@ int main(int argc, char** argv) {
       if (trace_out.empty()) return Usage(argv[0]);
     } else if (path_flag("--metrics-out", &metrics_out)) {
       if (metrics_out.empty()) return Usage(argv[0]);
+    } else if (path_flag("--fault-spec", &fault_spec_path)) {
+      if (fault_spec_path.empty()) return Usage(argv[0]);
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      config.checkpoint_every = std::atoi(v);
     } else if (arg == "--workers") {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
@@ -165,6 +177,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "parse error: %s\n",
                  program.status().ToString().c_str());
     return 1;
+  }
+
+  if (!fault_spec_path.empty()) {
+    auto spec = LoadFaultSpecFile(fault_spec_path);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--fault-spec: %s\n",
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    config.fault = *spec;
   }
 
   const bool obs = !trace_out.empty() || !metrics_out.empty();
@@ -295,6 +317,19 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.comm_events()),
       stats.ComputeWallSeconds(), stats.SimulatedSeconds(NetworkModel{}),
       outcome->plan_seconds * 1e3);
+  if (config.fault.enabled || config.checkpoint_every > 0) {
+    std::printf(
+        "[fault] %lld injected, %lld retries, %lld recomputed / %lld "
+        "restored blocks, %lld speculated tasks, checkpoint %.2f MB, "
+        "recovery %.3fs (+%.2f MB moved)\n",
+        static_cast<long long>(stats.faults_injected),
+        static_cast<long long>(stats.retries),
+        static_cast<long long>(stats.recomputed_blocks),
+        static_cast<long long>(stats.restored_blocks),
+        static_cast<long long>(stats.speculated_tasks),
+        static_cast<double>(stats.checkpoint_bytes) / 1e6,
+        stats.TotalRecoverySeconds(), stats.recovery_bytes / 1e6);
+  }
 
   if (stats_flag) {
     std::printf("\nper-stage compute (seconds per worker):\n");
