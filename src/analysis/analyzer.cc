@@ -69,6 +69,7 @@ Analyzer Analyzer::Default() {
   a.AddPass(MakeCommCostPass());
   a.AddPass(MakeAliasSafetyPass());
   a.AddPass(MakeLineageCompletenessPass());
+  a.AddPass(MakeMemoryFootprintPass());
   return a;
 }
 

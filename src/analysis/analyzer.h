@@ -20,7 +20,7 @@ class Analyzer {
  public:
   Analyzer() = default;
 
-  /// The five built-in passes, in dependency order (structural checks
+  /// The seven built-in passes, in dependency order (structural checks
   /// before the checks that assume structure).
   static Analyzer Default();
 

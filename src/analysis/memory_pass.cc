@@ -1,0 +1,80 @@
+// Memory footprint (pass 7).
+//
+// Resource governance (docs/governance.md) admits queries against a
+// pre-execution footprint estimate, and the executor enforces the budget at
+// run time with spill. This pass makes the estimate a static artifact: it
+// recomputes the plan's peak live set from the size annotations and — when
+// the analysis context carries a budget — rejects plans whose *pinned*
+// requirement could never fit, so an execution that is doomed to
+// kResourceExhausted fails before it starts.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "plan/footprint.h"
+
+namespace dmac {
+
+namespace {
+
+constexpr char kPass[] = "memory-footprint";
+
+class MemoryFootprintPass final : public AnalysisPass {
+ public:
+  const char* name() const override { return kPass; }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    if (ctx.plan == nullptr) return;  // plan-level pass only
+    const Plan& plan = *ctx.plan;
+    const int64_t peak = EstimatePlanFootprintBytes(plan, ctx.num_workers);
+    out->push_back({Severity::kNote, kPass, -1,
+                    "estimated peak footprint " + std::to_string(peak) +
+                        " bytes on " + std::to_string(ctx.num_workers) +
+                        " workers",
+                    ""});
+    if (ctx.memory_budget_bytes <= 0) return;
+
+    // A step's inputs are pinned — all resident at once while it runs — so
+    // a step whose pinned set alone exceeds the budget cannot be saved by
+    // spilling and the run is statically doomed.
+    const int64_t budget = ctx.memory_budget_bytes;
+    for (const PlanStep& step : plan.steps) {
+      int64_t pinned = 0;
+      for (int input : step.inputs) {
+        if (!ValidNode(plan, input)) continue;
+        const PlanNode& node = plan.nodes[static_cast<size_t>(input)];
+        const int64_t replicas =
+            node.scheme() == Scheme::kBroadcast ? ctx.num_workers : 1;
+        pinned += static_cast<int64_t>(node.stats.EstimatedBytes()) *
+                  replicas;
+      }
+      if (pinned > budget) {
+        out->push_back(
+            {Severity::kError, kPass, step.id,
+             StepLabel(step) + " pins an estimated " +
+                 std::to_string(pinned) + " bytes of inputs, above the " +
+                 std::to_string(budget) + "-byte memory budget",
+             "raise --mem-budget-mb or shrink the operands; spilling "
+             "cannot reduce a single step's working set"});
+      }
+    }
+    if (peak > budget) {
+      out->push_back(
+          {Severity::kWarning, kPass, -1,
+           "estimated peak footprint " + std::to_string(peak) +
+               " bytes exceeds the " + std::to_string(budget) +
+               "-byte memory budget",
+           "the run will spill cold partitions to disk"});
+    }
+  }
+};
+
+}  // namespace
+
+AnalysisPassPtr MakeMemoryFootprintPass() {
+  return std::make_unique<MemoryFootprintPass>();
+}
+
+}  // namespace dmac

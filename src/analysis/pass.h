@@ -30,6 +30,10 @@ struct AnalysisContext {
   /// N in the cost model; must match the planner's setting for the
   /// communication cross-check to be meaningful.
   int num_workers = 4;
+  /// Memory budget the plan must run under, in bytes; 0 = unlimited. The
+  /// memory-footprint pass errors when a single step's pinned working set
+  /// cannot fit (docs/governance.md).
+  int64_t memory_budget_bytes = 0;
 };
 
 /// One static check. Implementations live in the *_pass.cc files and are

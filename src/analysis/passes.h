@@ -28,6 +28,11 @@
 //                       program output terminates at load/random sources
 //                       without cycles — the static precondition of
 //                       lineage-based fault recovery.
+//  memory-footprint     the plan's estimated peak live set is recomputed
+//                       from the size annotations; under a configured
+//                       memory budget, any step whose pinned inputs alone
+//                       exceed it (spill cannot help) is an error and an
+//                       over-budget peak (the run will spill) a warning.
 #pragma once
 
 #include "analysis/pass.h"
@@ -40,5 +45,6 @@ AnalysisPassPtr MakeDependencyGraphPass();
 AnalysisPassPtr MakeCommCostPass();
 AnalysisPassPtr MakeAliasSafetyPass();
 AnalysisPassPtr MakeLineageCompletenessPass();
+AnalysisPassPtr MakeMemoryFootprintPass();
 
 }  // namespace dmac

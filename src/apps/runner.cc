@@ -98,6 +98,7 @@ Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
   eopts.seed = config.seed;
   eopts.fault = config.fault;
   eopts.checkpoint_every = config.checkpoint_every;
+  eopts.governor = config.governor;
   Executor executor(eopts);
 
   Timer exec_timer;

@@ -37,6 +37,9 @@ struct RunConfig {
   FaultSpec fault;
   /// Checkpoint hinted matrices every K producing steps (0 = never).
   int checkpoint_every = 0;
+  /// Resource governance (docs/governance.md): deadline/cancel token,
+  /// memory budget and spill store. Default = ungoverned.
+  GovernorContext governor;
 };
 
 /// Outcome of a run: results, runtime statistics, and the plan that ran.

@@ -24,6 +24,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -24,6 +24,14 @@ enum class StatusCode : uint8_t {
   /// A stored block is missing or failed checksum verification; retryable
   /// after lineage recovery (docs/fault_tolerance.md).
   kDataLoss,
+  /// The query was cancelled cooperatively via its CancelToken; terminal,
+  /// never retried (docs/governance.md).
+  kCancelled,
+  /// The query's deadline elapsed before it finished; terminal.
+  kDeadlineExceeded,
+  /// A memory budget or admission quota was exceeded and spilling could not
+  /// help; terminal (docs/governance.md).
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -66,6 +74,15 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -20,9 +20,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(nullptr, std::move(task));
+}
+
+void ThreadPool::Submit(const std::atomic<bool>* abandon_if,
+                        std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), abandon_if});
   }
   work_cv_.notify_one();
 }
@@ -34,7 +39,7 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -43,7 +48,12 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    // Abandoned task: once its flag fires it must never run — the check
+    // happens after the pop so the decision is made exactly once per task.
+    if (task.abandon_if == nullptr ||
+        !task.abandon_if->load(std::memory_order_acquire)) {
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -2,6 +2,7 @@
 // Fig. 4: multiple threads draining a task queue).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -17,6 +18,13 @@ namespace dmac {
 /// Semantics match the paper's worker model: tasks are independent (each
 /// produces one result block), so there is no inter-task ordering beyond
 /// FIFO dispatch. `WaitIdle()` blocks until every submitted task completed.
+///
+/// Cooperative cancellation (docs/governance.md): a task submitted with an
+/// abandon flag is *skipped* — popped and discarded without running — when
+/// the flag is set by the time a thread picks it up. The same rule applies
+/// to the destructor's drain, so after a query's CancelToken fires none of
+/// its still-queued tasks ever runs, deterministically. A task already
+/// running is cooperative and finishes on its own.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -29,18 +37,30 @@ class ThreadPool {
   /// Enqueues a task. Never blocks.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Enqueues a task that is skipped (never run) if `*abandon_if` is true
+  /// when a thread would start it. `abandon_if` may be null (plain submit)
+  /// and must outlive the task.
+  void Submit(const std::atomic<bool>* abandon_if,
+              std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running (skipped tasks
+  /// count as completed).
   void WaitIdle();
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    const std::atomic<bool>* abandon_if = nullptr;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;

@@ -1,0 +1,89 @@
+#include "governor/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace dmac {
+
+AdmissionController::AdmissionController(AdmissionQuota quota)
+    : quota_([&quota] {
+        quota.max_concurrent = std::max(1, quota.max_concurrent);
+        quota.max_queued = std::max(0, quota.max_queued);
+        return quota;
+      }()) {}
+
+Status AdmissionController::Admit(int64_t estimate_bytes,
+                                  const CancelToken& token) {
+  auto& reg = MetricRegistry::Global();
+  if (quota_.total_memory_bytes > 0 &&
+      estimate_bytes > quota_.total_memory_bytes) {
+    reg.counter(kMetricGovernorRejected)->Increment();
+    return Status::ResourceExhausted(
+        "admission: footprint estimate " + std::to_string(estimate_bytes) +
+        " bytes exceeds session quota " +
+        std::to_string(quota_.total_memory_bytes) + " bytes");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto has_room = [&] {
+    return running_ < quota_.max_concurrent &&
+           (quota_.total_memory_bytes <= 0 ||
+            reserved_ + estimate_bytes <= quota_.total_memory_bytes);
+  };
+  if (!has_room()) {
+    if (queued_ >= quota_.max_queued) {
+      reg.counter(kMetricGovernorRejected)->Increment();
+      return Status::ResourceExhausted(
+          "admission: queue full (" + std::to_string(queued_) + " waiting, " +
+          std::to_string(quota_.max_queued) + " allowed)");
+    }
+    ++queued_;
+    reg.gauge(kMetricGovernorQueueDepth)->Set(static_cast<double>(queued_));
+    // Wait in short slices so a fired CancelToken is noticed promptly even
+    // though the token has no condition variable of its own.
+    while (!has_room()) {
+      Status cancelled = token.Check();
+      if (!cancelled.ok()) {
+        --queued_;
+        reg.gauge(kMetricGovernorQueueDepth)->Set(static_cast<double>(queued_));
+        cv_.notify_all();
+        return cancelled;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    --queued_;
+    reg.gauge(kMetricGovernorQueueDepth)->Set(static_cast<double>(queued_));
+  }
+  ++running_;
+  reserved_ += estimate_bytes;
+  reg.counter(kMetricGovernorAdmitted)->Increment();
+  return Status::Ok();
+}
+
+void AdmissionController::Release(int64_t estimate_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    reserved_ -= estimate_bytes;
+  }
+  cv_.notify_all();
+}
+
+int AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int64_t AdmissionController::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_;
+}
+
+}  // namespace dmac

@@ -1,0 +1,65 @@
+// Estimate-based admission control for concurrent queries
+// (docs/governance.md).
+//
+// The controller guards two global quotas: a concurrency cap and a total
+// memory quota. A query asks for admission with its pre-execution footprint
+// estimate (plan/size_estimator.h); it is admitted when both quotas have
+// room, waits in a bounded queue when they don't, and is rejected with
+// `kResourceExhausted` backpressure when the queue is full or the estimate
+// alone can never fit. Release() returns the reservation when the query
+// terminates — by any status.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "governor/cancel_token.h"
+
+namespace dmac {
+
+/// Global admission quotas for one QuerySession.
+struct AdmissionQuota {
+  /// Queries running at once. Minimum 1.
+  int max_concurrent = 2;
+  /// Queries allowed to wait for a slot before Admit rejects. 0 disables
+  /// queueing (immediate reject when busy).
+  int max_queued = 16;
+  /// Sum of admitted footprint estimates allowed in flight; 0 = unlimited.
+  int64_t total_memory_bytes = 0;
+};
+
+/// Thread-safe admission gate. All methods may be called from any thread.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionQuota quota);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until `estimate_bytes` is reserved, the token fires, or the
+  /// request is rejected. OK means admitted — the caller must eventually
+  /// call `Release(estimate_bytes)`. `kResourceExhausted` means rejected
+  /// (estimate over quota, or queue full); `kCancelled`/`kDeadlineExceeded`
+  /// mean the query's token fired while waiting.
+  Status Admit(int64_t estimate_bytes, const CancelToken& token);
+
+  /// Returns a reservation made by a successful Admit.
+  void Release(int64_t estimate_bytes);
+
+  int queue_depth() const;
+  int running() const;
+  int64_t reserved_bytes() const;
+
+ private:
+  const AdmissionQuota quota_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int running_ = 0;
+  int queued_ = 0;
+  int64_t reserved_ = 0;
+};
+
+}  // namespace dmac

@@ -1,0 +1,76 @@
+#include "governor/cancel_token.h"
+
+namespace dmac {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CancelToken CancelToken::Cancellable() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::WithDeadline(double deadline_seconds) {
+  auto state = std::make_shared<State>();
+  state->has_deadline = true;
+  state->deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(deadline_seconds));
+  return CancelToken(std::move(state));
+}
+
+void CancelToken::Fire(StatusCode reason) const {
+  bool expected = false;
+  if (state_->fired.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    state_->reason.store(static_cast<uint8_t>(reason),
+                         std::memory_order_release);
+    state_->fired_at_ns.store(NowNs(), std::memory_order_release);
+  }
+}
+
+void CancelToken::Cancel() {
+  if (state_ != nullptr) Fire(StatusCode::kCancelled);
+}
+
+Status CancelToken::Check() const {
+  if (state_ == nullptr) return Status::Ok();
+  if (!state_->fired.load(std::memory_order_acquire)) {
+    if (!state_->has_deadline ||
+        std::chrono::steady_clock::now() < state_->deadline) {
+      return Status::Ok();
+    }
+    Fire(StatusCode::kDeadlineExceeded);
+  }
+  // Fired. The reason may still be in flight on another thread for one
+  // instant after the flag flips; spin until it is published.
+  StatusCode reason;
+  do {
+    reason = static_cast<StatusCode>(
+        state_->reason.load(std::memory_order_acquire));
+  } while (reason == StatusCode::kOk);
+  if (reason == StatusCode::kDeadlineExceeded) {
+    return Status::DeadlineExceeded("query deadline elapsed");
+  }
+  return Status::Cancelled("query cancelled");
+}
+
+const std::atomic<bool>* CancelToken::fired_flag() const {
+  return state_ == nullptr ? nullptr : &state_->fired;
+}
+
+double CancelToken::fired_at_seconds() const {
+  if (state_ == nullptr) return 0.0;
+  return static_cast<double>(
+             state_->fired_at_ns.load(std::memory_order_acquire)) *
+         1e-9;
+}
+
+}  // namespace dmac

@@ -1,0 +1,79 @@
+// Cooperative cancellation and deadlines (docs/governance.md).
+//
+// A CancelToken is a copyable handle onto shared cancellation state carried
+// in the execution context. The runtime never preempts work: the executor,
+// the local engine, and the fault-layer retry loop *poll* the token at
+// stage, step, comm-round, kernel-task, and retry boundaries, and unwind
+// with `kCancelled` or `kDeadlineExceeded` when it has fired. Once fired a
+// token stays fired (sticky) and every poll returns the same code, so a
+// query terminates with exactly one governance status.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace dmac {
+
+/// Copyable cancellation/deadline handle. A default-constructed token is
+/// inert: it never fires, `Check()` is a single null test, and it costs
+/// nothing to carry — ungoverned runs pass one around for free.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token that can only be cancelled manually via `Cancel()`.
+  static CancelToken Cancellable();
+
+  /// A token that fires `kDeadlineExceeded` once `deadline_seconds` of wall
+  /// clock have elapsed from now (and can still be cancelled manually
+  /// before that). A zero or negative deadline is already expired.
+  static CancelToken WithDeadline(double deadline_seconds);
+
+  /// True when this handle is attached to real state (non-default).
+  bool active() const { return state_ != nullptr; }
+
+  /// Fires the token with `kCancelled`. First caller wins; later calls and
+  /// a later deadline expiry do not change the reason. No-op on an inert
+  /// token.
+  void Cancel();
+
+  /// True once the token has fired (manually or by deadline). Polling this
+  /// may itself detect deadline expiry.
+  bool Fired() const { return !Check().ok(); }
+
+  /// OK while the query may continue; `Status::Cancelled` or
+  /// `Status::DeadlineExceeded` once it must unwind. Sticky.
+  Status Check() const;
+
+  /// Raw fired flag for lock-free task skipping (ThreadPool abandons queued
+  /// tasks whose flag is set). Null for an inert token. The flag is set by
+  /// `Cancel()` and by the first `Check()` that observes deadline expiry.
+  const std::atomic<bool>* fired_flag() const;
+
+  /// Wall-clock time at which the token fired, as seconds since the steady
+  /// epoch; 0 while not fired. Used to measure cancel latency.
+  double fired_at_seconds() const;
+
+ private:
+  struct State {
+    std::atomic<bool> fired{false};
+    /// StatusCode of the firing reason, valid once `fired` is true.
+    std::atomic<uint8_t> reason{0};
+    std::atomic<int64_t> fired_at_ns{0};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  void Fire(StatusCode reason) const;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dmac

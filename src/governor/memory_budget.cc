@@ -1,0 +1,20 @@
+#include "governor/memory_budget.h"
+
+namespace dmac {
+
+void MemoryBudget::Charge(int64_t bytes) {
+  if (bytes == 0) return;
+  const int64_t now =
+      used_.fetch_add(bytes, std::memory_order_acq_rel) + bytes;
+  int64_t peak = peak_.load(std::memory_order_acquire);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_acq_rel)) {
+  }
+}
+
+void MemoryBudget::Release(int64_t bytes) {
+  if (bytes == 0) return;
+  used_.fetch_sub(bytes, std::memory_order_acq_rel);
+}
+
+}  // namespace dmac

@@ -1,0 +1,179 @@
+#include "governor/query_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+#include <utility>
+
+#include "analysis/pass.h"
+#include "analysis/passes.h"
+#include "obs/metrics.h"
+#include "plan/footprint.h"
+
+namespace dmac {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct QuerySession::Query {
+  int64_t id = 0;
+  Program program;
+  Bindings bindings;
+  QueryOptions opts;
+  CancelToken token;
+  std::thread thread;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  QueryOutcome outcome;
+};
+
+QuerySession::QuerySession(AdmissionQuota quota, RunConfig base)
+    : base_(std::move(base)), admission_(quota) {}
+
+QuerySession::~QuerySession() {
+  std::unordered_map<int64_t, std::shared_ptr<Query>> queries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queries = queries_;
+  }
+  for (auto& [id, q] : queries) q->token.Cancel();
+  for (auto& [id, q] : queries) {
+    if (q->thread.joinable()) q->thread.join();
+  }
+}
+
+int64_t QuerySession::Submit(Program program, Bindings bindings,
+                             QueryOptions opts) {
+  auto q = std::make_shared<Query>();
+  q->program = std::move(program);
+  q->bindings = std::move(bindings);
+  q->opts = std::move(opts);
+  q->token = q->opts.deadline_seconds > 0
+                 ? CancelToken::WithDeadline(q->opts.deadline_seconds)
+                 : CancelToken::Cancellable();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q->id = next_id_++;
+    queries_[q->id] = q;
+  }
+  Query* raw = q.get();
+  // The map's shared_ptr keeps the Query alive for the session's lifetime,
+  // so the thread may safely outlive local scopes.
+  q->thread = std::thread([this, raw] { RunQuery(raw); });
+  return q->id;
+}
+
+void QuerySession::Cancel(int64_t id) {
+  std::shared_ptr<Query> q;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) return;
+    q = it->second;
+  }
+  q->token.Cancel();
+}
+
+QueryOutcome QuerySession::Wait(int64_t id) {
+  std::shared_ptr<Query> q;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      QueryOutcome out;
+      out.status =
+          Status::Invalid("unknown query id " + std::to_string(id));
+      return out;
+    }
+    q = it->second;
+  }
+  {
+    std::unique_lock<std::mutex> lock(q->mu);
+    q->cv.wait(lock, [&] { return q->done; });
+  }
+  {
+    // Exactly one caller reaps the thread; later Waits see it unjoinable.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q->thread.joinable()) q->thread.join();
+  }
+  std::lock_guard<std::mutex> lock(q->mu);
+  return q->outcome;
+}
+
+void QuerySession::RunQuery(Query* q) {
+  QueryOutcome out;
+  out.status = [&]() -> Status {
+    // ---- plan + pre-execution footprint estimate ----
+    RunConfig config = base_;
+    Result<Plan> plan = PlanProgram(q->program, config);
+    DMAC_RETURN_NOT_OK(plan.status());
+    out.footprint_estimate_bytes =
+        EstimatePlanFootprintBytes(*plan, config.num_workers);
+
+    if (q->opts.memory_budget_bytes > 0) {
+      // The static check: a budget the plan can never fit under (a single
+      // step's pinned working set over the limit) fails before admission,
+      // executing nothing.
+      AnalysisContext ctx;
+      ctx.plan = &*plan;
+      ctx.num_workers = config.num_workers;
+      ctx.memory_budget_bytes = q->opts.memory_budget_bytes;
+      std::vector<Diagnostic> diags;
+      MakeMemoryFootprintPass()->Run(ctx, &diags);
+      for (const Diagnostic& d : diags) {
+        if (d.severity == Severity::kError) {
+          return Status::ResourceExhausted(d.message);
+        }
+      }
+    }
+
+    // ---- admission ----
+    // Under a budget the resident set is capped near the budget (the
+    // executor spills past it), so reserve the smaller of the two.
+    int64_t estimate = out.footprint_estimate_bytes;
+    if (q->opts.memory_budget_bytes > 0) {
+      estimate = std::min(estimate, q->opts.memory_budget_bytes);
+    }
+    DMAC_RETURN_NOT_OK(admission_.Admit(estimate, q->token));
+
+    // ---- governed execution ----
+    Status run_status = [&]() -> Status {
+      config.governor.token = q->token;
+      if (q->opts.memory_budget_bytes > 0) {
+        config.governor.budget =
+            std::make_shared<MemoryBudget>(q->opts.memory_budget_bytes);
+        DMAC_ASSIGN_OR_RETURN(config.governor.spill,
+                              SpillStore::Create(q->opts.spill_dir));
+      }
+      DMAC_ASSIGN_OR_RETURN(out.run,
+                            RunProgram(q->program, q->bindings, config));
+      return Status::Ok();
+    }();
+    admission_.Release(estimate);
+    return run_status;
+  }();
+
+  if (q->token.Fired()) {
+    out.cancel_latency_seconds = NowSeconds() - q->token.fired_at_seconds();
+    MetricRegistry::Global()
+        .histogram(kMetricGovernorCancelLatencySeconds)
+        ->Observe(out.cancel_latency_seconds);
+  }
+
+  std::lock_guard<std::mutex> lock(q->mu);
+  q->outcome = std::move(out);
+  q->done = true;
+  q->cv.notify_all();
+}
+
+}  // namespace dmac

@@ -1,0 +1,96 @@
+// Admission-controlled multi-query driver (docs/governance.md).
+//
+// A QuerySession is the front end that owns the global quotas. Each
+// Submit() plans the program, estimates its peak memory footprint
+// (plan/footprint.h), and asks the AdmissionController for a reservation;
+// admitted queries run on their own thread with a per-query
+// GovernorContext (deadline token, memory budget, spill store), queued
+// queries wait for a slot, and over-quota queries are rejected with
+// `kResourceExhausted` backpressure. Every query terminates with exactly
+// one Status, and all of its resources — budget charges, pool buffers,
+// spill files, admission reservation — are released on every exit path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "apps/runner.h"
+#include "governor/admission.h"
+#include "governor/cancel_token.h"
+
+namespace dmac {
+
+/// Per-query governance knobs layered on top of the session's RunConfig.
+struct QueryOptions {
+  /// Wall-clock deadline; 0 = none. A 0 is "no deadline", use a tiny
+  /// positive value (or Cancel) to expire a query immediately.
+  double deadline_seconds = 0;
+  /// Per-query memory budget; 0 = unlimited (no spill store attached).
+  int64_t memory_budget_bytes = 0;
+  /// Spill directory; empty = fresh unique dir under the system temp path.
+  std::string spill_dir;
+};
+
+/// Terminal record of one query.
+struct QueryOutcome {
+  /// Exactly one terminal status: OK, or one of the governance /
+  /// fault-layer codes (kCancelled, kDeadlineExceeded, kResourceExhausted,
+  /// kUnavailable, kDataLoss, ...).
+  Status status;
+  /// Valid iff `status.ok()`.
+  RunOutcome run;
+  /// The pre-execution estimate the query was admitted against.
+  int64_t footprint_estimate_bytes = 0;
+  /// Seconds from the token firing to the query unwinding; negative when
+  /// the token never fired.
+  double cancel_latency_seconds = -1;
+};
+
+/// Multi-query driver. Thread-safe; queries run on dedicated threads.
+class QuerySession {
+ public:
+  /// `base` supplies planner/executor configuration shared by every query
+  /// (its `governor` field is ignored — the session builds a fresh context
+  /// per query).
+  QuerySession(AdmissionQuota quota, RunConfig base);
+
+  /// Cancels every in-flight query and waits for all of them.
+  ~QuerySession();
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// Launches `program` asynchronously and returns its query id. The
+  /// caller owns the LocalMatrix payloads behind `bindings` and must keep
+  /// them alive until Wait(id) returns. Admission (and queueing) happens on
+  /// the query's thread, so Submit never blocks.
+  int64_t Submit(Program program, Bindings bindings, QueryOptions opts);
+
+  /// Fires the query's cancel token. No-op for unknown / finished ids.
+  void Cancel(int64_t id);
+
+  /// Blocks until the query is terminal and returns its outcome.
+  /// Idempotent. An unknown id yields kInvalidArgument.
+  QueryOutcome Wait(int64_t id);
+
+  int queue_depth() const { return admission_.queue_depth(); }
+  int running() const { return admission_.running(); }
+
+ private:
+  struct Query;
+
+  /// Runs one query end to end: plan → estimate → admit → execute.
+  void RunQuery(Query* q);
+
+  const RunConfig base_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  int64_t next_id_ = 0;
+  std::unordered_map<int64_t, std::shared_ptr<Query>> queries_;
+};
+
+}  // namespace dmac

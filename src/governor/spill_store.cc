@@ -1,0 +1,252 @@
+#include "governor/spill_store.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "fault/checksum.h"
+#include "obs/metrics.h"
+
+namespace dmac {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'M', 'A', 'C', 'S', 'P', 'L', '1'};
+constexpr uint32_t kKindDense = 0;
+constexpr uint32_t kKindSparse = 1;
+
+bool WriteRaw(std::FILE* f, const void* data, size_t len) {
+  return len == 0 || std::fwrite(data, 1, len, f) == len;
+}
+
+bool ReadRaw(std::FILE* f, void* data, size_t len) {
+  return len == 0 || std::fread(data, 1, len, f) == len;
+}
+
+template <typename T>
+bool WriteOne(std::FILE* f, T v) {
+  return WriteRaw(f, &v, sizeof(T));
+}
+
+template <typename T>
+bool ReadOne(std::FILE* f, T* v) {
+  return ReadRaw(f, v, sizeof(T));
+}
+
+/// Process-unique suffix for auto-created spill directories.
+std::atomic<int64_t> g_spill_dir_counter{0};
+
+}  // namespace
+
+SpillStore::SpillStore(std::string dir, bool owns_dir)
+    : dir_(std::move(dir)), owns_dir_(owns_dir) {}
+
+Result<std::shared_ptr<SpillStore>> SpillStore::Create(std::string dir) {
+  std::error_code ec;
+  bool owns_dir = false;
+  if (dir.empty()) {
+    const int64_t n =
+        g_spill_dir_counter.fetch_add(1, std::memory_order_relaxed);
+    dir = (std::filesystem::temp_directory_path(ec) /
+           ("dmac-spill-" + std::to_string(::getpid()) + "-" +
+            std::to_string(n)))
+              .string();
+    if (ec) return Status::Internal("spill: no temp directory: " + ec.message());
+    owns_dir = true;
+  }
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("spill: cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  return std::shared_ptr<SpillStore>(new SpillStore(std::move(dir), owns_dir));
+}
+
+SpillStore::~SpillStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  for (const auto& [handle, bytes] : live_) {
+    std::filesystem::remove(PathFor(handle), ec);
+  }
+  live_.clear();
+  if (owns_dir_) std::filesystem::remove(dir_, ec);  // only removes if empty
+}
+
+std::string SpillStore::PathFor(int64_t handle) const {
+  return dir_ + "/block-" + std::to_string(handle) + ".spill";
+}
+
+Result<int64_t> SpillStore::Spill(const Block& block) {
+  int64_t handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handle = next_handle_++;
+  }
+  const std::string path = PathFor(handle);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("spill: cannot open " + path);
+
+  const uint64_t checksum = BlockChecksum(block);
+  bool ok = WriteRaw(f, kMagic, sizeof(kMagic)) &&
+            WriteOne<uint32_t>(f, block.IsDense() ? kKindDense : kKindSparse) &&
+            WriteOne<int64_t>(f, block.rows()) &&
+            WriteOne<int64_t>(f, block.cols());
+  if (ok) {
+    if (block.IsDense()) {
+      const DenseBlock& d = block.dense();
+      ok = WriteRaw(f, d.data(),
+                    sizeof(Scalar) * static_cast<size_t>(d.rows() * d.cols()));
+    } else {
+      const CscBlock& s = block.sparse();
+      ok = WriteOne<int64_t>(f, s.nnz()) &&
+           WriteRaw(f, s.col_ptr().data(),
+                    sizeof(int32_t) * s.col_ptr().size()) &&
+           WriteRaw(f, s.row_idx().data(),
+                    sizeof(int32_t) * s.row_idx().size()) &&
+           WriteRaw(f, s.values().data(), sizeof(Scalar) * s.values().size());
+    }
+  }
+  ok = ok && WriteOne<uint64_t>(f, checksum);
+  std::fclose(f);
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return Status::Internal("spill: short write to " + path);
+  }
+
+  const int64_t bytes = block.MemoryBytes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_[handle] = bytes;
+    spilled_bytes_ += bytes;
+  }
+  auto& reg = MetricRegistry::Global();
+  reg.counter(kMetricGovernorSpillBytes)->Add(static_cast<double>(bytes));
+  reg.counter(kMetricGovernorSpillBlocks)->Increment();
+  return handle;
+}
+
+Result<Block> SpillStore::Restore(int64_t handle) {
+  const std::string path = PathFor(handle);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (live_.erase(handle) == 0) {
+      return Status::DataLoss("spill: unknown handle " +
+                              std::to_string(handle));
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  // Whatever happens below, the file is consumed.
+  auto consume = [&path]() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  };
+  if (f == nullptr) {
+    consume();
+    return Status::DataLoss("spill: missing file " + path);
+  }
+
+  std::error_code size_ec;
+  const uint64_t file_size = std::filesystem::file_size(path, size_ec);
+  char magic[8];
+  uint32_t kind = 0;
+  int64_t rows = 0, cols = 0;
+  bool ok = !size_ec && ReadRaw(f, magic, sizeof(magic)) &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+            ReadOne(f, &kind) && ReadOne(f, &rows) && ReadOne(f, &cols) &&
+            rows >= 0 && cols >= 0;
+  Block block;
+  if (ok && kind == kKindDense) {
+    // A corrupt header must not drive a giant allocation: the payload can
+    // never be larger than the file itself.
+    ok = static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols) *
+             sizeof(Scalar) <=
+         file_size;
+    if (ok) {
+      DenseBlock d(rows, cols);
+      ok = ReadRaw(f, d.data(),
+                   sizeof(Scalar) * static_cast<size_t>(rows * cols));
+      if (ok) block = Block(std::move(d));
+    }
+  } else if (ok && kind == kKindSparse) {
+    int64_t nnz = 0;
+    ok = ReadOne(f, &nnz) && nnz >= 0 &&
+         static_cast<uint64_t>(nnz) * (sizeof(int32_t) + sizeof(Scalar)) <=
+             file_size;
+    if (ok) {
+      std::vector<int32_t> col_ptr(static_cast<size_t>(cols) + 1);
+      std::vector<int32_t> row_idx(static_cast<size_t>(nnz));
+      std::vector<Scalar> values(static_cast<size_t>(nnz));
+      ok = ReadRaw(f, col_ptr.data(), sizeof(int32_t) * col_ptr.size()) &&
+           ReadRaw(f, row_idx.data(), sizeof(int32_t) * row_idx.size()) &&
+           ReadRaw(f, values.data(), sizeof(Scalar) * values.size());
+      // Validate the CSC structure softly before handing the arrays to the
+      // checking constructor, so a corrupt file surfaces as kDataLoss
+      // instead of an invariant abort.
+      if (ok) {
+        ok = col_ptr.front() == 0 && col_ptr.back() == nnz;
+        for (size_t c = 0; ok && c + 1 < col_ptr.size(); ++c) {
+          ok = col_ptr[c] <= col_ptr[c + 1];
+          for (int32_t i = col_ptr[c]; ok && i < col_ptr[c + 1]; ++i) {
+            ok = row_idx[i] >= 0 && row_idx[i] < rows &&
+                 (i == col_ptr[c] || row_idx[i - 1] < row_idx[i]);
+          }
+        }
+      }
+      if (ok) {
+        block = Block(CscBlock(rows, cols, std::move(col_ptr),
+                               std::move(row_idx), std::move(values)));
+      }
+    }
+  } else {
+    ok = false;
+  }
+  uint64_t stored_checksum = kNoChecksum;
+  ok = ok && ReadOne(f, &stored_checksum);
+  std::fclose(f);
+  consume();
+  if (!ok) return Status::DataLoss("spill: corrupt or truncated " + path);
+  if (BlockChecksum(block) != stored_checksum) {
+    return Status::DataLoss("spill: checksum mismatch restoring " + path);
+  }
+
+  const int64_t bytes = block.MemoryBytes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    restored_bytes_ += bytes;
+  }
+  auto& reg = MetricRegistry::Global();
+  reg.counter(kMetricGovernorRestoreBytes)->Add(static_cast<double>(bytes));
+  reg.counter(kMetricGovernorRestoreBlocks)->Increment();
+  return block;
+}
+
+void SpillStore::Remove(int64_t handle) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (live_.erase(handle) == 0) return;
+  }
+  std::error_code ec;
+  std::filesystem::remove(PathFor(handle), ec);
+}
+
+int64_t SpillStore::live_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(live_.size());
+}
+
+int64_t SpillStore::spilled_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spilled_bytes_;
+}
+
+int64_t SpillStore::restored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restored_bytes_;
+}
+
+}  // namespace dmac

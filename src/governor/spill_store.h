@@ -1,0 +1,83 @@
+// Disk spill store for cold blocks (docs/governance.md).
+//
+// When a query's resident set exceeds its MemoryBudget, the executor spills
+// least-recently-used blocks here and drops the in-memory payload. A spill
+// file is a self-describing snapshot of one block:
+//
+//   magic "DMACSPL1" | kind u32 | rows i64 | cols i64
+//   dense:  scalar payload (rows*cols floats, column-major)
+//   sparse: nnz i64 | col_ptr i32[cols+1] | row_idx i32[nnz] | values f32[nnz]
+//   checksum u64   — FNV-1a BlockChecksum of the block (fault/checksum.h)
+//
+// Restore rebuilds the block, recomputes the checksum, and fails with
+// `kDataLoss` on mismatch — a spilled block must round-trip bit-identically,
+// the same contract the partition stores enforce in memory. Restore consumes
+// the file, so `live_files()` counts exactly the blocks currently on disk;
+// the destructor removes any remaining files and the store directory, which
+// is how "no leaked spill files" is guaranteed on every exit path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "matrix/block.h"
+
+namespace dmac {
+
+/// One query's spill directory. Thread-safe; in practice only the driver
+/// thread spills/restores (at step boundaries).
+class SpillStore {
+ public:
+  /// Invalid spill handle.
+  static constexpr int64_t kNoHandle = -1;
+
+  /// Opens a store rooted at `dir`, or at a fresh unique directory under the
+  /// system temp path when `dir` is empty.
+  static Result<std::shared_ptr<SpillStore>> Create(std::string dir = "");
+
+  ~SpillStore();
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  /// Writes `block` to a new spill file. Returns its handle.
+  Result<int64_t> Spill(const Block& block);
+
+  /// Reads the block back, verifies its checksum, and deletes the file.
+  /// `kDataLoss` on corruption or a missing/truncated file (the file is
+  /// still consumed, so a damaged block never leaks).
+  Result<Block> Restore(int64_t handle);
+
+  /// Deletes a spilled file without reading it (its owner was dropped).
+  void Remove(int64_t handle);
+
+  /// Number of spill files currently on disk.
+  int64_t live_files() const;
+
+  /// Total payload bytes written / read back over the store's lifetime.
+  int64_t spilled_bytes() const;
+  int64_t restored_bytes() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit SpillStore(std::string dir, bool owns_dir);
+
+  std::string PathFor(int64_t handle) const;
+
+  const std::string dir_;
+  const bool owns_dir_;
+
+  mutable std::mutex mu_;
+  int64_t next_handle_ = 0;
+  /// handle -> payload bytes of the file (for accounting on Remove).
+  std::unordered_map<int64_t, int64_t> live_;
+  int64_t spilled_bytes_ = 0;
+  int64_t restored_bytes_ = 0;
+};
+
+}  // namespace dmac

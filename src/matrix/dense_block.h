@@ -54,8 +54,11 @@ class DenseBlock {
   int64_t CountNonZeros() const;
 
   /// Payload bytes (4·m·n).
-  int64_t MemoryBytes() const {
-    return static_cast<int64_t>(sizeof(Scalar)) * rows_ * cols_;
+  int64_t MemoryBytes() const { return MemoryBytesFor(rows_, cols_); }
+
+  /// Payload bytes a block of the given shape would occupy.
+  static int64_t MemoryBytesFor(int64_t rows, int64_t cols) {
+    return static_cast<int64_t>(sizeof(Scalar)) * rows * cols;
   }
 
  private:

@@ -111,6 +111,32 @@ const std::vector<MetricSpec>& MetricCatalog() {
       {kMetricFaultRecoverySeconds, MetricKind::kCounter, "seconds",
        "simulated worker time spent on recovery instead of useful compute "
        "(retried attempts, backoff waits, abandoned straggler attempts)"},
+      {kMetricPoolOutstanding, MetricKind::kGauge, "blocks",
+       "buffer-pool blocks currently acquired and not yet released, across "
+       "all live pools (must drain to zero after every query)"},
+      {kMetricPoolPeakBytes, MetricKind::kGauge, "bytes",
+       "high-water mark of bytes held by buffer pools (outstanding plus "
+       "idle blocks) since the last reset"},
+      {kMetricGovernorSpillBytes, MetricKind::kCounter, "bytes",
+       "block payload bytes written to spill files under memory pressure"},
+      {kMetricGovernorSpillBlocks, MetricKind::kCounter, "blocks",
+       "blocks spilled to disk under memory pressure"},
+      {kMetricGovernorRestoreBytes, MetricKind::kCounter, "bytes",
+       "block payload bytes read back (checksum-verified) from spill files"},
+      {kMetricGovernorRestoreBlocks, MetricKind::kCounter, "blocks",
+       "blocks restored from spill files"},
+      {kMetricGovernorBudgetPeakBytes, MetricKind::kGauge, "bytes",
+       "peak bytes charged against the last query's memory budget (stores "
+       "plus pool accumulators)"},
+      {kMetricGovernorAdmitted, MetricKind::kCounter, "queries",
+       "queries admitted by the session's admission controller"},
+      {kMetricGovernorRejected, MetricKind::kCounter, "queries",
+       "queries rejected at admission (estimate over quota or queue full)"},
+      {kMetricGovernorQueueDepth, MetricKind::kGauge, "queries",
+       "queries waiting in the admission queue right now"},
+      {kMetricGovernorCancelLatencySeconds, MetricKind::kHistogram, "seconds",
+       "wall time from a cancel/deadline firing to the query's terminal "
+       "status"},
   };
   return *catalog;
 }

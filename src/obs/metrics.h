@@ -179,6 +179,8 @@ inline constexpr const char* kMetricTaskSecondsAggregate =
 inline constexpr const char* kMetricPoolAcquires = "pool.acquires";
 inline constexpr const char* kMetricPoolReuses = "pool.reuses";
 inline constexpr const char* kMetricPoolDiscards = "pool.discards";
+inline constexpr const char* kMetricPoolOutstanding = "pool.outstanding";
+inline constexpr const char* kMetricPoolPeakBytes = "pool.peak.bytes";
 inline constexpr const char* kMetricPlanDecomposeSeconds =
     "plan.decompose.seconds";
 inline constexpr const char* kMetricPlanGenerateSeconds =
@@ -196,5 +198,22 @@ inline constexpr const char* kMetricFaultCheckpointBytes =
     "fault.checkpoint.bytes";
 inline constexpr const char* kMetricFaultRecoverySeconds =
     "fault.recovery.seconds";
+inline constexpr const char* kMetricGovernorSpillBytes = "governor.spill.bytes";
+inline constexpr const char* kMetricGovernorSpillBlocks =
+    "governor.spill.blocks";
+inline constexpr const char* kMetricGovernorRestoreBytes =
+    "governor.restore.bytes";
+inline constexpr const char* kMetricGovernorRestoreBlocks =
+    "governor.restore.blocks";
+inline constexpr const char* kMetricGovernorBudgetPeakBytes =
+    "governor.budget.peak.bytes";
+inline constexpr const char* kMetricGovernorAdmitted =
+    "governor.admission.admitted";
+inline constexpr const char* kMetricGovernorRejected =
+    "governor.admission.rejected";
+inline constexpr const char* kMetricGovernorQueueDepth =
+    "governor.admission.queue_depth";
+inline constexpr const char* kMetricGovernorCancelLatencySeconds =
+    "governor.cancel.latency.seconds";
 
 }  // namespace dmac

@@ -30,6 +30,8 @@ inline constexpr const char* kTraceComm = "comm";    // shuffle / broadcast
 inline constexpr const char* kTraceWorker = "worker";  // one worker's compute
 inline constexpr const char* kTraceTask = "task";    // one block task
 inline constexpr const char* kTraceRecovery = "recovery";  // fault recovery
+inline constexpr const char* kTraceSpill = "spill";    // budget spill/restore
+inline constexpr const char* kTraceCancel = "cancel";  // cancellation observed
 
 /// One completed span. `worker` is -1 for driver-side work.
 struct TraceEvent {

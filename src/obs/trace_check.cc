@@ -251,7 +251,8 @@ std::string TraceCheckSummary::ToString() const {
   out << total_events << " events (" << metadata_events << " metadata), "
       << stage_spans << " stage, " << comm_spans << " comm, " << task_spans
       << " task, " << worker_spans << " worker, " << plan_spans
-      << " plan, " << recovery_spans << " recovery spans; "
+      << " plan, " << recovery_spans << " recovery, " << spill_spans
+      << " spill, " << cancel_spans << " cancel spans; "
       << worker_attributed
       << " events attributed to workers (max pid " << max_pid << ")";
   return out.str();
@@ -309,6 +310,8 @@ Result<TraceCheckSummary> CheckChromeTrace(const std::string& json) {
     if (cat == "worker") ++summary.worker_spans;
     if (cat == "plan") ++summary.plan_spans;
     if (cat == "recovery") ++summary.recovery_spans;
+    if (cat == "spill") ++summary.spill_spans;
+    if (cat == "cancel") ++summary.cancel_spans;
     if (pid > 0) ++summary.worker_attributed;
   }
   return summary;

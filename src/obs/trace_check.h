@@ -23,6 +23,8 @@ struct TraceCheckSummary {
   int64_t worker_spans = 0;     // cat == "worker"
   int64_t plan_spans = 0;       // cat == "plan"
   int64_t recovery_spans = 0;   // cat == "recovery"
+  int64_t spill_spans = 0;      // cat == "spill"
+  int64_t cancel_spans = 0;     // cat == "cancel"
   int64_t worker_attributed = 0;  // events with pid > 0 (a worker process)
   int max_pid = 0;
 

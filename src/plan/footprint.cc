@@ -1,0 +1,57 @@
+#include "plan/footprint.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dmac {
+
+int64_t EstimatePlanFootprintBytes(const Plan& plan, int num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  const size_t num_nodes = plan.nodes.size();
+  const size_t num_steps = plan.steps.size();
+
+  // Last step (by position in the topologically ordered step list) that
+  // reads each node; program outputs stay live to the end.
+  std::vector<size_t> last_use(num_nodes, 0);
+  for (size_t s = 0; s < num_steps; ++s) {
+    for (int input : plan.steps[s].inputs) {
+      if (input >= 0 && static_cast<size_t>(input) < num_nodes) {
+        last_use[static_cast<size_t>(input)] = s;
+      }
+    }
+  }
+  for (const PlanOutput& out : plan.outputs) {
+    if (out.node >= 0 && static_cast<size_t>(out.node) < num_nodes) {
+      last_use[static_cast<size_t>(out.node)] = num_steps;
+    }
+  }
+
+  auto node_bytes = [&](int id) -> int64_t {
+    const PlanNode& node = plan.nodes[static_cast<size_t>(id)];
+    const int64_t replicas =
+        node.scheme() == Scheme::kBroadcast ? num_workers : 1;
+    return static_cast<int64_t>(node.stats.EstimatedBytes()) * replicas;
+  };
+
+  int64_t live = 0;
+  int64_t peak = 0;
+  std::vector<bool> resident(num_nodes, false);
+  for (size_t s = 0; s < num_steps; ++s) {
+    const PlanStep& step = plan.steps[s];
+    if (step.output >= 0 && static_cast<size_t>(step.output) < num_nodes &&
+        !resident[static_cast<size_t>(step.output)]) {
+      resident[static_cast<size_t>(step.output)] = true;
+      live += node_bytes(step.output);
+    }
+    peak = std::max(peak, live);
+    for (size_t id = 0; id < num_nodes; ++id) {
+      if (resident[id] && last_use[id] <= s) {
+        resident[id] = false;
+        live -= node_bytes(static_cast<int>(id));
+      }
+    }
+  }
+  return std::max(peak, live);
+}
+
+}  // namespace dmac

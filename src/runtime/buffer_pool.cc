@@ -1,5 +1,7 @@
 #include "runtime/buffer_pool.h"
 
+#include <atomic>
+
 #include "obs/metrics.h"
 
 namespace dmac {
@@ -10,6 +12,8 @@ struct PoolMetrics {
   Counter* acquires = MetricRegistry::Global().counter(kMetricPoolAcquires);
   Counter* reuses = MetricRegistry::Global().counter(kMetricPoolReuses);
   Counter* discards = MetricRegistry::Global().counter(kMetricPoolDiscards);
+  Gauge* outstanding = MetricRegistry::Global().gauge(kMetricPoolOutstanding);
+  Gauge* peak_bytes = MetricRegistry::Global().gauge(kMetricPoolPeakBytes);
 };
 
 PoolMetrics& Metrics() {
@@ -17,9 +21,44 @@ PoolMetrics& Metrics() {
   return metrics;
 }
 
+// Process-wide accounting shared by all pools; the obs gauges mirror these.
+std::atomic<int64_t> g_outstanding{0};
+std::atomic<int64_t> g_held_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+void AddHeldBytes(int64_t delta) {
+  int64_t held = g_held_bytes.fetch_add(delta, std::memory_order_relaxed) +
+                 delta;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (held > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, held, std::memory_order_relaxed)) {
+  }
+  Metrics().peak_bytes->Set(
+      static_cast<double>(g_peak_bytes.load(std::memory_order_relaxed)));
+}
+
+void AddOutstanding(int64_t delta) {
+  int64_t now = g_outstanding.fetch_add(delta, std::memory_order_relaxed) +
+                delta;
+  Metrics().outstanding->Set(static_cast<double>(now));
+}
+
 }  // namespace
 
-DenseBlock BufferPool::Acquire(int64_t rows, int64_t cols) {
+BufferPool::~BufferPool() {
+  // Drop the budget charge for idle blocks. Outstanding blocks must have
+  // been released before the pool dies (the engine waits for idle).
+  int64_t idle_bytes = 0;
+  for (const auto& [shape, blocks] : free_) {
+    for (const auto& b : blocks) idle_bytes += b.MemoryBytes();
+  }
+  if (idle_bytes > 0) {
+    AddHeldBytes(-idle_bytes);
+    if (budget_) budget_->Release(idle_bytes);
+  }
+}
+
+Result<DenseBlock> BufferPool::Acquire(int64_t rows, int64_t cols) {
   Metrics().acquires->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -29,19 +68,35 @@ DenseBlock BufferPool::Acquire(int64_t rows, int64_t cols) {
       it->second.pop_back();
       block.Clear();
       Metrics().reuses->Increment();
-      return block;
+      AddOutstanding(1);
+      return block;  // already charged + counted when first allocated
     }
   }
+  int64_t bytes = DenseBlock::MemoryBytesFor(rows, cols);
+  if (budget_ && budget_->ExceedsWholeBudget(bytes)) {
+    return Status::ResourceExhausted(
+        "buffer pool: a single " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " block (" + std::to_string(bytes) +
+        " bytes) exceeds the whole memory budget (" +
+        std::to_string(budget_->limit_bytes()) + " bytes)");
+  }
+  if (budget_) budget_->Charge(bytes);
+  AddHeldBytes(bytes);
+  AddOutstanding(1);
   return DenseBlock(rows, cols);
 }
 
 void BufferPool::Release(DenseBlock block) {
+  AddOutstanding(-1);
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = free_[{block.rows(), block.cols()}];
   if (slot.size() < max_per_shape_) {
     slot.push_back(std::move(block));
   } else {
     Metrics().discards->Increment();
+    int64_t bytes = block.MemoryBytes();
+    AddHeldBytes(-bytes);
+    if (budget_) budget_->Release(bytes);
   }
 }
 
@@ -50,6 +105,14 @@ size_t BufferPool::IdleBlocks() const {
   size_t n = 0;
   for (const auto& [shape, blocks] : free_) n += blocks.size();
   return n;
+}
+
+int64_t BufferPool::GlobalOutstandingBlocks() {
+  return g_outstanding.load(std::memory_order_relaxed);
+}
+
+int64_t BufferPool::GlobalHeldBytes() {
+  return g_held_bytes.load(std::memory_order_relaxed);
 }
 
 }  // namespace dmac

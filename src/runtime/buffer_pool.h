@@ -4,13 +4,24 @@
 // accumulate the task's result into it in place, and return it when done.
 // The pool keeps a bounded number of blocks per shape so inter-thread
 // memory is reused instead of reallocated.
+//
+// Governance (docs/governance.md): a pool may be attached to a query's
+// MemoryBudget. Freshly allocated blocks are charged to the budget and stay
+// charged while they circulate (outstanding or idle); the charge is dropped
+// when a block is discarded or the pool is destroyed. Acquire fails with
+// kResourceExhausted — instead of silently growing — when a single block
+// alone exceeds the whole budget, since spilling elsewhere cannot help.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+#include "governor/memory_budget.h"
 #include "matrix/dense_block.h"
 
 namespace dmac {
@@ -21,19 +32,41 @@ class BufferPool {
   /// `max_per_shape` bounds how many idle blocks of one shape are retained.
   explicit BufferPool(size_t max_per_shape = 8)
       : max_per_shape_(max_per_shape) {}
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Attaches a per-query budget. Call before the first Acquire; blocks
+  /// acquired earlier are not retroactively charged.
+  void SetBudget(std::shared_ptr<MemoryBudget> budget) {
+    budget_ = std::move(budget);
+  }
 
   /// Returns a zeroed block of the given shape (recycled when available).
-  DenseBlock Acquire(int64_t rows, int64_t cols);
+  /// Fails with kResourceExhausted when the block alone exceeds the whole
+  /// attached budget.
+  Result<DenseBlock> Acquire(int64_t rows, int64_t cols);
 
   /// Returns a block to the pool; dropped if the shape's slot is full.
+  /// Only pass blocks obtained from this pool's Acquire.
   void Release(DenseBlock block);
 
   /// Number of idle blocks currently held.
   size_t IdleBlocks() const;
 
+  /// Process-wide count of acquired-but-not-released blocks across all
+  /// pools. Zero when no kernel is mid-flight; the soak harness asserts
+  /// this to catch leaked accumulators.
+  static int64_t GlobalOutstandingBlocks();
+
+  /// Process-wide bytes currently held by pools (outstanding + idle).
+  static int64_t GlobalHeldBytes();
+
  private:
   mutable std::mutex mu_;
   size_t max_per_shape_;
+  std::shared_ptr<MemoryBudget> budget_;
   std::map<std::pair<int64_t, int64_t>, std::vector<DenseBlock>> free_;
 };
 

@@ -7,6 +7,14 @@
 // Broadcast. Blocks are shared immutably (shared_ptr), so local extended
 // operators (reference/extract) copy pointers, not payloads — only the
 // network layer (executor) copies across stores and counts bytes.
+//
+// Governance (docs/governance.md): when a query runs under a MemoryBudget,
+// each store charges the budget for the blocks it *owns* (input matrices are
+// aliased, not owned, and stay uncharged). Cold entries can be spilled to a
+// SpillStore — the entry keeps its key and checksum but drops its payload —
+// and restored before the next step that reads them. Spilling and restoring
+// happen only on the driver thread, between steps, so readers never race a
+// payload swap.
 #pragma once
 
 #include <algorithm>
@@ -14,11 +22,15 @@
 #include <memory>
 #include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "fault/checksum.h"
+#include "governor/memory_budget.h"
+#include "governor/spill_store.h"
 #include "matrix/block.h"
 #include "plan/scheme.h"
 #include "runtime/owner.h"
@@ -36,9 +48,26 @@ class DistMatrix {
         num_workers_(num_workers),
         stores_(static_cast<size_t>(num_workers)) {}
 
+  ~DistMatrix() {
+    for (auto& store : stores_) {
+      for (auto& [key, entry] : store) ReleaseEntry(&entry);
+    }
+  }
+
+  DistMatrix(const DistMatrix&) = delete;
+  DistMatrix& operator=(const DistMatrix&) = delete;
+
   const BlockGrid& grid() const { return grid_; }
   Scheme scheme() const { return scheme_; }
   int num_workers() const { return num_workers_; }
+
+  /// Attaches the query's budget and spill store (either may be null).
+  /// Call before the first Put; earlier entries are not charged.
+  void SetGovernor(std::shared_ptr<MemoryBudget> budget,
+                   std::shared_ptr<SpillStore> spill) {
+    budget_ = std::move(budget);
+    spill_ = std::move(spill);
+  }
 
   /// Owner of block (bi, bj) under this matrix's scheme. For Broadcast
   /// every worker holds the block; this returns the canonical copy (0).
@@ -58,13 +87,27 @@ class DistMatrix {
   /// (no checksum) — fault-tolerant runs stamp checksums in batch via
   /// SetChecksums() after the producing step, keeping the fault-free path
   /// free of hashing work.
+  ///
+  /// Owning blocks (use_count > 0) are charged to the attached budget;
+  /// non-owning aliases of another matrix's payload are not — the owner
+  /// already pays for them (replicas of a Broadcast matrix each own their
+  /// pointer, so cluster-wide replication cost is charged N times, matching
+  /// TotalStoredBytes()).
   void Put(int worker, int64_t bi, int64_t bj, BlockPtr block) {
     DMAC_CHECK(worker >= 0 && worker < num_workers_);
-    stores_[static_cast<size_t>(worker)][Key(bi, bj)] = {std::move(block),
-                                                         kNoChecksum};
+    Entry entry;
+    if (block != nullptr && block.use_count() > 0) {
+      entry.owned_bytes = block->MemoryBytes();
+      if (budget_) budget_->Charge(entry.owned_bytes);
+    }
+    entry.block = std::move(block);
+    Entry& slot = stores_[static_cast<size_t>(worker)][Key(bi, bj)];
+    ReleaseEntry(&slot);
+    slot = std::move(entry);
   }
 
-  /// Block (bi, bj) from `worker`'s store; null when absent there.
+  /// Block (bi, bj) from `worker`'s store; null when absent there (or
+  /// currently spilled — call EnsureResident() first on governed runs).
   BlockPtr Get(int worker, int64_t bi, int64_t bj) const {
     const auto& store = stores_[static_cast<size_t>(worker)];
     auto it = store.find(Key(bi, bj));
@@ -101,12 +144,13 @@ class DistMatrix {
     return keys;
   }
 
-  /// Total payload bytes across all stores (replicas counted).
+  /// Total resident payload bytes across all stores (replicas counted;
+  /// spilled entries excluded — they live on disk, not in memory).
   int64_t TotalStoredBytes() const {
     int64_t total = 0;
     for (const auto& store : stores_) {
       for (const auto& [key, entry] : store) {
-        total += entry.block->MemoryBytes();
+        if (entry.block != nullptr) total += entry.block->MemoryBytes();
       }
     }
     return total;
@@ -120,15 +164,90 @@ class DistMatrix {
     return bi * grid_.block_cols() + bj;
   }
 
+  // --- Governance (docs/governance.md) -------------------------------------
+
+  /// Budget-relevant bytes this matrix owns, resident or spilled. This is
+  /// a step's pinned working-set contribution: reading the matrix requires
+  /// all of it resident at once.
+  int64_t OwnedBytes() const {
+    int64_t total = 0;
+    for (const auto& store : stores_) {
+      for (const auto& [key, entry] : store) total += entry.owned_bytes;
+    }
+    return total;
+  }
+
+  /// Number of entries currently spilled to disk.
+  int64_t SpilledEntries() const { return spilled_entries_; }
+
+  /// Bytes currently spilled to disk (restoring re-charges the budget by
+  /// this much).
+  int64_t SpilledBytes() const {
+    if (spilled_entries_ == 0) return 0;
+    int64_t total = 0;
+    for (const auto& store : stores_) {
+      for (const auto& [key, entry] : store) {
+        if (entry.spill_handle != SpillStore::kNoHandle) {
+          total += entry.owned_bytes;
+        }
+      }
+    }
+    return total;
+  }
+
+  /// Restores every spilled entry and re-charges the budget. Returns the
+  /// bytes brought back. Driver thread only.
+  Result<int64_t> EnsureResident() {
+    if (spilled_entries_ == 0) return static_cast<int64_t>(0);
+    int64_t restored = 0;
+    for (auto& store : stores_) {
+      for (auto& [key, entry] : store) {
+        if (entry.spill_handle == SpillStore::kNoHandle) continue;
+        DMAC_ASSIGN_OR_RETURN(Block block,
+                              spill_->Restore(entry.spill_handle));
+        entry.block = std::make_shared<const Block>(std::move(block));
+        entry.spill_handle = SpillStore::kNoHandle;
+        if (budget_) budget_->Charge(entry.owned_bytes);
+        restored += entry.owned_bytes;
+        --spilled_entries_;
+      }
+    }
+    return restored;
+  }
+
+  /// Spills owned resident entries — workers ascending, keys ascending, so
+  /// the eviction order is deterministic — until at least `target_bytes`
+  /// were freed or no candidate remains. Returns the bytes freed and
+  /// released from the budget. Driver thread only.
+  Result<int64_t> SpillColdBlocks(int64_t target_bytes) {
+    if (!spill_) return static_cast<int64_t>(0);
+    int64_t freed = 0;
+    for (int w = 0; w < num_workers_ && freed < target_bytes; ++w) {
+      auto& store = stores_[static_cast<size_t>(w)];
+      for (int64_t key : SortedWorkerKeys(w)) {
+        if (freed >= target_bytes) break;
+        Entry& entry = store[key];
+        if (entry.block == nullptr || entry.owned_bytes == 0) continue;
+        DMAC_ASSIGN_OR_RETURN(int64_t handle, spill_->Spill(*entry.block));
+        entry.spill_handle = handle;
+        entry.block = nullptr;
+        if (budget_) budget_->Release(entry.owned_bytes);
+        freed += entry.owned_bytes;
+        ++spilled_entries_;
+      }
+    }
+    return freed;
+  }
+
   // --- Integrity (docs/fault_tolerance.md) ---------------------------------
 
-  /// Stamps a checksum on every entry that lacks one. Shared payloads
-  /// (Broadcast replicas, referenced blocks) are hashed once.
+  /// Stamps a checksum on every resident entry that lacks one. Shared
+  /// payloads (Broadcast replicas, referenced blocks) are hashed once.
   void SetChecksums() {
     std::unordered_map<const Block*, uint64_t> cache;
     for (auto& store : stores_) {
       for (auto& [key, entry] : store) {
-        if (entry.checksum != kNoChecksum) continue;
+        if (entry.checksum != kNoChecksum || entry.block == nullptr) continue;
         auto [it, inserted] = cache.try_emplace(entry.block.get(), 0);
         if (inserted) it->second = BlockChecksum(*entry.block);
         entry.checksum = it->second;
@@ -146,7 +265,9 @@ class DistMatrix {
 
   /// Verifies (bi, bj) at `worker`: present, and — when a checksum was
   /// stamped — hashing to it. Missing or mismatching entries are DataLoss
-  /// (retryable after lineage recovery); unstamped entries pass.
+  /// (retryable after lineage recovery); unstamped entries pass. Spilled
+  /// entries pass here: the spill file carries its own checksum, verified
+  /// on restore.
   Status VerifyAt(int worker, int64_t bi, int64_t bj) const {
     const auto& store = stores_[static_cast<size_t>(worker)];
     auto it = store.find(Key(bi, bj));
@@ -156,6 +277,7 @@ class DistMatrix {
                               std::to_string(worker));
     }
     const Entry& entry = it->second;
+    if (entry.block == nullptr) return Status::Ok();  // spilled
     if (entry.checksum != kNoChecksum &&
         BlockChecksum(*entry.block) != entry.checksum) {
       return Status::DataLoss("block (" + std::to_string(bi) + ", " +
@@ -169,23 +291,30 @@ class DistMatrix {
 
   /// Drops entry (bi, bj) from `worker`'s store. True if it was present.
   bool Drop(int worker, int64_t bi, int64_t bj) {
-    return stores_[static_cast<size_t>(worker)].erase(Key(bi, bj)) > 0;
+    auto& store = stores_[static_cast<size_t>(worker)];
+    auto it = store.find(Key(bi, bj));
+    if (it == store.end()) return false;
+    ReleaseEntry(&it->second);
+    store.erase(it);
+    return true;
   }
 
   /// Empties `worker`'s store (simulated crash). Returns entries lost.
   int64_t ClearWorker(int worker) {
     auto& store = stores_[static_cast<size_t>(worker)];
     const int64_t lost = static_cast<int64_t>(store.size());
+    for (auto& [key, entry] : store) ReleaseEntry(&entry);
     store.clear();
     return lost;
   }
 
   /// Swaps the payload of (bi, bj) at `worker` *keeping the old checksum* —
-  /// silent corruption, detectable only by VerifyAt. True if present.
+  /// silent corruption, detectable only by VerifyAt. True if present and
+  /// resident (a spilled entry has no payload to corrupt).
   bool ReplacePayload(int worker, int64_t bi, int64_t bj, BlockPtr block) {
     auto& store = stores_[static_cast<size_t>(worker)];
     auto it = store.find(Key(bi, bj));
-    if (it == store.end()) return false;
+    if (it == store.end() || it->second.block == nullptr) return false;
     it->second.block = std::move(block);
     return true;
   }
@@ -194,12 +323,33 @@ class DistMatrix {
   struct Entry {
     BlockPtr block;
     uint64_t checksum = kNoChecksum;
+    /// Spill file handle, or SpillStore::kNoHandle when resident.
+    int64_t spill_handle = SpillStore::kNoHandle;
+    /// Payload bytes charged to the budget (0 for non-owning aliases).
+    int64_t owned_bytes = 0;
   };
+
+  /// Returns an entry's resources: the spill file if spilled, the budget
+  /// charge if resident and owned. Leaves the entry empty.
+  void ReleaseEntry(Entry* entry) {
+    if (entry->spill_handle != SpillStore::kNoHandle) {
+      if (spill_) spill_->Remove(entry->spill_handle);
+      entry->spill_handle = SpillStore::kNoHandle;
+      --spilled_entries_;
+    } else if (entry->owned_bytes > 0 && budget_) {
+      budget_->Release(entry->owned_bytes);
+    }
+    entry->block = nullptr;
+    entry->owned_bytes = 0;
+  }
 
   BlockGrid grid_;
   Scheme scheme_;
   int num_workers_;
   std::vector<std::unordered_map<int64_t, Entry>> stores_;
+  std::shared_ptr<MemoryBudget> budget_;
+  std::shared_ptr<SpillStore> spill_;
+  int64_t spilled_entries_ = 0;
 };
 
 }  // namespace dmac

@@ -1,5 +1,6 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <mutex>
@@ -107,9 +108,15 @@ class Executor::Impl {
         buffers_(static_cast<size_t>(opts.threads_per_worker) * 2),
         engine_(&pool_, &buffers_, opts.local_mode, opts.density_threshold,
                 opts.task_scheduling),
-        node_data_(plan.nodes.size()) {}
+        node_data_(plan.nodes.size()),
+        gov_(opts.governor),
+        node_last_use_(plan.nodes.size(), -1) {
+    if (gov_.token.active()) engine_.SetCancelToken(&gov_.token);
+    if (gov_.budget != nullptr) buffers_.SetBudget(gov_.budget);
+  }
 
   Result<ExecutionResult> Run() {
+    DMAC_RETURN_NOT_OK(CheckCancel());  // a 0 ms deadline fails before work
     DMAC_RETURN_NOT_OK(PickBlockSize());
     DMAC_RETURN_NOT_OK(SetUpFaultTolerance());
     MemTracker::Global().ResetPeak();
@@ -136,7 +143,17 @@ class Executor::Impl {
                               TraceArg("stage", int64_t{step.stage}) + "," +
                                   TraceArg("step", int64_t{step.id}))
                   : TraceSpan();
-      DMAC_RETURN_NOT_OK(ft_ ? RunStepWithRecovery(step) : ExecuteStep(step));
+      DMAC_RETURN_NOT_OK(GovernStep(step));
+      Status step_status = ft_ ? RunStepWithRecovery(step) : ExecuteStep(step);
+      if (!step_status.ok() && gov_.token.active() && gov_.token.Fired()) {
+        // The engine observed the token mid-kernel; surface the governance
+        // status (and its one cancel span), not the kernel's unwind error.
+        if (step.output >= 0) {
+          node_data_[static_cast<size_t>(step.output)] = nullptr;
+        }
+        DMAC_RETURN_NOT_OK(CheckCancel());
+      }
+      DMAC_RETURN_NOT_OK(step_status);
       metric_steps_->Increment();
     }
     stage_span.reset();
@@ -208,6 +225,9 @@ class Executor::Impl {
     const PlanNode& node = NodeOf(node_id);
     auto dm = std::make_shared<DistMatrix>(BlockGrid{shape, block_size_},
                                            node.scheme(), opts_.num_workers);
+    if (gov_.budget != nullptr || gov_.spill != nullptr) {
+      dm->SetGovernor(gov_.budget, gov_.spill);
+    }
     node_data_[static_cast<size_t>(node_id)] = dm;
     return dm;
   }
@@ -339,6 +359,109 @@ class Executor::Impl {
     return ptr;
   }
 
+  // ---- governance (docs/governance.md) ------------------------------------
+
+  /// Cooperative cancellation poll. The first failed check emits one
+  /// `cancel` trace span recording how the query ended.
+  Status CheckCancel() {
+    if (!gov_.token.active()) return Status::Ok();
+    Status st = gov_.token.Check();
+    if (!st.ok() && !cancel_span_emitted_) {
+      cancel_span_emitted_ = true;
+      TraceSpan span(kTraceCancel,
+                     st.code() == StatusCode::kDeadlineExceeded
+                         ? "deadline-exceeded"
+                         : "cancelled");
+    }
+    return st;
+  }
+
+  /// Pre-step governance: poll the token, bump the LRU clock, and make room
+  /// under the budget for the step's working set.
+  Status GovernStep(const PlanStep& step) {
+    DMAC_RETURN_NOT_OK(CheckCancel());
+    ++step_clock_;
+    for (int input : step.inputs) {
+      node_last_use_[static_cast<size_t>(input)] = step_clock_;
+    }
+    if (step.output >= 0) {
+      node_last_use_[static_cast<size_t>(step.output)] = step_clock_;
+    }
+    if (!gov_.budgeted()) return Status::Ok();
+    return RebalanceBudget(step);
+  }
+
+  /// Spills cold nodes (LRU by last-touching step, ids ascending as the
+  /// tiebreak) until the budget has room for the step's pinned working set
+  /// — its inputs, all of which must be resident at once. Fails with
+  /// kResourceExhausted when the pinned set alone exceeds the budget or no
+  /// spill candidate remains.
+  Status RebalanceBudget(const PlanStep& step) {
+    int64_t pinned = 0;
+    int64_t spilled_inputs = 0;
+    for (int input : step.inputs) {
+      const auto& dm = node_data_[static_cast<size_t>(input)];
+      if (dm == nullptr) continue;
+      pinned += dm->OwnedBytes();
+      spilled_inputs += dm->SpilledBytes();
+    }
+    if (gov_.budget->ExceedsWholeBudget(pinned)) {
+      return Status::ResourceExhausted(
+          "step " + std::to_string(step.id) + ": working set of " +
+          std::to_string(pinned) + " bytes exceeds the memory budget of " +
+          std::to_string(gov_.budget->limit_bytes()) +
+          " bytes; spilling cannot help");
+    }
+    // Free the current overage plus what restoring spilled inputs will
+    // re-charge, by spilling nodes no later step has touched more recently.
+    int64_t need = gov_.budget->OverBudgetBytes() + spilled_inputs;
+    if (need <= 0) return Status::Ok();
+
+    std::vector<std::pair<int, int>> candidates;  // (last_use, node id)
+    for (size_t id = 0; id < node_data_.size(); ++id) {
+      if (node_data_[id] == nullptr) continue;
+      const int node = static_cast<int>(id);
+      if (node == step.output ||
+          std::find(step.inputs.begin(), step.inputs.end(), node) !=
+              step.inputs.end()) {
+        continue;  // pinned
+      }
+      candidates.emplace_back(node_last_use_[id], node);
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    int64_t freed = 0;
+    for (const auto& [last_use, node] : candidates) {
+      if (freed >= need) break;
+      auto& dm = node_data_[static_cast<size_t>(node)];
+      TraceSpan span(kTraceSpill, "spill node " + std::to_string(node), -1,
+                     TraceArg("node", int64_t{node}));
+      DMAC_ASSIGN_OR_RETURN(int64_t f, dm->SpillColdBlocks(need - freed));
+      freed += f;
+    }
+    if (gov_.budget->OverBudgetBytes() > 0) {
+      return Status::ResourceExhausted(
+          "memory budget of " + std::to_string(gov_.budget->limit_bytes()) +
+          " bytes still exceeded by " +
+          std::to_string(gov_.budget->OverBudgetBytes()) +
+          " bytes after spilling every cold block");
+    }
+    return Status::Ok();
+  }
+
+  /// Restores any spilled input of `step` (recovery re-runs and retries hit
+  /// this too, not just the main loop). No-op without a spill store.
+  Status EnsureInputsResident(const PlanStep& step) {
+    for (int input : step.inputs) {
+      auto& dm = node_data_[static_cast<size_t>(input)];
+      if (dm == nullptr || dm->SpilledEntries() == 0) continue;
+      TraceSpan span(kTraceSpill, "restore node " + std::to_string(input),
+                     -1, TraceArg("node", int64_t{input}));
+      DMAC_RETURN_NOT_OK(dm->EnsureResident().status());
+    }
+    return Status::Ok();
+  }
+
   // ---- fault tolerance (docs/fault_tolerance.md) --------------------------
 
   Status SetUpFaultTolerance() {
@@ -367,6 +490,18 @@ class Executor::Impl {
     for (int attempt = 0;; ++attempt) {
       st = AttemptStep(step, attempt);
       if (st.ok()) break;
+      // A fired token preempts the retry path: the query exits promptly —
+      // no retry counted, no simulated backoff, no recovery sweep — and no
+      // partial output survives.
+      if (gov_.token.active()) {
+        Status cancelled = gov_.token.Check();
+        if (!cancelled.ok()) {
+          if (step.output >= 0) {
+            node_data_[static_cast<size_t>(step.output)] = nullptr;
+          }
+          DMAC_RETURN_NOT_OK(CheckCancel());  // emits the cancel span
+        }
+      }
       const bool retryable = st.code() == StatusCode::kUnavailable ||
                              st.code() == StatusCode::kDataLoss;
       if (!retryable || attempt >= opts_.fault.max_retries) {
@@ -458,6 +593,7 @@ class Executor::Impl {
           }
           if (injector_->DrawCorruptBlock()) {
             auto ptr = dm->Get(w, bi, bj);
+            if (ptr == nullptr) continue;  // spilled: no payload in memory
             dm->ReplacePayload(w, bi, bj,
                                std::make_shared<const Block>(CorruptedCopy(
                                    *ptr, injector_->DrawSeed())));
@@ -553,8 +689,12 @@ class Executor::Impl {
         bool repaired = false;
         for (int w = 0; w < opts_.num_workers && !repaired; ++w) {
           if (w == rec.worker) continue;
-          if (dm->VerifyAt(w, bi, bj).ok()) {
-            dm->Put(rec.worker, bi, bj, dm->Get(w, bi, bj));
+          // The replica must be resident, not just verifiable: VerifyAt
+          // passes spilled entries (their file carries the checksum), but
+          // Get on one yields null and a null Put would tombstone the slot.
+          DistMatrix::BlockPtr replica = dm->Get(w, bi, bj);
+          if (replica != nullptr && dm->VerifyAt(w, bi, bj).ok()) {
+            dm->Put(rec.worker, bi, bj, std::move(replica));
             ++stats_.restored_blocks;
             metric_fault_restored_->Increment();
             repaired = true;
@@ -652,6 +792,10 @@ class Executor::Impl {
   // ---- step dispatch ------------------------------------------------------
 
   Status ExecuteStep(const PlanStep& step) {
+    DMAC_RETURN_NOT_OK(CheckCancel());
+    if (gov_.spill != nullptr) {
+      DMAC_RETURN_NOT_OK(EnsureInputsResident(step));
+    }
     switch (step.kind) {
       case StepKind::kLoad:
         return ExecLoad(step);
@@ -1036,6 +1180,8 @@ class Executor::Impl {
       span.set_args(TraceArg("bytes", bytes) + "," +
                     TraceArg("kind", "shuffle"));
     }
+    // Comm-round boundary: the cheapest place to notice a mid-CPMM cancel.
+    DMAC_RETURN_NOT_OK(CheckCancel());
 
     // Phase 2: aggregation at the owners (next stage's beginning; we account
     // its compute into the step's stage for simplicity).
@@ -1392,7 +1538,12 @@ class Executor::Impl {
   // ---- gather -------------------------------------------------------------
 
   Result<LocalMatrix> Gather(int node_id) {
-    const DistMatrix& dm = Data(node_id);
+    DistMatrix& dm = Data(node_id);
+    if (gov_.spill != nullptr && dm.SpilledEntries() > 0) {
+      TraceSpan span(kTraceSpill, "restore node " + std::to_string(node_id),
+                     -1, TraceArg("node", int64_t{node_id}));
+      DMAC_RETURN_NOT_OK(dm.EnsureResident().status());
+    }
     const BlockGrid& grid = dm.grid();
     std::vector<Block> blocks;
     blocks.reserve(static_cast<size_t>(grid.num_blocks()));
@@ -1421,6 +1572,14 @@ class Executor::Impl {
   std::vector<std::shared_ptr<DistMatrix>> node_data_;
   std::unordered_map<std::string, double> scalars_;
   ExecStats stats_;
+
+  // Governance (docs/governance.md). The token is a value sharing state
+  // with the caller's copy; budget and spill store are shared with every
+  // node's DistMatrix. `node_last_use_` drives LRU spill ordering.
+  GovernorContext gov_;
+  std::vector<int> node_last_use_;
+  int step_clock_ = 0;
+  bool cancel_span_emitted_ = false;
 
   // Fault tolerance (docs/fault_tolerance.md). `ft_` is the master switch
   // the hot paths branch on; `injector_` is non-null only when injection is
@@ -1468,8 +1627,16 @@ Executor::Executor(ExecutorOptions options) : options_(options) {}
 
 Result<ExecutionResult> Executor::Execute(const Plan& plan,
                                           const Bindings& bindings) {
-  Impl impl(options_, plan, bindings);
-  return impl.Run();
+  Result<ExecutionResult> result = [&] {
+    Impl impl(options_, plan, bindings);
+    return impl.Run();
+  }();  // Impl destroyed here: buffers, stores, and spill charges released
+  if (options_.governor.budget != nullptr) {
+    MetricRegistry::Global()
+        .gauge(kMetricGovernorBudgetPeakBytes)
+        ->Set(static_cast<double>(options_.governor.budget->peak_bytes()));
+  }
+  return result;
 }
 
 }  // namespace dmac

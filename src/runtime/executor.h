@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "fault/fault_spec.h"
+#include "governor/context.h"
 #include "matrix/local_matrix.h"
 #include "plan/plan.h"
 #include "runtime/dist_matrix.h"
@@ -52,6 +53,10 @@ struct ExecutorOptions {
   /// When the plan carries checkpoint hints only hinted nodes count toward
   /// K and are snapshotted; without hints every producing step does.
   int checkpoint_every = 0;
+  /// Resource governance (docs/governance.md): cancel token / deadline,
+  /// memory budget with spill store. Default-constructed = ungoverned, and
+  /// the hot paths cost one branch per step.
+  GovernorContext governor;
 };
 
 /// Result of executing a plan.

@@ -1,6 +1,7 @@
 #include "runtime/local_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 
@@ -81,6 +82,11 @@ Status LocalEngine::MultiplyBlocks(const BlockGrid& out_grid,
 void LocalEngine::Dispatch(size_t num_tasks,
                            const std::function<void(size_t)>& run_task,
                            TaskKind kind) {
+  // Queued tasks of a cancelled query are abandoned by the pool; a chunk
+  // already running re-checks the flag between its tasks.
+  const std::atomic<bool>* abandon =
+      cancel_ != nullptr ? cancel_->fired_flag() : nullptr;
+
   // Disabled path: identical to the uninstrumented engine — one relaxed
   // load per batch decides which dispatch body runs.
   const bool observe = TraceRecorder::Global().enabled() ||
@@ -89,7 +95,7 @@ void LocalEngine::Dispatch(size_t num_tasks,
     if (scheduling_ == TaskScheduling::kQueue) {
       // Fig. 4: one entry per task in the shared queue; idle threads pull.
       for (size_t i = 0; i < num_tasks; ++i) {
-        pool_->Submit([&run_task, i] { run_task(i); });
+        pool_->Submit(abandon, [&run_task, i] { run_task(i); });
       }
     } else {
       // Static ablation: contiguous chunks, no rebalancing.
@@ -99,8 +105,14 @@ void LocalEngine::Dispatch(size_t num_tasks,
         const size_t lo = t * chunk;
         const size_t hi = std::min(num_tasks, lo + chunk);
         if (lo >= hi) break;
-        pool_->Submit([&run_task, lo, hi] {
-          for (size_t i = lo; i < hi; ++i) run_task(i);
+        pool_->Submit(abandon, [&run_task, abandon, lo, hi] {
+          for (size_t i = lo; i < hi; ++i) {
+            if (abandon != nullptr &&
+                abandon->load(std::memory_order_acquire)) {
+              return;
+            }
+            run_task(i);
+          }
         });
       }
     }
@@ -133,7 +145,8 @@ void LocalEngine::Dispatch(size_t num_tasks,
   if (scheduling_ == TaskScheduling::kQueue) {
     for (size_t i = 0; i < num_tasks; ++i) {
       const int64_t submit_ns = TraceRecorder::Global().NowNs();
-      pool_->Submit([&observed, i, submit_ns] { observed(i, submit_ns); });
+      pool_->Submit(abandon,
+                    [&observed, i, submit_ns] { observed(i, submit_ns); });
     }
   } else {
     const size_t threads = pool_->num_threads();
@@ -143,12 +156,23 @@ void LocalEngine::Dispatch(size_t num_tasks,
       const size_t hi = std::min(num_tasks, lo + chunk);
       if (lo >= hi) break;
       const int64_t submit_ns = TraceRecorder::Global().NowNs();
-      pool_->Submit([&observed, lo, hi, submit_ns] {
-        for (size_t i = lo; i < hi; ++i) observed(i, submit_ns);
+      pool_->Submit(abandon, [&observed, abandon, lo, hi, submit_ns] {
+        for (size_t i = lo; i < hi; ++i) {
+          if (abandon != nullptr &&
+              abandon->load(std::memory_order_acquire)) {
+            return;
+          }
+          observed(i, submit_ns);
+        }
       });
     }
   }
   pool_->WaitIdle();
+}
+
+Status LocalEngine::CancelStatus() const {
+  if (cancel_ == nullptr || !cancel_->active()) return Status::Ok();
+  return cancel_->Check();
 }
 
 Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
@@ -194,7 +218,12 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
         return;
       }
 
-      DenseBlock acc = buffers_->Acquire(shape.rows, shape.cols);
+      auto acc_or = buffers_->Acquire(shape.rows, shape.cols);
+      if (!acc_or.ok()) {
+        errors.Record(acc_or.status());
+        return;
+      }
+      DenseBlock acc = std::move(*acc_or);
       for (size_t i = 0; i + 1 < keep_alive.size(); i += 2) {
         Status st =
             MultiplyAccumulate(*keep_alive[i], *keep_alive[i + 1], &acc);
@@ -210,6 +239,7 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
       sink(task.bi, task.bj, std::move(result));
     }
   }, TaskKind::kMultiply);
+  DMAC_RETURN_NOT_OK(CancelStatus());
   return errors.Take();
 }
 
@@ -268,6 +298,7 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
     std::lock_guard<std::mutex> lock(partials_mu);
     partials.push_back({triple.bi, triple.bj, std::move(partial)});
   }, TaskKind::kMultiply);
+  DMAC_RETURN_NOT_OK(CancelStatus());
   DMAC_RETURN_NOT_OK(errors.Take());
 
   // Phase 2: aggregate the buffered partials per output block.
@@ -294,6 +325,7 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
     }
     sink(bi, bj, std::move(*result));
   }, TaskKind::kAggregate);
+  DMAC_RETURN_NOT_OK(CancelStatus());
   return errors.Take();
 }
 
@@ -302,6 +334,7 @@ Status LocalEngine::RunTasks(const std::vector<std::function<Status()>>& tasks,
   StatusCollector errors;
   Dispatch(tasks.size(),
            [&](size_t i) { errors.Record(tasks[i]()); }, kind);
+  DMAC_RETURN_NOT_OK(CancelStatus());
   return errors.Take();
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "governor/cancel_token.h"
 #include "matrix/block_ops.h"
 #include "runtime/buffer_pool.h"
 
@@ -89,6 +90,12 @@ class LocalEngine {
   /// Call only between batches — Dispatch reads it from pool threads.
   void SetWorkerContext(int worker) { trace_worker_ = worker; }
 
+  /// Attaches the query's cancel token (may be null). Once the token fires,
+  /// still-queued tasks are abandoned (never run) and each engine call
+  /// returns the token's status after its batch drains — the kernel-task
+  /// poll boundary of docs/governance.md.
+  void SetCancelToken(const CancelToken* token) { cancel_ = token; }
+
  private:
   Status MultiplyInPlace(const BlockGrid& out_grid,
                          const std::vector<MultiplyTask>& tasks,
@@ -106,12 +113,16 @@ class LocalEngine {
   void Dispatch(size_t num_tasks, const std::function<void(size_t)>& run_task,
                 TaskKind kind);
 
+  /// Non-ok once the attached token fired; polled after every batch.
+  Status CancelStatus() const;
+
   ThreadPool* pool_;
   BufferPool* buffers_;
   LocalMode mode_;
   double density_threshold_;
   TaskScheduling scheduling_;
   int trace_worker_ = -1;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace dmac

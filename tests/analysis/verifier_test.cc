@@ -20,8 +20,8 @@
 namespace dmac {
 namespace {
 
-TEST(AnalyzerTest, DefaultPipelineHasSixPasses) {
-  EXPECT_EQ(Analyzer::Default().num_passes(), 6u);
+TEST(AnalyzerTest, DefaultPipelineHasSevenPasses) {
+  EXPECT_EQ(Analyzer::Default().num_passes(), 7u);
 }
 
 TEST(AnalyzerTest, EmptyContextProducesNoFindings) {

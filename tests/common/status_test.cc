@@ -29,6 +29,9 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::Internal("g"), StatusCode::kInternal},
       {Status::Unavailable("h"), StatusCode::kUnavailable},
       {Status::DataLoss("i"), StatusCode::kDataLoss},
+      {Status::Cancelled("j"), StatusCode::kCancelled},
+      {Status::DeadlineExceeded("k"), StatusCode::kDeadlineExceeded},
+      {Status::ResourceExhausted("l"), StatusCode::kResourceExhausted},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -68,6 +71,34 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kDimensionMismatch),
                "DimensionMismatch");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+// The governance codes round-trip: factory -> code -> stable name -> the
+// name rendered by ToString (docs/governance.md status taxonomy).
+TEST(StatusTest, GovernanceCodesRoundTripNames) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::Cancelled("user abort"), StatusCode::kCancelled, "Cancelled"},
+      {Status::DeadlineExceeded("0 ms"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::ResourceExhausted("budget"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_STREQ(StatusCodeName(c.status.code()), c.name);
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.name) + ": " + c.status.message());
+  }
 }
 
 }  // namespace

@@ -84,5 +84,101 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_LE(count.load(), 50);
 }
 
+// --- Cooperative cancellation (docs/governance.md) -------------------------
+//
+// Tasks submitted with an abandon flag are popped and skipped — never run —
+// once the flag is set, both by the worker loop and by the destructor's
+// drain. A gate task pins the pool's only thread so the queue state when
+// the flag flips is deterministic.
+
+TEST(ThreadPoolTest, AbandonedQueuedTasksNeverRun) {
+  ThreadPool pool(1);
+  std::atomic<bool> gate{false};
+  std::atomic<bool> abandon{false};
+  std::atomic<int> ran{0};
+
+  pool.Submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(&abandon, [&ran] { ++ran; });
+  }
+  // Everything behind the gate is still queued; firing the flag now must
+  // skip all 16, deterministically.
+  abandon.store(true);
+  gate.store(true);
+  pool.WaitIdle();  // skipped tasks count as completed
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, UnsetFlagAndNullFlagTasksRunNormally) {
+  ThreadPool pool(2);
+  std::atomic<bool> abandon{false};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.Submit(&abandon, [&ran] { ++ran; });
+  for (int i = 0; i < 8; ++i) pool.Submit(nullptr, [&ran] { ++ran; });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, AbandonmentIsSelective) {
+  ThreadPool pool(1);
+  std::atomic<bool> gate{false};
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> live{false};
+  std::atomic<int> cancelled_ran{0};
+  std::atomic<int> live_ran{0};
+
+  pool.Submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  // Interleave two queries' tasks; only one query's flag fires.
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(&cancelled, [&cancelled_ran] { ++cancelled_ran; });
+    pool.Submit(&live, [&live_ran] { ++live_ran; });
+  }
+  cancelled.store(true);
+  gate.store(true);
+  pool.WaitIdle();
+  EXPECT_EQ(cancelled_ran.load(), 0);
+  EXPECT_EQ(live_ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainSkipsAbandonedTasks) {
+  std::atomic<bool> abandon{false};
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&gate] {
+      while (!gate.load()) std::this_thread::yield();
+    });
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit(&abandon, [&ran] { ++ran; });
+    }
+    abandon.store(true);
+    gate.store(true);
+    // No WaitIdle: shutdown's drain must observe the flag and skip every
+    // queued task, deterministically.
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, FlagSetAfterTaskStartedDoesNotInterrupt) {
+  ThreadPool pool(1);
+  std::atomic<bool> abandon{false};
+  std::atomic<bool> started{false};
+  std::atomic<bool> finished{false};
+  pool.Submit(&abandon, [&] {
+    started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    finished.store(true);
+  });
+  while (!started.load()) std::this_thread::yield();
+  abandon.store(true);  // too late — a running task is cooperative
+  pool.WaitIdle();
+  EXPECT_TRUE(finished.load());
+}
+
 }  // namespace
 }  // namespace dmac

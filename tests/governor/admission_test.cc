@@ -1,0 +1,108 @@
+// AdmissionController: immediate admits within quota, bounded queueing
+// with release hand-off, kResourceExhausted backpressure, and prompt exit
+// when a queued query's token fires.
+#include "governor/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/status.h"
+#include "governor/cancel_token.h"
+
+namespace dmac {
+namespace {
+
+TEST(AdmissionTest, AdmitsWithinQuotaImmediately) {
+  AdmissionController ac({/*max_concurrent=*/2, /*max_queued=*/0,
+                          /*total_memory_bytes=*/1000});
+  CancelToken inert;
+  EXPECT_TRUE(ac.Admit(400, inert).ok());
+  EXPECT_TRUE(ac.Admit(400, inert).ok());
+  EXPECT_EQ(ac.running(), 2);
+  EXPECT_EQ(ac.reserved_bytes(), 800);
+  ac.Release(400);
+  ac.Release(400);
+  EXPECT_EQ(ac.running(), 0);
+  EXPECT_EQ(ac.reserved_bytes(), 0);
+}
+
+TEST(AdmissionTest, EstimateOverTotalQuotaIsRejectedOutright) {
+  AdmissionController ac({2, 16, /*total_memory_bytes=*/1000});
+  CancelToken inert;
+  // 1001 bytes can never fit, even with everything else done — reject, do
+  // not queue.
+  Status st = ac.Admit(1001, inert);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  EXPECT_EQ(ac.running(), 0);
+  EXPECT_EQ(ac.queue_depth(), 0);
+}
+
+TEST(AdmissionTest, FullQueueRejectsWithBackpressure) {
+  AdmissionController ac({/*max_concurrent=*/1, /*max_queued=*/0, 0});
+  CancelToken inert;
+  ASSERT_TRUE(ac.Admit(10, inert).ok());
+  Status st = ac.Admit(10, inert);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  ac.Release(10);
+}
+
+TEST(AdmissionTest, QueuedRequestAdmitsWhenSlotFrees) {
+  AdmissionController ac({/*max_concurrent=*/1, /*max_queued=*/1, 0});
+  CancelToken inert;
+  ASSERT_TRUE(ac.Admit(10, inert).ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    Status st = ac.Admit(10, inert);
+    EXPECT_TRUE(st.ok()) << st;
+    admitted.store(true);
+    ac.Release(10);
+  });
+  // The waiter must queue, not run.
+  while (ac.queue_depth() == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+
+  ac.Release(10);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(ac.running(), 0);
+  EXPECT_EQ(ac.queue_depth(), 0);
+}
+
+TEST(AdmissionTest, FiredTokenUnblocksAQueuedRequest) {
+  AdmissionController ac({/*max_concurrent=*/1, /*max_queued=*/4, 0});
+  CancelToken inert;
+  ASSERT_TRUE(ac.Admit(10, inert).ok());
+
+  CancelToken token = CancelToken::Cancellable();
+  std::atomic<bool> done{false};
+  Status queued_status;
+  std::thread waiter([&] {
+    queued_status = ac.Admit(10, token);
+    done.store(true);
+  });
+  while (ac.queue_depth() == 0) std::this_thread::yield();
+
+  token.Cancel();
+  waiter.join();
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(queued_status.code(), StatusCode::kCancelled) << queued_status;
+  // The cancelled request holds no reservation and left the queue.
+  EXPECT_EQ(ac.queue_depth(), 0);
+  EXPECT_EQ(ac.running(), 1);
+  ac.Release(10);
+}
+
+TEST(AdmissionTest, AlreadyExpiredDeadlineNeverWaits) {
+  AdmissionController ac({/*max_concurrent=*/1, /*max_queued=*/4, 0});
+  CancelToken inert;
+  ASSERT_TRUE(ac.Admit(10, inert).ok());
+  Status st = ac.Admit(10, CancelToken::WithDeadline(0));
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st;
+  ac.Release(10);
+}
+
+}  // namespace
+}  // namespace dmac

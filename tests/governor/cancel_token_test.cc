@@ -1,0 +1,98 @@
+// CancelToken semantics: inert default, manual cancel, deadline expiry,
+// sticky reasons, and the raw fired flag used for task abandonment.
+#include "governor/cancel_token.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/status.h"
+
+namespace dmac {
+namespace {
+
+TEST(CancelTokenTest, DefaultIsInert) {
+  CancelToken token;
+  EXPECT_FALSE(token.active());
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_FALSE(token.Fired());
+  EXPECT_EQ(token.fired_flag(), nullptr);
+  EXPECT_EQ(token.fired_at_seconds(), 0.0);
+  token.Cancel();  // no-op, must not crash
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, CancellableFiresOnceAndStaysFired) {
+  CancelToken token = CancelToken::Cancellable();
+  ASSERT_TRUE(token.active());
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_EQ(token.fired_at_seconds(), 0.0);
+
+  token.Cancel();
+  EXPECT_TRUE(token.Fired());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  // Sticky: polling again returns the same code, and the fired timestamp
+  // marks the *first* firing.
+  const double fired_at = token.fired_at_seconds();
+  EXPECT_GT(fired_at, 0.0);
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(token.fired_at_seconds(), fired_at);
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineFiresDeadlineExceeded) {
+  // Zero and negative deadlines are already expired at construction.
+  EXPECT_EQ(CancelToken::WithDeadline(0).Check().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CancelToken::WithDeadline(-1).Check().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, FutureDeadlineDoesNotFireEarly) {
+  CancelToken token = CancelToken::WithDeadline(3600);
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_FALSE(token.Fired());
+}
+
+TEST(CancelTokenTest, ManualCancelBeatsALaterDeadline) {
+  CancelToken token = CancelToken::WithDeadline(3600);
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, DeadlineReasonIsStickyAgainstLaterCancel) {
+  CancelToken token = CancelToken::WithDeadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+  token.Cancel();  // too late — the first reason wins
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, CopiesShareState) {
+  CancelToken token = CancelToken::Cancellable();
+  CancelToken copy = token;
+  copy.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(token.fired_flag(), copy.fired_flag());
+}
+
+TEST(CancelTokenTest, FiredFlagIsSetForThreadPoolAbandonment) {
+  CancelToken token = CancelToken::Cancellable();
+  const std::atomic<bool>* flag = token.fired_flag();
+  ASSERT_NE(flag, nullptr);
+  EXPECT_FALSE(flag->load());
+  token.Cancel();
+  EXPECT_TRUE(flag->load());
+}
+
+TEST(CancelTokenTest, PollingDetectsDeadlineExpiryAndSetsFlag) {
+  CancelToken token = CancelToken::WithDeadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // The flag flips on the first Check() that observes expiry.
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(token.fired_flag()->load());
+  EXPECT_GT(token.fired_at_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace dmac

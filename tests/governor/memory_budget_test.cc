@@ -1,0 +1,80 @@
+// MemoryBudget accounting: charge/release, peak tracking, over-budget
+// arithmetic, and the whole-budget (oversize block) check.
+#include "governor/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dmac {
+namespace {
+
+TEST(MemoryBudgetTest, ChargeAndReleaseTrackUsage) {
+  MemoryBudget budget(1000);
+  EXPECT_EQ(budget.limit_bytes(), 1000);
+  EXPECT_EQ(budget.used_bytes(), 0);
+
+  budget.Charge(300);
+  budget.Charge(200);
+  EXPECT_EQ(budget.used_bytes(), 500);
+  budget.Release(300);
+  EXPECT_EQ(budget.used_bytes(), 200);
+}
+
+TEST(MemoryBudgetTest, PeakIsAHighWaterMark) {
+  MemoryBudget budget(0);
+  budget.Charge(700);
+  budget.Release(700);
+  budget.Charge(100);
+  EXPECT_EQ(budget.used_bytes(), 100);
+  EXPECT_EQ(budget.peak_bytes(), 700);
+}
+
+TEST(MemoryBudgetTest, ChargingMayOvershootTheLimit) {
+  // Charging never blocks or fails; enforcement is the executor's job at
+  // step boundaries.
+  MemoryBudget budget(100);
+  budget.Charge(250);
+  EXPECT_EQ(budget.used_bytes(), 250);
+  EXPECT_EQ(budget.OverBudgetBytes(), 150);
+  budget.Release(200);
+  EXPECT_EQ(budget.OverBudgetBytes(), 0);
+}
+
+TEST(MemoryBudgetTest, UnlimitedBudgetIsNeverOver) {
+  MemoryBudget budget(0);
+  budget.Charge(1 << 30);
+  EXPECT_EQ(budget.OverBudgetBytes(), 0);
+  EXPECT_FALSE(budget.ExceedsWholeBudget(1 << 30));
+  // Accounting still runs so peak usage stays observable.
+  EXPECT_EQ(budget.peak_bytes(), 1 << 30);
+}
+
+TEST(MemoryBudgetTest, WholeBudgetCheckCatchesOversizeAllocations) {
+  MemoryBudget budget(64);
+  EXPECT_FALSE(budget.ExceedsWholeBudget(64));
+  EXPECT_TRUE(budget.ExceedsWholeBudget(65));
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesDoNotLoseBytes) {
+  MemoryBudget budget(0);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        budget.Charge(3);
+        budget.Release(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(budget.used_bytes(), kThreads * kOpsPerThread * 2);
+  EXPECT_GE(budget.peak_bytes(), budget.used_bytes());
+}
+
+}  // namespace
+}  // namespace dmac

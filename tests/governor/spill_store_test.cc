@@ -1,0 +1,148 @@
+// SpillStore contract: spilled blocks round-trip bit-identically, damaged
+// files surface kDataLoss (and are consumed), and no spill file outlives
+// the store.
+#include "governor/spill_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/checksum.h"
+#include "matrix/block.h"
+
+namespace dmac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<SpillStore> MustCreate(std::string dir = "") {
+  auto store = SpillStore::Create(std::move(dir));
+  EXPECT_TRUE(store.ok()) << store.status();
+  return *store;
+}
+
+std::vector<fs::path> FilesUnder(const std::string& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  return files;
+}
+
+TEST(SpillStoreTest, DenseBlockRoundTripsBitIdentically) {
+  auto store = MustCreate();
+  const Block original = RandomDenseBlock(17, 9, 42);
+  const uint64_t want = BlockChecksum(original);
+
+  auto handle = store->Spill(original);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(store->live_files(), 1);
+  EXPECT_GT(store->spilled_bytes(), 0);
+
+  auto restored = store->Restore(*handle);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(BlockChecksum(*restored), want);
+  // Restore consumes the file.
+  EXPECT_EQ(store->live_files(), 0);
+  EXPECT_EQ(store->restored_bytes(), store->spilled_bytes());
+}
+
+TEST(SpillStoreTest, SparseBlockRoundTripsBitIdentically) {
+  auto store = MustCreate();
+  const Block original = RandomSparseBlock(32, 24, 0.2, 7);
+  const uint64_t want = BlockChecksum(original);
+
+  auto handle = store->Spill(original);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  auto restored = store->Restore(*handle);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_TRUE(restored->IsSparse());
+  EXPECT_EQ(BlockChecksum(*restored), want);
+}
+
+TEST(SpillStoreTest, CorruptedFileIsDataLossAndConsumed) {
+  auto store = MustCreate();
+  auto handle = store->Spill(RandomDenseBlock(8, 8, 3));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+
+  const auto files = FilesUnder(store->dir());
+  ASSERT_EQ(files.size(), 1u);
+  // Flip one payload byte past the header; the stored checksum goes stale.
+  {
+    std::fstream f(files[0],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(40);
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+
+  auto restored = store->Restore(*handle);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss)
+      << restored.status();
+  // A damaged block never leaks on disk.
+  EXPECT_EQ(store->live_files(), 0);
+}
+
+TEST(SpillStoreTest, MissingFileIsDataLoss) {
+  auto store = MustCreate();
+  auto handle = store->Spill(RandomDenseBlock(4, 4, 1));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  const auto files = FilesUnder(store->dir());
+  ASSERT_EQ(files.size(), 1u);
+  fs::remove(files[0]);
+
+  auto restored = store->Restore(*handle);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss)
+      << restored.status();
+}
+
+TEST(SpillStoreTest, RemoveDeletesWithoutReading) {
+  auto store = MustCreate();
+  auto handle = store->Spill(RandomDenseBlock(8, 8, 5));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_EQ(store->live_files(), 1);
+
+  store->Remove(*handle);
+  EXPECT_EQ(store->live_files(), 0);
+  EXPECT_TRUE(FilesUnder(store->dir()).empty());
+  EXPECT_EQ(store->restored_bytes(), 0);
+}
+
+TEST(SpillStoreTest, DestructorRemovesRemainingFilesAndOwnedDir) {
+  std::string dir;
+  {
+    auto store = MustCreate();  // fresh unique dir — owned by the store
+    dir = store->dir();
+    auto h1 = store->Spill(RandomDenseBlock(8, 8, 11));
+    auto h2 = store->Spill(RandomSparseBlock(16, 16, 0.3, 12));
+    ASSERT_TRUE(h1.ok() && h2.ok());
+    ASSERT_EQ(FilesUnder(dir).size(), 2u);
+  }
+  // No leaked spill files: the whole directory is gone.
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(SpillStoreTest, HandlesAreDistinct) {
+  auto store = MustCreate();
+  auto h1 = store->Spill(RandomDenseBlock(4, 4, 1));
+  auto h2 = store->Spill(RandomDenseBlock(4, 4, 2));
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  EXPECT_NE(*h1, *h2);
+  EXPECT_NE(*h1, SpillStore::kNoHandle);
+  EXPECT_EQ(store->live_files(), 2);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -2,15 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "governor/memory_budget.h"
 
 namespace dmac {
 namespace {
 
+/// Unwraps Acquire, failing the test on error.
+DenseBlock MustAcquire(BufferPool& pool, int64_t rows, int64_t cols) {
+  Result<DenseBlock> b = pool.Acquire(rows, cols);
+  EXPECT_TRUE(b.ok()) << b.status().ToString();
+  return std::move(*b);
+}
+
 TEST(BufferPoolTest, AcquireReturnsZeroedBlock) {
   BufferPool pool;
-  DenseBlock b = pool.Acquire(4, 5);
+  DenseBlock b = MustAcquire(pool, 4, 5);
   EXPECT_EQ(b.rows(), 4);
   EXPECT_EQ(b.cols(), 5);
   EXPECT_EQ(b.CountNonZeros(), 0);
@@ -18,11 +29,11 @@ TEST(BufferPoolTest, AcquireReturnsZeroedBlock) {
 
 TEST(BufferPoolTest, RecyclesReleasedBlocks) {
   BufferPool pool;
-  DenseBlock b = pool.Acquire(8, 8);
+  DenseBlock b = MustAcquire(pool, 8, 8);
   b.Set(0, 0, 1.0f);
   pool.Release(std::move(b));
   EXPECT_EQ(pool.IdleBlocks(), 1u);
-  DenseBlock again = pool.Acquire(8, 8);
+  DenseBlock again = MustAcquire(pool, 8, 8);
   EXPECT_EQ(pool.IdleBlocks(), 0u);
   // Recycled block must come back clean.
   EXPECT_EQ(again.CountNonZeros(), 0);
@@ -31,7 +42,7 @@ TEST(BufferPoolTest, RecyclesReleasedBlocks) {
 TEST(BufferPoolTest, ShapesAreSegregated) {
   BufferPool pool;
   pool.Release(DenseBlock(2, 2));
-  DenseBlock other = pool.Acquire(3, 3);
+  DenseBlock other = MustAcquire(pool, 3, 3);
   EXPECT_EQ(other.rows(), 3);
   EXPECT_EQ(pool.IdleBlocks(), 1u);  // the 2x2 is still idle
 }
@@ -50,7 +61,7 @@ TEST(BufferPoolTest, ConcurrentAcquireRelease) {
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&pool] {
       for (int i = 0; i < 200; ++i) {
-        DenseBlock b = pool.Acquire(16, 16);
+        DenseBlock b = MustAcquire(pool, 16, 16);
         b.Set(0, 0, 1.0f);
         pool.Release(std::move(b));
       }
@@ -59,7 +70,64 @@ TEST(BufferPoolTest, ConcurrentAcquireRelease) {
   for (auto& t : threads) t.join();
   EXPECT_LE(pool.IdleBlocks(), 8u);
   // Blocks coming out are always clean.
-  EXPECT_EQ(pool.Acquire(16, 16).CountNonZeros(), 0);
+  EXPECT_EQ(MustAcquire(pool, 16, 16).CountNonZeros(), 0);
+}
+
+TEST(BufferPoolTest, ChargesBudgetForFreshBlocksOnly) {
+  auto budget = std::make_shared<MemoryBudget>(/*limit_bytes=*/1 << 20);
+  BufferPool pool;
+  pool.SetBudget(budget);
+  const int64_t bytes = DenseBlock::MemoryBytesFor(8, 8);
+
+  DenseBlock b = MustAcquire(pool, 8, 8);
+  EXPECT_EQ(budget->used_bytes(), bytes);
+  pool.Release(std::move(b));
+  // Idle blocks stay charged — they still hold memory.
+  EXPECT_EQ(budget->used_bytes(), bytes);
+  // A recycled block must not be charged twice.
+  DenseBlock again = MustAcquire(pool, 8, 8);
+  EXPECT_EQ(budget->used_bytes(), bytes);
+  pool.Release(std::move(again));
+}
+
+TEST(BufferPoolTest, ReleasesChargeWhenBlocksAreDiscarded) {
+  auto budget = std::make_shared<MemoryBudget>(/*limit_bytes=*/1 << 20);
+  const int64_t bytes = DenseBlock::MemoryBytesFor(4, 4);
+  {
+    BufferPool pool(/*max_per_shape=*/1);
+    pool.SetBudget(budget);
+    DenseBlock a = MustAcquire(pool, 4, 4);
+    DenseBlock b = MustAcquire(pool, 4, 4);
+    EXPECT_EQ(budget->used_bytes(), 2 * bytes);
+    pool.Release(std::move(a));          // kept idle
+    pool.Release(std::move(b));          // slot full: discarded
+    EXPECT_EQ(budget->used_bytes(), bytes);
+  }
+  // Pool destruction releases the idle block's charge too.
+  EXPECT_EQ(budget->used_bytes(), 0);
+}
+
+TEST(BufferPoolTest, OversizeBlockIsRejectedNotGrown) {
+  auto budget = std::make_shared<MemoryBudget>(/*limit_bytes=*/64);
+  BufferPool pool;
+  pool.SetBudget(budget);
+  Result<DenseBlock> big = pool.Acquire(128, 128);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+  // The failed acquire charged nothing.
+  EXPECT_EQ(budget->used_bytes(), 0);
+}
+
+TEST(BufferPoolTest, TracksGlobalOutstandingBlocks) {
+  const int64_t before = BufferPool::GlobalOutstandingBlocks();
+  BufferPool pool;
+  DenseBlock a = MustAcquire(pool, 4, 4);
+  DenseBlock b = MustAcquire(pool, 4, 4);
+  EXPECT_EQ(BufferPool::GlobalOutstandingBlocks(), before + 2);
+  pool.Release(std::move(a));
+  EXPECT_EQ(BufferPool::GlobalOutstandingBlocks(), before + 1);
+  pool.Release(std::move(b));
+  EXPECT_EQ(BufferPool::GlobalOutstandingBlocks(), before);
 }
 
 }  // namespace

@@ -24,6 +24,15 @@
 //                     printed on a [fault] summary line
 //   --checkpoint-every K
 //                     checkpoint hinted matrices every K producing steps
+//   --deadline-ms MS  wall-clock deadline (docs/governance.md); 0 is already
+//                     expired, so the run fails with kDeadlineExceeded
+//                     before any work happens
+//   --mem-budget-mb MB
+//                     per-query memory budget; cold partitions spill to disk
+//                     past it, kResourceExhausted when spilling cannot help
+//   --concurrency N   run the script as N concurrent queries through the
+//                     admission-controlled QuerySession (all must succeed)
+//   --help            print usage plus the exit-code table and exit 0
 //
 // Loads without a --bind are synthesized from their declared shape and
 // sparsity, so any script runs out of the box:
@@ -43,6 +52,7 @@
 #include "apps/runner.h"
 #include "data/matrix_market.h"
 #include "data/synthetic.h"
+#include "governor/query_session.h"
 #include "lang/parser.h"
 #include "obs/session.h"
 #include "plan/plan_dot.h"
@@ -75,24 +85,68 @@ void CollectLoads(const MatrixExprPtr& e,
   CollectLoadsScalar(e->scalar, loads);
 }
 
-int Usage(const char* argv0) {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s SCRIPT.dmac [--workers N] [--threads L] "
                "[--block B] [--baseline] [--bind NAME=FILE] [--plan-only] "
                "[--dot] [--trace-out FILE] [--metrics-out FILE] [--seed S] "
-               "[--fault-spec FILE] [--checkpoint-every K]\n",
+               "[--fault-spec FILE] [--checkpoint-every K] "
+               "[--deadline-ms MS] [--mem-budget-mb MB] [--concurrency N] "
+               "[--help]\n"
+               "\n"
+               "exit codes (docs/governance.md):\n"
+               "  0  success\n"
+               "  1  error (parse, I/O, planning, execution)\n"
+               "  2  bad usage\n"
+               "  3  cancelled            (kCancelled)\n"
+               "  4  deadline exceeded    (kDeadlineExceeded)\n"
+               "  5  resource exhausted   (kResourceExhausted: admission "
+               "rejected, or spilling cannot fit the budget)\n"
+               "  6  unavailable          (kUnavailable: unrecovered fault)\n"
+               "  7  data loss            (kDataLoss: corruption detected)\n",
                argv0);
+}
+
+int Usage(const char* argv0) {
+  PrintUsage(stderr, argv0);
   return 2;
+}
+
+/// Maps a terminal Status to the documented process exit code.
+int ExitCodeFor(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kCancelled:
+      return 3;
+    case StatusCode::kDeadlineExceeded:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    case StatusCode::kUnavailable:
+      return 6;
+    case StatusCode::kDataLoss:
+      return 7;
+    default:
+      return 1;
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--help") == 0) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
+  }
   if (argc < 2) return Usage(argv[0]);
   const std::string script_path = argv[1];
 
   RunConfig config;
   bool plan_only = false, dot = false, stats_flag = false, compare = false;
+  double deadline_ms = -1;  // < 0 = no deadline (0 is already expired)
+  int64_t mem_budget_mb = 0;
+  int concurrency = 1;
   std::string trace_out, metrics_out, fault_spec_path;
   std::map<std::string, std::string> file_bindings;
   for (int i = 2; i < argc; ++i) {
@@ -124,6 +178,24 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
       config.checkpoint_every = std::atoi(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      deadline_ms = std::atof(v);
+      if (deadline_ms < 0) return Usage(argv[0]);
+    } else if (arg == "--mem-budget-mb") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      mem_budget_mb = std::atoll(v);
+      if (mem_budget_mb <= 0) return Usage(argv[0]);
+    } else if (arg == "--concurrency") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      concurrency = std::atoi(v);
+      if (concurrency < 1) return Usage(argv[0]);
+    } else if (arg == "--help") {
+      PrintUsage(stdout, argv[0]);
+      return 0;
     } else if (arg == "--workers") {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
@@ -268,6 +340,51 @@ int main(int argc, char** argv) {
   Bindings bindings;
   for (auto& [name, m] : data) bindings.emplace(name, &m);
 
+  // ---- governance (docs/governance.md) ----
+  if (concurrency > 1) {
+    // Run the script as N concurrent queries through the admission-
+    // controlled session; every query gets its own token/budget/spill.
+    AdmissionQuota quota;
+    quota.max_concurrent = concurrency;
+    quota.max_queued = concurrency;
+    QuerySession session(quota, config);
+    QueryOptions qopts;
+    // The session treats 0 as "no deadline": an explicit 0 ms deadline
+    // becomes a tiny positive one, which is already expired.
+    if (deadline_ms >= 0) qopts.deadline_seconds =
+        std::max(deadline_ms / 1e3, 1e-9);
+    qopts.memory_budget_bytes = mem_budget_mb << 20;
+    std::vector<int64_t> ids;
+    for (int i = 0; i < concurrency; ++i) {
+      ids.push_back(session.Submit(*program, bindings, qopts));
+    }
+    int exit_code = 0;
+    for (int64_t id : ids) {
+      QueryOutcome q = session.Wait(id);
+      std::printf("[query %lld] %s\n", static_cast<long long>(id),
+                  q.status.ToString().c_str());
+      if (!q.status.ok() && exit_code == 0) {
+        exit_code = ExitCodeFor(q.status);
+      }
+    }
+    const int obs_code = finish_obs();
+    return exit_code != 0 ? exit_code : obs_code;
+  }
+  if (deadline_ms >= 0) {
+    config.governor.token = CancelToken::WithDeadline(deadline_ms / 1e3);
+  }
+  if (mem_budget_mb > 0) {
+    config.governor.budget =
+        std::make_shared<MemoryBudget>(mem_budget_mb << 20);
+    auto spill = SpillStore::Create();
+    if (!spill.ok()) {
+      std::fprintf(stderr, "spill store: %s\n",
+                   spill.status().ToString().c_str());
+      return 1;
+    }
+    config.governor.spill = *spill;
+  }
+
   if (compare) {
     std::printf("%-11s | %7s | %12s | %7s | %10s | %12s\n", "planner",
                 "stages", "comm", "events", "compute(s)", "cluster-eq(s)");
@@ -296,7 +413,8 @@ int main(int argc, char** argv) {
   if (!outcome.ok()) {
     std::fprintf(stderr, "execution error: %s\n",
                  outcome.status().ToString().c_str());
-    return 1;
+    finish_obs();  // governance failures still flush traces/metrics
+    return ExitCodeFor(outcome.status());
   }
 
   for (const auto& [name, m] : outcome->result.matrices) {
@@ -329,6 +447,15 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.speculated_tasks),
         static_cast<double>(stats.checkpoint_bytes) / 1e6,
         stats.TotalRecoverySeconds(), stats.recovery_bytes / 1e6);
+  }
+  if (config.governor.budgeted()) {
+    std::printf(
+        "[governor] budget %lld MB, peak %.2f MB, spilled %.2f MB, "
+        "restored %.2f MB\n",
+        static_cast<long long>(mem_budget_mb),
+        config.governor.budget->peak_bytes() / 1e6,
+        config.governor.spill->spilled_bytes() / 1e6,
+        config.governor.spill->restored_bytes() / 1e6);
   }
 
   if (stats_flag) {

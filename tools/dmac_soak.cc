@@ -1,0 +1,340 @@
+// dmac_soak — chaos soak harness for resource governance
+// (docs/governance.md).
+//
+//   dmac_soak [--queries N] [--seed S] [--mem-budget-mb MB]
+//             [--concurrency C] [--fault-spec FILE]
+//
+// Runs N randomized queries concurrently through the admission-controlled
+// QuerySession while fault injection and memory pressure are active, and
+// asserts the whole governance contract:
+//
+//   1. every query terminates with exactly one status from
+//      {OK, kCancelled, kDeadlineExceeded, kResourceExhausted,
+//       kUnavailable, kDataLoss};
+//   2. every *successful* query's outputs are bit-identical to a clean
+//      (fault-free, ungoverned) run of the same workload;
+//   3. zero buffer-pool blocks remain outstanding after the session ends;
+//   4. zero spill files are left on disk.
+//
+// The randomization is fully determined by --seed: workload choice,
+// per-query deadlines, budgets, mid-flight cancels, and fault schedules
+// all derive from it, so a failing soak replays exactly.
+//
+// Exit code: 0 when every assertion holds, 1 otherwise.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/gnmf.h"
+#include "apps/pagerank.h"
+#include "apps/runner.h"
+#include "data/graph_gen.h"
+#include "data/synthetic.h"
+#include "fault/checksum.h"
+#include "governor/query_session.h"
+#include "runtime/buffer_pool.h"
+
+using namespace dmac;
+
+namespace {
+
+constexpr int64_t kBlockSize = 16;
+
+/// A workload with owned input data, small enough that a soak of dozens of
+/// queries finishes in seconds.
+struct Workload {
+  std::string name;
+  Program program;
+  std::vector<std::pair<std::string, LocalMatrix>> inputs;
+  /// Oracle: the clean run's outputs (fault-free, ungoverned).
+  ExecutionResult reference;
+
+  Bindings MakeBindings() const {
+    Bindings b;
+    for (const auto& [n, m] : inputs) b.emplace(n, &m);
+    return b;
+  }
+};
+
+Workload MakeSmallGnmf() {
+  GnmfConfig config{48, 32, 0.25, 4, 3};
+  Workload w{"gnmf", BuildGnmfProgram(config), {}, {}};
+  w.inputs.emplace_back("V", SyntheticSparse(48, 32, 0.25, kBlockSize, 31));
+  return w;
+}
+
+Workload MakeSmallPageRank() {
+  const GraphSpec spec = SocPokec().Scaled(30000);
+  PageRankConfig config{spec.nodes, 0.02, 3, 0.85};
+  Workload w{"pagerank", BuildPageRankProgram(config), {}, {}};
+  w.inputs.emplace_back("link", RowNormalizedLink(spec, kBlockSize, 3));
+  w.inputs.emplace_back(
+      "D", ConstantMatrix({1, spec.nodes}, kBlockSize,
+                          1.0f / static_cast<Scalar>(spec.nodes)));
+  return w;
+}
+
+/// Bit identity, the same oracle tests/fault uses: every output block must
+/// hash to the clean run's checksum, every scalar must compare exactly.
+bool BitIdentical(const ExecutionResult& want, const ExecutionResult& got,
+                  std::string* why) {
+  if (want.matrices.size() != got.matrices.size()) {
+    *why = "matrix count differs";
+    return false;
+  }
+  for (const auto& [name, w] : want.matrices) {
+    auto it = got.matrices.find(name);
+    if (it == got.matrices.end()) {
+      *why = "missing output " + name;
+      return false;
+    }
+    const LocalMatrix& g = it->second;
+    if (w.rows() != g.rows() || w.cols() != g.cols() ||
+        w.block_size() != g.block_size()) {
+      *why = "shape of " + name + " differs";
+      return false;
+    }
+    for (int64_t bi = 0; bi < w.grid().block_rows(); ++bi) {
+      for (int64_t bj = 0; bj < w.grid().block_cols(); ++bj) {
+        if (BlockChecksum(w.BlockAt(bi, bj)) !=
+            BlockChecksum(g.BlockAt(bi, bj))) {
+          *why = name + " block (" + std::to_string(bi) + "," +
+                 std::to_string(bj) + ") diverged";
+          return false;
+        }
+      }
+    }
+  }
+  if (want.scalars.size() != got.scalars.size()) {
+    *why = "scalar count differs";
+    return false;
+  }
+  for (const auto& [name, v] : want.scalars) {
+    auto it = got.scalars.find(name);
+    if (it == got.scalars.end() || it->second != v) {
+      *why = "scalar " + name + " diverged";
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t CountFilesUnder(const std::filesystem::path& root) {
+  std::error_code ec;
+  if (!std::filesystem::exists(root, ec)) return 0;
+  int64_t n = 0;
+  for (auto it = std::filesystem::recursive_directory_iterator(root, ec);
+       !ec && it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file(ec)) ++n;
+  }
+  return n;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--queries N] [--seed S] [--mem-budget-mb MB] "
+               "[--concurrency C] [--fault-spec FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int queries = 16;
+  uint64_t seed = 1;
+  int64_t mem_budget_mb = 64;
+  int concurrency = 4;
+  std::string fault_spec_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--queries" && (v = next_value())) {
+      queries = std::atoi(v);
+    } else if (arg == "--seed" && (v = next_value())) {
+      seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--mem-budget-mb" && (v = next_value())) {
+      mem_budget_mb = std::atoll(v);
+    } else if (arg == "--concurrency" && (v = next_value())) {
+      concurrency = std::atoi(v);
+    } else if (arg == "--fault-spec" && (v = next_value())) {
+      fault_spec_path = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (queries < 1 || concurrency < 1 || mem_budget_mb < 1) {
+    return Usage(argv[0]);
+  }
+
+  FaultSpec fault;
+  if (!fault_spec_path.empty()) {
+    auto spec = LoadFaultSpecFile(fault_spec_path);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--fault-spec: %s\n",
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    fault = *spec;
+  }
+
+  RunConfig base;
+  base.num_workers = 3;
+  base.threads_per_worker = 2;
+  base.block_size = kBlockSize;
+  base.seed = seed;
+
+  // Clean oracle runs: fault-free, ungoverned, solo.
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeSmallGnmf());
+  workloads.push_back(MakeSmallPageRank());
+  for (Workload& w : workloads) {
+    auto clean = RunProgram(w.program, w.MakeBindings(), base);
+    if (!clean.ok()) {
+      std::fprintf(stderr, "oracle run of %s failed: %s\n", w.name.c_str(),
+                   clean.status().ToString().c_str());
+      return 1;
+    }
+    w.reference = std::move(clean->result);
+  }
+
+  const std::filesystem::path spill_root =
+      std::filesystem::temp_directory_path() /
+      ("dmac_soak_" + std::to_string(seed));
+  std::filesystem::create_directories(spill_root);
+
+  int failures = 0;
+  std::map<std::string, int> tally;
+  {
+    AdmissionQuota quota;
+    quota.max_concurrent = concurrency;
+    quota.max_queued = queries;  // queue everything; reject only over-quota
+    quota.total_memory_bytes = mem_budget_mb << 20;
+    RunConfig governed = base;
+    governed.fault = fault;
+    QuerySession session(quota, governed);
+
+    // Derive every per-query decision from one master RNG up front so the
+    // schedule does not depend on execution timing.
+    std::mt19937_64 rng(seed);
+    struct Planned {
+      int workload;
+      QueryOptions opts;
+      bool cancel_midflight;
+      int cancel_after_ms;
+    };
+    std::vector<Planned> planned;
+    for (int i = 0; i < queries; ++i) {
+      Planned p{};
+      p.workload = static_cast<int>(rng() % workloads.size());
+      // Memory pressure: half the queries get a budget of a few blocks —
+      // forced to spill or be refused — the rest draw from the full range.
+      p.opts.memory_budget_bytes =
+          rng() % 2 == 0
+              ? static_cast<int64_t>(2 * 1024 + rng() % (16 * 1024))
+              : static_cast<int64_t>(
+                    8 * 1024 + rng() % static_cast<uint64_t>(mem_budget_mb
+                                                             << 20));
+      p.opts.spill_dir = (spill_root / ("q" + std::to_string(i))).string();
+      // A quarter of the queries race a tight deadline; one in eight gets
+      // cancelled mid-flight from the outside.
+      if (rng() % 4 == 0) {
+        p.opts.deadline_seconds = 1e-4 * static_cast<double>(1 + rng() % 500);
+      }
+      p.cancel_midflight = rng() % 8 == 0;
+      p.cancel_after_ms = static_cast<int>(rng() % 20);
+      if (std::getenv("DMAC_SOAK_VERBOSE") != nullptr) {
+        std::fprintf(stderr,
+                     "plan: query %d workload=%s budget=%lld deadline=%g "
+                     "cancel=%d\n",
+                     i, workloads[p.workload].name.c_str(),
+                     static_cast<long long>(p.opts.memory_budget_bytes),
+                     p.opts.deadline_seconds, p.cancel_midflight ? 1 : 0);
+      }
+      planned.push_back(p);
+    }
+
+    std::vector<int64_t> ids;
+    for (const Planned& p : planned) {
+      ids.push_back(session.Submit(workloads[p.workload].program,
+                                   workloads[p.workload].MakeBindings(),
+                                   p.opts));
+    }
+    std::vector<std::thread> cancellers;
+    for (int i = 0; i < queries; ++i) {
+      if (!planned[i].cancel_midflight) continue;
+      cancellers.emplace_back([&session, id = ids[i],
+                               ms = planned[i].cancel_after_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        session.Cancel(id);
+      });
+    }
+
+    for (int i = 0; i < queries; ++i) {
+      QueryOutcome out = session.Wait(ids[i]);
+      const StatusCode code = out.status.code();
+      tally[StatusCodeName(code)]++;
+      const bool allowed =
+          code == StatusCode::kOk || code == StatusCode::kCancelled ||
+          code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kResourceExhausted ||
+          code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
+      if (!allowed) {
+        std::fprintf(stderr,
+                     "FAIL: query %d (%s) ended outside the governance "
+                     "status set: %s\n",
+                     i, workloads[planned[i].workload].name.c_str(),
+                     out.status.ToString().c_str());
+        ++failures;
+        continue;
+      }
+      if (code == StatusCode::kOk) {
+        std::string why;
+        if (!BitIdentical(workloads[planned[i].workload].reference,
+                          out.run.result, &why)) {
+          std::fprintf(stderr,
+                       "FAIL: query %d (%s) succeeded but diverged from "
+                       "the clean run: %s\n",
+                       i, workloads[planned[i].workload].name.c_str(),
+                       why.c_str());
+          ++failures;
+        }
+      }
+    }
+    for (std::thread& t : cancellers) t.join();
+  }  // session destroyed: every query joined, every spill store gone
+
+  const int64_t outstanding = BufferPool::GlobalOutstandingBlocks();
+  if (outstanding != 0) {
+    std::fprintf(stderr, "FAIL: %lld buffer-pool blocks leaked\n",
+                 static_cast<long long>(outstanding));
+    ++failures;
+  }
+  const int64_t leaked_spill = CountFilesUnder(spill_root);
+  if (leaked_spill != 0) {
+    std::fprintf(stderr, "FAIL: %lld spill files leaked under %s\n",
+                 static_cast<long long>(leaked_spill), spill_root.c_str());
+    ++failures;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(spill_root, ec);
+
+  std::printf("[soak] %d queries, concurrency %d, seed %llu:", queries,
+              concurrency, static_cast<unsigned long long>(seed));
+  for (const auto& [name, count] : tally) {
+    std::printf(" %s=%d", name.c_str(), count);
+  }
+  std::printf("%s\n", failures == 0 ? " -- OK" : " -- FAILED");
+  return failures == 0 ? 0 : 1;
+}
