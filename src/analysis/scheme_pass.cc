@@ -155,20 +155,31 @@ class SchemeConsistencyPass final : public AnalysisPass {
     switch (step.op_kind) {
       case OpKind::kMultiply: {
         if (step.inputs.size() != 2) return;  // shape pass / graph pass
+        // A transpose-fused operand (trans_a/trans_b) is stored as the
+        // *untransposed* source matrix, so the stored scheme satisfying the
+        // strategy is the opposite of the effective requirement (Row↔Col;
+        // Broadcast is its own opposite). Ownership ranges still line up:
+        // the stored matrix partitions the transposed axis into the same
+        // block count the strategy expects of the effective operand.
+        const auto eff_require = [&](int pos, Scheme required) {
+          const bool flagged = pos == 0 ? step.trans_a : step.trans_b;
+          Require(plan, step, pos,
+                  flagged ? OppositeScheme(required) : required, out);
+        };
         switch (step.mult_algo) {
           case MultAlgo::kRMM1:
-            Require(plan, step, 0, Scheme::kBroadcast, out);
-            Require(plan, step, 1, Scheme::kCol, out);
+            eff_require(0, Scheme::kBroadcast);
+            eff_require(1, Scheme::kCol);
             RequireOut(plan, step, SchemeBit(Scheme::kCol), out);
             break;
           case MultAlgo::kRMM2:
-            Require(plan, step, 0, Scheme::kRow, out);
-            Require(plan, step, 1, Scheme::kBroadcast, out);
+            eff_require(0, Scheme::kRow);
+            eff_require(1, Scheme::kBroadcast);
             RequireOut(plan, step, SchemeBit(Scheme::kRow), out);
             break;
           case MultAlgo::kCPMM:
-            Require(plan, step, 0, Scheme::kCol, out);
-            Require(plan, step, 1, Scheme::kRow, out);
+            eff_require(0, Scheme::kCol);
+            eff_require(1, Scheme::kRow);
             RequireOut(plan, step,
                        SchemeBit(Scheme::kRow) | SchemeBit(Scheme::kCol),
                        out);

@@ -180,17 +180,23 @@ class ShapeInferencePass final : public AnalysisPass {
           break;
         case StepKind::kCompute:
           switch (step.op_kind) {
-            case OpKind::kMultiply:
+            case OpKind::kMultiply: {
               if (in.size() != 2) continue;
-              if (in[0].cols != in[1].rows) {
+              // Transpose-fused operands are stored untransposed; the
+              // kernel reads them through the step's flags, so conformance
+              // is over the *effective* shapes.
+              const Shape eff_a = step.trans_a ? in[0].Transposed() : in[0];
+              const Shape eff_b = step.trans_b ? in[1].Transposed() : in[1];
+              if (eff_a.cols != eff_b.rows) {
                 Report(out, Severity::kError, step.id,
                        StepLabel(step) + ": operand shapes do not conform, " +
-                           in[0].ToString() + " %*% " + in[1].ToString(),
+                           eff_a.ToString() + " %*% " + eff_b.ToString(),
                        "re-run the planner on a conforming operator list");
                 continue;
               }
-              expected = {in[0].rows, in[1].cols};
+              expected = {eff_a.rows, eff_b.cols};
               break;
+            }
             case OpKind::kAdd:
             case OpKind::kSubtract:
             case OpKind::kCellMultiply:

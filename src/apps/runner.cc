@@ -20,6 +20,7 @@ PlannerOptions ToPlannerOptions(const RunConfig& config) {
   opts.exploit_dependencies = config.exploit_dependencies;
   opts.pull_up_broadcast = config.pull_up_broadcast;
   opts.reassignment = config.reassignment;
+  opts.fuse_transposes = config.fuse_transposes;
   opts.verify_plan = config.verify_plan;
   return opts;
 }

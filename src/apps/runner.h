@@ -23,6 +23,9 @@ struct RunConfig {
   /// Planner heuristics (for ablations).
   bool pull_up_broadcast = true;
   bool reassignment = true;
+  /// Fold zero-comm transposes feeding multiplies into kernel flags
+  /// (docs/kernels.md); off re-materializes every transpose.
+  bool fuse_transposes = true;
   /// In-place vs buffered local multiplication (Fig. 7 ablation).
   LocalMode local_mode = LocalMode::kInPlace;
   /// Task-queue vs static local scheduling (Fig. 4 ablation).

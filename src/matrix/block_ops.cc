@@ -4,14 +4,28 @@
 #include <cmath>
 #include <cstring>
 
+#include "matrix/kernels.h"
+
 namespace dmac {
 
 namespace {
 
-Status CheckMultiplyShapes(const Block& a, const Block& b) {
-  if (a.cols() != b.rows()) {
-    return Status::DimensionMismatch("multiply " + a.shape().ToString() +
-                                     " by " + b.shape().ToString());
+int64_t EffRows(const Block& x, bool trans) {
+  return trans ? x.cols() : x.rows();
+}
+int64_t EffCols(const Block& x, bool trans) {
+  return trans ? x.rows() : x.cols();
+}
+
+std::string FlaggedShape(const Block& x, bool trans) {
+  return x.shape().ToString() + (trans ? "ᵀ" : "");
+}
+
+Status CheckMultiplyShapes(const Block& a, const Block& b, bool trans_a,
+                           bool trans_b) {
+  if (EffCols(a, trans_a) != EffRows(b, trans_b)) {
+    return Status::DimensionMismatch("multiply " + FlaggedShape(a, trans_a) +
+                                     " by " + FlaggedShape(b, trans_b));
   }
   return Status::Ok();
 }
@@ -23,83 +37,6 @@ Status CheckSameShape(const Block& a, const Block& b, const char* op) {
                                      b.shape().ToString());
   }
   return Status::Ok();
-}
-
-// acc += A_dense · B_dense; column-major ikj ordering keeps the inner loop
-// a contiguous axpy over A's column.
-void GemmDenseDense(const DenseBlock& a, const DenseBlock& b,
-                    DenseBlock* acc) {
-  const int64_t m = a.rows();
-  const int64_t k = a.cols();
-  const int64_t n = b.cols();
-  for (int64_t j = 0; j < n; ++j) {
-    Scalar* c_col = acc->col(j);
-    const Scalar* b_col = b.col(j);
-    for (int64_t l = 0; l < k; ++l) {
-      const Scalar t = b_col[l];
-      if (t == Scalar{0}) continue;
-      const Scalar* a_col = a.col(l);
-      for (int64_t i = 0; i < m; ++i) c_col[i] += a_col[i] * t;
-    }
-  }
-}
-
-// acc += A_csc · B_dense.
-void GemmSparseDense(const CscBlock& a, const DenseBlock& b,
-                     DenseBlock* acc) {
-  const int64_t k = a.cols();
-  const int64_t n = b.cols();
-  const auto& rows = a.row_idx();
-  const auto& vals = a.values();
-  for (int64_t j = 0; j < n; ++j) {
-    Scalar* c_col = acc->col(j);
-    const Scalar* b_col = b.col(j);
-    for (int64_t l = 0; l < k; ++l) {
-      const Scalar t = b_col[l];
-      if (t == Scalar{0}) continue;
-      for (int32_t p = a.ColStart(l); p < a.ColEnd(l); ++p) {
-        c_col[rows[p]] += vals[p] * t;
-      }
-    }
-  }
-}
-
-// acc += A_dense · B_csc.
-void GemmDenseSparse(const DenseBlock& a, const CscBlock& b,
-                     DenseBlock* acc) {
-  const int64_t m = a.rows();
-  const int64_t n = b.cols();
-  const auto& rows = b.row_idx();
-  const auto& vals = b.values();
-  for (int64_t j = 0; j < n; ++j) {
-    Scalar* c_col = acc->col(j);
-    for (int32_t p = b.ColStart(j); p < b.ColEnd(j); ++p) {
-      const int64_t l = rows[p];
-      const Scalar t = vals[p];
-      const Scalar* a_col = a.col(l);
-      for (int64_t i = 0; i < m; ++i) c_col[i] += a_col[i] * t;
-    }
-  }
-}
-
-// acc += A_csc · B_csc (dense accumulator).
-void GemmSparseSparse(const CscBlock& a, const CscBlock& b,
-                      DenseBlock* acc) {
-  const int64_t n = b.cols();
-  const auto& a_rows = a.row_idx();
-  const auto& a_vals = a.values();
-  const auto& b_rows = b.row_idx();
-  const auto& b_vals = b.values();
-  for (int64_t j = 0; j < n; ++j) {
-    Scalar* c_col = acc->col(j);
-    for (int32_t p = b.ColStart(j); p < b.ColEnd(j); ++p) {
-      const int64_t l = b_rows[p];
-      const Scalar t = b_vals[p];
-      for (int32_t q = a.ColStart(l); q < a.ColEnd(l); ++q) {
-        c_col[a_rows[q]] += a_vals[q] * t;
-      }
-    }
-  }
 }
 
 template <typename Fn>
@@ -146,30 +83,46 @@ CscBlock MergeSparse(const CscBlock& a, const CscBlock& b, Fn fn) {
 }  // namespace
 
 Result<Block> Multiply(const Block& a, const Block& b) {
-  DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b));
-  DenseBlock acc(a.rows(), b.cols());
-  DMAC_RETURN_NOT_OK(MultiplyAccumulate(a, b, &acc));
+  return Multiply(a, b, /*trans_a=*/false, /*trans_b=*/false);
+}
+
+Result<Block> Multiply(const Block& a, const Block& b, bool trans_a,
+                       bool trans_b, GemmScratch* scratch, GemmStats* stats) {
+  DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b, trans_a, trans_b));
+  DenseBlock acc(EffRows(a, trans_a), EffCols(b, trans_b));
+  DMAC_RETURN_NOT_OK(
+      MultiplyAccumulate(a, b, trans_a, trans_b, &acc, scratch, stats));
   return Block(std::move(acc));
 }
 
 Status MultiplyAccumulate(const Block& a, const Block& b, DenseBlock* acc) {
-  DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b));
-  if (acc->rows() != a.rows() || acc->cols() != b.cols()) {
-    return Status::DimensionMismatch("accumulator " +
-                                     acc->shape().ToString() + " for " +
-                                     a.shape().ToString() + " * " +
-                                     b.shape().ToString());
+  return MultiplyAccumulate(a, b, /*trans_a=*/false, /*trans_b=*/false, acc);
+}
+
+Status MultiplyAccumulate(const Block& a, const Block& b, bool trans_a,
+                          bool trans_b, DenseBlock* acc, GemmScratch* scratch,
+                          GemmStats* stats) {
+  DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b, trans_a, trans_b));
+  if (acc->rows() != EffRows(a, trans_a) ||
+      acc->cols() != EffCols(b, trans_b)) {
+    return Status::DimensionMismatch(
+        "accumulator " + acc->shape().ToString() + " for " +
+        FlaggedShape(a, trans_a) + " * " + FlaggedShape(b, trans_b));
   }
   if (a.IsDense() && b.IsDense()) {
-    GemmDenseDense(a.dense(), b.dense(), acc);
-  } else if (a.IsSparse() && b.IsDense()) {
-    GemmSparseDense(a.sparse(), b.dense(), acc);
-  } else if (a.IsDense() && b.IsSparse()) {
-    GemmDenseSparse(a.dense(), b.sparse(), acc);
-  } else {
-    GemmSparseSparse(a.sparse(), b.sparse(), acc);
+    return GemmDense(a.dense(), b.dense(), trans_a, trans_b, acc, scratch,
+                     stats);
   }
-  return Status::Ok();
+  if (a.IsSparse() && b.IsDense()) {
+    return GemmSparseDense(a.sparse(), b.dense(), trans_a, trans_b, acc,
+                           scratch, stats);
+  }
+  if (a.IsDense() && b.IsSparse()) {
+    return GemmDenseSparse(a.dense(), b.sparse(), trans_a, trans_b, acc,
+                           scratch, stats);
+  }
+  return GemmSparseSparse(a.sparse(), b.sparse(), trans_a, trans_b, acc,
+                          scratch, stats);
 }
 
 Result<CscBlock> MultiplySparse(const CscBlock& a, const CscBlock& b) {
@@ -263,15 +216,72 @@ Result<Block> SumBlocks(const std::vector<const Block*>& blocks,
   bool all_sparse = true;
   for (const Block* b : blocks) all_sparse = all_sparse && b->IsSparse();
 
-  if (all_sparse) {
-    // Pairwise union merges keep the aggregation sparse end to end.
-    CscBlock acc = blocks[0]->sparse();
-    for (size_t i = 1; i < blocks.size(); ++i) {
-      DMAC_ASSIGN_OR_RETURN(Block merged,
-                            Add(Block(std::move(acc)), *blocks[i]));
-      acc = std::move(merged.sparse());
+  if (all_sparse && blocks.size() == 2) {
+    // One union merge is already optimal for a pair.
+    DMAC_ASSIGN_OR_RETURN(Block merged, Add(*blocks[0], *blocks[1]));
+    return merged.Compacted(density_threshold);
+  }
+
+  if (all_sparse && blocks.size() > 2) {
+    // Dense-workspace scatter: one m-sized column workspace shared across
+    // all inputs replaces the pairwise merges (which re-copied the growing
+    // accumulator once per input — O(n·nnz) on the CPMM aggregation path).
+    // Scattering inputs in order per column keeps the FP addition order
+    // identical to the pairwise merges.
+    const int64_t m = blocks[0]->rows();
+    const int64_t n = blocks[0]->cols();
+    for (const Block* blk : blocks) {
+      if (blk->rows() != m || blk->cols() != n) {
+        return Status::DimensionMismatch("sum " + blk->shape().ToString() +
+                                         " with " +
+                                         blocks[0]->shape().ToString());
+      }
     }
-    return Block(std::move(acc)).Compacted(density_threshold);
+    size_t nnz_bound = 0;
+    for (const Block* blk : blocks) {
+      nnz_bound += static_cast<size_t>(blk->sparse().nnz());
+    }
+    std::vector<Scalar> workspace(static_cast<size_t>(m), 0);
+    std::vector<int32_t> occupied;
+    std::vector<int32_t> col_ptr(static_cast<size_t>(n + 1), 0);
+    std::vector<int32_t> row_idx;
+    std::vector<Scalar> values;
+    row_idx.reserve(std::min(nnz_bound, static_cast<size_t>(m) *
+                                            static_cast<size_t>(n)));
+    values.reserve(row_idx.capacity());
+    for (int64_t j = 0; j < n; ++j) {
+      occupied.clear();
+      for (const Block* blk : blocks) {
+        const CscBlock& s = blk->sparse();
+        const auto& rows = s.row_idx();
+        const auto& vals = s.values();
+        const int32_t end = s.ColEnd(j);
+        for (int32_t p = s.ColStart(j); p < end; ++p) {
+          const int32_t r = rows[p];
+          if (workspace[r] == Scalar{0}) occupied.push_back(r);
+          workspace[r] += vals[p];
+        }
+      }
+      std::sort(occupied.begin(), occupied.end());
+      for (int32_t r : occupied) {
+        // The occupancy list can hold duplicates when a partial sum passes
+        // through zero; zeroing after emit dedups exactly like
+        // MultiplySparse's workspace.
+        if (workspace[r] != Scalar{0}) {
+          row_idx.push_back(r);
+          values.push_back(workspace[r]);
+        }
+        workspace[r] = Scalar{0};
+      }
+      col_ptr[j + 1] = static_cast<int32_t>(values.size());
+    }
+    return Block(CscBlock(m, n, std::move(col_ptr), std::move(row_idx),
+                          std::move(values)))
+        .Compacted(density_threshold);
+  }
+
+  if (all_sparse) {  // single sparse input
+    return Block(blocks[0]->sparse()).Compacted(density_threshold);
   }
 
   DenseBlock acc(blocks[0]->rows(), blocks[0]->cols());
@@ -341,10 +351,7 @@ Status AddAccumulate(const Block& a, DenseBlock* acc) {
                                      " into " + acc->shape().ToString());
   }
   if (a.IsDense()) {
-    const Scalar* src = a.dense().data();
-    Scalar* dst = acc->data();
-    const int64_t n = a.rows() * a.cols();
-    for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+    VecAccumulate(acc->data(), a.dense().data(), a.rows() * a.cols());
   } else {
     const CscBlock& s = a.sparse();
     for (int64_t c = 0; c < s.cols(); ++c) {
@@ -400,14 +407,12 @@ Block CellUnary(const Block& a, UnaryFnKind fn) {
   if (a.IsSparse() && UnaryFnPreservesZero(fn)) {
     const CscBlock& s = a.sparse();
     std::vector<Scalar> values = s.values();
-    for (Scalar& v : values) v = ApplyUnaryFn(fn, v);
+    VecUnary(values.data(), static_cast<int64_t>(values.size()), fn);
     return Block(CscBlock(s.rows(), s.cols(), s.col_ptr(), s.row_idx(),
                           std::move(values)));
   }
   DenseBlock out = a.ToDense();
-  Scalar* data = out.data();
-  const int64_t n = out.rows() * out.cols();
-  for (int64_t i = 0; i < n; ++i) data[i] = ApplyUnaryFn(fn, data[i]);
+  VecUnary(out.data(), out.rows() * out.cols(), fn);
   return Block(std::move(out));
 }
 
@@ -417,8 +422,7 @@ DenseBlock RowSums(const Block& a) {
   if (a.IsDense()) {
     const DenseBlock& d = a.dense();
     for (int64_t c = 0; c < d.cols(); ++c) {
-      const Scalar* col = d.col(c);
-      for (int64_t r = 0; r < d.rows(); ++r) sums[r] += col[r];
+      VecRowAccumulate(sums, d.col(c), d.rows());
     }
   } else {
     const CscBlock& s = a.sparse();
@@ -435,10 +439,7 @@ DenseBlock ColSums(const Block& a) {
   if (a.IsDense()) {
     const DenseBlock& d = a.dense();
     for (int64_t c = 0; c < d.cols(); ++c) {
-      const Scalar* col = d.col(c);
-      Scalar total = 0;
-      for (int64_t r = 0; r < d.rows(); ++r) total += col[r];
-      sums[c] = total;
+      sums[c] = VecColSum(d.col(c), d.rows());
     }
   } else {
     const CscBlock& s = a.sparse();
@@ -454,31 +455,19 @@ DenseBlock ColSums(const Block& a) {
 }
 
 double Sum(const Block& a) {
-  double total = 0;
   if (a.IsDense()) {
-    const Scalar* data = a.dense().data();
-    const int64_t n = a.rows() * a.cols();
-    for (int64_t i = 0; i < n; ++i) total += data[i];
-  } else {
-    for (Scalar v : a.sparse().values()) total += v;
+    return VecSum(a.dense().data(), a.rows() * a.cols());
   }
-  return total;
+  const auto& values = a.sparse().values();
+  return VecSum(values.data(), static_cast<int64_t>(values.size()));
 }
 
 double SumSquares(const Block& a) {
-  double total = 0;
   if (a.IsDense()) {
-    const Scalar* data = a.dense().data();
-    const int64_t n = a.rows() * a.cols();
-    for (int64_t i = 0; i < n; ++i) {
-      total += static_cast<double>(data[i]) * data[i];
-    }
-  } else {
-    for (Scalar v : a.sparse().values()) {
-      total += static_cast<double>(v) * v;
-    }
+    return VecSumSquares(a.dense().data(), a.rows() * a.cols());
   }
-  return total;
+  const auto& values = a.sparse().values();
+  return VecSumSquares(values.data(), static_cast<int64_t>(values.size()));
 }
 
 Block CompactFromDense(const DenseBlock& acc, double density_threshold) {
@@ -499,16 +488,76 @@ Block CompactFromDense(const DenseBlock& acc, double density_threshold) {
   return Block(acc);  // dense copy
 }
 
-bool ApproxEqual(const Block& a, const Block& b, double tol) {
-  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+namespace {
+
+bool WithinTol(Scalar x, Scalar y, double tol) {
+  return std::abs(static_cast<double>(x) - y) <= tol;
+}
+
+/// Sparse-vs-dense column walk: advance the sparse pointer alongside the
+/// dense rows so each stored entry is visited once (no At() column scans).
+bool ApproxEqualSparseDense(const CscBlock& s, const DenseBlock& d,
+                            double tol) {
+  const auto& rows = s.row_idx();
+  const auto& vals = s.values();
+  for (int64_t c = 0; c < s.cols(); ++c) {
+    const Scalar* col = d.col(c);
+    int32_t p = s.ColStart(c);
+    const int32_t end = s.ColEnd(c);
+    for (int64_t r = 0; r < s.rows(); ++r) {
+      const Scalar sv =
+          (p < end && rows[p] == r) ? vals[p++] : Scalar{0};
+      if (!WithinTol(sv, col[r], tol)) return false;
+    }
+  }
+  return true;
+}
+
+/// Two-pointer union walk per column over both sparse patterns.
+bool ApproxEqualSparseSparse(const CscBlock& a, const CscBlock& b,
+                             double tol) {
   for (int64_t c = 0; c < a.cols(); ++c) {
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      if (std::abs(static_cast<double>(a.At(r, c)) - b.At(r, c)) > tol) {
-        return false;
+    int32_t pa = a.ColStart(c);
+    int32_t pb = b.ColStart(c);
+    const int32_t ea = a.ColEnd(c);
+    const int32_t eb = b.ColEnd(c);
+    while (pa < ea || pb < eb) {
+      const int32_t ra = pa < ea ? a.row_idx()[pa] : INT32_MAX;
+      const int32_t rb = pb < eb ? b.row_idx()[pb] : INT32_MAX;
+      if (ra < rb) {
+        if (!WithinTol(a.values()[pa], Scalar{0}, tol)) return false;
+        ++pa;
+      } else if (rb < ra) {
+        if (!WithinTol(Scalar{0}, b.values()[pb], tol)) return false;
+        ++pb;
+      } else {
+        if (!WithinTol(a.values()[pa], b.values()[pb], tol)) return false;
+        ++pa;
+        ++pb;
       }
     }
   }
   return true;
+}
+
+}  // namespace
+
+bool ApproxEqual(const Block& a, const Block& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.IsDense() && b.IsDense()) {
+    const Scalar* x = a.dense().data();
+    const Scalar* y = b.dense().data();
+    const int64_t n = a.rows() * a.cols();
+    for (int64_t i = 0; i < n; ++i) {
+      if (!WithinTol(x[i], y[i], tol)) return false;
+    }
+    return true;
+  }
+  if (a.IsSparse() && b.IsSparse()) {
+    return ApproxEqualSparseSparse(a.sparse(), b.sparse(), tol);
+  }
+  if (a.IsSparse()) return ApproxEqualSparseDense(a.sparse(), b.dense(), tol);
+  return ApproxEqualSparseDense(b.sparse(), a.dense(), tol);
 }
 
 }  // namespace dmac

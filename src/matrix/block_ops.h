@@ -9,6 +9,12 @@
 //     the same output buffer instead of materializing intermediates.
 // MultiplySparse() is the CSC×CSC SpGEMM used when a sparse intermediate is
 // worth keeping sparse (the Buffer-mode ablation of Fig. 7 relies on it).
+//
+// The multiply kernels are transpose-aware: the flagged overloads compute
+// op(A)·op(B) where op is controlled by trans_a/trans_b, consuming each
+// operand in its stored layout (see matrix/kernels.h). The planner's
+// transpose-fusion pass relies on these to execute Aᵀ·B without ever
+// materializing Aᵀ.
 #pragma once
 
 #include <utility>
@@ -17,6 +23,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "matrix/block.h"
+#include "matrix/kernels.h"
 #include "matrix/unary_fn.h"
 
 namespace dmac {
@@ -24,8 +31,20 @@ namespace dmac {
 /// C = A·B as a dense block. Shapes must agree (A: m×k, B: k×n).
 Result<Block> Multiply(const Block& a, const Block& b);
 
+/// C = op(A)·op(B) as a dense block; effective shapes must agree.
+/// `scratch`/`stats` may be null (local scratch, no accounting).
+Result<Block> Multiply(const Block& a, const Block& b, bool trans_a,
+                       bool trans_b, GemmScratch* scratch = nullptr,
+                       GemmStats* stats = nullptr);
+
 /// acc += A·B. `acc` must be dense with shape m×n.
 Status MultiplyAccumulate(const Block& a, const Block& b, DenseBlock* acc);
+
+/// acc += op(A)·op(B). `acc` must match the effective output shape.
+Status MultiplyAccumulate(const Block& a, const Block& b, bool trans_a,
+                          bool trans_b, DenseBlock* acc,
+                          GemmScratch* scratch = nullptr,
+                          GemmStats* stats = nullptr);
 
 /// CSC×CSC product kept sparse (Gustavson's algorithm).
 Result<CscBlock> MultiplySparse(const CscBlock& a, const CscBlock& b);

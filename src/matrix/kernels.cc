@@ -1,0 +1,655 @@
+// Kernel implementations. This TU is compiled -O3 (plus -march=native when
+// DMAC_NATIVE_ARCH is on) so the fixed-trip-count loops below vectorize;
+// see docs/kernels.md for the design and how it was verified with
+// -fopt-info-vec.
+#include "matrix/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace dmac {
+
+namespace {
+
+// ---- packing -------------------------------------------------------------
+// A is packed into row micro-panels of kGemmMr rows: within a panel the
+// element order is (l, i) — the kGemmMr values of one k-slice are
+// contiguous, which is exactly the broadcast order the micro-kernel reads.
+// B is packed into column micro-panels of kGemmNr columns in (l, j) order.
+// Ragged edges are zero-padded so the micro-kernel always runs full tiles;
+// the zero lanes fold into local accumulators that are never written back.
+//
+// Each packer returns true when the packed micro-panel contains at least
+// one non-zero — the cheap column/row-skip prefilter: an all-zero panel
+// contributes nothing, and skipping exact zeros never changes a finite sum.
+
+/// Any-nonzero scan over a packed panel (contiguous, vectorizes).
+bool AnyNonZero(const Scalar* p, int64_t n) {
+  // Branch-free accumulation of the "some bit set" predicate.
+  Scalar acc = 0;
+  for (int64_t i = 0; i < n; ++i) acc += p[i] != Scalar{0} ? Scalar{1} : Scalar{0};
+  return acc != Scalar{0};
+}
+
+/// Packs rows [i0, i0+mc) x cols [l0, l0+kc) of the effective A (m x k)
+/// into `pack`. `a` is the stored block; when `trans` is set the effective
+/// A(i, l) is stored at a(l, i).
+void PackA(const DenseBlock& a, bool trans, int64_t i0, int64_t mc,
+           int64_t l0, int64_t kc, Scalar* pack) {
+  const int64_t panels = (mc + kGemmMr - 1) / kGemmMr;
+  for (int64_t p = 0; p < panels; ++p) {
+    Scalar* dst = pack + p * kGemmMr * kc;
+    const int64_t ibase = i0 + p * kGemmMr;
+    const int64_t mr = std::min<int64_t>(kGemmMr, i0 + mc - ibase);
+    if (!trans) {
+      // Stored column-major m x k: a column of A holds consecutive i.
+      for (int64_t l = 0; l < kc; ++l) {
+        const Scalar* src = a.col(l0 + l) + ibase;
+        for (int64_t i = 0; i < mr; ++i) dst[l * kGemmMr + i] = src[i];
+        for (int64_t i = mr; i < kGemmMr; ++i) dst[l * kGemmMr + i] = 0;
+      }
+    } else {
+      // Stored k x m: effective row i of A is stored column i — packing a
+      // transposed operand reads contiguously, no transposed copy needed.
+      for (int64_t i = 0; i < mr; ++i) {
+        const Scalar* src = a.col(ibase + i) + l0;
+        for (int64_t l = 0; l < kc; ++l) dst[l * kGemmMr + i] = src[l];
+      }
+      for (int64_t i = mr; i < kGemmMr; ++i) {
+        for (int64_t l = 0; l < kc; ++l) dst[l * kGemmMr + i] = 0;
+      }
+    }
+  }
+}
+
+/// Packs rows [l0, l0+kc) x cols [j0, j0+nc) of the effective B (k x n)
+/// into `pack`, and records per-micro-panel nonzero flags in `live`.
+void PackB(const DenseBlock& b, bool trans, int64_t l0, int64_t kc,
+           int64_t j0, int64_t nc, Scalar* pack, std::vector<char>* live) {
+  const int64_t panels = (nc + kGemmNr - 1) / kGemmNr;
+  live->assign(static_cast<size_t>(panels), 0);
+  for (int64_t p = 0; p < panels; ++p) {
+    Scalar* dst = pack + p * kGemmNr * kc;
+    const int64_t jbase = j0 + p * kGemmNr;
+    const int64_t nr = std::min<int64_t>(kGemmNr, j0 + nc - jbase);
+    if (!trans) {
+      // Stored k x n: effective column j is stored column j.
+      for (int64_t j = 0; j < nr; ++j) {
+        const Scalar* src = b.col(jbase + j) + l0;
+        for (int64_t l = 0; l < kc; ++l) dst[l * kGemmNr + j] = src[l];
+      }
+      for (int64_t j = nr; j < kGemmNr; ++j) {
+        for (int64_t l = 0; l < kc; ++l) dst[l * kGemmNr + j] = 0;
+      }
+    } else {
+      // Stored n x k: effective B(l, j) is stored at b(j, l); one k-slice
+      // of the panel is a contiguous run of the stored column l.
+      for (int64_t l = 0; l < kc; ++l) {
+        const Scalar* src = b.col(l0 + l) + jbase;
+        for (int64_t j = 0; j < nr; ++j) dst[l * kGemmNr + j] = src[j];
+        for (int64_t j = nr; j < kGemmNr; ++j) dst[l * kGemmNr + j] = 0;
+      }
+    }
+    (*live)[static_cast<size_t>(p)] = AnyNonZero(dst, kc * kGemmNr) ? 1 : 0;
+  }
+}
+
+// ---- micro-kernel --------------------------------------------------------
+
+/// acc(kGemmMr x kGemmNr tile at (i, j)) += packed_a · packed_b over kc.
+/// Fixed trip counts over the register tile let the compiler keep the
+/// accumulators in vector registers and fuse the multiply-adds — but only
+/// if the tile loops are actually flattened: without the explicit unroll
+/// pragmas gcc vectorizes the j loop yet leaves `acc` addressable on the
+/// stack, reloading and respilling the whole tile every k step (measured
+/// ~12x slower than the fully unrolled form on AVX-512, ~5x on baseline
+/// SSE2). Only the first mr x nr elements are written back (edge tiles).
+void MicroKernel(int64_t kc, const Scalar* __restrict a,
+                 const Scalar* __restrict b, Scalar* c, int64_t ldc,
+                 int64_t mr, int64_t nr) {
+  // The unroll factors below must match the tile; update them together.
+  static_assert(kGemmMr == 8 && kGemmNr == 16);
+  Scalar acc[kGemmMr][kGemmNr] = {};
+  for (int64_t l = 0; l < kc; ++l) {
+    const Scalar* al = a + l * kGemmMr;
+    const Scalar* bl = b + l * kGemmNr;
+#pragma GCC unroll 8
+    for (int64_t i = 0; i < kGemmMr; ++i) {
+      const Scalar ai = al[i];
+#pragma GCC unroll 16
+      for (int64_t j = 0; j < kGemmNr; ++j) acc[i][j] += ai * bl[j];
+    }
+  }
+  for (int64_t j = 0; j < nr; ++j) {
+    Scalar* col = c + j * ldc;
+    for (int64_t i = 0; i < mr; ++i) col[i] += acc[i][j];
+  }
+}
+
+/// Effective dimensions of a possibly-flagged operand.
+int64_t EffRows(const DenseBlock& x, bool trans) {
+  return trans ? x.cols() : x.rows();
+}
+int64_t EffCols(const DenseBlock& x, bool trans) {
+  return trans ? x.rows() : x.cols();
+}
+
+/// Stages the dense transpose of `x` into scratch and returns the staged
+/// block (used by the mixed dense/sparse flagged kernels, where packing
+/// cannot absorb the transpose). Counted as packing time.
+Result<const DenseBlock*> StageTranspose(const DenseBlock& x,
+                                         GemmScratch* scratch,
+                                         GemmStats* stats) {
+  Timer timer;
+  DMAC_ASSIGN_OR_RETURN(DenseBlock * staged,
+                        scratch->Staging(x.cols(), x.rows()));
+  const int64_t rows = x.rows();
+  const int64_t cols = x.cols();
+  // Tiled transpose to keep both sides cache-resident.
+  constexpr int64_t kTile = 32;
+  for (int64_t c0 = 0; c0 < cols; c0 += kTile) {
+    const int64_t c1 = std::min(cols, c0 + kTile);
+    for (int64_t r0 = 0; r0 < rows; r0 += kTile) {
+      const int64_t r1 = std::min(rows, r0 + kTile);
+      for (int64_t c = c0; c < c1; ++c) {
+        const Scalar* src = x.col(c);
+        for (int64_t r = r0; r < r1; ++r) {
+          staged->col(r)[c] = src[r];
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->pack_seconds += timer.ElapsedSeconds();
+  return staged;
+}
+
+}  // namespace
+
+// ---- GemmScratch ---------------------------------------------------------
+
+GemmScratch::~GemmScratch() {
+  if (has_a_) ReleaseBlock(std::move(panel_a_));
+  if (has_b_) ReleaseBlock(std::move(panel_b_));
+  if (has_staging_) ReleaseBlock(std::move(staging_));
+}
+
+Result<DenseBlock> GemmScratch::AcquireBlock(int64_t rows, int64_t cols) {
+  if (acquire_) return acquire_(rows, cols);
+  return DenseBlock(rows, cols);
+}
+
+void GemmScratch::ReleaseBlock(DenseBlock block) {
+  if (release_) release_(std::move(block));
+}
+
+Result<Scalar*> GemmScratch::PanelA(int64_t elems) {
+  if (has_a_ && panel_a_.rows() * panel_a_.cols() < elems) {
+    ReleaseBlock(std::move(panel_a_));
+    has_a_ = false;
+  }
+  if (!has_a_) {
+    DMAC_ASSIGN_OR_RETURN(panel_a_, AcquireBlock(elems, 1));
+    has_a_ = true;
+  }
+  return panel_a_.data();
+}
+
+Result<Scalar*> GemmScratch::PanelB(int64_t elems) {
+  if (has_b_ && panel_b_.rows() * panel_b_.cols() < elems) {
+    ReleaseBlock(std::move(panel_b_));
+    has_b_ = false;
+  }
+  if (!has_b_) {
+    DMAC_ASSIGN_OR_RETURN(panel_b_, AcquireBlock(elems, 1));
+    has_b_ = true;
+  }
+  return panel_b_.data();
+}
+
+Result<DenseBlock*> GemmScratch::Staging(int64_t rows, int64_t cols) {
+  if (has_staging_ &&
+      (staging_.rows() != rows || staging_.cols() != cols)) {
+    ReleaseBlock(std::move(staging_));
+    has_staging_ = false;
+  }
+  if (!has_staging_) {
+    DMAC_ASSIGN_OR_RETURN(staging_, AcquireBlock(rows, cols));
+    has_staging_ = true;
+  }
+  return &staging_;
+}
+
+// ---- dense GEMM ----------------------------------------------------------
+
+Status GemmDense(const DenseBlock& a, const DenseBlock& b, bool trans_a,
+                 bool trans_b, DenseBlock* acc, GemmScratch* scratch,
+                 GemmStats* stats) {
+  const int64_t m = EffRows(a, trans_a);
+  const int64_t k = EffCols(a, trans_a);
+  const int64_t n = EffCols(b, trans_b);
+  if (m == 0 || n == 0 || k == 0) return Status::Ok();
+  if (stats != nullptr) stats->flops += 2.0 * m * n * k;
+
+  GemmScratch local;
+  if (scratch == nullptr) scratch = &local;
+  // Panels are sized to the actual blocking this call uses (capped at the
+  // full cache-block panels) so small multiplies charge small buffers
+  // against a governed budget; exhaustion propagates as a Status.
+  const auto round_up = [](int64_t v, int64_t unit) {
+    return (v + unit - 1) / unit * unit;
+  };
+  const int64_t kc_max = std::min(k, kGemmKc);
+  const int64_t a_elems = round_up(std::min(m, kGemmMc), kGemmMr) * kc_max;
+  const int64_t b_elems = kc_max * round_up(std::min(n, kGemmNc), kGemmNr);
+  DMAC_ASSIGN_OR_RETURN(Scalar * pack_a, scratch->PanelA(a_elems));
+  DMAC_ASSIGN_OR_RETURN(Scalar * pack_b, scratch->PanelB(b_elems));
+  std::vector<char> b_live;
+
+  for (int64_t j0 = 0; j0 < n; j0 += kGemmNc) {
+    const int64_t nc = std::min(kGemmNc, n - j0);
+    for (int64_t l0 = 0; l0 < k; l0 += kGemmKc) {
+      const int64_t kc = std::min(kGemmKc, k - l0);
+      Timer pack_timer;
+      PackB(b, trans_b, l0, kc, j0, nc, pack_b, &b_live);
+      if (stats != nullptr) {
+        stats->pack_seconds += pack_timer.ElapsedSeconds();
+      }
+      for (int64_t i0 = 0; i0 < m; i0 += kGemmMc) {
+        const int64_t mc = std::min(kGemmMc, m - i0);
+        pack_timer.Reset();
+        PackA(a, trans_a, i0, mc, l0, kc, pack_a);
+        if (stats != nullptr) {
+          stats->pack_seconds += pack_timer.ElapsedSeconds();
+        }
+        const int64_t jpanels = (nc + kGemmNr - 1) / kGemmNr;
+        const int64_t ipanels = (mc + kGemmMr - 1) / kGemmMr;
+        for (int64_t jp = 0; jp < jpanels; ++jp) {
+          if (!b_live[static_cast<size_t>(jp)]) continue;  // zero columns
+          const int64_t j = j0 + jp * kGemmNr;
+          const int64_t nr = std::min<int64_t>(kGemmNr, n - j);
+          for (int64_t ip = 0; ip < ipanels; ++ip) {
+            const int64_t i = i0 + ip * kGemmMr;
+            const int64_t mr = std::min<int64_t>(kGemmMr, m - i);
+            MicroKernel(kc, pack_a + ip * kGemmMr * kc,
+                        pack_b + jp * kGemmNr * kc, acc->col(j) + i,
+                        acc->rows(), mr, nr);
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- sparse x dense ------------------------------------------------------
+
+namespace {
+
+/// acc += A_csc · B_dense, both untransposed: scatter A's column l scaled
+/// by B(l, j) — the seed formulation with the zero test hoisted to the
+/// sparse structure (no per-element branch; B's zeros cost one madd each
+/// inside the axpy, A's zeros are absent from the structure).
+void SpDnPlain(const CscBlock& a, const DenseBlock& b, DenseBlock* acc) {
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  const auto& rows = a.row_idx();
+  const auto& vals = a.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    const Scalar* b_col = b.col(j);
+    for (int64_t l = 0; l < k; ++l) {
+      const Scalar t = b_col[l];
+      if (t == Scalar{0}) continue;  // column-skip over B's zero entries
+      const int32_t end = a.ColEnd(l);
+      for (int32_t p = a.ColStart(l); p < end; ++p) {
+        c_col[rows[p]] += vals[p] * t;
+      }
+    }
+  }
+}
+
+/// acc += Aᵀ · B with A stored CSC: the stored arrays read as CSR of the
+/// logical A, so C(i, j) is a gather dot product of stored column i against
+/// B's column j. No sparse transpose is built.
+void SpDnTransA(const CscBlock& a, const DenseBlock& b, DenseBlock* acc) {
+  const int64_t m = a.cols();  // effective rows of Aᵀ
+  const int64_t n = b.cols();
+  const auto& rows = a.row_idx();
+  const auto& vals = a.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    const Scalar* b_col = b.col(j);
+    for (int64_t i = 0; i < m; ++i) {
+      const int32_t end = a.ColEnd(i);
+      Scalar sum = 0;
+      for (int32_t p = a.ColStart(i); p < end; ++p) {
+        sum += vals[p] * b_col[rows[p]];
+      }
+      c_col[i] += sum;
+    }
+  }
+}
+
+}  // namespace
+
+Status GemmSparseDense(const CscBlock& a, const DenseBlock& b, bool trans_a,
+                       bool trans_b, DenseBlock* acc, GemmScratch* scratch,
+                       GemmStats* stats) {
+  GemmScratch local;
+  if (scratch == nullptr) scratch = &local;
+  const DenseBlock* beff = &b;
+  if (trans_b) {
+    DMAC_ASSIGN_OR_RETURN(beff, StageTranspose(b, scratch, stats));
+  }
+  if (stats != nullptr) {
+    stats->flops += 2.0 * static_cast<double>(a.nnz()) * beff->cols();
+  }
+  if (trans_a) {
+    SpDnTransA(a, *beff, acc);
+  } else {
+    SpDnPlain(a, *beff, acc);
+  }
+  return Status::Ok();
+}
+
+// ---- dense x sparse ------------------------------------------------------
+
+namespace {
+
+/// acc += A_dense · B_csc: contiguous axpy of A's column l per stored
+/// non-zero B(l, j).
+void DnSpPlain(const DenseBlock& a, const CscBlock& b, DenseBlock* acc) {
+  const int64_t m = a.rows();
+  const int64_t n = b.cols();
+  const auto& rows = b.row_idx();
+  const auto& vals = b.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    for (int32_t p = b.ColStart(j); p < b.ColEnd(j); ++p) {
+      const Scalar* a_col = a.col(rows[p]);
+      const Scalar t = vals[p];
+      for (int64_t i = 0; i < m; ++i) c_col[i] += a_col[i] * t;
+    }
+  }
+}
+
+/// acc += Aᵀ · B_csc with A stored dense k x m: C(i, j) gathers stored
+/// column i of A at B's column-j row indices.
+void DnSpTransA(const DenseBlock& a, const CscBlock& b, DenseBlock* acc) {
+  const int64_t m = a.cols();  // effective rows of Aᵀ
+  const int64_t n = b.cols();
+  const auto& rows = b.row_idx();
+  const auto& vals = b.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    const int32_t start = b.ColStart(j);
+    const int32_t end = b.ColEnd(j);
+    if (start == end) continue;
+    for (int64_t i = 0; i < m; ++i) {
+      const Scalar* a_col = a.col(i);
+      Scalar sum = 0;
+      for (int32_t p = start; p < end; ++p) {
+        sum += vals[p] * a_col[rows[p]];
+      }
+      c_col[i] += sum;
+    }
+  }
+}
+
+/// acc += A · Bᵀ with B stored CSC n x k: stored column l of B is row l of
+/// the logical Bᵀ... i.e. each stored entry (j, t) in column l contributes
+/// t · A(:, l) to C(:, j) — a contiguous axpy per non-zero, no transpose
+/// copy.
+void DnSpTransB(const DenseBlock& a, const CscBlock& b, DenseBlock* acc) {
+  const int64_t m = a.rows();
+  const int64_t k = b.cols();  // stored columns = effective inner dim
+  const auto& rows = b.row_idx();
+  const auto& vals = b.values();
+  for (int64_t l = 0; l < k; ++l) {
+    const Scalar* a_col = a.col(l);
+    for (int32_t p = b.ColStart(l); p < b.ColEnd(l); ++p) {
+      Scalar* c_col = acc->col(rows[p]);
+      const Scalar t = vals[p];
+      for (int64_t i = 0; i < m; ++i) c_col[i] += a_col[i] * t;
+    }
+  }
+}
+
+}  // namespace
+
+Status GemmDenseSparse(const DenseBlock& a, const CscBlock& b, bool trans_a,
+                       bool trans_b, DenseBlock* acc, GemmScratch* scratch,
+                       GemmStats* stats) {
+  GemmScratch local;
+  if (scratch == nullptr) scratch = &local;
+  if (stats != nullptr) {
+    stats->flops +=
+        2.0 * static_cast<double>(b.nnz()) * (trans_a ? a.cols() : a.rows());
+  }
+  if (!trans_a && !trans_b) {
+    DnSpPlain(a, b, acc);
+  } else if (trans_a && !trans_b) {
+    DnSpTransA(a, b, acc);
+  } else if (!trans_a && trans_b) {
+    DnSpTransB(a, b, acc);
+  } else {
+    // Aᵀ·Bᵀ: stage Aᵀ once, then the TransB axpy kernel.
+    DMAC_ASSIGN_OR_RETURN(const DenseBlock* staged,
+                          StageTranspose(a, scratch, stats));
+    DnSpTransB(*staged, b, acc);
+  }
+  return Status::Ok();
+}
+
+// ---- sparse x sparse -----------------------------------------------------
+
+namespace {
+
+/// acc += A_csc · B_csc, untransposed (seed scatter formulation).
+void SpSpPlain(const CscBlock& a, const CscBlock& b, DenseBlock* acc) {
+  const int64_t n = b.cols();
+  const auto& a_rows = a.row_idx();
+  const auto& a_vals = a.values();
+  const auto& b_rows = b.row_idx();
+  const auto& b_vals = b.values();
+  for (int64_t j = 0; j < n; ++j) {
+    Scalar* c_col = acc->col(j);
+    for (int32_t p = b.ColStart(j); p < b.ColEnd(j); ++p) {
+      const int64_t l = b_rows[p];
+      const Scalar t = b_vals[p];
+      for (int32_t q = a.ColStart(l); q < a.ColEnd(l); ++q) {
+        c_col[a_rows[q]] += a_vals[q] * t;
+      }
+    }
+  }
+}
+
+/// acc += Aᵀ · B, both CSC: B's column j is scattered into a dense
+/// k-workspace, then every stored column i of A (= logical row i of A... =
+/// column i of the CSR view) gather-dots against it. O(n · nnz(A)) — see
+/// docs/kernels.md for when this beats materializing Aᵀ.
+Status SpSpTransA(const CscBlock& a, const CscBlock& b, DenseBlock* acc,
+                  GemmScratch* scratch) {
+  const int64_t m = a.cols();  // effective rows
+  const int64_t k = a.rows();
+  const int64_t n = b.cols();
+  DMAC_ASSIGN_OR_RETURN(DenseBlock * ws_block, scratch->Staging(k, 1));
+  Scalar* ws = ws_block->data();
+  std::memset(ws, 0, static_cast<size_t>(k) * sizeof(Scalar));
+  const auto& a_rows = a.row_idx();
+  const auto& a_vals = a.values();
+  const auto& b_rows = b.row_idx();
+  const auto& b_vals = b.values();
+  for (int64_t j = 0; j < n; ++j) {
+    const int32_t bstart = b.ColStart(j);
+    const int32_t bend = b.ColEnd(j);
+    if (bstart == bend) continue;
+    for (int32_t p = bstart; p < bend; ++p) ws[b_rows[p]] = b_vals[p];
+    Scalar* c_col = acc->col(j);
+    for (int64_t i = 0; i < m; ++i) {
+      const int32_t end = a.ColEnd(i);
+      Scalar sum = 0;
+      for (int32_t q = a.ColStart(i); q < end; ++q) {
+        sum += a_vals[q] * ws[a_rows[q]];
+      }
+      c_col[i] += sum;
+    }
+    for (int32_t p = bstart; p < bend; ++p) ws[b_rows[p]] = 0;
+  }
+  return Status::Ok();
+}
+
+/// acc += A · Bᵀ, both CSC: stored entry (j, t) in B's column l pairs with
+/// A's column l — scatter a_col(l) · t into C's column j.
+void SpSpTransB(const CscBlock& a, const CscBlock& b, DenseBlock* acc) {
+  const int64_t k = b.cols();  // stored columns = inner dim
+  const auto& a_rows = a.row_idx();
+  const auto& a_vals = a.values();
+  const auto& b_rows = b.row_idx();
+  const auto& b_vals = b.values();
+  for (int64_t l = 0; l < k; ++l) {
+    const int32_t astart = a.ColStart(l);
+    const int32_t aend = a.ColEnd(l);
+    if (astart == aend) continue;
+    for (int32_t p = b.ColStart(l); p < b.ColEnd(l); ++p) {
+      Scalar* c_col = acc->col(b_rows[p]);
+      const Scalar t = b_vals[p];
+      for (int32_t q = astart; q < aend; ++q) {
+        c_col[a_rows[q]] += a_vals[q] * t;
+      }
+    }
+  }
+}
+
+/// acc += Aᵀ · Bᵀ = (stored_b · stored_a)ᵀ: run the plain scatter product
+/// of the *stored* blocks and write each contribution at the transposed
+/// coordinate. Same flop count as the seed, no transpose copies.
+void SpSpTransBoth(const CscBlock& a, const CscBlock& b, DenseBlock* acc) {
+  const int64_t m_eff = a.cols();
+  const auto& a_rows = a.row_idx();
+  const auto& a_vals = a.values();
+  const auto& b_rows = b.row_idx();
+  const auto& b_vals = b.values();
+  // Stored a: k x m_eff. Column i of stored a holds A's logical row i...
+  // pairing entry (l, v) with stored b's column l entries (j, w) yields
+  // C(i, j) += v·w.
+  for (int64_t i = 0; i < m_eff; ++i) {
+    for (int32_t q = a.ColStart(i); q < a.ColEnd(i); ++q) {
+      const int64_t l = a_rows[q];
+      const Scalar v = a_vals[q];
+      for (int32_t p = b.ColStart(l); p < b.ColEnd(l); ++p) {
+        acc->col(b_rows[p])[i] += v * b_vals[p];
+      }
+    }
+  }
+}
+
+double SpSpFlops(const CscBlock& a, const CscBlock& b, bool trans_a,
+                 bool trans_b) {
+  // Exact madd count: Σ over inner index l of nnz(a slice l)·nnz(b slice l)
+  // would need per-slice counts; approximate with the scatter work bound
+  // actually performed by each formulation.
+  if (!trans_a && trans_b) return 2.0 * b.nnz() * (a.nnz() / std::max<int64_t>(a.cols(), 1));
+  return 2.0 * static_cast<double>(a.nnz()) *
+         (static_cast<double>(b.nnz()) /
+          std::max<int64_t>(trans_b ? b.cols() : b.rows(), 1));
+}
+
+}  // namespace
+
+Status GemmSparseSparse(const CscBlock& a, const CscBlock& b, bool trans_a,
+                        bool trans_b, DenseBlock* acc, GemmScratch* scratch,
+                        GemmStats* stats) {
+  GemmScratch local;
+  if (scratch == nullptr) scratch = &local;
+  if (stats != nullptr) stats->flops += SpSpFlops(a, b, trans_a, trans_b);
+  if (!trans_a && !trans_b) {
+    SpSpPlain(a, b, acc);
+  } else if (trans_a && !trans_b) {
+    return SpSpTransA(a, b, acc, scratch);
+  } else if (!trans_a && trans_b) {
+    SpSpTransB(a, b, acc);
+  } else {
+    SpSpTransBoth(a, b, acc);
+  }
+  return Status::Ok();
+}
+
+// ---- vectorized elementwise / reductions ---------------------------------
+
+void VecAccumulate(Scalar* dst, const Scalar* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+double VecSum(const Scalar* data, int64_t n) {
+  // Eight independent chains so the reduction vectorizes without
+  // -ffast-math; double accumulators match the seed's precision.
+  double acc[8] = {};
+  const int64_t n8 = n & ~int64_t{7};
+  for (int64_t i = 0; i < n8; i += 8) {
+    for (int64_t u = 0; u < 8; ++u) acc[u] += data[i + u];
+  }
+  for (int64_t i = n8; i < n; ++i) acc[i - n8] += data[i];
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+double VecSumSquares(const Scalar* data, int64_t n) {
+  double acc[8] = {};
+  const int64_t n8 = n & ~int64_t{7};
+  for (int64_t i = 0; i < n8; i += 8) {
+    for (int64_t u = 0; u < 8; ++u) {
+      const double v = data[i + u];
+      acc[u] += v * v;
+    }
+  }
+  for (int64_t i = n8; i < n; ++i) {
+    const double v = data[i];
+    acc[i - n8] += v * v;
+  }
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+void VecRowAccumulate(Scalar* sums, const Scalar* col, int64_t rows) {
+  for (int64_t r = 0; r < rows; ++r) sums[r] += col[r];
+}
+
+Scalar VecColSum(const Scalar* col, int64_t rows) {
+  Scalar acc[4] = {};
+  const int64_t n4 = rows & ~int64_t{3};
+  for (int64_t r = 0; r < n4; r += 4) {
+    for (int64_t u = 0; u < 4; ++u) acc[u] += col[r + u];
+  }
+  for (int64_t r = n4; r < rows; ++r) acc[r - n4] += col[r];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+void VecUnary(Scalar* data, int64_t n, UnaryFnKind fn) {
+  // One loop per function: abs and square vectorize; the transcendental
+  // loops stay scalar but avoid the per-element switch of the seed.
+  switch (fn) {
+    case UnaryFnKind::kAbs:
+      for (int64_t i = 0; i < n; ++i) data[i] = std::abs(data[i]);
+      return;
+    case UnaryFnKind::kSquare:
+      for (int64_t i = 0; i < n; ++i) data[i] = data[i] * data[i];
+      return;
+    case UnaryFnKind::kExp:
+      for (int64_t i = 0; i < n; ++i) data[i] = std::exp(data[i]);
+      return;
+    case UnaryFnKind::kLog:
+      for (int64_t i = 0; i < n; ++i) data[i] = std::log(data[i]);
+      return;
+    case UnaryFnKind::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) {
+        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+      }
+      return;
+  }
+}
+
+}  // namespace dmac

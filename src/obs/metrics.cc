@@ -79,6 +79,12 @@ const std::vector<MetricSpec>& MetricCatalog() {
       {kMetricTaskSecondsAggregate, MetricKind::kHistogram, "seconds",
        "per-task kernel time of partial-sum aggregation tasks (CPMM phase "
        "2, row/col-sum merges)"},
+      {kMetricGemmFlops, MetricKind::kCounter, "flops",
+       "floating-point operations executed by the multiply kernels (2mnk "
+       "per dense GEMM, 2 per sparse multiply-add)"},
+      {kMetricGemmPackSeconds, MetricKind::kHistogram, "seconds",
+       "per-multiply-task time spent packing/staging GEMM operand panels "
+       "(the pack-vs-compute split of docs/kernels.md)"},
       {kMetricPoolAcquires, MetricKind::kCounter, "blocks",
        "dense accumulator blocks acquired from the result buffer pool"},
       {kMetricPoolReuses, MetricKind::kCounter, "blocks",

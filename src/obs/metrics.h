@@ -176,6 +176,9 @@ inline constexpr const char* kMetricTaskSecondsElementwise =
     "engine.task.seconds.elementwise";
 inline constexpr const char* kMetricTaskSecondsAggregate =
     "engine.task.seconds.aggregate";
+inline constexpr const char* kMetricGemmFlops = "engine.gemm_flops";
+inline constexpr const char* kMetricGemmPackSeconds =
+    "engine.gemm.pack.seconds";
 inline constexpr const char* kMetricPoolAcquires = "pool.acquires";
 inline constexpr const char* kMetricPoolReuses = "pool.reuses";
 inline constexpr const char* kMetricPoolDiscards = "pool.discards";

@@ -1,0 +1,169 @@
+#include "plan/fusion.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dmac {
+
+namespace {
+
+bool IsMultiply(const PlanStep& step) {
+  return step.kind == StepKind::kCompute && step.op_kind == OpKind::kMultiply;
+}
+
+}  // namespace
+
+TransposeFusionResult FuseTransposes(Plan* plan) {
+  TransposeFusionResult result;
+  std::vector<bool> step_dead(plan->steps.size(), false);
+  std::vector<bool> node_dead(plan->nodes.size(), false);
+
+  // Nodes the gather phase reads directly; never fold their producers.
+  std::vector<bool> is_output(plan->nodes.size(), false);
+  for (const PlanOutput& out : plan->outputs) {
+    if (out.node >= 0) is_output[static_cast<size_t>(out.node)] = true;
+  }
+
+  // Fold to a fixed point: a fold can turn a transpose-of-transpose chain
+  // fusible one link at a time (flags toggle, so chains cancel).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Consumer/producer lists over the live steps (rebuilt per round —
+    // folds retarget inputs). A node can have several producer steps: the
+    // planner re-derives zero-comm transposes per stage instead of keeping
+    // them resident, so one transposed node may be produced by multiple
+    // identical transpose steps.
+    std::unordered_map<int, std::vector<size_t>> consumers;
+    std::unordered_map<int, std::vector<size_t>> producers;
+    for (size_t s = 0; s < plan->steps.size(); ++s) {
+      if (step_dead[s]) continue;
+      for (int node : plan->steps[s].inputs) consumers[node].push_back(s);
+      if (plan->steps[s].output >= 0) {
+        producers[plan->steps[s].output].push_back(s);
+      }
+    }
+
+    for (size_t t = 0; t < plan->steps.size(); ++t) {
+      if (step_dead[t]) continue;
+      PlanStep& trans = plan->steps[t];
+      if (trans.kind != StepKind::kTranspose) continue;
+      if (trans.comm_bytes != 0) continue;  // never trade away comm math
+      DMAC_CHECK(trans.inputs.size() == 1 && trans.output >= 0);
+      const int out_id = trans.output;
+      const int src_id = trans.inputs[0];
+      if (src_id == out_id) continue;
+      const PlanNode& out_node = plan->nodes[static_cast<size_t>(out_id)];
+      const PlanNode& src_node = plan->nodes[static_cast<size_t>(src_id)];
+
+      if (is_output[static_cast<size_t>(out_id)]) continue;
+      if (out_node.checkpoint_hint) continue;
+      // Scheme alignment: the consumer expects `out` under some scheme S;
+      // reading src through a flag supplies it iff src is stored under
+      // OppositeScheme(S). The transpose itself guarantees exactly that
+      // relation between its input and output — but only when both are
+      // settled single schemes.
+      if (!SchemeSetIsSingle(out_node.schemes) ||
+          !SchemeSetIsSingle(src_node.schemes)) {
+        continue;
+      }
+      if (src_node.scheme() != OppositeScheme(out_node.scheme())) continue;
+
+      const auto it = consumers.find(out_id);
+      bool all_multiplies = it != consumers.end();
+      if (all_multiplies) {
+        for (size_t c : it->second) {
+          if (c == t || !IsMultiply(plan->steps[c])) {
+            all_multiplies = false;
+            break;
+          }
+        }
+      }
+      if (!all_multiplies) continue;
+
+      // Every producer of `out` must be an identical re-derivation (same
+      // source, same zero-comm transpose) — then the node can vanish and
+      // all its producer steps die together.
+      const auto pit = producers.find(out_id);
+      DMAC_CHECK(pit != producers.end());
+      bool uniform_producers = true;
+      for (size_t p : pit->second) {
+        const PlanStep& ps = plan->steps[p];
+        if (ps.kind != StepKind::kTranspose || ps.comm_bytes != 0 ||
+            ps.inputs.size() != 1 || ps.inputs[0] != src_id) {
+          uniform_producers = false;
+          break;
+        }
+      }
+      if (!uniform_producers) continue;
+
+      // Fold: retarget every consumer input from `out` to `src`, toggling
+      // the positional flag (toggle, not set — double transposes cancel).
+      for (size_t c : it->second) {
+        PlanStep& mult = plan->steps[c];
+        DMAC_CHECK(mult.inputs.size() == 2);
+        if (mult.inputs[0] == out_id) {
+          mult.inputs[0] = src_id;
+          mult.trans_a = !mult.trans_a;
+        }
+        if (mult.inputs[1] == out_id) {
+          mult.inputs[1] = src_id;
+          mult.trans_b = !mult.trans_b;
+        }
+      }
+      for (size_t p : pit->second) {
+        step_dead[p] = true;
+        ++result.fused_steps;
+      }
+      node_dead[static_cast<size_t>(out_id)] = true;
+      changed = true;
+    }
+  }
+  if (result.fused_steps == 0) return result;
+
+  // Compact nodes, preserving id == index; remap references.
+  std::vector<int> node_remap(plan->nodes.size(), -1);
+  std::vector<PlanNode> live_nodes;
+  live_nodes.reserve(plan->nodes.size());
+  for (size_t i = 0; i < plan->nodes.size(); ++i) {
+    if (node_dead[i]) continue;
+    node_remap[i] = static_cast<int>(live_nodes.size());
+    live_nodes.push_back(plan->nodes[i]);
+    live_nodes.back().id = node_remap[i];
+  }
+  plan->nodes = std::move(live_nodes);
+
+  std::vector<PlanStep> live_steps;
+  live_steps.reserve(plan->steps.size());
+  for (size_t s = 0; s < plan->steps.size(); ++s) {
+    if (step_dead[s]) continue;
+    PlanStep step = std::move(plan->steps[s]);
+    for (int& node : step.inputs) {
+      node = node_remap[static_cast<size_t>(node)];
+      DMAC_CHECK(node >= 0);
+    }
+    if (step.output >= 0) {
+      step.output = node_remap[static_cast<size_t>(step.output)];
+      DMAC_CHECK(step.output >= 0);
+    }
+    live_steps.push_back(std::move(step));
+  }
+  plan->steps = std::move(live_steps);
+  for (size_t s = 0; s < plan->steps.size(); ++s) {
+    plan->steps[s].id = static_cast<int>(s);
+  }
+
+  for (PlanOutput& out : plan->outputs) {
+    if (out.node >= 0) {
+      out.node = node_remap[static_cast<size_t>(out.node)];
+      DMAC_CHECK(out.node >= 0);
+    }
+  }
+  return result;
+}
+
+}  // namespace dmac

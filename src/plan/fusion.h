@@ -1,0 +1,39 @@
+// Transpose fusion (the planner's kernel-flag rewrite).
+//
+// A kTranspose step materializes a full transposed copy of its source
+// matrix, but when every consumer of that copy is a multiply the copy is
+// pure overhead: the multiply kernels are transpose-aware (matrix/kernels.h)
+// and can read the source in its stored layout through a TransA/TransB
+// operand flag. This pass folds such steps into their consumers' flags and
+// deletes the step and its output node — removing the transpose's compute,
+// its memory footprint, and its block tasks from the plan.
+//
+// A transpose folds only when it is safe to do so:
+//   * every consumer of its output node is a kCompute multiply step,
+//   * the output is not a program output and carries no checkpoint hint,
+//   * source and output schemes are single and opposite (Row↔Col, b→b), so
+//     the flagged operand's block-ownership ranges still line up with the
+//     multiply strategy's expectations.
+// Folding is applied to a fixed point, so chains of transposes cancel
+// (flags toggle: a double transpose leaves no flag).
+//
+// Runs between plan construction and Plan::Finalize(); surviving node/step
+// ids are compacted and remapped, and Finalize re-derives producers,
+// ordering, and stages.
+#pragma once
+
+#include "plan/plan.h"
+
+namespace dmac {
+
+/// Outcome of a fusion run (for logs and tests).
+struct TransposeFusionResult {
+  int fused_steps = 0;  // kTranspose steps deleted
+};
+
+/// Folds eligible kTranspose steps into their consuming multiplies'
+/// trans_a/trans_b flags, in place. The plan must not be finalized yet
+/// (node ids must equal node indices; step order is irrelevant).
+TransposeFusionResult FuseTransposes(Plan* plan);
+
+}  // namespace dmac

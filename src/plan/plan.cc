@@ -173,6 +173,8 @@ std::string Plan::ToString() const {
         out += ":";
         out += MultAlgoName(step.mult_algo);
       }
+      if (step.trans_a) out += ":Ta";
+      if (step.trans_b) out += ":Tb";
       out += "]";
     }
     if (step.kind == StepKind::kReduce) {

@@ -70,6 +70,13 @@ struct PlanStep {
   OpKind op_kind = OpKind::kLoad;
   MultAlgo mult_algo = MultAlgo::kNone;
 
+  /// kCompute multiply only: consume inputs[0]/inputs[1] transposed (the
+  /// operand is stored untransposed; the kernel reads it through the flag —
+  /// matrix/kernels.h). Set by the transpose-fusion pass (plan/fusion.h)
+  /// when it folds a kTranspose step into its consuming multiply.
+  bool trans_a = false;
+  bool trans_b = false;
+
   std::vector<int> inputs;  // node ids
   int output = -1;          // node id, or -1 (reduce / scalar-assign)
 

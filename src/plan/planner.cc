@@ -8,6 +8,7 @@
 #include "analysis/analyzer.h"
 #include "common/logging.h"
 #include "plan/dependency.h"
+#include "plan/fusion.h"
 
 namespace dmac {
 
@@ -52,6 +53,12 @@ class Planner {
     }
     DMAC_RETURN_NOT_OK(BindOutputs());
     MarkCheckpointHints();
+    if (opts_.fuse_transposes) {
+      // Kernel-flag rewrite: local transposes feeding only multiplies are
+      // folded into TransA/TransB operand flags (plan/fusion.h) — the
+      // transposed copy is never materialized.
+      FuseTransposes(&plan_);
+    }
     DMAC_RETURN_NOT_OK(plan_.Finalize());
     if (opts_.verify_plan) {
       // Post-pass: the static verifier re-derives every invariant Algorithm 1
@@ -64,10 +71,14 @@ class Planner {
  private:
   /// Stamps PlanNode::checkpoint_hint on every SSA version of a hinted
   /// program variable ("W#3" inherits a hint on "W"). Temps ("_tN") carry
-  /// no '#' and never match.
+  /// no '#' and never match. Transpose views ("W#3^T") are exempt: they are
+  /// derivable from the hinted primary at zero communication, so
+  /// checkpointing them is redundant — and the exemption leaves them
+  /// eligible for the transpose-fusion rewrite (plan/fusion.h).
   void MarkCheckpointHints() {
     if (ops_.checkpoint_vars.empty()) return;
     for (PlanNode& node : plan_.nodes) {
+      if (node.transposed) continue;
       const size_t hash = node.matrix.find('#');
       if (hash == std::string::npos) continue;
       const std::string base = node.matrix.substr(0, hash);

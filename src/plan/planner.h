@@ -41,6 +41,13 @@ struct PlannerOptions {
   /// the Row/Column tie when loading an input). 0 disables lookahead.
   int lookahead_edges = 8;
 
+  /// Transpose fusion (plan/fusion.h): fold a local kTranspose step whose
+  /// consumers are all multiplies into those multiplies' operand flags, so
+  /// the transposed matrix is never materialized. Applies in both
+  /// dependency modes — local transposes are zero-comm, so the baseline's
+  /// communication figures are unchanged.
+  bool fuse_transposes = true;
+
   /// Run the static plan verifier (src/analysis) over the finalized plan
   /// and fail planning on any error-severity diagnostic. Mandatory in
   /// assert-enabled (debug) builds, where a planner bug should fail loudly

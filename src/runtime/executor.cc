@@ -1048,22 +1048,33 @@ class Executor::Impl {
   Status ExecMultiply(const PlanStep& step) {
     const DistMatrix& a = Data(step.inputs[0]);
     const DistMatrix& b = Data(step.inputs[1]);
-    if (a.grid().matrix.cols != b.grid().matrix.rows) {
+    // A transpose-fused operand is stored untransposed: its *effective*
+    // shape is the stored shape flipped, its stored scheme is the opposite
+    // of what the strategy requires of the effective operand, and logical
+    // block (i, j) lives at stored (j, i). Block boundaries line up because
+    // both grids cut every dimension with the same block side.
+    const bool ta = step.trans_a;
+    const bool tb = step.trans_b;
+    const Shape eff_a =
+        ta ? a.grid().matrix.Transposed() : a.grid().matrix;
+    const Shape eff_b =
+        tb ? b.grid().matrix.Transposed() : b.grid().matrix;
+    if (eff_a.cols != eff_b.rows) {
       return Status::DimensionMismatch("distributed multiply " +
-                                       a.grid().matrix.ToString() + " by " +
-                                       b.grid().matrix.ToString());
+                                       eff_a.ToString() + " by " +
+                                       eff_b.ToString());
     }
-    const Shape out_shape{a.grid().matrix.rows, b.grid().matrix.cols};
+    const Shape out_shape{eff_a.rows, eff_b.cols};
     auto c = NewData(step.output, out_shape);
     const BlockGrid& out_grid = c->grid();
-    const int64_t kb = a.grid().block_cols();
+    const int64_t kb = ta ? a.grid().block_rows() : a.grid().block_cols();
 
     switch (step.mult_algo) {
       case MultAlgo::kRMM1: {
         // A broadcast, B column-partitioned: worker w computes the output
         // block-columns it owns.
         DMAC_CHECK(a.scheme() == Scheme::kBroadcast);
-        DMAC_CHECK(b.scheme() == Scheme::kCol);
+        DMAC_CHECK(b.scheme() == (tb ? Scheme::kRow : Scheme::kCol));
         for (int w = 0; w < opts_.num_workers; ++w) {
           std::vector<MultiplyTask> tasks;
           int64_t lo, hi;
@@ -1079,7 +1090,7 @@ class Executor::Impl {
         return Status::Ok();
       }
       case MultAlgo::kRMM2: {
-        DMAC_CHECK(a.scheme() == Scheme::kRow);
+        DMAC_CHECK(a.scheme() == (ta ? Scheme::kCol : Scheme::kRow));
         DMAC_CHECK(b.scheme() == Scheme::kBroadcast);
         for (int w = 0; w < opts_.num_workers; ++w) {
           std::vector<MultiplyTask> tasks;
@@ -1109,23 +1120,32 @@ class Executor::Impl {
                              const DistMatrix& a, const DistMatrix& b,
                              DistMatrix* c) {
     StoreSink sink(c, worker);
+    const bool ta = step.trans_a;
+    const bool tb = step.trans_b;
     return TimedWorker(step, worker, [&] {
       return engine_.MultiplyBlocks(
           out_grid, tasks,
-          [&a, worker](int64_t bi, int64_t k) { return a.Get(worker, bi, k); },
-          [&b, worker](int64_t k, int64_t bj) { return b.Get(worker, k, bj); },
+          [&a, worker, ta](int64_t bi, int64_t k) {
+            return ta ? a.Get(worker, k, bi) : a.Get(worker, bi, k);
+          },
+          [&b, worker, tb](int64_t k, int64_t bj) {
+            return tb ? b.Get(worker, bj, k) : b.Get(worker, k, bj);
+          },
           [&sink](int64_t bi, int64_t bj, Block blk) {
             sink(bi, bj, std::move(blk));
-          });
+          },
+          ta, tb);
     });
   }
 
   Status ExecCpmm(const PlanStep& step, const DistMatrix& a,
                   const DistMatrix& b, DistMatrix* c) {
-    DMAC_CHECK(a.scheme() == Scheme::kCol);
-    DMAC_CHECK(b.scheme() == Scheme::kRow);
+    const bool ta = step.trans_a;
+    const bool tb = step.trans_b;
+    DMAC_CHECK(a.scheme() == (ta ? Scheme::kRow : Scheme::kCol));
+    DMAC_CHECK(b.scheme() == (tb ? Scheme::kCol : Scheme::kRow));
     const BlockGrid& out_grid = c->grid();
-    const int64_t kb = a.grid().block_cols();
+    const int64_t kb = ta ? a.grid().block_rows() : a.grid().block_cols();
 
     // Phase 1: every worker forms its partial C over its own k-range.
     // Phase 2: partial blocks are shuffled to their final owner and summed
@@ -1155,14 +1175,19 @@ class Executor::Impl {
       Status st = TimedWorker(step, w, [&] {
         return engine_.MultiplyBlocks(
             out_grid, tasks,
-            [&a, w](int64_t bi, int64_t k) { return a.Get(w, bi, k); },
-            [&b, w](int64_t k, int64_t bj) { return b.Get(w, k, bj); },
+            [&a, w, ta](int64_t bi, int64_t k) {
+              return ta ? a.Get(w, k, bi) : a.Get(w, bi, k);
+            },
+            [&b, w, tb](int64_t k, int64_t bj) {
+              return tb ? b.Get(w, bj, k) : b.Get(w, k, bj);
+            },
             [&](int64_t bi, int64_t bj, Block blk) {
               if (blk.nnz() == 0) return;  // nothing to ship
               auto ptr = std::make_shared<const Block>(std::move(blk));
               std::lock_guard<std::mutex> lock(mu);
               local.push_back({bi, bj, std::move(ptr), w});
-            });
+            },
+            ta, tb);
       },
       /*idempotent=*/false);  // a second run would duplicate `local`
       DMAC_RETURN_NOT_OK(st);

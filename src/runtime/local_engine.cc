@@ -36,6 +36,17 @@ Histogram* TaskHistogram(TaskKind kind) {
   return elementwise;
 }
 
+/// Feeds a task's kernel accounting into engine.gemm_flops and
+/// engine.gemm.pack.seconds (stable instrument pointers; call only while
+/// the registry is enabled). Thread-safe — instruments are atomics.
+void ObserveGemmStats(const GemmStats& stats) {
+  static Counter* flops = MetricRegistry::Global().counter(kMetricGemmFlops);
+  static Histogram* pack =
+      MetricRegistry::Global().histogram(kMetricGemmPackSeconds);
+  flops->Add(stats.flops);
+  pack->Observe(stats.pack_seconds);
+}
+
 /// Collects the first task failure across threads.
 class StatusCollector {
  public:
@@ -73,10 +84,21 @@ const char* TaskKindName(TaskKind kind) {
 Status LocalEngine::MultiplyBlocks(const BlockGrid& out_grid,
                                    const std::vector<MultiplyTask>& tasks,
                                    const BlockFn& get_a, const BlockFn& get_b,
-                                   const SinkFn& sink) {
+                                   const SinkFn& sink, bool trans_a,
+                                   bool trans_b) {
   return mode_ == LocalMode::kInPlace
-             ? MultiplyInPlace(out_grid, tasks, get_a, get_b, sink)
-             : MultiplyBuffered(out_grid, tasks, get_a, get_b, sink);
+             ? MultiplyInPlace(out_grid, tasks, get_a, get_b, sink, trans_a,
+                               trans_b)
+             : MultiplyBuffered(out_grid, tasks, get_a, get_b, sink, trans_a,
+                                trans_b);
+}
+
+GemmScratch LocalEngine::PooledScratch() {
+  return GemmScratch(
+      [this](int64_t rows, int64_t cols) {
+        return buffers_->Acquire(rows, cols);
+      },
+      [this](DenseBlock block) { buffers_->Release(std::move(block)); });
 }
 
 void LocalEngine::Dispatch(size_t num_tasks,
@@ -178,7 +200,8 @@ Status LocalEngine::CancelStatus() const {
 Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
                                     const std::vector<MultiplyTask>& tasks,
                                     const BlockFn& get_a, const BlockFn& get_b,
-                                    const SinkFn& sink) {
+                                    const SinkFn& sink, bool trans_a,
+                                    bool trans_b) {
   StatusCollector errors;
   Dispatch(tasks.size(), [&](size_t task_index) {
     const MultiplyTask& task = tasks[task_index];
@@ -187,10 +210,12 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
 
       // Collect the task's operand pairs; an all-sparse chain takes the
       // Gustavson path (one column workspace, no dense accumulator), which
-      // is what keeps In-Place memory bounded on large sparse blocks.
+      // is what keeps In-Place memory bounded on large sparse blocks. The
+      // chain kernel is flag-blind, so flagged multiplies always use the
+      // dense accumulator with the transpose-aware kernels.
       std::vector<std::shared_ptr<const Block>> keep_alive;
       std::vector<std::pair<const CscBlock*, const CscBlock*>> sparse_chain;
-      bool all_sparse = true;
+      bool all_sparse = !trans_a && !trans_b;
       for (int64_t k = task.k_begin; k < task.k_end; ++k) {
         auto a = get_a(task.bi, k);
         auto b = get_b(k, task.bj);
@@ -224,15 +249,22 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
         return;
       }
       DenseBlock acc = std::move(*acc_or);
-      for (size_t i = 0; i + 1 < keep_alive.size(); i += 2) {
-        Status st =
-            MultiplyAccumulate(*keep_alive[i], *keep_alive[i + 1], &acc);
-        if (!st.ok()) {
-          errors.Record(std::move(st));
-          buffers_->Release(std::move(acc));
-          return;
+      const bool observe = MetricRegistry::Global().enabled();
+      GemmStats stats;
+      {
+        GemmScratch scratch = PooledScratch();
+        for (size_t i = 0; i + 1 < keep_alive.size(); i += 2) {
+          Status st = MultiplyAccumulate(*keep_alive[i], *keep_alive[i + 1],
+                                         trans_a, trans_b, &acc, &scratch,
+                                         observe ? &stats : nullptr);
+          if (!st.ok()) {
+            errors.Record(std::move(st));
+            buffers_->Release(std::move(acc));
+            return;
+          }
         }
       }
+      if (observe) ObserveGemmStats(stats);
       // Emit in the cheaper representation, then recycle the accumulator.
       Block result = CompactFromDense(acc, density_threshold_);
       buffers_->Release(std::move(acc));
@@ -246,7 +278,8 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
 Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
                                      const std::vector<MultiplyTask>& tasks,
                                      const BlockFn& get_a, const BlockFn& get_b,
-                                     const SinkFn& sink) {
+                                     const SinkFn& sink, bool trans_a,
+                                     bool trans_b) {
   // Phase 1: materialize every partial block product (the traditional
   // buffered implementation the paper compares against in Fig. 7).
   struct Partial {
@@ -278,9 +311,11 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
       return;
     }
     Block partial;
-    if (a->IsSparse() && b->IsSparse()) {
+    if (a->IsSparse() && b->IsSparse() && !trans_a && !trans_b) {
       // Sparse partials stay sparse in the buffer, which is why the
-      // Fig. 7 gap narrows on very sparse graphs.
+      // Fig. 7 gap narrows on very sparse graphs. (MultiplySparse is
+      // flag-blind; flagged sparse pairs fall through to the
+      // transpose-aware kernels below.)
       auto res = MultiplySparse(a->sparse(), b->sparse());
       if (!res.ok()) {
         errors.Record(res.status());
@@ -288,11 +323,16 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
       }
       partial = Block(std::move(*res));
     } else {
-      auto res = Multiply(*a, *b);
+      const bool observe = MetricRegistry::Global().enabled();
+      GemmStats stats;
+      GemmScratch scratch = PooledScratch();
+      auto res = Multiply(*a, *b, trans_a, trans_b, &scratch,
+                          observe ? &stats : nullptr);
       if (!res.ok()) {
         errors.Record(res.status());
         return;
       }
+      if (observe) ObserveGemmStats(stats);
       partial = std::move(*res);
     }
     std::lock_guard<std::mutex> lock(partials_mu);

@@ -71,13 +71,20 @@ class LocalEngine {
         density_threshold_(density_threshold),
         scheduling_(scheduling) {}
 
-  /// Computes C(bi,bj) = Σ_k A(bi,k)·B(k,bj) for every task. Block shapes
-  /// come from the output grid. Blocks denser than `density_threshold` are
-  /// emitted dense, sparser ones as CSC.
+  /// Computes C(bi,bj) = Σ_k op(A)(bi,k)·op(B)(k,bj) for every task. Block
+  /// shapes come from the output grid. Blocks denser than
+  /// `density_threshold` are emitted dense, sparser ones as CSC.
+  ///
+  /// trans_a/trans_b apply the transpose-fused operand flags (see
+  /// matrix/kernels.h): the BlockFn is still called with *logical* indices
+  /// of the effective operand — the caller maps them to stored indices —
+  /// and each fetched stored block is consumed through the flagged kernels
+  /// without materializing its transpose.
   Status MultiplyBlocks(const BlockGrid& out_grid,
                         const std::vector<MultiplyTask>& tasks,
                         const BlockFn& get_a, const BlockFn& get_b,
-                        const SinkFn& sink);
+                        const SinkFn& sink, bool trans_a = false,
+                        bool trans_b = false);
 
   /// Runs arbitrary independent block tasks (cell-wise operators, scalar
   /// ops, transposes) through the task queue. `kind` labels the tasks'
@@ -100,11 +107,15 @@ class LocalEngine {
   Status MultiplyInPlace(const BlockGrid& out_grid,
                          const std::vector<MultiplyTask>& tasks,
                          const BlockFn& get_a, const BlockFn& get_b,
-                         const SinkFn& sink);
+                         const SinkFn& sink, bool trans_a, bool trans_b);
   Status MultiplyBuffered(const BlockGrid& out_grid,
                           const std::vector<MultiplyTask>& tasks,
                           const BlockFn& get_a, const BlockFn& get_b,
-                          const SinkFn& sink);
+                          const SinkFn& sink, bool trans_a, bool trans_b);
+
+  /// Packing scratch drawing from the engine's buffer pool, so the
+  /// governor's accounting sees GEMM panels like any other pooled block.
+  GemmScratch PooledScratch();
 
   /// Dispatches one closure per task (kQueue) or one closure per contiguous
   /// chunk of tasks (kStatic), then waits for completion. When tracing or

@@ -338,5 +338,126 @@ TEST_P(AlgebraPropertyTest, DistributiveLaw) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraPropertyTest,
                          ::testing::Range(1, 11));
 
+// ---- ApproxEqual across representations ---------------------------------
+// The rewrite walks stored structures directly (two-pointer union for
+// sparse/sparse, pointer-advance for sparse/dense) instead of calling At()
+// per element; these pin down equal behavior across every pairing.
+
+TEST(ApproxEqualRepresentationTest, AllPairingsAgreeOnEquality) {
+  const Block sp = RandomSparseBlock(40, 30, 0.15, 77);
+  const Block dn(sp.ToDense());
+  EXPECT_TRUE(ApproxEqual(sp, sp, 0));
+  EXPECT_TRUE(ApproxEqual(sp, dn, 0));
+  EXPECT_TRUE(ApproxEqual(dn, sp, 0));
+  EXPECT_TRUE(ApproxEqual(dn, dn, 0));
+}
+
+TEST(ApproxEqualRepresentationTest, DetectsDifferenceInEveryPairing) {
+  const Block sp = RandomSparseBlock(40, 30, 0.15, 78);
+  DenseBlock bumped = sp.ToDense();
+  bumped.Set(39, 29, bumped.At(39, 29) + 1.0f);  // outside typical pattern
+  const Block dn(std::move(bumped));
+  EXPECT_FALSE(ApproxEqual(sp, dn, 0.5));
+  EXPECT_FALSE(ApproxEqual(dn, sp, 0.5));
+  EXPECT_TRUE(ApproxEqual(sp, dn, 1.5));
+}
+
+TEST(ApproxEqualRepresentationTest, DisjointSparsePatternsCompareByValue) {
+  // Entries present in only one operand must compare against zero.
+  CscBuilder ba(5, 5), bb(5, 5);
+  ba.Add(1, 1, 0.5f);
+  bb.Add(3, 3, 0.5f);
+  const Block a(ba.Build());
+  const Block b(bb.Build());
+  EXPECT_FALSE(ApproxEqual(a, b, 0.4));
+  EXPECT_TRUE(ApproxEqual(a, b, 0.6));
+}
+
+TEST(ApproxEqualRepresentationTest, ExplicitZerosEqualAbsentEntries) {
+  CscBuilder ba(4, 4);
+  ba.Add(2, 2, 0.0f);  // explicitly stored zero
+  const Block a(ba.Build());
+  const Block empty(CscBuilder(4, 4).Build());
+  EXPECT_TRUE(ApproxEqual(a, empty, 0));
+  EXPECT_TRUE(ApproxEqual(empty, a, 0));
+}
+
+// ---- SumBlocks sparse aggregation ---------------------------------------
+
+TEST(SumBlocksTest, ManySparsePartialsMatchPairwiseMergesExactly) {
+  // The >2-sparse scatter path must be FP-identical to the pairwise union
+  // merges it replaced (inputs scattered in order per column == pairwise
+  // left-fold addition order).
+  std::vector<Block> partials;
+  for (uint64_t s = 0; s < 5; ++s) {
+    partials.push_back(RandomSparseBlock(50, 40, 0.1, 200 + s));
+  }
+  std::vector<const Block*> ptrs;
+  for (const Block& b : partials) ptrs.push_back(&b);
+
+  auto got = SumBlocks(ptrs, /*density_threshold=*/0.9);
+  ASSERT_TRUE(got.ok());
+
+  Block want = partials[0];
+  for (size_t i = 1; i < partials.size(); ++i) {
+    auto sum = Add(want, partials[i]);
+    ASSERT_TRUE(sum.ok());
+    want = std::move(*sum);
+  }
+  const DenseBlock gd = got->ToDense();
+  const DenseBlock wd = want.ToDense();
+  for (int64_t c = 0; c < wd.cols(); ++c) {
+    for (int64_t r = 0; r < wd.rows(); ++r) {
+      ASSERT_EQ(gd.At(r, c), wd.At(r, c)) << "(" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(SumBlocksTest, CancellationThroughZeroLeavesNoDuplicates) {
+  // +1, -1, +2 at one coordinate drives the workspace through zero; the
+  // occupancy list then holds the row twice and must dedup on emit.
+  CscBuilder b1(3, 3), b2(3, 3), b3(3, 3);
+  b1.Add(1, 1, 1.0f);
+  b2.Add(1, 1, -1.0f);
+  b3.Add(1, 1, 2.0f);
+  b3.Add(0, 2, 5.0f);
+  const Block p1(b1.Build()), p2(b2.Build()), p3(b3.Build());
+  auto got = SumBlocks({&p1, &p2, &p3}, 0.9);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->IsSparse());
+  EXPECT_EQ(got->sparse().nnz(), 2);
+  EXPECT_EQ(got->At(1, 1), 2.0f);
+  EXPECT_EQ(got->At(0, 2), 5.0f);
+}
+
+TEST(SumBlocksTest, ExactCancellationYieldsEmptyResult) {
+  CscBuilder b1(3, 3), b2(3, 3), b3(3, 3);
+  b1.Add(2, 0, 4.0f);
+  b2.Add(2, 0, -4.0f);
+  b3.Add(1, 1, 0.0f);  // explicit zero never emitted
+  const Block p1(b1.Build()), p2(b2.Build()), p3(b3.Build());
+  auto got = SumBlocks({&p1, &p2, &p3}, 0.9);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->IsSparse());
+  EXPECT_EQ(got->sparse().nnz(), 0);
+}
+
+TEST(SumBlocksTest, ShapeMismatchRejected) {
+  const Block p1 = RandomSparseBlock(4, 4, 0.2, 1);
+  const Block p2 = RandomSparseBlock(4, 4, 0.2, 2);
+  const Block p3 = RandomSparseBlock(5, 4, 0.2, 3);
+  EXPECT_FALSE(SumBlocks({&p1, &p2, &p3}, 0.5).ok());
+}
+
+TEST(SumBlocksTest, MixedInputsAccumulateDensely) {
+  const Block sp = RandomSparseBlock(10, 10, 0.2, 4);
+  const Block dn = RandomDenseBlock(10, 10, 5);
+  auto got = SumBlocks({&sp, &dn}, 0.05);
+  ASSERT_TRUE(got.ok());
+  auto want = Add(sp, dn);
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(ApproxEqual(*got, *want, 0));
+}
+
 }  // namespace
 }  // namespace dmac

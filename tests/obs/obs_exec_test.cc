@@ -84,6 +84,10 @@ TEST(ObsExecTest, EnabledRunProducesAllSpanCategoriesAndMetrics) {
   EXPECT_GT(reg.gauge(kMetricStages)->value(), 0);
   EXPECT_GT(reg.gauge(kMetricPlanGenerateSeconds)->value(), 0);
   EXPECT_GT(reg.histogram(kMetricTaskSecondsMultiply)->count(), 0);
+  // Kernel accounting (docs/kernels.md): every multiply task contributes
+  // flops, and each observes its packing time (possibly zero).
+  EXPECT_GT(reg.counter(kMetricGemmFlops)->value(), 0);
+  EXPECT_GT(reg.histogram(kMetricGemmPackSeconds)->count(), 0);
   const std::string json = reg.ToJson();
   EXPECT_NE(json.find(kMetricEngineTasks), std::string::npos);
 

@@ -1,0 +1,189 @@
+// Transpose-fusion pass tests (plan/fusion.h): materialized kTranspose
+// steps feeding only multiplies fold into TransA/TransB kernel flags. The
+// fused plan must be structurally smaller, verifier-clean, and — checked
+// end-to-end in tests/runtime/engine_transpose_test.cc — numerically
+// identical to the unfused one.
+#include "plan/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "apps/gnmf.h"
+#include "lang/decompose.h"
+#include "plan/footprint.h"
+#include "plan/planner.h"
+
+namespace dmac {
+namespace {
+
+OperatorList MustDecompose(const Program& p) {
+  auto ops = Decompose(p);
+  EXPECT_TRUE(ops.ok()) << ops.status();
+  return *ops;
+}
+
+Plan MustPlan(const OperatorList& ops, bool fuse) {
+  PlannerOptions opts;
+  opts.num_workers = 4;
+  opts.fuse_transposes = fuse;
+  opts.verify_plan = true;  // fused plans must satisfy the static verifier
+  auto plan = GeneratePlan(ops, opts);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return *plan;
+}
+
+int CountTransposes(const Plan& plan) {
+  int n = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.kind == StepKind::kTranspose) ++n;
+  }
+  return n;
+}
+
+int CountFlaggedMultiplies(const Plan& plan) {
+  int n = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.trans_a || s.trans_b) ++n;
+  }
+  return n;
+}
+
+/// Aᵀ·B with a tall A: the planner materializes Aᵀ as a kTranspose, which
+/// fusion must fold into the multiply's trans_a flag.
+Program GramProgram() {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {200000, 100}, 1.0);
+  Mat g = pb.Var("G");
+  pb.Assign(g, a.t().mm(a));
+  pb.Output(g);
+  return pb.Build();
+}
+
+TEST(TransposeFusionTest, GramTransposeFoldsIntoOperandFlag) {
+  const OperatorList ops = MustDecompose(GramProgram());
+  const Plan fused = MustPlan(ops, /*fuse=*/true);
+  const Plan unfused = MustPlan(ops, /*fuse=*/false);
+
+  EXPECT_GT(CountTransposes(unfused), 0);
+  EXPECT_EQ(CountTransposes(fused), 0);
+  EXPECT_GT(CountFlaggedMultiplies(fused), 0);
+  EXPECT_EQ(CountFlaggedMultiplies(unfused), 0);
+  EXPECT_LT(fused.steps.size(), unfused.steps.size());
+
+  // Dropping the materialized transpose shrinks the plan's peak-memory
+  // estimate and never adds communication.
+  EXPECT_LT(EstimatePlanFootprintBytes(fused, 4),
+            EstimatePlanFootprintBytes(unfused, 4));
+  EXPECT_LE(fused.total_comm_bytes, unfused.total_comm_bytes);
+}
+
+TEST(TransposeFusionTest, FusedPlanPassesStaticVerifier) {
+  const OperatorList ops = MustDecompose(GramProgram());
+  const Plan fused = MustPlan(ops, /*fuse=*/true);
+  EXPECT_TRUE(VerifyPlan(ops, fused, 4).ok());
+}
+
+TEST(TransposeFusionTest, GnmfSteadyStateFusesFactorTransposes) {
+  // §6.2: each GNMF iteration computes WᵀV, WᵀW, and V·Hᵀ / H·Hᵀ. With
+  // fusion on, the CPMM products read W through trans_a and the
+  // re-derivation transpose steps disappear.
+  Program p = BuildGnmfProgram({480189, 17770, 0.011, 200, 2});
+  const OperatorList ops = MustDecompose(p);
+  const Plan fused = MustPlan(ops, /*fuse=*/true);
+  const Plan unfused = MustPlan(ops, /*fuse=*/false);
+
+  EXPECT_LT(CountTransposes(fused), CountTransposes(unfused));
+  EXPECT_LT(fused.steps.size(), unfused.steps.size());
+  EXPECT_EQ(fused.total_comm_bytes, unfused.total_comm_bytes);
+  // GNMF's footprint peak is V plus the W replicas, which fusion does not
+  // touch — the estimate must not grow (the strict decrease is asserted on
+  // the Gram plan, where the transpose is the large object).
+  EXPECT_LE(EstimatePlanFootprintBytes(fused, 4),
+            EstimatePlanFootprintBytes(unfused, 4));
+
+  bool cpmm_flagged = false;
+  for (const PlanStep& s : fused.steps) {
+    if (s.mult_algo == MultAlgo::kCPMM && s.trans_a) cpmm_flagged = true;
+  }
+  EXPECT_TRUE(cpmm_flagged) << "WᵀV should read W through trans_a";
+}
+
+TEST(TransposeFusionTest, MultiConsumerTransposeFusesIntoEachMultiply) {
+  // One Aᵀ feeding two multiplies: the fold retargets both consumers.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {100000, 80}, 1.0);
+  Mat b = pb.Load("B", {100000, 40}, 1.0);
+  Mat g = pb.Var("G");
+  Mat h = pb.Var("H");
+  pb.Assign(g, a.t().mm(a));
+  pb.Assign(h, a.t().mm(b));
+  pb.Output(g);
+  pb.Output(h);
+  const OperatorList ops = MustDecompose(pb.Build());
+  const Plan fused = MustPlan(ops, /*fuse=*/true);
+  EXPECT_EQ(CountTransposes(fused), 0);
+  EXPECT_EQ(CountFlaggedMultiplies(fused), 2);
+}
+
+TEST(TransposeFusionTest, TransposedOutputsSurviveTheFold) {
+  // BindOutputs() resolves a transposed output variable to the *source*
+  // node plus a gather-side transposed flag — it never reads the
+  // materialized Aᵀ node. The fold may therefore delete the transpose
+  // step, and the output binding must still resolve to a live node.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {100000, 80}, 1.0);
+  Mat t = pb.Var("T");
+  Mat m = pb.Var("M");
+  pb.Assign(t, a.t());
+  pb.Assign(m, t.mm(a));
+  pb.Output(t);
+  pb.Output(m);
+  const OperatorList ops = MustDecompose(pb.Build());
+  const Plan fused = MustPlan(ops, /*fuse=*/true);
+  EXPECT_EQ(CountTransposes(fused), 0);
+  EXPECT_EQ(CountFlaggedMultiplies(fused), 1);
+  ASSERT_EQ(fused.outputs.size(), 2u);
+  for (const PlanOutput& out : fused.outputs) {
+    ASSERT_GE(out.node, 0);
+    ASSERT_LT(out.node, static_cast<int>(fused.nodes.size()));
+    if (out.variable == "T") EXPECT_TRUE(out.transposed);
+  }
+}
+
+TEST(TransposeFusionTest, NonMultiplyConsumerBlocksTheFold) {
+  // Aᵀ consumed by a cell-wise add must stay materialized even if it also
+  // feeds a multiply.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {2000, 2000}, 1.0);
+  Mat b = pb.Load("B", {2000, 2000}, 1.0);
+  Mat s = pb.Var("S");
+  Mat m = pb.Var("M");
+  pb.Assign(s, a.t() + b);
+  pb.Assign(m, a.t().mm(b));
+  pb.Output(s);
+  pb.Output(m);
+  const OperatorList ops = MustDecompose(pb.Build());
+  const Plan fused = MustPlan(ops, /*fuse=*/true);
+  // The cell-wise consumer pins at least one materialized transpose.
+  EXPECT_GT(CountTransposes(fused), 0);
+}
+
+TEST(TransposeFusionTest, FusedStepsRenumberContiguously) {
+  // Finalize() requires node id == index and step ids dense; fusion's
+  // compaction must preserve both.
+  const OperatorList ops = MustDecompose(GramProgram());
+  const Plan fused = MustPlan(ops, /*fuse=*/true);
+  for (size_t i = 0; i < fused.nodes.size(); ++i) {
+    EXPECT_EQ(fused.nodes[i].id, static_cast<int>(i));
+  }
+  for (size_t i = 0; i < fused.steps.size(); ++i) {
+    EXPECT_EQ(fused.steps[i].id, static_cast<int>(i));
+    for (int in : fused.steps[i].inputs) {
+      ASSERT_GE(in, 0);
+      ASSERT_LT(in, static_cast<int>(fused.nodes.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmac
