@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validates dmac_lint --format=json output (docs/static_analysis.md).
+
+Usage: check_lint_json.py LINT_BINARY SCRIPT [extra lint args...]
+
+Runs `LINT_BINARY SCRIPT --format=json <extra args>` and checks that stdout
+is a single well-formed dmac-lint-v1 document:
+
+  * top level carries schema/file/phase/errors/warnings/diagnostics;
+  * every diagnostic record has file, line, severity, pass, op, message
+    with the right types and a known severity;
+  * the errors/warnings counters agree with the records; and
+  * the process exit code matches the error count (non-zero iff errors,
+    since this harness never passes --werror).
+
+Exits 0 when everything holds, 1 with a message otherwise.
+"""
+import json
+import subprocess
+import sys
+
+SEVERITIES = {"note", "warning", "error"}
+PHASES = {"operators", "plan", "io", "parse", "decompose"}
+
+
+def fail(msg):
+    print(f"check_lint_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 3:
+        fail(f"usage: {argv[0]} LINT_BINARY SCRIPT [lint args...]")
+    cmd = [argv[1], argv[2], "--format=json"] + argv[3:]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        fail(f"unexpected exit code {proc.returncode}; stderr: {proc.stderr}")
+
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"stdout is not valid JSON ({e}):\n{proc.stdout}")
+
+    if doc.get("schema") != "dmac-lint-v1":
+        fail(f"bad schema field: {doc.get('schema')!r}")
+    if doc.get("file") != argv[2]:
+        fail(f"file field {doc.get('file')!r} != script path {argv[2]!r}")
+    if doc.get("phase") not in PHASES:
+        fail(f"unknown phase {doc.get('phase')!r}")
+    diags = doc.get("diagnostics")
+    if not isinstance(diags, list):
+        fail("diagnostics is not a list")
+
+    errors = warnings = 0
+    for i, d in enumerate(diags):
+        for key, want in (("file", str), ("line", int), ("severity", str),
+                          ("pass", str), ("op", int), ("message", str)):
+            if not isinstance(d.get(key), want):
+                fail(f"diagnostic {i}: field {key!r} missing or not "
+                     f"{want.__name__}: {d!r}")
+        if d["severity"] not in SEVERITIES:
+            fail(f"diagnostic {i}: unknown severity {d['severity']!r}")
+        if "fixit" in d and not isinstance(d["fixit"], str):
+            fail(f"diagnostic {i}: fixit is not a string")
+        errors += d["severity"] == "error"
+        warnings += d["severity"] == "warning"
+
+    if doc.get("errors") != errors:
+        fail(f"errors counter {doc.get('errors')} != {errors} error records")
+    if doc.get("warnings") != warnings:
+        fail(f"warnings counter {doc.get('warnings')} != {warnings} records")
+    if (proc.returncode != 0) != (errors > 0):
+        fail(f"exit code {proc.returncode} inconsistent with {errors} errors")
+
+    print(f"lint json ok: phase={doc['phase']} errors={errors} "
+          f"warnings={warnings} diagnostics={len(diags)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

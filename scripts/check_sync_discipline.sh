@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Sync-discipline guard (docs/static_analysis.md).
+#
+# Every mutex/condition-variable in the tree must go through the annotated
+# wrappers in src/common/sync.h so clang's -Wthread-safety analysis can see
+# it. This guard fails on any new raw primitive outside that header, and on
+# any DMAC_NO_THREAD_SAFETY_ANALYSIS without a justifying comment nearby.
+#
+# Runs as a ctest (sync_discipline_guard) and as a CI step; takes the repo
+# root as an optional argument.
+set -eu
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root"
+
+fail=0
+
+# 1) Raw synchronization primitives outside common/sync.h.
+raw=$(grep -rn \
+        -e 'std::mutex' \
+        -e 'std::recursive_mutex' \
+        -e 'std::shared_mutex' \
+        -e 'std::timed_mutex' \
+        -e 'std::lock_guard' \
+        -e 'std::unique_lock' \
+        -e 'std::scoped_lock' \
+        -e 'std::condition_variable' \
+        --include='*.h' --include='*.cc' --include='*.cpp' \
+        src tests tools bench examples 2>/dev/null \
+      | grep -v '^src/common/sync\.h:' || true)
+if [ -n "$raw" ]; then
+  echo "error: raw synchronization primitives outside src/common/sync.h"
+  echo "       (use dmac::Mutex / MutexLock / CondVar; docs/static_analysis.md):"
+  echo "$raw"
+  fail=1
+fi
+
+# 2) Escape hatch hygiene: every DMAC_NO_THREAD_SAFETY_ANALYSIS use (outside
+#    its definition) must carry a comment on the same or preceding line.
+hatches=$(grep -rn 'DMAC_NO_THREAD_SAFETY_ANALYSIS' \
+            --include='*.h' --include='*.cc' --include='*.cpp' \
+            src tests tools bench examples 2>/dev/null \
+          | grep -v '^src/common/sync\.h:' || true)
+if [ -n "$hatches" ]; then
+  echo "$hatches" | while IFS=: read -r file line _; do
+    prev=$((line - 1))
+    if ! sed -n "${prev}p;${line}p" "$file" | grep -q '//'; then
+      echo "error: $file:$line: DMAC_NO_THREAD_SAFETY_ANALYSIS without a" \
+           "justifying comment"
+      exit 1
+    fi
+  done || fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "sync discipline ok: no raw primitives outside src/common/sync.h"

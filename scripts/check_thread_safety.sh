@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# Clang thread-safety gate (docs/static_analysis.md).
+#
+# Two checks, both requiring clang (the annotations are no-ops under gcc):
+#
+#   1. Every library/tool translation unit must compile cleanly under
+#      -Wthread-safety -Wthread-safety-beta -Werror.
+#   2. Compile-fail proofs: a caller that touches a DMAC_GUARDED_BY member
+#      of the annotated ThreadPool job pattern without holding the lock
+#      must be REJECTED, and the properly locked twin must be accepted —
+#      so the annotations demonstrably bite.
+#
+# Without clang on PATH the script reports SKIPPED and exits 0 (the gcc
+# build cannot evaluate the annotations); CI installs clang and runs this
+# for real. Usage: check_thread_safety.sh [repo-root] [clang++-binary]
+set -eu
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cxx="${2:-clang++}"
+cd "$root"
+
+if ! command -v "$cxx" >/dev/null 2>&1; then
+  echo "SKIPPED: $cxx not found; thread-safety analysis needs clang" \
+       "(CI runs this gate)"
+  exit 0
+fi
+
+flags="-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Wthread-safety-beta -Werror"
+
+# ---- 1. the whole library + tools must analyze clean ---------------------
+echo "== thread-safety: analyzing library sources with $cxx"
+fail=0
+for f in $(find src tools -name '*.cc' | sort); do
+  if ! "$cxx" $flags "$f"; then
+    echo "error: $f fails -Wthread-safety -Wthread-safety-beta -Werror"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+# ---- 2. compile-fail proof: misannotated callers are rejected ------------
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/good.cc" <<'EOF'
+#include "common/sync.h"
+#include "common/thread_pool.h"
+struct Job {
+  dmac::Mutex mu;
+  bool done DMAC_GUARDED_BY(mu) = false;
+};
+int main() {
+  dmac::ThreadPool pool(1);
+  Job job;
+  pool.Submit([&job] {
+    dmac::MutexLock lock(&job.mu);
+    job.done = true;
+  });
+  pool.WaitIdle();
+  dmac::MutexLock lock(&job.mu);
+  return job.done ? 0 : 1;
+}
+EOF
+
+# Identical, except the final read drops the lock: must NOT compile.
+cat > "$tmp/bad.cc" <<'EOF'
+#include "common/sync.h"
+#include "common/thread_pool.h"
+struct Job {
+  dmac::Mutex mu;
+  bool done DMAC_GUARDED_BY(mu) = false;
+};
+int main() {
+  dmac::ThreadPool pool(1);
+  Job job;
+  pool.Submit([&job] {
+    dmac::MutexLock lock(&job.mu);
+    job.done = true;
+  });
+  pool.WaitIdle();
+  return job.done ? 0 : 1;  // unguarded read of a GUARDED_BY member
+}
+EOF
+
+echo "== thread-safety: positive control (locked caller must compile)"
+"$cxx" $flags "$tmp/good.cc"
+
+echo "== thread-safety: compile-fail proof (unguarded caller must be rejected)"
+if "$cxx" $flags "$tmp/bad.cc" 2>"$tmp/bad.err"; then
+  echo "error: unguarded access to a DMAC_GUARDED_BY member compiled —"
+  echo "       the thread-safety annotations are not biting"
+  exit 1
+fi
+if ! grep -q 'thread-safety\|guarded_by\|requires holding' "$tmp/bad.err"; then
+  echo "error: rejection was not a thread-safety diagnostic:"
+  cat "$tmp/bad.err"
+  exit 1
+fi
+
+echo "thread-safety gate ok"

@@ -13,8 +13,9 @@ namespace dmac {
 ///
 /// Use `ok()` to branch; `ValueOrDie()`/`operator*` assert success. This is a
 /// deliberately small subset of absl::StatusOr sufficient for DMac.
+/// `[[nodiscard]]` like Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT

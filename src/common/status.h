@@ -41,8 +41,12 @@ const char* StatusCodeName(StatusCode code);
 /// payload) or an error with a code and a message.
 ///
 /// Functions that can fail return `Status` (or `Result<T>`); callers must
-/// check with `ok()` before relying on side effects.
-class Status {
+/// check with `ok()` before relying on side effects. The class is
+/// `[[nodiscard]]`: silently dropping a returned Status is a compile
+/// warning repo-wide (docs/static_analysis.md) — that is exactly how
+/// kResourceExhausted/kDataLoss get lost. The rare intentional drop must
+/// be spelled `(void)expr; // why` so it stays greppable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

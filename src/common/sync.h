@@ -1,0 +1,151 @@
+// Annotated synchronization primitives (docs/static_analysis.md).
+//
+// Every mutex and condition variable in DMac lives behind these wrappers so
+// clang's thread-safety analysis (-Wthread-safety -Wthread-safety-beta,
+// gated by CI) can prove at compile time which lock protects which field.
+// The discipline:
+//
+//   * declare locks as `Mutex` and annotate every protected member with
+//     `DMAC_GUARDED_BY(mu_)` (or `DMAC_PT_GUARDED_BY` for pointees);
+//   * hold locks through `MutexLock` scopes; functions that run with a lock
+//     already held say so with `DMAC_REQUIRES(mu_)`;
+//   * public entry points that take the lock themselves carry
+//     `DMAC_EXCLUDES(mu_)` so re-entrant callers are rejected;
+//   * condition waits use `CondVar` with an *explicit* `while` loop in the
+//     caller — not a predicate lambda — so the analysis sees the guarded
+//     reads under the capability (lambdas are analyzed as separate
+//     functions and lose it);
+//   * `DMAC_NO_THREAD_SAFETY_ANALYSIS` is the greppable last resort; every
+//     use needs a comment saying why the analysis cannot see the invariant.
+//
+// A grep guard (scripts/check_sync_discipline.sh, run as a ctest and in CI)
+// fails the build on any new raw std::mutex / std::lock_guard /
+// std::condition_variable outside this header.
+//
+// The annotation macros follow the clang documentation's reference
+// mutex.h; under compilers without the attributes (gcc) they expand to
+// nothing and the wrappers cost exactly what the raw primitives cost.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---- Clang capability-annotation macros ----------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DMAC_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef DMAC_THREAD_ANNOTATION_
+#define DMAC_THREAD_ANNOTATION_(x)  // not clang: attributes compile away
+#endif
+
+/// Marks a type as a capability ("mutex") the analysis tracks.
+#define DMAC_CAPABILITY(x) DMAC_THREAD_ANNOTATION_(capability(x))
+/// Marks an RAII type that acquires in its ctor and releases in its dtor.
+#define DMAC_SCOPED_CAPABILITY DMAC_THREAD_ANNOTATION_(scoped_lockable)
+/// The member may only be touched while `x` is held.
+#define DMAC_GUARDED_BY(x) DMAC_THREAD_ANNOTATION_(guarded_by(x))
+/// The pointee may only be touched while `x` is held.
+#define DMAC_PT_GUARDED_BY(x) DMAC_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// The function acquires the capability (and must not already hold it).
+#define DMAC_ACQUIRE(...) \
+  DMAC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// The function releases the capability (and must hold it on entry).
+#define DMAC_RELEASE(...) \
+  DMAC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// The function acquires the capability iff it returns the given value
+/// (first argument), e.g. `DMAC_TRY_ACQUIRE(true)`.
+#define DMAC_TRY_ACQUIRE(...) \
+  DMAC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// The caller must hold the capability for the duration of the call.
+#define DMAC_REQUIRES(...) \
+  DMAC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// The caller must NOT hold the capability (the function takes it itself).
+#define DMAC_EXCLUDES(...) DMAC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Asserts at runtime that the capability is held (trusted by the analysis).
+#define DMAC_ASSERT_CAPABILITY(x) \
+  DMAC_THREAD_ANNOTATION_(assert_capability(x))
+/// The function returns a reference to the given capability.
+#define DMAC_RETURN_CAPABILITY(x) DMAC_THREAD_ANNOTATION_(lock_returned(x))
+/// Last resort: disables the analysis for one function. Greppable; every
+/// use must carry a justifying comment (docs/static_analysis.md).
+#define DMAC_NO_THREAD_SAFETY_ANALYSIS \
+  DMAC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dmac {
+
+/// Annotated exclusive mutex. Same cost and semantics as std::mutex; the
+/// annotations exist so `-Wthread-safety` can check the locking discipline.
+class DMAC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DMAC_ACQUIRE() { mu_.lock(); }
+  void Unlock() DMAC_RELEASE() { mu_.unlock(); }
+  bool TryLock() DMAC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope over a Mutex (the std::lock_guard replacement).
+class DMAC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DMAC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DMAC_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to Mutex. Waits require the caller to hold the
+/// mutex and re-hold it on return, which is exactly what the `DMAC_REQUIRES`
+/// annotation states; write the predicate as an explicit `while` loop around
+/// `Wait` so guarded reads stay visible to the analysis:
+///
+///   MutexLock lock(&mu_);
+///   while (!done_) cv_.Wait(mu_);   // done_ is DMAC_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before return.
+  void Wait(Mutex& mu) DMAC_REQUIRES(mu) {
+    // Adopt the already-held native handle so the std wait can release and
+    // reacquire it, then detach again: ownership stays with the caller's
+    // MutexLock for the whole scope.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Like Wait, but returns false when `timeout` elapsed first (spurious
+  /// wakeups still return true; callers loop on their predicate anyway).
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      DMAC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(native, timeout);
+    native.release();
+    return st == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dmac

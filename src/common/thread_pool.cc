@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -26,23 +26,23 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Submit(const std::atomic<bool>* abandon_if,
                         std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back({std::move(task), abandon_if});
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown_ with drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -55,9 +55,9 @@ void ThreadPool::WorkerLoop() {
       task.fn();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -3,13 +3,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dmac {
 
@@ -35,17 +35,17 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DMAC_EXCLUDES(mu_);
 
   /// Enqueues a task that is skipped (never run) if `*abandon_if` is true
   /// when a thread would start it. `abandon_if` may be null (plain submit)
   /// and must outlive the task.
   void Submit(const std::atomic<bool>* abandon_if,
-              std::function<void()> task);
+              std::function<void()> task) DMAC_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running (skipped tasks
   /// count as completed).
-  void WaitIdle();
+  void WaitIdle() DMAC_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -55,14 +55,14 @@ class ThreadPool {
     const std::atomic<bool>* abandon_if = nullptr;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() DMAC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Task> queue_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<Task> queue_ DMAC_GUARDED_BY(mu_);
+  size_t in_flight_ DMAC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DMAC_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

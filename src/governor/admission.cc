@@ -14,6 +14,12 @@ AdmissionController::AdmissionController(AdmissionQuota quota)
         return quota;
       }()) {}
 
+bool AdmissionController::HasRoom(int64_t estimate_bytes) const {
+  return running_ < quota_.max_concurrent &&
+         (quota_.total_memory_bytes <= 0 ||
+          reserved_ + estimate_bytes <= quota_.total_memory_bytes);
+}
+
 Status AdmissionController::Admit(int64_t estimate_bytes,
                                   const CancelToken& token) {
   auto& reg = MetricRegistry::Global();
@@ -26,13 +32,8 @@ Status AdmissionController::Admit(int64_t estimate_bytes,
         std::to_string(quota_.total_memory_bytes) + " bytes");
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  auto has_room = [&] {
-    return running_ < quota_.max_concurrent &&
-           (quota_.total_memory_bytes <= 0 ||
-            reserved_ + estimate_bytes <= quota_.total_memory_bytes);
-  };
-  if (!has_room()) {
+  MutexLock lock(&mu_);
+  if (!HasRoom(estimate_bytes)) {
     if (queued_ >= quota_.max_queued) {
       reg.counter(kMetricGovernorRejected)->Increment();
       return Status::ResourceExhausted(
@@ -43,15 +44,15 @@ Status AdmissionController::Admit(int64_t estimate_bytes,
     reg.gauge(kMetricGovernorQueueDepth)->Set(static_cast<double>(queued_));
     // Wait in short slices so a fired CancelToken is noticed promptly even
     // though the token has no condition variable of its own.
-    while (!has_room()) {
+    while (!HasRoom(estimate_bytes)) {
       Status cancelled = token.Check();
       if (!cancelled.ok()) {
         --queued_;
         reg.gauge(kMetricGovernorQueueDepth)->Set(static_cast<double>(queued_));
-        cv_.notify_all();
+        cv_.NotifyAll();
         return cancelled;
       }
-      cv_.wait_for(lock, std::chrono::milliseconds(5));
+      cv_.WaitFor(mu_, std::chrono::milliseconds(5));
     }
     --queued_;
     reg.gauge(kMetricGovernorQueueDepth)->Set(static_cast<double>(queued_));
@@ -64,25 +65,25 @@ Status AdmissionController::Admit(int64_t estimate_bytes,
 
 void AdmissionController::Release(int64_t estimate_bytes) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --running_;
     reserved_ -= estimate_bytes;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int AdmissionController::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queued_;
 }
 
 int AdmissionController::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
 }
 
 int64_t AdmissionController::reserved_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return reserved_;
 }
 

@@ -10,11 +10,10 @@
 // terminates — by any status.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "governor/cancel_token.h"
 
 namespace dmac {
@@ -43,23 +42,27 @@ class AdmissionController {
   /// call `Release(estimate_bytes)`. `kResourceExhausted` means rejected
   /// (estimate over quota, or queue full); `kCancelled`/`kDeadlineExceeded`
   /// mean the query's token fired while waiting.
-  Status Admit(int64_t estimate_bytes, const CancelToken& token);
+  Status Admit(int64_t estimate_bytes, const CancelToken& token)
+      DMAC_EXCLUDES(mu_);
 
   /// Returns a reservation made by a successful Admit.
-  void Release(int64_t estimate_bytes);
+  void Release(int64_t estimate_bytes) DMAC_EXCLUDES(mu_);
 
-  int queue_depth() const;
-  int running() const;
-  int64_t reserved_bytes() const;
+  int queue_depth() const DMAC_EXCLUDES(mu_);
+  int running() const DMAC_EXCLUDES(mu_);
+  int64_t reserved_bytes() const DMAC_EXCLUDES(mu_);
 
  private:
+  /// True when both quotas have room for `estimate_bytes` right now.
+  bool HasRoom(int64_t estimate_bytes) const DMAC_REQUIRES(mu_);
+
   const AdmissionQuota quota_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int running_ = 0;
-  int queued_ = 0;
-  int64_t reserved_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int running_ DMAC_GUARDED_BY(mu_) = 0;
+  int queued_ DMAC_GUARDED_BY(mu_) = 0;
+  int64_t reserved_ DMAC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dmac

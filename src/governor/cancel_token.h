@@ -47,7 +47,7 @@ class CancelToken {
 
   /// OK while the query may continue; `Status::Cancelled` or
   /// `Status::DeadlineExceeded` once it must unwind. Sticky.
-  Status Check() const;
+  [[nodiscard]] Status Check() const;
 
   /// Raw fired flag for lock-free task skipping (ThreadPool abandons queued
   /// tasks whose flag is set). Null for an inert token. The flag is set by

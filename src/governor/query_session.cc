@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <thread>
 #include <utility>
 
@@ -29,12 +28,15 @@ struct QuerySession::Query {
   Bindings bindings;
   QueryOptions opts;
   CancelToken token;
+  /// Guarded by the *session's* mu_ (started in Submit, reaped in Wait and
+  /// the destructor) — not expressible as DMAC_GUARDED_BY from a nested
+  /// struct, so the discipline is documented here and enforced by review.
   std::thread thread;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  QueryOutcome outcome;
+  Mutex mu;
+  CondVar cv;
+  bool done DMAC_GUARDED_BY(mu) = false;
+  QueryOutcome outcome DMAC_GUARDED_BY(mu);
 };
 
 QuerySession::QuerySession(AdmissionQuota quota, RunConfig base)
@@ -43,10 +45,13 @@ QuerySession::QuerySession(AdmissionQuota quota, RunConfig base)
 QuerySession::~QuerySession() {
   std::unordered_map<int64_t, std::shared_ptr<Query>> queries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queries = queries_;
   }
   for (auto& [id, q] : queries) q->token.Cancel();
+  // Joining under mu_ serializes against Wait's reap; RunQuery never takes
+  // the session lock, so holding it across the joins cannot deadlock.
+  MutexLock lock(&mu_);
   for (auto& [id, q] : queries) {
     if (q->thread.joinable()) q->thread.join();
   }
@@ -61,22 +66,27 @@ int64_t QuerySession::Submit(Program program, Bindings bindings,
   q->token = q->opts.deadline_seconds > 0
                  ? CancelToken::WithDeadline(q->opts.deadline_seconds)
                  : CancelToken::Cancellable();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    q->id = next_id_++;
-    queries_[q->id] = q;
-  }
   Query* raw = q.get();
-  // The map's shared_ptr keeps the Query alive for the session's lifetime,
-  // so the thread may safely outlive local scopes.
-  q->thread = std::thread([this, raw] { RunQuery(raw); });
-  return q->id;
+  int64_t id;
+  {
+    MutexLock lock(&mu_);
+    q->id = next_id_++;
+    id = q->id;
+    queries_[q->id] = q;
+    // The thread must start inside the lock: the query is already visible
+    // in queries_, so a concurrent Wait could otherwise touch q->thread
+    // (joinable/join) while this assignment is still in flight.
+    // The map's shared_ptr keeps the Query alive for the session's
+    // lifetime, so the thread may safely outlive local scopes.
+    q->thread = std::thread([this, raw] { RunQuery(raw); });
+  }
+  return id;
 }
 
 void QuerySession::Cancel(int64_t id) {
   std::shared_ptr<Query> q;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = queries_.find(id);
     if (it == queries_.end()) return;
     q = it->second;
@@ -87,7 +97,7 @@ void QuerySession::Cancel(int64_t id) {
 QueryOutcome QuerySession::Wait(int64_t id) {
   std::shared_ptr<Query> q;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = queries_.find(id);
     if (it == queries_.end()) {
       QueryOutcome out;
@@ -98,15 +108,15 @@ QueryOutcome QuerySession::Wait(int64_t id) {
     q = it->second;
   }
   {
-    std::unique_lock<std::mutex> lock(q->mu);
-    q->cv.wait(lock, [&] { return q->done; });
+    MutexLock lock(&q->mu);
+    while (!q->done) q->cv.Wait(q->mu);
   }
   {
     // Exactly one caller reaps the thread; later Waits see it unjoinable.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (q->thread.joinable()) q->thread.join();
   }
-  std::lock_guard<std::mutex> lock(q->mu);
+  MutexLock lock(&q->mu);
   return q->outcome;
 }
 
@@ -170,10 +180,10 @@ void QuerySession::RunQuery(Query* q) {
         ->Observe(out.cancel_latency_seconds);
   }
 
-  std::lock_guard<std::mutex> lock(q->mu);
+  MutexLock lock(&q->mu);
   q->outcome = std::move(out);
   q->done = true;
-  q->cv.notify_all();
+  q->cv.NotifyAll();
 }
 
 }  // namespace dmac

@@ -13,11 +13,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "apps/runner.h"
+#include "common/sync.h"
 #include "governor/admission.h"
 #include "governor/cancel_token.h"
 
@@ -67,14 +67,15 @@ class QuerySession {
   /// caller owns the LocalMatrix payloads behind `bindings` and must keep
   /// them alive until Wait(id) returns. Admission (and queueing) happens on
   /// the query's thread, so Submit never blocks.
-  int64_t Submit(Program program, Bindings bindings, QueryOptions opts);
+  int64_t Submit(Program program, Bindings bindings, QueryOptions opts)
+      DMAC_EXCLUDES(mu_);
 
   /// Fires the query's cancel token. No-op for unknown / finished ids.
-  void Cancel(int64_t id);
+  void Cancel(int64_t id) DMAC_EXCLUDES(mu_);
 
   /// Blocks until the query is terminal and returns its outcome.
   /// Idempotent. An unknown id yields kInvalidArgument.
-  QueryOutcome Wait(int64_t id);
+  QueryOutcome Wait(int64_t id) DMAC_EXCLUDES(mu_);
 
   int queue_depth() const { return admission_.queue_depth(); }
   int running() const { return admission_.running(); }
@@ -88,9 +89,10 @@ class QuerySession {
   const RunConfig base_;
   AdmissionController admission_;
 
-  mutable std::mutex mu_;
-  int64_t next_id_ = 0;
-  std::unordered_map<int64_t, std::shared_ptr<Query>> queries_;
+  mutable Mutex mu_;
+  int64_t next_id_ DMAC_GUARDED_BY(mu_) = 0;
+  std::unordered_map<int64_t, std::shared_ptr<Query>> queries_
+      DMAC_GUARDED_BY(mu_);
 };
 
 }  // namespace dmac

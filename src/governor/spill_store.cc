@@ -67,7 +67,7 @@ Result<std::shared_ptr<SpillStore>> SpillStore::Create(std::string dir) {
 }
 
 SpillStore::~SpillStore() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::error_code ec;
   for (const auto& [handle, bytes] : live_) {
     std::filesystem::remove(PathFor(handle), ec);
@@ -83,7 +83,7 @@ std::string SpillStore::PathFor(int64_t handle) const {
 Result<int64_t> SpillStore::Spill(const Block& block) {
   int64_t handle;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     handle = next_handle_++;
   }
   const std::string path = PathFor(handle);
@@ -120,7 +120,7 @@ Result<int64_t> SpillStore::Spill(const Block& block) {
 
   const int64_t bytes = block.MemoryBytes();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     live_[handle] = bytes;
     spilled_bytes_ += bytes;
   }
@@ -133,7 +133,7 @@ Result<int64_t> SpillStore::Spill(const Block& block) {
 Result<Block> SpillStore::Restore(int64_t handle) {
   const std::string path = PathFor(handle);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (live_.erase(handle) == 0) {
       return Status::DataLoss("spill: unknown handle " +
                               std::to_string(handle));
@@ -216,7 +216,7 @@ Result<Block> SpillStore::Restore(int64_t handle) {
 
   const int64_t bytes = block.MemoryBytes();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     restored_bytes_ += bytes;
   }
   auto& reg = MetricRegistry::Global();
@@ -227,7 +227,7 @@ Result<Block> SpillStore::Restore(int64_t handle) {
 
 void SpillStore::Remove(int64_t handle) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (live_.erase(handle) == 0) return;
   }
   std::error_code ec;
@@ -235,17 +235,17 @@ void SpillStore::Remove(int64_t handle) {
 }
 
 int64_t SpillStore::live_files() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(live_.size());
 }
 
 int64_t SpillStore::spilled_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spilled_bytes_;
 }
 
 int64_t SpillStore::restored_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return restored_bytes_;
 }
 

@@ -19,11 +19,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "matrix/block.h"
 
 namespace dmac {
@@ -45,22 +45,22 @@ class SpillStore {
   SpillStore& operator=(const SpillStore&) = delete;
 
   /// Writes `block` to a new spill file. Returns its handle.
-  Result<int64_t> Spill(const Block& block);
+  [[nodiscard]] Result<int64_t> Spill(const Block& block) DMAC_EXCLUDES(mu_);
 
   /// Reads the block back, verifies its checksum, and deletes the file.
   /// `kDataLoss` on corruption or a missing/truncated file (the file is
   /// still consumed, so a damaged block never leaks).
-  Result<Block> Restore(int64_t handle);
+  [[nodiscard]] Result<Block> Restore(int64_t handle) DMAC_EXCLUDES(mu_);
 
   /// Deletes a spilled file without reading it (its owner was dropped).
-  void Remove(int64_t handle);
+  void Remove(int64_t handle) DMAC_EXCLUDES(mu_);
 
   /// Number of spill files currently on disk.
-  int64_t live_files() const;
+  int64_t live_files() const DMAC_EXCLUDES(mu_);
 
   /// Total payload bytes written / read back over the store's lifetime.
-  int64_t spilled_bytes() const;
-  int64_t restored_bytes() const;
+  int64_t spilled_bytes() const DMAC_EXCLUDES(mu_);
+  int64_t restored_bytes() const DMAC_EXCLUDES(mu_);
 
   const std::string& dir() const { return dir_; }
 
@@ -72,12 +72,12 @@ class SpillStore {
   const std::string dir_;
   const bool owns_dir_;
 
-  mutable std::mutex mu_;
-  int64_t next_handle_ = 0;
+  mutable Mutex mu_;
+  int64_t next_handle_ DMAC_GUARDED_BY(mu_) = 0;
   /// handle -> payload bytes of the file (for accounting on Remove).
-  std::unordered_map<int64_t, int64_t> live_;
-  int64_t spilled_bytes_ = 0;
-  int64_t restored_bytes_ = 0;
+  std::unordered_map<int64_t, int64_t> live_ DMAC_GUARDED_BY(mu_);
+  int64_t spilled_bytes_ DMAC_GUARDED_BY(mu_) = 0;
+  int64_t restored_bytes_ DMAC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dmac

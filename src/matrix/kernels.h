@@ -127,28 +127,28 @@ class GemmScratch {
 /// the same micro-kernel and produce bit-identical results. Entirely-zero
 /// packed micro-panels are skipped (the column-skip prefilter for
 /// dense-but-sparse-ish operands); zero terms never change a finite sum.
-Status GemmDense(const DenseBlock& a, const DenseBlock& b, bool trans_a,
+[[nodiscard]] Status GemmDense(const DenseBlock& a, const DenseBlock& b, bool trans_a,
                  bool trans_b, DenseBlock* acc, GemmScratch* scratch,
                  GemmStats* stats);
 
 /// acc += op(A_csc)·op(B_dense). TransA reinterprets the CSC arrays as CSR
 /// of the logical A (a per-output-element gather dot product); TransB
 /// stages Bᵀ once through the scratch.
-Status GemmSparseDense(const CscBlock& a, const DenseBlock& b, bool trans_a,
+[[nodiscard]] Status GemmSparseDense(const CscBlock& a, const DenseBlock& b, bool trans_a,
                        bool trans_b, DenseBlock* acc, GemmScratch* scratch,
                        GemmStats* stats);
 
 /// acc += op(A_dense)·op(B_csc). TransB walks B's stored columns as the
 /// logical B's rows (contiguous axpy per stored entry); TransA either runs
 /// a gather dot against A's stored columns (TransB unset) or stages Aᵀ.
-Status GemmDenseSparse(const DenseBlock& a, const CscBlock& b, bool trans_a,
+[[nodiscard]] Status GemmDenseSparse(const DenseBlock& a, const CscBlock& b, bool trans_a,
                        bool trans_b, DenseBlock* acc, GemmScratch* scratch,
                        GemmStats* stats);
 
 /// acc += op(A_csc)·op(B_csc) with a dense accumulator. No sparse transpose
 /// is ever materialized; see docs/kernels.md for the per-flag formulations
 /// (the TransA-only case scatters B's columns into a dense k-workspace).
-Status GemmSparseSparse(const CscBlock& a, const CscBlock& b, bool trans_a,
+[[nodiscard]] Status GemmSparseSparse(const CscBlock& a, const CscBlock& b, bool trans_a,
                         bool trans_b, DenseBlock* acc, GemmScratch* scratch,
                         GemmStats* stats);
 

@@ -63,9 +63,8 @@ TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
   // past thread exit so Snapshot() still sees short-lived pool threads.
   thread_local std::shared_ptr<ThreadBuffer> local;
   if (local == nullptr) {
-    local = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    local->tid = next_tid_++;
+    MutexLock lock(&registry_mu_);
+    local = std::make_shared<ThreadBuffer>(next_tid_++);
     buffers_.push_back(local);
   }
   return local.get();
@@ -74,7 +73,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
 void TraceRecorder::Record(TraceEvent event) {
   if (!enabled()) return;
   ThreadBuffer* buf = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buf->mu);
+  MutexLock lock(&buf->mu);
   if (buf->events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -86,9 +85,9 @@ void TraceRecorder::Record(TraceEvent event) {
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    MutexLock registry_lock(&registry_mu_);
     for (const auto& buf : buffers_) {
-      std::lock_guard<std::mutex> lock(buf->mu);
+      MutexLock lock(&buf->mu);
       out.insert(out.end(), buf->events.begin(), buf->events.end());
     }
   }
@@ -100,9 +99,9 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  MutexLock registry_lock(&registry_mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(&buf->mu);
     buf->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);

@@ -14,10 +14,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dmac {
 
@@ -86,20 +87,25 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<TraceEvent> events;
-    uint32_t tid = 0;
+    /// The stable id is fixed at registration, before any other thread can
+    /// see the buffer, so it needs no lock.
+    explicit ThreadBuffer(uint32_t id) : tid(id) {}
+
+    Mutex mu;
+    std::vector<TraceEvent> events DMAC_GUARDED_BY(mu);
+    const uint32_t tid;
   };
 
-  ThreadBuffer* LocalBuffer();
+  ThreadBuffer* LocalBuffer() DMAC_EXCLUDES(registry_mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> dropped_{0};
   int64_t epoch_ns_ = 0;
 
-  mutable std::mutex registry_mu_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  uint32_t next_tid_ = 0;
+  mutable Mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      DMAC_GUARDED_BY(registry_mu_);
+  uint32_t next_tid_ DMAC_GUARDED_BY(registry_mu_) = 0;
 };
 
 /// RAII span: records [construction, destruction) under the global

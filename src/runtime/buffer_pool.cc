@@ -48,6 +48,7 @@ void AddOutstanding(int64_t delta) {
 BufferPool::~BufferPool() {
   // Drop the budget charge for idle blocks. Outstanding blocks must have
   // been released before the pool dies (the engine waits for idle).
+  MutexLock lock(&mu_);
   int64_t idle_bytes = 0;
   for (const auto& [shape, blocks] : free_) {
     for (const auto& b : blocks) idle_bytes += b.MemoryBytes();
@@ -60,8 +61,9 @@ BufferPool::~BufferPool() {
 
 Result<DenseBlock> BufferPool::Acquire(int64_t rows, int64_t cols) {
   Metrics().acquires->Increment();
+  std::shared_ptr<MemoryBudget> budget;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = free_.find({rows, cols});
     if (it != free_.end() && !it->second.empty()) {
       DenseBlock block = std::move(it->second.back());
@@ -71,16 +73,17 @@ Result<DenseBlock> BufferPool::Acquire(int64_t rows, int64_t cols) {
       AddOutstanding(1);
       return block;  // already charged + counted when first allocated
     }
+    budget = budget_;  // charge the miss path against a stable snapshot
   }
   int64_t bytes = DenseBlock::MemoryBytesFor(rows, cols);
-  if (budget_ && budget_->ExceedsWholeBudget(bytes)) {
+  if (budget && budget->ExceedsWholeBudget(bytes)) {
     return Status::ResourceExhausted(
         "buffer pool: a single " + std::to_string(rows) + "x" +
         std::to_string(cols) + " block (" + std::to_string(bytes) +
         " bytes) exceeds the whole memory budget (" +
-        std::to_string(budget_->limit_bytes()) + " bytes)");
+        std::to_string(budget->limit_bytes()) + " bytes)");
   }
-  if (budget_) budget_->Charge(bytes);
+  if (budget) budget->Charge(bytes);
   AddHeldBytes(bytes);
   AddOutstanding(1);
   return DenseBlock(rows, cols);
@@ -88,7 +91,7 @@ Result<DenseBlock> BufferPool::Acquire(int64_t rows, int64_t cols) {
 
 void BufferPool::Release(DenseBlock block) {
   AddOutstanding(-1);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = free_[{block.rows(), block.cols()}];
   if (slot.size() < max_per_shape_) {
     slot.push_back(std::move(block));
@@ -101,7 +104,7 @@ void BufferPool::Release(DenseBlock block) {
 }
 
 size_t BufferPool::IdleBlocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& [shape, blocks] : free_) n += blocks.size();
   return n;

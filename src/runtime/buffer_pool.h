@@ -16,11 +16,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "governor/memory_budget.h"
 #include "matrix/dense_block.h"
 
@@ -38,22 +38,24 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Attaches a per-query budget. Call before the first Acquire; blocks
-  /// acquired earlier are not retroactively charged.
-  void SetBudget(std::shared_ptr<MemoryBudget> budget) {
+  /// acquired earlier are not retroactively charged. Safe to call while
+  /// worker threads are acquiring (the pointer swap is under the pool lock).
+  void SetBudget(std::shared_ptr<MemoryBudget> budget) DMAC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     budget_ = std::move(budget);
   }
 
   /// Returns a zeroed block of the given shape (recycled when available).
   /// Fails with kResourceExhausted when the block alone exceeds the whole
   /// attached budget.
-  Result<DenseBlock> Acquire(int64_t rows, int64_t cols);
+  Result<DenseBlock> Acquire(int64_t rows, int64_t cols) DMAC_EXCLUDES(mu_);
 
   /// Returns a block to the pool; dropped if the shape's slot is full.
   /// Only pass blocks obtained from this pool's Acquire.
-  void Release(DenseBlock block);
+  void Release(DenseBlock block) DMAC_EXCLUDES(mu_);
 
   /// Number of idle blocks currently held.
-  size_t IdleBlocks() const;
+  size_t IdleBlocks() const DMAC_EXCLUDES(mu_);
 
   /// Process-wide count of acquired-but-not-released blocks across all
   /// pools. Zero when no kernel is mid-flight; the soak harness asserts
@@ -64,10 +66,11 @@ class BufferPool {
   static int64_t GlobalHeldBytes();
 
  private:
-  mutable std::mutex mu_;
-  size_t max_per_shape_;
-  std::shared_ptr<MemoryBudget> budget_;
-  std::map<std::pair<int64_t, int64_t>, std::vector<DenseBlock>> free_;
+  mutable Mutex mu_;
+  const size_t max_per_shape_;
+  std::shared_ptr<MemoryBudget> budget_ DMAC_GUARDED_BY(mu_);
+  std::map<std::pair<int64_t, int64_t>, std::vector<DenseBlock>> free_
+      DMAC_GUARDED_BY(mu_);
 };
 
 }  // namespace dmac

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "common/thread_pool.h"
 #include "fault/checkpoint.h"
@@ -68,15 +68,15 @@ class StoreSink {
  public:
   StoreSink(DistMatrix* target, int worker) : target_(target), worker_(worker) {}
 
-  void operator()(int64_t bi, int64_t bj, Block block) {
+  void operator()(int64_t bi, int64_t bj, Block block) DMAC_EXCLUDES(mu_) {
     auto ptr = std::make_shared<const Block>(std::move(block));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     target_->Put(worker_, bi, bj, std::move(ptr));
   }
 
  private:
-  std::mutex mu_;
-  DistMatrix* target_;
+  Mutex mu_;
+  DistMatrix* DMAC_PT_GUARDED_BY(mu_) target_;
   int worker_;
 };
 
@@ -609,7 +609,7 @@ class Executor::Impl {
   /// recomputed step always reads already-repaired inputs. All repaired
   /// state is re-verified against the lineage manifests — recovery is only
   /// allowed to reproduce the run bit-identically.
-  Status RecoverAll() {
+  [[nodiscard]] Status RecoverAll() {
     TraceSpan span(kTraceRecovery, "recover-all");
     recovering_ = true;
     Status st = RecoverAllImpl();
@@ -617,7 +617,7 @@ class Executor::Impl {
     return st;
   }
 
-  Status RecoverAllImpl() {
+  [[nodiscard]] Status RecoverAllImpl() {
     for (const PlanStep& step : plan_.steps) {
       if (step.output < 0) continue;
       const NodeLineage* lin = lineage_.Find(step.output);
@@ -627,7 +627,7 @@ class Executor::Impl {
     return Status::Ok();
   }
 
-  Status RecoverNode(int node_id, const NodeLineage& lin) {
+  [[nodiscard]] Status RecoverNode(int node_id, const NodeLineage& lin) {
     auto& dm = node_data_[static_cast<size_t>(node_id)];
     std::vector<LineageBlockRecord> dirty;
     if (dm == nullptr) {
@@ -1170,8 +1170,8 @@ class Executor::Impl {
           tasks.push_back({bi, bj, klo, khi});
         }
       }
-      std::mutex mu;
-      std::vector<Partial> local;
+      Mutex mu;
+      std::vector<Partial> local;  // guarded by mu while workers run
       Status st = TimedWorker(step, w, [&] {
         return engine_.MultiplyBlocks(
             out_grid, tasks,
@@ -1184,7 +1184,7 @@ class Executor::Impl {
             [&](int64_t bi, int64_t bj, Block blk) {
               if (blk.nnz() == 0) return;  // nothing to ship
               auto ptr = std::make_shared<const Block>(std::move(blk));
-              std::lock_guard<std::mutex> lock(mu);
+              MutexLock lock(&mu);
               local.push_back({bi, bj, std::move(ptr), w});
             },
             ta, tb);

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -50,19 +50,19 @@ void ObserveGemmStats(const GemmStats& stats) {
 /// Collects the first task failure across threads.
 class StatusCollector {
  public:
-  void Record(Status status) {
+  void Record(Status status) DMAC_EXCLUDES(mu_) {
     if (status.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (first_.ok()) first_ = std::move(status);
   }
-  Status Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+  Status Take() DMAC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return first_;
   }
 
  private:
-  std::mutex mu_;
-  Status first_;
+  Mutex mu_;
+  Status first_ DMAC_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -287,8 +287,8 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
     int64_t bj;
     Block block;
   };
-  std::mutex partials_mu;
-  std::vector<Partial> partials;
+  Mutex partials_mu;
+  std::vector<Partial> partials;  // guarded by partials_mu during phase 1
   StatusCollector errors;
 
   struct Triple {
@@ -335,7 +335,7 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
       if (observe) ObserveGemmStats(stats);
       partial = std::move(*res);
     }
-    std::lock_guard<std::mutex> lock(partials_mu);
+    MutexLock lock(&partials_mu);
     partials.push_back({triple.bi, triple.bj, std::move(partial)});
   }, TaskKind::kMultiply);
   DMAC_RETURN_NOT_OK(CancelStatus());

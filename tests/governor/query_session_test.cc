@@ -136,6 +136,33 @@ TEST(QuerySessionTest, DestructorCancelsInFlightQueries) {
   EXPECT_EQ(BufferPool::GlobalOutstandingBlocks(), before);
 }
 
+TEST(QuerySessionTest, SubmitRacesSafelyWithImmediateWait) {
+  // Regression: Submit used to start the query thread after dropping the
+  // session lock, i.e. after the query was already visible in queries_. A
+  // waiter that guessed the (dense, monotonically assigned) id could then
+  // reach q->thread.joinable()/join() while the std::thread assignment was
+  // still in flight — a race TSan flags on the thread object. The thread
+  // now starts inside the lock; hammering Wait on the next id while
+  // Submit publishes it must be clean and every query must complete.
+  const FaultAppCase app = MakeSmallGnmf();
+  QuerySession session({/*max_concurrent=*/3, /*max_queued=*/16, 0},
+                       BaseConfig());
+  constexpr int64_t kQueries = 6;
+  std::thread waiter([&session] {
+    for (int64_t id = 0; id < kQueries; ++id) {
+      QueryOutcome out;
+      do {
+        out = session.Wait(id);  // spins until Submit publishes the id
+      } while (out.status.code() == StatusCode::kInvalidArgument);
+      EXPECT_TRUE(out.status.ok()) << out.status;
+    }
+  });
+  for (int64_t i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(session.Submit(app.program, app.MakeBindings(), {}), i);
+  }
+  waiter.join();
+}
+
 TEST(QuerySessionTest, ConcurrentQueriesAllSucceedIdentically) {
   const FaultAppCase app = MakeSmallGnmf();
   const auto direct = RunProgram(app.program, app.MakeBindings(),

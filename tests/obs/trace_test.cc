@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -133,6 +135,41 @@ TEST_F(TraceTest, ThreadsGetDistinctStableTids) {
     }
     EXPECT_TRUE(seen);
   }
+}
+
+TEST_F(TraceTest, RegistrationRacesSafelyWithSnapshot) {
+  // Regression: ThreadBuffer::tid used to be assigned after the buffer was
+  // published in the registry, so a concurrent Snapshot could read tid
+  // under buf->mu while the registering thread was still writing it under
+  // registry_mu_ — a race TSan flags. The id is now fixed at construction
+  // (const), before publication. Register fresh threads while another
+  // thread snapshots continuously; every recorded event must carry a
+  // distinct per-thread tid.
+  constexpr int kThreads = 8;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)TraceRecorder::Global().Snapshot();
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      // First span on a fresh thread registers a new buffer.
+      TraceSpan span(kTraceTask, "reg" + std::to_string(t), /*worker=*/t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  auto events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads));
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
 }
 
 TEST_F(TraceTest, SnapshotIsSortedByStartTime) {

@@ -146,7 +146,9 @@ TEST(TransposeFusionTest, TransposedOutputsSurviveTheFold) {
   for (const PlanOutput& out : fused.outputs) {
     ASSERT_GE(out.node, 0);
     ASSERT_LT(out.node, static_cast<int>(fused.nodes.size()));
-    if (out.variable == "T") EXPECT_TRUE(out.transposed);
+    if (out.variable == "T") {
+      EXPECT_TRUE(out.transposed);
+    }
   }
 }
 

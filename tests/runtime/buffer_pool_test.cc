@@ -118,6 +118,36 @@ TEST(BufferPoolTest, OversizeBlockIsRejectedNotGrown) {
   EXPECT_EQ(budget->used_bytes(), 0);
 }
 
+TEST(BufferPoolTest, SetBudgetRacesSafelyWithAcquireRelease) {
+  // Regression: SetBudget used to write budget_ without the pool lock while
+  // worker threads read it inside Acquire/Release — a data race TSan flags.
+  // Budget swaps must now serialize through mu_ against a full
+  // acquire/release storm. Discards release against whichever budget is
+  // current (not the one that charged), so the invariant after the pool
+  // dies is that the two accounts cancel, not that each is zero.
+  auto first = std::make_shared<MemoryBudget>(/*limit_bytes=*/64 << 20);
+  auto second = std::make_shared<MemoryBudget>(/*limit_bytes=*/64 << 20);
+  {
+    BufferPool pool(/*max_per_shape=*/2);
+    pool.SetBudget(first);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&pool] {
+        for (int i = 0; i < 200; ++i) {
+          DenseBlock b = MustAcquire(pool, 16, 16);
+          pool.Release(std::move(b));
+        }
+      });
+    }
+    // Swap budgets continuously while the workers churn.
+    for (int i = 0; i < 100; ++i) {
+      pool.SetBudget(i % 2 == 0 ? second : first);
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(first->used_bytes() + second->used_bytes(), 0);
+}
+
 TEST(BufferPoolTest, TracksGlobalOutstandingBlocks) {
   const int64_t before = BufferPool::GlobalOutstandingBlocks();
   BufferPool pool;

@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
-#include <mutex>
+
+#include "common/sync.h"
 
 #include "common/thread_pool.h"
 #include "matrix/local_matrix.h"
@@ -47,12 +48,12 @@ TEST_P(LocalEngineTest, BlockedMultiplyMatchesOracle) {
       tasks.push_back({bi, bj, 0, a.grid().block_cols()});
     }
   }
-  std::mutex mu;
+  Mutex mu;
   std::map<std::pair<int64_t, int64_t>, Block> results;
   Status st = engine.MultiplyBlocks(
       out_grid, tasks, Source(a), Source(b),
       [&](int64_t bi, int64_t bj, Block blk) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         results.emplace(std::make_pair(bi, bj), std::move(blk));
       });
   ASSERT_TRUE(st.ok()) << st;
@@ -71,12 +72,12 @@ TEST_P(LocalEngineTest, PartialKRangeMultiply) {
   LocalEngine engine = MakeEngine(GetParam());
   const BlockGrid out_grid{{8, 8}, 8};
 
-  std::mutex mu;
+  Mutex mu;
   Block result;
   Status st = engine.MultiplyBlocks(
       out_grid, {{0, 0, 1, 3}}, Source(a), Source(b),
       [&](int64_t, int64_t, Block blk) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         result = std::move(blk);
       });
   ASSERT_TRUE(st.ok());
@@ -139,12 +140,12 @@ TEST(LocalEngineMemoryTest, BufferModeUsesMoreMemoryThanInPlace) {
     };
     MemTracker::Global().ResetPeak();
     const int64_t before = MemTracker::Global().peak_bytes();
-    std::mutex mu;
+    Mutex mu;
     std::vector<Block> results;
     Status st = engine.MultiplyBlocks(
         out_grid, {{0, 0, 0, 8}}, source(a), source(b),
         [&](int64_t, int64_t, Block blk) {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(&mu);
           results.push_back(std::move(blk));
         });
     EXPECT_TRUE(st.ok());

@@ -12,17 +12,21 @@
 //   --baseline         lint the SystemML-S (dependency-oblivious) plan
 //   --no-plan          operator-level checks only; skip planning
 //   --werror           treat warnings as errors for the exit code
+//   --format=FORMAT    `text` (default, human-readable) or `json`: one
+//                      machine-consumable object with file/line/severity/
+//                      pass records per diagnostic, for CI and editors
 //   --corrupt-node ID  deliberately flip node ID's partition scheme after
 //                      planning (testing hook: proves the verifier catches
 //                      a corrupted plan)
 //
 // Exit status: 0 clean, 1 diagnostics at error severity (or any finding
-// with --werror), 2 usage error.
+// with --werror), 2 usage error. The exit code is format-independent.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.h"
 #include "lang/decompose.h"
@@ -33,10 +37,12 @@ using namespace dmac;
 
 namespace {
 
+enum class Format { kText, kJson };
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SCRIPT.dmac [--workers N] [--baseline] [--no-plan] "
-               "[--werror] [--corrupt-node ID]\n",
+               "[--werror] [--format=text|json] [--corrupt-node ID]\n",
                argv0);
   return 2;
 }
@@ -48,6 +54,98 @@ int ExitCode(const AnalysisReport& report, bool werror) {
   return 0;
 }
 
+/// Renders a JSON string literal with escapes.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// One diagnostic as a JSON record. The script has no per-op source
+/// positions, so `line` is 0 (whole file) and `op` carries the operator /
+/// plan-step id the finding is tied to (-1 when global).
+std::string DiagnosticJson(const std::string& file, const Diagnostic& d) {
+  std::string out = "    {\"file\":" + JsonString(file) + ",\"line\":0";
+  out += ",\"severity\":" + JsonString(SeverityName(d.severity));
+  out += ",\"pass\":" + JsonString(d.pass);
+  out += ",\"op\":" + std::to_string(d.op_id);
+  out += ",\"message\":" + JsonString(d.message);
+  if (!d.fixit_hint.empty()) {
+    out += ",\"fixit\":" + JsonString(d.fixit_hint);
+  }
+  out += "}";
+  return out;
+}
+
+/// Emits the whole run as one JSON object:
+///   {"schema":"dmac-lint-v1","file":...,"phase":"operators"|"plan",
+///    "errors":N,"warnings":N,"diagnostics":[{file,line,severity,pass,op,
+///    message,fixit?}, ...]}
+void PrintJson(const std::string& file, const char* phase,
+               const AnalysisReport& report) {
+  std::string out = "{\"schema\":\"dmac-lint-v1\"";
+  out += ",\"file\":" + JsonString(file);
+  out += ",\"phase\":\"";
+  out += phase;
+  out += "\"";
+  out += ",\"errors\":" + std::to_string(report.ErrorCount());
+  out += ",\"warnings\":" + std::to_string(report.WarningCount());
+  out += ",\"diagnostics\":[";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += DiagnosticJson(file, report.diagnostics[i]);
+  }
+  if (!report.diagnostics.empty()) out += "\n  ";
+  out += "]}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
+/// Front-end failures (parse/decompose/plan) still produce a JSON object in
+/// JSON mode so consumers never have to scrape stderr.
+int FrontendError(Format format, const std::string& file, const char* pass,
+                  const Status& status) {
+  if (format == Format::kJson) {
+    AnalysisReport report;
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = pass;
+    d.message = status.ToString();
+    report.diagnostics.push_back(std::move(d));
+    PrintJson(file, pass, report);
+  } else {
+    std::fprintf(stderr, "%s: %s error: %s\n", file.c_str(), pass,
+                 status.ToString().c_str());
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,6 +154,7 @@ int main(int argc, char** argv) {
 
   int num_workers = 4;
   bool baseline = false, no_plan = false, werror = false;
+  Format format = Format::kText;
   int corrupt_node = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +171,10 @@ int main(int argc, char** argv) {
       no_plan = true;
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--format=text") {
+      format = Format::kText;
+    } else if (arg == "--format=json") {
+      format = Format::kJson;
     } else if (arg == "--corrupt-node") {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
@@ -83,6 +186,10 @@ int main(int argc, char** argv) {
 
   std::ifstream file(script_path);
   if (!file) {
+    if (format == Format::kJson) {
+      return FrontendError(format, script_path, "io",
+                           Status::NotFound("cannot open " + script_path));
+    }
     std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
     return 1;
   }
@@ -91,23 +198,23 @@ int main(int argc, char** argv) {
 
   auto program = ParseProgram(buffer.str());
   if (!program.ok()) {
-    std::fprintf(stderr, "%s: parse error: %s\n", script_path.c_str(),
-                 program.status().ToString().c_str());
-    return 1;
+    return FrontendError(format, script_path, "parse", program.status());
   }
   auto ops = Decompose(*program);
   if (!ops.ok()) {
-    std::fprintf(stderr, "%s: decompose error: %s\n", script_path.c_str(),
-                 ops.status().ToString().c_str());
-    return 1;
+    return FrontendError(format, script_path, "decompose", ops.status());
   }
 
   // Operator-level analysis first: if the program itself is malformed the
   // planner cannot run, so report what the passes found and stop.
   AnalysisReport ops_report = AnalyzeProgram(&*ops, nullptr, num_workers);
   if (no_plan || ops_report.HasErrors()) {
-    std::printf("%s (operators): %s", script_path.c_str(),
-                ops_report.ToString().c_str());
+    if (format == Format::kJson) {
+      PrintJson(script_path, "operators", ops_report);
+    } else {
+      std::printf("%s (operators): %s", script_path.c_str(),
+                  ops_report.ToString().c_str());
+    }
     return ExitCode(ops_report, werror);
   }
 
@@ -117,9 +224,7 @@ int main(int argc, char** argv) {
   popts.verify_plan = false;  // lint reports diagnostics itself
   auto plan = GeneratePlan(*ops, popts);
   if (!plan.ok()) {
-    std::fprintf(stderr, "%s: plan error: %s\n", script_path.c_str(),
-                 plan.status().ToString().c_str());
-    return 1;
+    return FrontendError(format, script_path, "plan", plan.status());
   }
 
   if (corrupt_node >= 0) {
@@ -140,6 +245,10 @@ int main(int argc, char** argv) {
   }
 
   AnalysisReport report = AnalyzeProgram(&*ops, &*plan, num_workers);
-  std::printf("%s: %s", script_path.c_str(), report.ToString().c_str());
+  if (format == Format::kJson) {
+    PrintJson(script_path, "plan", report);
+  } else {
+    std::printf("%s: %s", script_path.c_str(), report.ToString().c_str());
+  }
   return ExitCode(report, werror);
 }
