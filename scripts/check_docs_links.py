@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Documentation link checker (the docs_links_check ctest).
+
+Validates, for README.md and every docs/*.md:
+
+  1. Markdown links `[text](target)` with relative targets resolve to a
+     file or directory in the tree (anchors and absolute URLs skipped).
+  2. Backtick-quoted repo paths like `src/matrix/kernels.h` or
+     `docs/governance.md` point at real files/directories, so renames
+     cannot silently strand the prose. Paths with glob/placeholder
+     characters and `a/{b,c}` brace shorthand are expanded or skipped
+     conservatively.
+
+Usage: check_docs_links.py [repo-root]
+Exit 0 when everything resolves, 1 with a per-reference report otherwise.
+"""
+
+import os
+import re
+import sys
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `...` spans that look like repo paths: start with a known top-level
+# directory or file, contain a slash or .md suffix, no spaces.
+CODE_SPAN = re.compile(r"`([^`\s]+)`")
+TOP_LEVEL = (
+    "src/", "docs/", "tests/", "tools/", "bench/", "scripts/",
+    ".github/", "cmake/",
+)
+# Characters that mark a span as a pattern/expression, not a literal path.
+NON_LITERAL = re.compile(r"[*?<>$|=(]|\.\.\.")
+
+
+def expand_braces(path):
+    """`a/kernels.{h,cc}` -> [a/kernels.h, a/kernels.cc]; no nesting."""
+    m = re.search(r"\{([^{}]*)\}", path)
+    if not m:
+        return [path]
+    head, tail = path[: m.start()], path[m.end():]
+    out = []
+    for piece in m.group(1).split(","):
+        out.extend(expand_braces(head + piece + tail))
+    return out
+
+
+def check_file(root, md_path):
+    problems = []
+    rel_dir = os.path.dirname(md_path)
+    text = open(os.path.join(root, md_path), encoding="utf-8").read()
+    # Fenced code blocks keep their backtick spans out of scope, but links
+    # inside them are rare and intentional; strip fences entirely.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+
+    for m in MD_LINK.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        # Relative to the markdown file's own directory, like a renderer.
+        resolved = os.path.normpath(os.path.join(root, rel_dir, target))
+        if not os.path.exists(resolved):
+            # README-style links are repo-root relative in some files.
+            if not os.path.exists(os.path.normpath(os.path.join(root, target))):
+                problems.append((md_path, "link", m.group(1)))
+
+    for m in CODE_SPAN.finditer(text):
+        span = m.group(1).rstrip(".,;:")
+        if not span.startswith(TOP_LEVEL) and span not in (
+            "README.md", "CHANGES.md", "ROADMAP.md", "Doxyfile",
+            "CONTRIBUTING.md", "BENCH_kernels.json",
+        ):
+            continue
+        if NON_LITERAL.search(span):
+            continue
+        ok = False
+        for candidate in expand_braces(span):
+            p = os.path.normpath(os.path.join(root, candidate))
+            # `tools/dmac_run` names the built binary; its source is
+            # tools/dmac_run.cc — accept either spelling.
+            if os.path.exists(p) or os.path.exists(p + ".cc"):
+                ok = True
+            else:
+                ok = False
+                break
+        if not ok:
+            problems.append((md_path, "path", m.group(1)))
+    return problems
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), "..")
+    )
+    files = ["README.md"] + sorted(
+        os.path.join("docs", f)
+        for f in os.listdir(os.path.join(root, "docs"))
+        if f.endswith(".md")
+    )
+    problems = []
+    for f in files:
+        problems.extend(check_file(root, f))
+
+    if problems:
+        for md, kind, ref in problems:
+            print(f"{md}: broken {kind}: {ref}")
+        print(f"\n{len(problems)} broken reference(s) in {len(files)} files")
+        return 1
+    print(f"OK: all links and code paths resolve across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

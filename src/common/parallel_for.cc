@@ -1,0 +1,89 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/sync.h"
+#include "common/thread_pool.h"
+
+namespace dmac {
+
+namespace {
+
+/// State shared between the caller and its pool helpers. Heap-held through
+/// a shared_ptr so a helper scheduled after the caller returned still finds
+/// valid (terminal) state: it observes next_ >= n (or the abandon flag) and
+/// exits without touching the user function.
+struct LoopState {
+  LoopState(int64_t n, const std::atomic<bool>* abandon,
+            std::function<void(int64_t)> fn)
+      : n(n), abandon(abandon), fn(std::move(fn)) {}
+
+  const int64_t n;
+  const std::atomic<bool>* abandon;
+  const std::function<void(int64_t)> fn;
+
+  Mutex mu;
+  CondVar cv;
+  int64_t next DMAC_GUARDED_BY(mu) = 0;
+  int64_t running DMAC_GUARDED_BY(mu) = 0;
+  int64_t ran DMAC_GUARDED_BY(mu) = 0;
+
+  bool Abandoned() const {
+    return abandon != nullptr && abandon->load(std::memory_order_acquire);
+  }
+
+  /// Claims and runs indices until none are left (or the flag fires). The
+  /// claim and the running-count increment happen under one lock so a
+  /// waiter can never observe "nothing running" while a claimed index has
+  /// yet to start.
+  void Drain() DMAC_EXCLUDES(mu) {
+    for (;;) {
+      int64_t i;
+      {
+        MutexLock lock(&mu);
+        if (next >= n || Abandoned()) return;
+        i = next++;
+        ++running;
+      }
+      fn(i);
+      MutexLock lock(&mu);
+      ++ran;
+      if (--running == 0) cv.NotifyAll();
+    }
+  }
+
+  /// Blocks until no claimed index is still executing; only meaningful
+  /// after the caller's own Drain() returned (so no new claims by *this*
+  /// thread). Helpers that drained past the end stop claiming too.
+  int64_t AwaitQuiescent() DMAC_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    while (running > 0) cv.Wait(mu);
+    // Late claims are impossible: Drain() only returns here once next >= n
+    // or the abandon flag fired, and both conditions are sticky.
+    return ran;
+  }
+};
+
+}  // namespace
+
+int64_t ParallelFor(ThreadPool* pool, int64_t n, int max_helpers,
+                    const std::atomic<bool>* abandon,
+                    std::function<void(int64_t)> fn) {
+  if (n <= 0) return 0;
+  const int64_t helpers =
+      pool == nullptr
+          ? 0
+          : std::min<int64_t>(std::max(max_helpers, 0), n - 1);
+  auto state = std::make_shared<LoopState>(n, abandon, std::move(fn));
+  for (int64_t h = 0; h < helpers; ++h) {
+    // The pool-level abandon flag is only an early-skip optimization; the
+    // helper body re-checks the same flag before every claim.
+    pool->Submit(abandon, [state] { state->Drain(); });
+  }
+  state->Drain();
+  return state->AwaitQuiescent();
+}
+
+}  // namespace dmac

@@ -1,0 +1,38 @@
+// Cooperative parallel-for over a shared ThreadPool.
+//
+// The kernel layer parallelizes one GEMM's macro-kernel loop over the same
+// pool that already runs the engine's block tasks, so a naive
+// submit-and-WaitIdle would deadlock: every pool thread can be inside a
+// block task that is itself waiting for its GEMM sub-tasks. ParallelFor
+// avoids this by making the *calling* thread a full participant — it claims
+// and runs indices exactly like the pool helpers do, so forward progress
+// never depends on a pool thread being free. Helper closures that only get
+// scheduled after the loop finished find no indices left and return
+// immediately.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace dmac {
+
+class ThreadPool;
+
+/// Runs `fn(i)` exactly once for every i in [0, n), on the calling thread
+/// plus up to `max_helpers` tasks submitted to `pool`. Blocks until every
+/// *claimed* index has finished running (so `fn` may reference stack state
+/// of the caller), but never waits for helpers that have not started.
+///
+/// Cooperative cancellation: when `abandon` (may be null) reads true, no
+/// further indices are claimed — indices already running complete, and the
+/// call returns the number of indices that actually ran (< n). With a null
+/// or never-fired flag the return value is always n.
+///
+/// `pool` may be null and `max_helpers` 0 or negative; both degrade to a
+/// plain serial loop on the calling thread (still honoring `abandon`).
+int64_t ParallelFor(ThreadPool* pool, int64_t n, int max_helpers,
+                    const std::atomic<bool>* abandon,
+                    std::function<void(int64_t)> fn);
+
+}  // namespace dmac

@@ -87,11 +87,12 @@ Result<Block> Multiply(const Block& a, const Block& b) {
 }
 
 Result<Block> Multiply(const Block& a, const Block& b, bool trans_a,
-                       bool trans_b, GemmScratch* scratch, GemmStats* stats) {
+                       bool trans_b, GemmScratch* scratch, GemmStats* stats,
+                       const GemmParallel* par, const CscBlock* b_csr) {
   DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b, trans_a, trans_b));
   DenseBlock acc(EffRows(a, trans_a), EffCols(b, trans_b));
-  DMAC_RETURN_NOT_OK(
-      MultiplyAccumulate(a, b, trans_a, trans_b, &acc, scratch, stats));
+  DMAC_RETURN_NOT_OK(MultiplyAccumulate(a, b, trans_a, trans_b, &acc, scratch,
+                                        stats, par, b_csr));
   return Block(std::move(acc));
 }
 
@@ -101,7 +102,8 @@ Status MultiplyAccumulate(const Block& a, const Block& b, DenseBlock* acc) {
 
 Status MultiplyAccumulate(const Block& a, const Block& b, bool trans_a,
                           bool trans_b, DenseBlock* acc, GemmScratch* scratch,
-                          GemmStats* stats) {
+                          GemmStats* stats, const GemmParallel* par,
+                          const CscBlock* b_csr) {
   DMAC_RETURN_NOT_OK(CheckMultiplyShapes(a, b, trans_a, trans_b));
   if (acc->rows() != EffRows(a, trans_a) ||
       acc->cols() != EffCols(b, trans_b)) {
@@ -111,7 +113,7 @@ Status MultiplyAccumulate(const Block& a, const Block& b, bool trans_a,
   }
   if (a.IsDense() && b.IsDense()) {
     return GemmDense(a.dense(), b.dense(), trans_a, trans_b, acc, scratch,
-                     stats);
+                     stats, par);
   }
   if (a.IsSparse() && b.IsDense()) {
     return GemmSparseDense(a.sparse(), b.dense(), trans_a, trans_b, acc,
@@ -122,7 +124,7 @@ Status MultiplyAccumulate(const Block& a, const Block& b, bool trans_a,
                            scratch, stats);
   }
   return GemmSparseSparse(a.sparse(), b.sparse(), trans_a, trans_b, acc,
-                          scratch, stats);
+                          scratch, stats, b_csr);
 }
 
 Result<CscBlock> MultiplySparse(const CscBlock& a, const CscBlock& b) {

@@ -1,0 +1,72 @@
+#include "matrix/format_cache.h"
+
+#include <utility>
+
+namespace dmac {
+
+Result<std::shared_ptr<const CscBlock>> FormatCache::Csr(
+    const std::shared_ptr<const Block>& source) {
+  if (source == nullptr || !source->IsSparse()) {
+    return Status::Invalid("FormatCache::Csr needs a sparse source block");
+  }
+  const CscBlock* key = &source->sparse();
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.csr;
+  }
+
+  // Miss: convert under the lock so a concurrent storm over one operand
+  // performs exactly one conversion (see the header for the trade-off).
+  ++stats_.misses;
+  auto csr = std::make_shared<const CscBlock>(key->Transposed());
+  const int64_t bytes = csr->MemoryBytes();
+  if (bytes > capacity_) return csr;  // uncacheable; caller keeps it alive
+  EvictToFit(bytes);
+  if (charge_ != nullptr) {
+    Status charged = charge_(bytes);
+    if (!charged.ok()) {
+      // Budget refused: hand the conversion back transient (like inline
+      // kernel conversions, it is working memory, not resident state).
+      return csr;
+    }
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{source, csr, bytes, lru_.begin()});
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  return csr;
+}
+
+void FormatCache::EvictToFit(int64_t incoming) {
+  while (!lru_.empty() && stats_.bytes + incoming > capacity_) {
+    const CscBlock* victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    stats_.bytes -= it->second.bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    if (release_ != nullptr) release_(it->second.bytes);
+    entries_.erase(it);
+  }
+}
+
+void FormatCache::Clear() {
+  MutexLock lock(&mu_);
+  if (release_ != nullptr) {
+    for (const auto& [key, entry] : entries_) release_(entry.bytes);
+  }
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+FormatCache::Stats FormatCache::GetStats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace dmac

@@ -1,0 +1,110 @@
+// Memoized CSC→CSR format conversions for reused sparse operands.
+//
+// The Gustavson Aᵀ·B path (matrix/spgemm.h) consumes the right-hand
+// operand row-major, i.e. as the structural transpose of its stored CSC
+// form. Converting costs one O(nnz) counting pass — cheap once, wasteful
+// when the same operand block is multiplied many times: every block-row of
+// the output re-reads the same B block within one step, and iterative
+// programs (GNMF, PageRank) re-read it every iteration. The planner marks
+// such reused operands (plan/reuse.h, PlanStep.cache_csr_b) and the engine
+// routes their conversions through this cache.
+//
+// Keying and lifetime: entries are keyed by the *address* of the stored
+// CscBlock payload and hold a shared_ptr to the owning Block, so a key can
+// never be freed and reallocated while its entry lives (no ABA). The
+// cache is byte-capped with LRU eviction; when the governor supplies
+// charge hooks, cached conversion bytes are charged against the query's
+// MemoryBudget like any pooled buffer (docs/governance.md).
+//
+// Thread-safe. A miss converts while holding the cache lock: concurrent
+// first readers of one operand serialize and every later reader reuses the
+// single conversion — the storm case the TSan suite exercises. The
+// conversion itself is O(nnz); callers that cannot tolerate the
+// serialization should convert inline instead (GemmSparseSparse does so
+// whenever no cache is supplied).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "matrix/block.h"
+
+namespace dmac {
+
+/// Thread-safe LRU cache of CSC→CSR conversions.
+class FormatCache {
+ public:
+  /// Charges `bytes` against an external account (the governor's
+  /// MemoryBudget); a non-OK return makes the cache hand the conversion
+  /// back uncached instead of holding unaccounted memory.
+  using ChargeFn = std::function<Status(int64_t)>;
+  /// Returns previously charged bytes on eviction, Clear, or destruction.
+  using ReleaseFn = std::function<void(int64_t)>;
+
+  /// Counters for tests and the engine's metrics; a snapshot, not live.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;      // conversions performed (cached or bypassed)
+    int64_t evictions = 0;   // entries dropped to make room
+    int64_t entries = 0;     // current resident entries
+    int64_t bytes = 0;       // current resident conversion bytes
+  };
+
+  /// Cache holding at most `capacity_bytes` of converted payloads.
+  /// Conversions larger than the capacity are handed back uncached.
+  explicit FormatCache(int64_t capacity_bytes)
+      : FormatCache(capacity_bytes, nullptr, nullptr) {}
+
+  /// Same, with governor accounting hooks (both may be null).
+  FormatCache(int64_t capacity_bytes, ChargeFn charge, ReleaseFn release)
+      : capacity_(capacity_bytes),
+        charge_(std::move(charge)),
+        release_(std::move(release)) {}
+
+  ~FormatCache() { Clear(); }
+
+  FormatCache(const FormatCache&) = delete;
+  FormatCache& operator=(const FormatCache&) = delete;
+
+  /// Returns the CSR form of `source`'s sparse payload — a CscBlock
+  /// holding the structural transpose, exactly
+  /// `source->sparse().Transposed()` — converting on first use and
+  /// serving the shared conversion afterwards. `source` must be sparse
+  /// (kInvalidArgument otherwise) and non-null. The returned pointer
+  /// stays valid for the caller's lifetime even if the entry is evicted.
+  Result<std::shared_ptr<const CscBlock>> Csr(
+      const std::shared_ptr<const Block>& source) DMAC_EXCLUDES(mu_);
+
+  /// Drops every entry and returns all charged bytes.
+  void Clear() DMAC_EXCLUDES(mu_);
+
+  Stats GetStats() const DMAC_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Block> source;  // pins the key's storage
+    std::shared_ptr<const CscBlock> csr;
+    int64_t bytes = 0;
+    std::list<const CscBlock*>::iterator lru_pos;
+  };
+
+  /// Evicts least-recently-used entries until `incoming` more bytes fit.
+  void EvictToFit(int64_t incoming) DMAC_REQUIRES(mu_);
+
+  const int64_t capacity_;
+  const ChargeFn charge_;
+  const ReleaseFn release_;
+
+  mutable Mutex mu_;
+  std::unordered_map<const CscBlock*, Entry> entries_ DMAC_GUARDED_BY(mu_);
+  std::list<const CscBlock*> lru_ DMAC_GUARDED_BY(mu_);  // front = hottest
+  Stats stats_ DMAC_GUARDED_BY(mu_);
+};
+
+}  // namespace dmac

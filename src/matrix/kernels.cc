@@ -8,7 +8,10 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "matrix/spgemm.h"
 
 namespace dmac {
 
@@ -224,9 +227,94 @@ Result<DenseBlock*> GemmScratch::Staging(int64_t rows, int64_t cols) {
 
 // ---- dense GEMM ----------------------------------------------------------
 
+namespace {
+
+/// Column width of one parallel tile task: 8 Nr panels. Wide enough that
+/// the task body dwarfs the ParallelFor claim (an Mc×128×Kc tile is ~8.4
+/// MFLOP), narrow enough that a 256-column block still yields 2 chunks per
+/// Mc panel for load balancing. A multiple of kGemmNr so chunk boundaries
+/// align with packed micro-panels.
+constexpr int64_t kGemmParColChunk = 8 * kGemmNr;
+
+int64_t RoundUp(int64_t v, int64_t unit) { return (v + unit - 1) / unit * unit; }
+
+/// Threaded macro-kernel: per Kc slice, pack the *full* m-height A panel
+/// and n-width B panel serially, then fan the (Mc-row-panel ×
+/// column-chunk) tile tasks out over the pool. Every tile task reads the
+/// shared packed panels and writes a disjoint set of accumulator tiles,
+/// and the Kc loop stays serial, so each C element sees the same packed
+/// values added in the same order as the serial path — bit-identical.
+Status GemmDenseThreaded(const DenseBlock& a, const DenseBlock& b,
+                         bool trans_a, bool trans_b, DenseBlock* acc,
+                         GemmScratch* scratch, GemmStats* stats,
+                         const GemmParallel& par, int64_t m, int64_t n,
+                         int64_t k) {
+  const int64_t kc_max = std::min(k, kGemmKc);
+  DMAC_ASSIGN_OR_RETURN(Scalar * pack_a,
+                        scratch->PanelA(RoundUp(m, kGemmMr) * kc_max));
+  DMAC_ASSIGN_OR_RETURN(Scalar * pack_b,
+                        scratch->PanelB(kc_max * RoundUp(n, kGemmNr)));
+  std::vector<char> b_live;
+
+  const int64_t row_panels = (m + kGemmMc - 1) / kGemmMc;
+  const int64_t col_chunks = (n + kGemmParColChunk - 1) / kGemmParColChunk;
+  const int64_t tiles = row_panels * col_chunks;
+
+  for (int64_t l0 = 0; l0 < k; l0 += kGemmKc) {
+    const int64_t kc = std::min(kGemmKc, k - l0);
+    Timer pack_timer;
+    PackB(b, trans_b, l0, kc, 0, n, pack_b, &b_live);
+    PackA(a, trans_a, 0, m, l0, kc, pack_a);
+    if (stats != nullptr) stats->pack_seconds += pack_timer.ElapsedSeconds();
+
+    auto tile = [&](int64_t t) {
+      const int64_t i0 = (t / col_chunks) * kGemmMc;
+      const int64_t mc = std::min(kGemmMc, m - i0);
+      const int64_t j0 = (t % col_chunks) * kGemmParColChunk;
+      const int64_t nc = std::min(kGemmParColChunk, n - j0);
+      // Mc and the chunk width are multiples of Mr/Nr, so this tile's
+      // micro-panels index cleanly into the full packed panels.
+      const int64_t ip0 = i0 / kGemmMr;
+      const int64_t jp0 = j0 / kGemmNr;
+      const int64_t jpanels = (nc + kGemmNr - 1) / kGemmNr;
+      const int64_t ipanels = (mc + kGemmMr - 1) / kGemmMr;
+      for (int64_t jp = 0; jp < jpanels; ++jp) {
+        if (!b_live[static_cast<size_t>(jp0 + jp)]) continue;
+        const int64_t j = j0 + jp * kGemmNr;
+        const int64_t nr = std::min<int64_t>(kGemmNr, n - j);
+        for (int64_t ip = 0; ip < ipanels; ++ip) {
+          const int64_t i = i0 + ip * kGemmMr;
+          const int64_t mr = std::min<int64_t>(kGemmMr, m - i);
+          MicroKernel(kc, pack_a + (ip0 + ip) * kGemmMr * kc,
+                      pack_b + (jp0 + jp) * kGemmNr * kc, acc->col(j) + i,
+                      acc->rows(), mr, nr);
+        }
+      }
+    };
+    std::function<void(int64_t)> run = tile;
+    if (par.wrap_task) {
+      run = [&par, &tile](int64_t t) {
+        par.wrap_task([&tile, t] { tile(t); });
+      };
+    }
+    const int64_t ran =
+        ParallelFor(par.pool, tiles, par.max_workers - 1, par.abandon, run);
+    if (stats != nullptr) stats->tasks += static_cast<double>(ran);
+    if (ran < tiles) {
+      // The abandon flag fired mid-product; the accumulator holds a
+      // partial sum. The engine discards it and reports the governor's
+      // precise cancel reason over this generic one.
+      return Status::Cancelled("dense GEMM abandoned at tile-task boundary");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status GemmDense(const DenseBlock& a, const DenseBlock& b, bool trans_a,
                  bool trans_b, DenseBlock* acc, GemmScratch* scratch,
-                 GemmStats* stats) {
+                 GemmStats* stats, const GemmParallel* par) {
   const int64_t m = EffRows(a, trans_a);
   const int64_t k = EffCols(a, trans_a);
   const int64_t n = EffCols(b, trans_b);
@@ -235,6 +323,11 @@ Status GemmDense(const DenseBlock& a, const DenseBlock& b, bool trans_a,
 
   GemmScratch local;
   if (scratch == nullptr) scratch = &local;
+  if (par != nullptr && par->Enabled() &&
+      2.0 * m * n * k >= static_cast<double>(kGemmParallelMinFlops)) {
+    return GemmDenseThreaded(a, b, trans_a, trans_b, acc, scratch, stats,
+                             *par, m, n, k);
+  }
   // Panels are sized to the actual blocking this call uses (capped at the
   // full cache-block panels) so small multiplies charge small buffers
   // against a governed budget; exhaustion propagates as a Status.
@@ -432,7 +525,19 @@ Status GemmDenseSparse(const DenseBlock& a, const CscBlock& b, bool trans_a,
   if (!trans_a && !trans_b) {
     DnSpPlain(a, b, acc);
   } else if (trans_a && !trans_b) {
-    DnSpTransA(a, b, acc);
+    // Aᵀ·B_csc: the gather dot strides A once per stored entry of B, so
+    // once B carries at least one entry per inner row it is cheaper to pay
+    // the one-pass dense transpose and run the contiguous axpy kernel
+    // (the ~7× dense_sparse `tn` cliff in BENCH_kernels.json). Very
+    // sparse B keeps the gather path: its total work is below one
+    // transpose pass over A.
+    if (b.nnz() >= a.rows()) {
+      DMAC_ASSIGN_OR_RETURN(const DenseBlock* staged,
+                            StageTranspose(a, scratch, stats));
+      DnSpPlain(*staged, b, acc);
+    } else {
+      DnSpTransA(a, b, acc);
+    }
   } else if (!trans_a && trans_b) {
     DnSpTransB(a, b, acc);
   } else {
@@ -467,41 +572,6 @@ void SpSpPlain(const CscBlock& a, const CscBlock& b, DenseBlock* acc) {
   }
 }
 
-/// acc += Aᵀ · B, both CSC: B's column j is scattered into a dense
-/// k-workspace, then every stored column i of A (= logical row i of A... =
-/// column i of the CSR view) gather-dots against it. O(n · nnz(A)) — see
-/// docs/kernels.md for when this beats materializing Aᵀ.
-Status SpSpTransA(const CscBlock& a, const CscBlock& b, DenseBlock* acc,
-                  GemmScratch* scratch) {
-  const int64_t m = a.cols();  // effective rows
-  const int64_t k = a.rows();
-  const int64_t n = b.cols();
-  DMAC_ASSIGN_OR_RETURN(DenseBlock * ws_block, scratch->Staging(k, 1));
-  Scalar* ws = ws_block->data();
-  std::memset(ws, 0, static_cast<size_t>(k) * sizeof(Scalar));
-  const auto& a_rows = a.row_idx();
-  const auto& a_vals = a.values();
-  const auto& b_rows = b.row_idx();
-  const auto& b_vals = b.values();
-  for (int64_t j = 0; j < n; ++j) {
-    const int32_t bstart = b.ColStart(j);
-    const int32_t bend = b.ColEnd(j);
-    if (bstart == bend) continue;
-    for (int32_t p = bstart; p < bend; ++p) ws[b_rows[p]] = b_vals[p];
-    Scalar* c_col = acc->col(j);
-    for (int64_t i = 0; i < m; ++i) {
-      const int32_t end = a.ColEnd(i);
-      Scalar sum = 0;
-      for (int32_t q = a.ColStart(i); q < end; ++q) {
-        sum += a_vals[q] * ws[a_rows[q]];
-      }
-      c_col[i] += sum;
-    }
-    for (int32_t p = bstart; p < bend; ++p) ws[b_rows[p]] = 0;
-  }
-  return Status::Ok();
-}
-
 /// acc += A · Bᵀ, both CSC: stored entry (j, t) in B's column l pairs with
 /// A's column l — scatter a_col(l) · t into C's column j.
 void SpSpTransB(const CscBlock& a, const CscBlock& b, DenseBlock* acc) {
@@ -524,29 +594,6 @@ void SpSpTransB(const CscBlock& a, const CscBlock& b, DenseBlock* acc) {
   }
 }
 
-/// acc += Aᵀ · Bᵀ = (stored_b · stored_a)ᵀ: run the plain scatter product
-/// of the *stored* blocks and write each contribution at the transposed
-/// coordinate. Same flop count as the seed, no transpose copies.
-void SpSpTransBoth(const CscBlock& a, const CscBlock& b, DenseBlock* acc) {
-  const int64_t m_eff = a.cols();
-  const auto& a_rows = a.row_idx();
-  const auto& a_vals = a.values();
-  const auto& b_rows = b.row_idx();
-  const auto& b_vals = b.values();
-  // Stored a: k x m_eff. Column i of stored a holds A's logical row i...
-  // pairing entry (l, v) with stored b's column l entries (j, w) yields
-  // C(i, j) += v·w.
-  for (int64_t i = 0; i < m_eff; ++i) {
-    for (int32_t q = a.ColStart(i); q < a.ColEnd(i); ++q) {
-      const int64_t l = a_rows[q];
-      const Scalar v = a_vals[q];
-      for (int32_t p = b.ColStart(l); p < b.ColEnd(l); ++p) {
-        acc->col(b_rows[p])[i] += v * b_vals[p];
-      }
-    }
-  }
-}
-
 double SpSpFlops(const CscBlock& a, const CscBlock& b, bool trans_a,
                  bool trans_b) {
   // Exact madd count: Σ over inner index l of nnz(a slice l)·nnz(b slice l)
@@ -562,18 +609,31 @@ double SpSpFlops(const CscBlock& a, const CscBlock& b, bool trans_a,
 
 Status GemmSparseSparse(const CscBlock& a, const CscBlock& b, bool trans_a,
                         bool trans_b, DenseBlock* acc, GemmScratch* scratch,
-                        GemmStats* stats) {
+                        GemmStats* stats, const CscBlock* b_csr) {
   GemmScratch local;
   if (scratch == nullptr) scratch = &local;
   if (stats != nullptr) stats->flops += SpSpFlops(a, b, trans_a, trans_b);
   if (!trans_a && !trans_b) {
     SpSpPlain(a, b, acc);
   } else if (trans_a && !trans_b) {
-    return SpSpTransA(a, b, acc, scratch);
+    // Aᵀ·B via Gustavson: A's stored arrays already read as CSR of Aᵀ;
+    // row-major access to B needs its CSR form — the one conversion the
+    // kernel layer ever materializes. A FormatCache-supplied `b_csr`
+    // skips it; otherwise convert inline and count it as pack time.
+    if (b_csr != nullptr) {
+      SpGemmGustavson(a, *b_csr, acc);
+    } else {
+      Timer timer;
+      const CscBlock converted = b.Transposed();
+      if (stats != nullptr) stats->pack_seconds += timer.ElapsedSeconds();
+      SpGemmGustavson(a, converted, acc);
+    }
   } else if (!trans_a && trans_b) {
     SpSpTransB(a, b, acc);
   } else {
-    SpSpTransBoth(a, b, acc);
+    // Aᵀ·Bᵀ is Gustavson for free: stored A is CSR of Aᵀ and stored B's
+    // column l is row l of the logical Bᵀ.
+    SpGemmGustavson(a, b, acc);
   }
   return Status::Ok();
 }

@@ -84,7 +84,11 @@ const std::vector<MetricSpec>& MetricCatalog() {
        "per dense GEMM, 2 per sparse multiply-add)"},
       {kMetricGemmPackSeconds, MetricKind::kHistogram, "seconds",
        "per-multiply-task time spent packing/staging GEMM operand panels "
-       "(the pack-vs-compute split of docs/kernels.md)"},
+       "and converting sparse formats (the pack-vs-compute split of "
+       "docs/kernels.md)"},
+      {kMetricGemmTasks, MetricKind::kCounter, "tasks",
+       "parallel GEMM tile tasks run by the threaded dense macro-kernel "
+       "(0 while every multiply takes the serial path)"},
       {kMetricPoolAcquires, MetricKind::kCounter, "blocks",
        "dense accumulator blocks acquired from the result buffer pool"},
       {kMetricPoolReuses, MetricKind::kCounter, "blocks",

@@ -1,0 +1,44 @@
+// Operand-reuse marking (the planner's format-conversion-cache hint pass).
+//
+// The Gustavson Aᵀ·B sparse kernel (matrix/spgemm.h) needs its B operand
+// row-major, which costs a one-time CSC→CSR conversion per block. When the
+// plan consumes the same B node from several multiply steps — an iterative
+// program's constant matrix (GNMF's V) is read twice per iteration — the
+// conversion should be paid once and cached, not once per step. This pass
+// sets PlanStep::cache_csr_b on exactly those multiplies; the engine routes
+// their conversions through its FormatCache (matrix/format_cache.h) and
+// the analysis footprint pass (plan/footprint.h) accounts for the resident
+// converted copy so a governed memory budget sees it coming.
+//
+// Operands consumed by a single flagged multiply stay unmarked: their
+// conversion runs inline inside the kernel (still Gustavson, still O(nnz))
+// and its memory is transient scratch. Within-step block reuse — every
+// output block-row re-reading the same B block — is a runtime property of
+// the block grid; once a step is marked, the engine's cache captures that
+// reuse too.
+//
+// Only multiplies whose operands are estimated sparse (size_estimator
+// density below the runtime's sparse-storage cutoff) qualify: the engine
+// consults the cache solely on the sparse×sparse kernel path, and marking a
+// dense product would charge the footprint estimate for a conversion that
+// never happens.
+//
+// Runs after transpose fusion (the trans_a/trans_b flags must be final)
+// and is indifferent to finalization — it only reads step inputs.
+#pragma once
+
+#include "plan/plan.h"
+
+namespace dmac {
+
+/// Outcome of a reuse-marking run (for logs and tests).
+struct ReuseMarkResult {
+  int marked_steps = 0;  // multiplies that will consult the FormatCache
+};
+
+/// Sets PlanStep::cache_csr_b on every Aᵀ·B multiply (trans_a set,
+/// trans_b clear) whose B input node is consumed by at least two plan
+/// steps, in place.
+ReuseMarkResult MarkOperandReuse(Plan* plan);
+
+}  // namespace dmac

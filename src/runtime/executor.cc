@@ -24,6 +24,11 @@ namespace dmac {
 
 namespace {
 
+/// FormatCache capacity when no memory budget bounds the run: large enough
+/// for a handful of converted operand grids, small enough that an unbounded
+/// workload cannot pin the heap with stale conversions.
+constexpr int64_t kFormatCacheDefaultBytes = int64_t{256} << 20;
+
 /// Evaluates a resolved scalar expression against the scalar environment.
 Result<double> EvalScalar(const ScalarExprPtr& e,
                           const std::unordered_map<std::string, double>& env) {
@@ -113,6 +118,28 @@ class Executor::Impl {
         node_last_use_(plan.nodes.size(), -1) {
     if (gov_.token.active()) engine_.SetCancelToken(&gov_.token);
     if (gov_.budget != nullptr) buffers_.SetBudget(gov_.budget);
+    // CSC→CSR conversion cache for plan steps marked by MarkOperandReuse
+    // (plan/reuse.h). Under a governed budget the cache charges the shared
+    // MemoryBudget (Charge never blocks; overshoot is reconciled at step
+    // boundaries like every other allocation) and caps itself at a quarter
+    // of the limit so evictions kick in before conversions crowd out
+    // operand blocks.
+    int64_t cache_capacity = kFormatCacheDefaultBytes;
+    if (gov_.budget != nullptr && gov_.budget->limit_bytes() > 0) {
+      cache_capacity =
+          std::min<int64_t>(cache_capacity, gov_.budget->limit_bytes() / 4);
+      std::shared_ptr<MemoryBudget> budget = gov_.budget;
+      format_cache_ = std::make_unique<FormatCache>(
+          cache_capacity,
+          [budget](int64_t bytes) {
+            budget->Charge(bytes);
+            return Status::Ok();
+          },
+          [budget](int64_t bytes) { budget->Release(bytes); });
+    } else {
+      format_cache_ = std::make_unique<FormatCache>(cache_capacity);
+    }
+    engine_.SetFormatCache(format_cache_.get());
   }
 
   Result<ExecutionResult> Run() {
@@ -1122,6 +1149,7 @@ class Executor::Impl {
     StoreSink sink(c, worker);
     const bool ta = step.trans_a;
     const bool tb = step.trans_b;
+    const MultiplyOptions mopts{ta, tb, step.cache_csr_b};
     return TimedWorker(step, worker, [&] {
       return engine_.MultiplyBlocks(
           out_grid, tasks,
@@ -1134,7 +1162,7 @@ class Executor::Impl {
           [&sink](int64_t bi, int64_t bj, Block blk) {
             sink(bi, bj, std::move(blk));
           },
-          ta, tb);
+          mopts);
     });
   }
 
@@ -1187,7 +1215,7 @@ class Executor::Impl {
               MutexLock lock(&mu);
               local.push_back({bi, bj, std::move(ptr), w});
             },
-            ta, tb);
+            MultiplyOptions{ta, tb, step.cache_csr_b});
       },
       /*idempotent=*/false);  // a second run would duplicate `local`
       DMAC_RETURN_NOT_OK(st);
@@ -1602,6 +1630,7 @@ class Executor::Impl {
   // with the caller's copy; budget and spill store are shared with every
   // node's DistMatrix. `node_last_use_` drives LRU spill ordering.
   GovernorContext gov_;
+  std::unique_ptr<FormatCache> format_cache_;  // not movable: holds a Mutex
   std::vector<int> node_last_use_;
   int step_clock_ = 0;
   bool cancel_span_emitted_ = false;

@@ -36,15 +36,18 @@ Histogram* TaskHistogram(TaskKind kind) {
   return elementwise;
 }
 
-/// Feeds a task's kernel accounting into engine.gemm_flops and
-/// engine.gemm.pack.seconds (stable instrument pointers; call only while
-/// the registry is enabled). Thread-safe — instruments are atomics.
+/// Feeds a task's kernel accounting into engine.gemm_flops,
+/// engine.gemm.pack.seconds and engine.gemm.tasks (stable instrument
+/// pointers; call only while the registry is enabled). Thread-safe —
+/// instruments are atomics.
 void ObserveGemmStats(const GemmStats& stats) {
   static Counter* flops = MetricRegistry::Global().counter(kMetricGemmFlops);
   static Histogram* pack =
       MetricRegistry::Global().histogram(kMetricGemmPackSeconds);
+  static Counter* tiles = MetricRegistry::Global().counter(kMetricGemmTasks);
   flops->Add(stats.flops);
   pack->Observe(stats.pack_seconds);
+  if (stats.tasks > 0) tiles->Add(stats.tasks);
 }
 
 /// Collects the first task failure across threads.
@@ -86,11 +89,20 @@ Status LocalEngine::MultiplyBlocks(const BlockGrid& out_grid,
                                    const BlockFn& get_a, const BlockFn& get_b,
                                    const SinkFn& sink, bool trans_a,
                                    bool trans_b) {
+  MultiplyOptions opts;
+  opts.trans_a = trans_a;
+  opts.trans_b = trans_b;
+  return MultiplyBlocks(out_grid, tasks, get_a, get_b, sink, opts);
+}
+
+Status LocalEngine::MultiplyBlocks(const BlockGrid& out_grid,
+                                   const std::vector<MultiplyTask>& tasks,
+                                   const BlockFn& get_a, const BlockFn& get_b,
+                                   const SinkFn& sink,
+                                   const MultiplyOptions& opts) {
   return mode_ == LocalMode::kInPlace
-             ? MultiplyInPlace(out_grid, tasks, get_a, get_b, sink, trans_a,
-                               trans_b)
-             : MultiplyBuffered(out_grid, tasks, get_a, get_b, sink, trans_a,
-                                trans_b);
+             ? MultiplyInPlace(out_grid, tasks, get_a, get_b, sink, opts)
+             : MultiplyBuffered(out_grid, tasks, get_a, get_b, sink, opts);
 }
 
 GemmScratch LocalEngine::PooledScratch() {
@@ -99,6 +111,23 @@ GemmScratch LocalEngine::PooledScratch() {
         return buffers_->Acquire(rows, cols);
       },
       [this](DenseBlock block) { buffers_->Release(std::move(block)); });
+}
+
+GemmParallel LocalEngine::TileParallel() const {
+  GemmParallel par;
+  par.pool = pool_;
+  par.abandon = cancel_ != nullptr ? cancel_->fired_flag() : nullptr;
+  // The calling block task participates, so every pool thread plus the
+  // caller can work one tile.
+  par.max_workers = static_cast<int>(pool_->num_threads()) + 1;
+  if (TraceRecorder::Global().enabled()) {
+    const int worker = trace_worker_;
+    par.wrap_task = [worker](const std::function<void()>& body) {
+      TraceSpan span(kTraceTask, "gemm-tile", worker);
+      body();
+    };
+  }
+  return par;
 }
 
 void LocalEngine::Dispatch(size_t num_tasks,
@@ -200,8 +229,16 @@ Status LocalEngine::CancelStatus() const {
 Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
                                     const std::vector<MultiplyTask>& tasks,
                                     const BlockFn& get_a, const BlockFn& get_b,
-                                    const SinkFn& sink, bool trans_a,
-                                    bool trans_b) {
+                                    const SinkFn& sink,
+                                    const MultiplyOptions& opts) {
+  const bool trans_a = opts.trans_a;
+  const bool trans_b = opts.trans_b;
+  // The batch's flagged dense products share one tile-parallelism context;
+  // conversion caching applies when the plan marked B reused and a cache
+  // is attached.
+  const GemmParallel par = TileParallel();
+  const bool use_csr_cache =
+      opts.cache_csr_b && format_cache_ != nullptr && trans_a && !trans_b;
   StatusCollector errors;
   Dispatch(tasks.size(), [&](size_t task_index) {
     const MultiplyTask& task = tasks[task_index];
@@ -254,9 +291,20 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
       {
         GemmScratch scratch = PooledScratch();
         for (size_t i = 0; i + 1 < keep_alive.size(); i += 2) {
-          Status st = MultiplyAccumulate(*keep_alive[i], *keep_alive[i + 1],
-                                         trans_a, trans_b, &acc, &scratch,
-                                         observe ? &stats : nullptr);
+          const std::shared_ptr<const Block>& b_block = keep_alive[i + 1];
+          // Shared converted operand: every task multiplying against this
+          // B block reuses one cached CSR copy instead of re-converting.
+          std::shared_ptr<const CscBlock> b_csr;
+          if (use_csr_cache && keep_alive[i]->IsSparse() &&
+              b_block->IsSparse()) {
+            auto csr_or = format_cache_->Csr(b_block);
+            // A cache refusal is not an error: the kernel converts inline.
+            if (csr_or.ok()) b_csr = std::move(*csr_or);
+          }
+          Status st = MultiplyAccumulate(*keep_alive[i], *b_block, trans_a,
+                                         trans_b, &acc, &scratch,
+                                         observe ? &stats : nullptr, &par,
+                                         b_csr.get());
           if (!st.ok()) {
             errors.Record(std::move(st));
             buffers_->Release(std::move(acc));
@@ -278,8 +326,13 @@ Status LocalEngine::MultiplyInPlace(const BlockGrid& out_grid,
 Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
                                      const std::vector<MultiplyTask>& tasks,
                                      const BlockFn& get_a, const BlockFn& get_b,
-                                     const SinkFn& sink, bool trans_a,
-                                     bool trans_b) {
+                                     const SinkFn& sink,
+                                     const MultiplyOptions& opts) {
+  const bool trans_a = opts.trans_a;
+  const bool trans_b = opts.trans_b;
+  const GemmParallel par = TileParallel();
+  const bool use_csr_cache =
+      opts.cache_csr_b && format_cache_ != nullptr && trans_a && !trans_b;
   // Phase 1: materialize every partial block product (the traditional
   // buffered implementation the paper compares against in Fig. 7).
   struct Partial {
@@ -326,8 +379,13 @@ Status LocalEngine::MultiplyBuffered(const BlockGrid& out_grid,
       const bool observe = MetricRegistry::Global().enabled();
       GemmStats stats;
       GemmScratch scratch = PooledScratch();
+      std::shared_ptr<const CscBlock> b_csr;
+      if (use_csr_cache && a->IsSparse() && b->IsSparse()) {
+        auto csr_or = format_cache_->Csr(b);
+        if (csr_or.ok()) b_csr = std::move(*csr_or);
+      }
       auto res = Multiply(*a, *b, trans_a, trans_b, &scratch,
-                          observe ? &stats : nullptr);
+                          observe ? &stats : nullptr, &par, b_csr.get());
       if (!res.ok()) {
         errors.Record(res.status());
         return;

@@ -20,6 +20,7 @@
 #include "common/thread_pool.h"
 #include "governor/cancel_token.h"
 #include "matrix/block_ops.h"
+#include "matrix/format_cache.h"
 #include "runtime/buffer_pool.h"
 
 namespace dmac {
@@ -48,6 +49,18 @@ struct MultiplyTask {
 /// What a batch of block tasks computes — the label used for their trace
 /// spans and per-kind kernel-time histograms (docs/observability.md).
 enum class TaskKind { kMultiply, kTranspose, kElementwise, kAggregate };
+
+/// Per-batch options for MultiplyBlocks.
+struct MultiplyOptions {
+  /// Transpose-fused operand flags (see matrix/kernels.h).
+  bool trans_a = false;
+  bool trans_b = false;
+  /// Route the Aᵀ·B sparse path's CSC→CSR conversions of B blocks through
+  /// the engine's FormatCache (plan/reuse.h sets the corresponding
+  /// PlanStep hint when the operand is reused). No-op unless a cache is
+  /// attached and the pairing is sparse×sparse with trans_a set.
+  bool cache_csr_b = false;
+};
 
 const char* TaskKindName(TaskKind kind);
 
@@ -86,6 +99,15 @@ class LocalEngine {
                         const SinkFn& sink, bool trans_a = false,
                         bool trans_b = false);
 
+  /// Options form: flags plus the format-conversion cache hint. Large
+  /// dense products inside each block task additionally fan their GEMM
+  /// tile tasks out over the same pool (GemmParallel in matrix/kernels.h);
+  /// the caller-participating loop makes that nesting deadlock-free.
+  Status MultiplyBlocks(const BlockGrid& out_grid,
+                        const std::vector<MultiplyTask>& tasks,
+                        const BlockFn& get_a, const BlockFn& get_b,
+                        const SinkFn& sink, const MultiplyOptions& opts);
+
   /// Runs arbitrary independent block tasks (cell-wise operators, scalar
   /// ops, transposes) through the task queue. `kind` labels the tasks'
   /// trace spans and kernel-time histogram.
@@ -98,20 +120,32 @@ class LocalEngine {
   void SetWorkerContext(int worker) { trace_worker_ = worker; }
 
   /// Attaches the query's cancel token (may be null). Once the token fires,
-  /// still-queued tasks are abandoned (never run) and each engine call
-  /// returns the token's status after its batch drains — the kernel-task
-  /// poll boundary of docs/governance.md.
+  /// still-queued tasks are abandoned (never run), running GEMMs stop at
+  /// their next tile-task boundary, and each engine call returns the
+  /// token's status after its batch drains — the kernel-task poll boundary
+  /// of docs/governance.md.
   void SetCancelToken(const CancelToken* token) { cancel_ = token; }
+
+  /// Attaches the CSC→CSR conversion cache consulted when a multiply batch
+  /// carries the cache_csr_b hint (may be null: hints are then ignored and
+  /// conversions run inline per kernel call). The executor owns the cache
+  /// and wires its charge hooks to the query's MemoryBudget.
+  void SetFormatCache(FormatCache* cache) { format_cache_ = cache; }
 
  private:
   Status MultiplyInPlace(const BlockGrid& out_grid,
                          const std::vector<MultiplyTask>& tasks,
                          const BlockFn& get_a, const BlockFn& get_b,
-                         const SinkFn& sink, bool trans_a, bool trans_b);
+                         const SinkFn& sink, const MultiplyOptions& opts);
   Status MultiplyBuffered(const BlockGrid& out_grid,
                           const std::vector<MultiplyTask>& tasks,
                           const BlockFn& get_a, const BlockFn& get_b,
-                          const SinkFn& sink, bool trans_a, bool trans_b);
+                          const SinkFn& sink, const MultiplyOptions& opts);
+
+  /// Intra-kernel parallelism context for this batch's dense GEMMs: the
+  /// shared pool, the cancel flag, and (when tracing) a per-tile span
+  /// wrapper. Valid for the duration of one Dispatch.
+  GemmParallel TileParallel() const;
 
   /// Packing scratch drawing from the engine's buffer pool, so the
   /// governor's accounting sees GEMM panels like any other pooled block.
@@ -134,6 +168,7 @@ class LocalEngine {
   TaskScheduling scheduling_;
   int trace_worker_ = -1;
   const CancelToken* cancel_ = nullptr;
+  FormatCache* format_cache_ = nullptr;
 };
 
 }  // namespace dmac

@@ -1,0 +1,122 @@
+// Tests for the caller-participating ParallelFor (common/parallel_for.h):
+// exactly-once index coverage, serial degradation, cooperative abandon,
+// and forward progress when the pool is saturated (the deadlock scenario
+// the caller-participation design exists for).
+#include "common/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace dmac {
+namespace {
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  const int64_t ran = ParallelFor(&pool, 1000, 3, nullptr,
+                                  [&](int64_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(ran, 1000);
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolDegradesToSerialLoop) {
+  std::vector<int> hits(64, 0);  // no synchronization needed: single thread
+  const int64_t ran =
+      ParallelFor(nullptr, 64, 4, nullptr, [&](int64_t i) { ++hits[i]; });
+  EXPECT_EQ(ran, 64);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ParallelForTest, ZeroHelpersDegradesToSerialLoop) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> count{0};
+  const int64_t ran =
+      ParallelFor(&pool, 100, 0, nullptr, [&](int64_t) { ++count; });
+  EXPECT_EQ(ran, 100);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForTest, ZeroIndicesReturnsImmediately) {
+  ThreadPool pool(2);
+  const int64_t ran =
+      ParallelFor(&pool, 0, 2, nullptr, [](int64_t) { FAIL(); });
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(ParallelForTest, PreFiredAbandonRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<bool> abandon{true};
+  std::atomic<int64_t> count{0};
+  const int64_t ran =
+      ParallelFor(&pool, 100, 2, &abandon, [&](int64_t) { ++count; });
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelForTest, AbandonMidLoopStopsClaimingNewIndices) {
+  ThreadPool pool(2);
+  std::atomic<bool> abandon{false};
+  std::atomic<int64_t> count{0};
+  const int64_t ran = ParallelFor(&pool, 10000, 2, &abandon, [&](int64_t) {
+    if (count.fetch_add(1) == 5) abandon = true;
+  });
+  // Indices already claimed finish; nothing new starts after the flag.
+  EXPECT_LT(ran, 10000);
+  EXPECT_EQ(count.load(), ran);
+}
+
+TEST(ParallelForTest, ReturnCountMatchesCallbacksRun) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> count{0};
+  const int64_t ran =
+      ParallelFor(&pool, 257, 4, nullptr, [&](int64_t) { ++count; });
+  EXPECT_EQ(ran, count.load());
+  EXPECT_EQ(ran, 257);
+}
+
+TEST(ParallelForTest, MakesProgressWhileEveryPoolThreadIsBusy) {
+  // The nested-parallelism scenario: all pool threads are blocked inside
+  // long tasks, so helpers cannot be scheduled — the caller must drain the
+  // loop alone rather than deadlock.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  std::atomic<int64_t> count{0};
+  const int64_t ran =
+      ParallelFor(&pool, 50, 2, nullptr, [&](int64_t) { ++count; });
+  EXPECT_EQ(ran, 50);
+  EXPECT_EQ(count.load(), 50);
+  release = true;
+  pool.WaitIdle();
+}
+
+TEST(ParallelForTest, ReusableForConsecutiveLoops) {
+  // The threaded GEMM repacks panels between Kc slices and reuses the loop
+  // per slice; each call must observe all prior-call writes (quiescence).
+  ThreadPool pool(3);
+  std::vector<int64_t> data(128, 0);
+  for (int wave = 1; wave <= 4; ++wave) {
+    const int64_t ran = ParallelFor(&pool, 128, 3, nullptr,
+                                    [&](int64_t i) { data[i] += wave; });
+    ASSERT_EQ(ran, 128);
+  }
+  for (int64_t v : data) EXPECT_EQ(v, 1 + 2 + 3 + 4);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,221 @@
+// FormatCache tests (matrix/format_cache.h): conversion bit-identity
+// against the uncached path, LRU eviction under a tight byte capacity,
+// charge-hook refusal, and a concurrent multiply storm over one shared
+// converted operand (matrix_test runs under TSan in CI, which turns the
+// storm into a data-race check on the convert-under-lock design).
+#include "matrix/format_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "matrix/block.h"
+#include "matrix/block_ops.h"
+#include "matrix/kernels.h"
+
+namespace dmac {
+namespace {
+
+std::shared_ptr<const Block> SharedSparse(int64_t rows, int64_t cols,
+                                          double sparsity, uint64_t seed) {
+  return std::make_shared<const Block>(
+      RandomSparseBlock(rows, cols, sparsity, seed));
+}
+
+TEST(FormatCacheTest, ConvertedCopyMatchesDirectTranspose) {
+  FormatCache cache(/*capacity_bytes=*/64 << 20);
+  auto src = SharedSparse(96, 80, 0.1, 1);
+
+  auto csr = cache.Csr(src);
+  ASSERT_TRUE(csr.ok()) << csr.status();
+
+  const CscBlock direct = src->sparse().Transposed();
+  ASSERT_EQ((*csr)->rows(), direct.rows());
+  ASSERT_EQ((*csr)->cols(), direct.cols());
+  EXPECT_EQ((*csr)->col_ptr(), direct.col_ptr());
+  EXPECT_EQ((*csr)->row_idx(), direct.row_idx());
+  EXPECT_EQ((*csr)->values(), direct.values());
+}
+
+TEST(FormatCacheTest, CachedMultiplyBitIdenticalToUncached) {
+  // Aᵀ·B sparse×sparse through the cache-provided CSR must be bit-identical
+  // to the kernel's own inline conversion: both hand SpGemmGustavson the
+  // same row-major B.
+  FormatCache cache(64 << 20);
+  Block a = RandomSparseBlock(120, 90, 0.15, 2);
+  auto b = SharedSparse(120, 70, 0.15, 3);
+
+  GemmScratch scratch;
+  DenseBlock uncached(90, 70);
+  ASSERT_TRUE(
+      MultiplyAccumulate(a, *b, true, false, &uncached, &scratch).ok());
+
+  auto csr = cache.Csr(b);
+  ASSERT_TRUE(csr.ok()) << csr.status();
+  DenseBlock cached(90, 70);
+  ASSERT_TRUE(MultiplyAccumulate(a, *b, true, false, &cached, &scratch,
+                                 /*stats=*/nullptr, /*par=*/nullptr,
+                                 csr->get())
+                  .ok());
+
+  for (int64_t c = 0; c < cached.cols(); ++c) {
+    for (int64_t r = 0; r < cached.rows(); ++r) {
+      ASSERT_EQ(cached.At(r, c), uncached.At(r, c))
+          << "at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(FormatCacheTest, SecondLookupHitsAndReturnsSamePointer) {
+  FormatCache cache(64 << 20);
+  auto src = SharedSparse(64, 64, 0.1, 4);
+
+  auto first = cache.Csr(src);
+  auto second = cache.Csr(src);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->get(), second->get());
+
+  const FormatCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes, 0);
+}
+
+TEST(FormatCacheTest, RejectsNullAndDenseSources) {
+  FormatCache cache(64 << 20);
+  EXPECT_EQ(cache.Csr(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  auto dense = std::make_shared<const Block>(RandomDenseBlock(8, 8, 5));
+  EXPECT_EQ(cache.Csr(dense).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FormatCacheTest, EvictsLeastRecentlyUsedUnderTightCapacity) {
+  // Size the capacity from a real conversion so exactly one entry fits.
+  auto probe = SharedSparse(64, 64, 0.2, 6);
+  const int64_t one_entry = probe->sparse().Transposed().MemoryBytes();
+
+  FormatCache cache(one_entry + one_entry / 2);
+  auto a = SharedSparse(64, 64, 0.2, 7);
+  auto b = SharedSparse(64, 64, 0.2, 8);
+
+  ASSERT_TRUE(cache.Csr(a).ok());
+  ASSERT_TRUE(cache.Csr(b).ok());  // evicts a's conversion
+
+  FormatCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_LE(stats.bytes, one_entry + one_entry / 2);
+
+  // `a` must reconvert (miss), proving it was the one evicted.
+  ASSERT_TRUE(cache.Csr(a).ok());
+  EXPECT_EQ(cache.GetStats().misses, 3);
+}
+
+TEST(FormatCacheTest, OversizedConversionReturnedUncached) {
+  FormatCache cache(/*capacity_bytes=*/16);  // nothing real fits
+  auto src = SharedSparse(64, 64, 0.2, 9);
+  auto csr = cache.Csr(src);
+  ASSERT_TRUE(csr.ok()) << csr.status();
+  EXPECT_EQ((*csr)->nnz(), src->sparse().nnz());
+
+  const FormatCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+}
+
+TEST(FormatCacheTest, ChargeRefusalBypassesCachingButStillConverts) {
+  int64_t charged = 0;
+  int64_t released = 0;
+  FormatCache cache(
+      64 << 20,
+      [&charged](int64_t) {
+        ++charged;
+        return Status::ResourceExhausted("budget says no");
+      },
+      [&released](int64_t) { ++released; });
+  auto src = SharedSparse(64, 64, 0.2, 10);
+
+  auto csr = cache.Csr(src);
+  ASSERT_TRUE(csr.ok()) << csr.status();  // caller still gets the copy
+  EXPECT_EQ(cache.GetStats().entries, 0);
+  EXPECT_EQ(charged, 1);
+  EXPECT_EQ(released, 0);  // refused charges must not be released
+}
+
+TEST(FormatCacheTest, ReleaseHookBalancesChargesOnEvictionAndClear) {
+  std::atomic<int64_t> outstanding{0};
+  FormatCache cache(
+      64 << 20,
+      [&outstanding](int64_t bytes) {
+        outstanding += bytes;
+        return Status::Ok();
+      },
+      [&outstanding](int64_t bytes) { outstanding -= bytes; });
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    ASSERT_TRUE(cache.Csr(SharedSparse(48, 48, 0.2, 20 + seed)).ok());
+  }
+  EXPECT_EQ(outstanding.load(), cache.GetStats().bytes);
+  cache.Clear();
+  EXPECT_EQ(outstanding.load(), 0);
+  EXPECT_EQ(cache.GetStats().entries, 0);
+}
+
+TEST(FormatCacheTest, ConcurrentStormSharesOneConversion) {
+  // Many threads multiplying against the same B: the first lookup converts
+  // under the cache lock, everyone else hits, and every thread's product
+  // matches the serial result. Under TSan this validates the shared
+  // converted block is safe for concurrent reads.
+  FormatCache cache(64 << 20);
+  Block a = RandomSparseBlock(100, 80, 0.15, 11);
+  auto b = SharedSparse(100, 60, 0.15, 12);
+
+  GemmScratch ref_scratch;
+  DenseBlock reference(80, 60);
+  ASSERT_TRUE(
+      MultiplyAccumulate(a, *b, true, false, &reference, &ref_scratch).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      GemmScratch scratch;
+      for (int round = 0; round < kRounds; ++round) {
+        auto csr = cache.Csr(b);
+        if (!csr.ok()) {
+          ++mismatches;
+          return;
+        }
+        DenseBlock acc(80, 60);
+        Status st =
+            MultiplyAccumulate(a, *b, true, false, &acc, &scratch,
+                               /*stats=*/nullptr, /*par=*/nullptr,
+                               csr->get());
+        if (!st.ok()) {
+          ++mismatches;
+          return;
+        }
+        for (int64_t c = 0; c < acc.cols(); ++c) {
+          for (int64_t r = 0; r < acc.rows(); ++r) {
+            if (acc.At(r, c) != reference.At(r, c)) ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const FormatCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 1);  // the storm serialized into one conversion
+  EXPECT_EQ(stats.hits, kThreads * kRounds - 1);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -1,0 +1,175 @@
+// Threaded dense GEMM tests (GemmParallel in matrix/kernels.h): the
+// tile-task decomposition must produce bit-identical results to the serial
+// macro-kernel — same packed panels, same per-element accumulation order —
+// across transpose flags and awkward shapes, honor the small-product serial
+// cutoff, and abandon cooperatively at tile-task boundaries. matrix_test
+// runs under TSan in CI, so these also exercise the pack/compute
+// synchronization for data races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "matrix/block.h"
+#include "matrix/block_ops.h"
+#include "matrix/kernels.h"
+
+namespace dmac {
+namespace {
+
+/// Effective-shape operand stored transposed when the flag is set, so both
+/// flag settings multiply the same logical matrices.
+Block Operand(int64_t rows, int64_t cols, bool trans, uint64_t seed) {
+  return trans ? RandomDenseBlock(cols, rows, seed)
+               : RandomDenseBlock(rows, cols, seed);
+}
+
+void ExpectBitIdentical(const DenseBlock& got, const DenseBlock& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (int64_t c = 0; c < got.cols(); ++c) {
+    for (int64_t r = 0; r < got.rows(); ++r) {
+      ASSERT_EQ(got.At(r, c), want.At(r, c))
+          << what << " at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+/// Runs op(A)·op(B) serially and through GemmParallel and asserts the two
+/// accumulators match bit for bit.
+void CheckThreadedMatchesSerial(int64_t m, int64_t n, int64_t k, bool ta,
+                                bool tb, int workers) {
+  Block a = Operand(m, k, ta, 7);
+  Block b = Operand(k, n, tb, 8);
+  GemmScratch scratch;
+
+  DenseBlock serial(m, n);
+  ASSERT_TRUE(MultiplyAccumulate(a, b, ta, tb, &serial, &scratch).ok());
+
+  ThreadPool pool(static_cast<size_t>(workers - 1));
+  GemmParallel par;
+  par.pool = &pool;
+  par.max_workers = workers;
+  ASSERT_TRUE(par.Enabled());
+
+  DenseBlock threaded(m, n);
+  GemmStats stats;
+  ASSERT_TRUE(
+      MultiplyAccumulate(a, b, ta, tb, &threaded, &scratch, &stats, &par)
+          .ok());
+
+  const std::string what = std::string("m=") + std::to_string(m) +
+                           " n=" + std::to_string(n) +
+                           " k=" + std::to_string(k) + " " +
+                           (ta ? "t" : "n") + (tb ? "t" : "n") + " workers=" +
+                           std::to_string(workers);
+  // The product is above the parallel cutoff, so tile tasks must have run.
+  EXPECT_GT(stats.tasks, 0) << what;
+  ExpectBitIdentical(threaded, serial, what);
+}
+
+TEST(GemmParallelTest, AllTransposeFlagsBitIdenticalToSerial) {
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      CheckThreadedMatchesSerial(160, 160, 160, ta, tb, /*workers=*/3);
+    }
+  }
+}
+
+TEST(GemmParallelTest, AwkwardShapesBitIdenticalToSerial) {
+  // Non-multiples of Mr/Nr/Kc/Mc on every axis: edge tiles, padded
+  // micro-panels, and a k above one Kc slice.
+  CheckThreadedMatchesSerial(131, 97, 311, false, false, 3);
+  CheckThreadedMatchesSerial(97, 131, 311, true, true, 2);
+  // Wide-and-short / tall-and-thin splits that leave some workers without
+  // a full column chunk.
+  CheckThreadedMatchesSerial(64, 2048, 64, false, false, 4);
+  CheckThreadedMatchesSerial(2048, 64, 64, false, false, 4);
+}
+
+TEST(GemmParallelTest, SmallProductTakesSerialPathUnderParallelRequest) {
+  // 32^3 is far below kGemmParallelMinFlops: the dispatch must not fan out
+  // (tasks stays 0) and the result must still be correct.
+  Block a = RandomDenseBlock(32, 32, 1);
+  Block b = RandomDenseBlock(32, 32, 2);
+  GemmScratch scratch;
+
+  DenseBlock serial(32, 32);
+  ASSERT_TRUE(MultiplyAccumulate(a, b, false, false, &serial, &scratch).ok());
+
+  ThreadPool pool(2);
+  GemmParallel par;
+  par.pool = &pool;
+  par.max_workers = 3;
+
+  DenseBlock threaded(32, 32);
+  GemmStats stats;
+  ASSERT_TRUE(MultiplyAccumulate(a, b, false, false, &threaded, &scratch,
+                                 &stats, &par)
+                  .ok());
+  EXPECT_EQ(stats.tasks, 0);
+  ExpectBitIdentical(threaded, serial, "below-cutoff product");
+}
+
+TEST(GemmParallelTest, DisabledParallelStructBehavesSerially) {
+  Block a = RandomDenseBlock(160, 160, 3);
+  Block b = RandomDenseBlock(160, 160, 4);
+  GemmScratch scratch;
+
+  GemmParallel par;  // no pool: Enabled() is false
+  EXPECT_FALSE(par.Enabled());
+
+  DenseBlock acc(160, 160);
+  GemmStats stats;
+  ASSERT_TRUE(
+      MultiplyAccumulate(a, b, false, false, &acc, &scratch, &stats, &par)
+          .ok());
+  EXPECT_EQ(stats.tasks, 0);
+}
+
+TEST(GemmParallelTest, PreFiredAbandonReturnsCancelled) {
+  Block a = RandomDenseBlock(256, 256, 5);
+  Block b = RandomDenseBlock(256, 256, 6);
+  GemmScratch scratch;
+
+  ThreadPool pool(2);
+  std::atomic<bool> abandon{true};
+  GemmParallel par;
+  par.pool = &pool;
+  par.max_workers = 3;
+  par.abandon = &abandon;
+
+  DenseBlock acc(256, 256);
+  Status st = MultiplyAccumulate(a, b, false, false, &acc, &scratch,
+                                 /*stats=*/nullptr, &par);
+  EXPECT_EQ(st.code(), StatusCode::kCancelled) << st.ToString();
+}
+
+TEST(GemmParallelTest, WrapTaskSeesEveryTileTask) {
+  Block a = RandomDenseBlock(192, 192, 9);
+  Block b = RandomDenseBlock(192, 192, 10);
+  GemmScratch scratch;
+
+  ThreadPool pool(2);
+  std::atomic<int64_t> wrapped{0};
+  GemmParallel par;
+  par.pool = &pool;
+  par.max_workers = 3;
+  par.wrap_task = [&wrapped](const std::function<void()>& body) {
+    ++wrapped;
+    body();
+  };
+
+  DenseBlock acc(192, 192);
+  GemmStats stats;
+  ASSERT_TRUE(
+      MultiplyAccumulate(a, b, false, false, &acc, &scratch, &stats, &par)
+          .ok());
+  EXPECT_GT(stats.tasks, 0);
+  EXPECT_EQ(static_cast<double>(wrapped.load()), stats.tasks);
+}
+
+}  // namespace
+}  // namespace dmac

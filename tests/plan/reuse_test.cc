@@ -1,0 +1,115 @@
+// Operand-reuse marking tests (plan/reuse.h): the pass must flag exactly
+// the Aᵀ·B multiplies whose sparse B node feeds at least two distinct
+// steps, and the footprint pass (plan/footprint.h) must charge the cached
+// conversion only for flagged operands.
+#include "plan/reuse.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/decompose.h"
+#include "plan/footprint.h"
+#include "plan/planner.h"
+
+namespace dmac {
+namespace {
+
+OperatorList MustDecompose(const Program& p) {
+  auto ops = Decompose(p);
+  EXPECT_TRUE(ops.ok()) << ops.status();
+  return *ops;
+}
+
+Plan MustPlan(const OperatorList& ops) {
+  PlannerOptions opts;
+  opts.num_workers = 4;
+  opts.fuse_transposes = true;  // the pass keys off fused trans_a flags
+  auto plan = GeneratePlan(ops, opts);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return *plan;
+}
+
+int CountCacheMarked(const Plan& plan) {
+  int n = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.cache_csr_b) ++n;
+  }
+  return n;
+}
+
+/// Two Gram-style products reading the same sparse B: Aᵀ·B and Cᵀ·B.
+Program SharedSparseB(double density) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {40000, 300}, density);
+  Mat b = pb.Load("B", {40000, 200}, density);
+  Mat c = pb.Load("C", {40000, 100}, density);
+  Mat g = pb.Var("G");
+  Mat h = pb.Var("H");
+  pb.Assign(g, a.t().mm(b));
+  pb.Assign(h, c.t().mm(b));
+  pb.Output(g);
+  pb.Output(h);
+  return pb.Build();
+}
+
+TEST(ReuseMarkTest, SharedSparseOperandMarksBothMultiplies) {
+  const Plan plan = MustPlan(MustDecompose(SharedSparseB(0.01)));
+  EXPECT_EQ(CountCacheMarked(plan), 2);
+  // The hint must survive into the step listing the executor reads.
+  EXPECT_NE(plan.ToString().find(":CacheB"), std::string::npos);
+}
+
+TEST(ReuseMarkTest, DenseOperandsNeverMarked) {
+  // Same program shape, dense loads: the cache only serves sparse×sparse,
+  // so marking would charge the footprint for a conversion that never
+  // happens (the Gram fusion regression).
+  const Plan plan = MustPlan(MustDecompose(SharedSparseB(1.0)));
+  EXPECT_EQ(CountCacheMarked(plan), 0);
+  EXPECT_EQ(plan.ToString().find(":CacheB"), std::string::npos);
+}
+
+TEST(ReuseMarkTest, SingleConsumerStaysUnmarked) {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {40000, 300}, 0.01);
+  Mat b = pb.Load("B", {40000, 200}, 0.01);
+  Mat g = pb.Var("G");
+  pb.Assign(g, a.t().mm(b));
+  pb.Output(g);
+  const Plan plan = MustPlan(MustDecompose(pb.Build()));
+  EXPECT_EQ(CountCacheMarked(plan), 0);
+}
+
+TEST(ReuseMarkTest, SparseGramSelfProductStaysUnmarked) {
+  // Aᵀ·A reads its node twice from one step; that is not reuse — the step
+  // pays one conversion either way.
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {40000, 300}, 0.01);
+  Mat g = pb.Var("G");
+  pb.Assign(g, a.t().mm(a));
+  pb.Output(g);
+  const Plan plan = MustPlan(MustDecompose(pb.Build()));
+  EXPECT_EQ(CountCacheMarked(plan), 0);
+}
+
+TEST(ReuseMarkTest, MarkingIsIdempotent) {
+  Plan plan = MustPlan(MustDecompose(SharedSparseB(0.01)));
+  const int before = CountCacheMarked(plan);
+  const ReuseMarkResult again = MarkOperandReuse(&plan);
+  EXPECT_EQ(again.marked_steps, before);  // same steps qualify again
+  EXPECT_EQ(CountCacheMarked(plan), before);
+}
+
+TEST(ReuseMarkTest, FootprintChargesCachedConversionDouble) {
+  Plan marked = MustPlan(MustDecompose(SharedSparseB(0.01)));
+  ASSERT_GT(CountCacheMarked(marked), 0);
+
+  Plan unmarked = marked;
+  for (PlanStep& s : unmarked.steps) s.cache_csr_b = false;
+
+  const int64_t with_cache = EstimatePlanFootprintBytes(marked, 4);
+  const int64_t without = EstimatePlanFootprintBytes(unmarked, 4);
+  EXPECT_GT(with_cache, without)
+      << "resident converted copy must show up in the estimate";
+}
+
+}  // namespace
+}  // namespace dmac
