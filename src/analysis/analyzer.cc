@@ -86,11 +86,12 @@ AnalysisReport Analyzer::Run(const AnalysisContext& ctx) const {
 }
 
 AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
-                              int num_workers) {
+                              int num_workers, int min_workers) {
   AnalysisContext ctx;
   ctx.ops = ops;
   ctx.plan = plan;
   ctx.num_workers = num_workers;
+  ctx.min_workers = min_workers;
   if (ops != nullptr) {
     // Only feed the stats cross-check when the list is structurally sound —
     // EstimateSizes indexes operand arrays without arity guards.
@@ -109,11 +110,11 @@ AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
   return Analyzer::Default().Run(ctx);
 }
 
-Status VerifyPlan(const OperatorList& ops, const Plan& plan,
-                  int num_workers) {
+Status VerifyPlan(const OperatorList& ops, const Plan& plan, int num_workers,
+                  int min_workers) {
   TraceSpan span(kTracePlan, "verify-plan");
   Timer timer;
-  Status st = AnalyzeProgram(&ops, &plan, num_workers).ToStatus();
+  Status st = AnalyzeProgram(&ops, &plan, num_workers, min_workers).ToStatus();
   static Gauge* verify_seconds =
       MetricRegistry::Global().gauge(kMetricPlanVerifySeconds);
   verify_seconds->Set(timer.ElapsedSeconds());

@@ -36,13 +36,16 @@ class Analyzer {
 
 /// Builds an AnalysisContext (recomputing worst-case stats from `ops` when
 /// possible) and runs the default pipeline. Either of `ops` / `plan` may be
-/// null for operator-only or plan-only analysis.
+/// null for operator-only or plan-only analysis. `min_workers` is the
+/// degraded-mode quorum the run will enforce; the lineage pass checks its
+/// feasibility against the cluster size.
 AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
-                              int num_workers);
+                              int num_workers, int min_workers = 1);
 
 /// OK when the default pipeline reports no error on (ops, plan); otherwise
 /// an error Status listing every error diagnostic.
-Status VerifyPlan(const OperatorList& ops, const Plan& plan, int num_workers);
+Status VerifyPlan(const OperatorList& ops, const Plan& plan, int num_workers,
+                  int min_workers = 1);
 
 /// Operator-level well-formedness gate used by GeneratePlan before it runs
 /// Algorithm 1: arity, def-before-use, conformance, aliasing. Guarantees the

@@ -31,6 +31,25 @@ class LineageCompletenessPass final : public AnalysisPass {
     const Plan& plan = *ctx.plan;
     const int num_nodes = static_cast<int>(plan.nodes.size());
 
+    // 0. Degraded-mode quorum feasibility: a quorum larger than the cluster
+    //    can never be met, so the very first permanent worker death — or,
+    //    for min_workers > num_workers, even a fault-free run's first
+    //    quorum check — fails the query.
+    if (ctx.min_workers > ctx.num_workers) {
+      out->push_back(
+          {Severity::kError, kPass, -1,
+           "degraded-mode quorum of " + std::to_string(ctx.min_workers) +
+               " workers exceeds the " + std::to_string(ctx.num_workers) +
+               "-worker cluster",
+           "any permanent worker death fails the query immediately"});
+    } else if (ctx.min_workers == ctx.num_workers && ctx.num_workers > 1) {
+      out->push_back(
+          {Severity::kWarning, kPass, -1,
+           "degraded-mode quorum of " + std::to_string(ctx.min_workers) +
+               " equals the cluster size",
+           "the run cannot tolerate a single permanent worker loss"});
+    }
+
     // The actual producer of each node, from the step table.
     std::vector<int> producer(static_cast<size_t>(num_nodes), -1);
     for (const PlanStep& step : plan.steps) {

@@ -30,6 +30,10 @@ struct AnalysisContext {
   /// N in the cost model; must match the planner's setting for the
   /// communication cross-check to be meaningful.
   int num_workers = 4;
+  /// Degraded-mode quorum the run will enforce (executor min_workers). The
+  /// lineage pass flags an infeasible quorum — one the cluster cannot
+  /// satisfy even before any death.
+  int min_workers = 1;
   /// Memory budget the plan must run under, in bytes; 0 = unlimited. The
   /// memory-footprint pass errors when a single step's pinned working set
   /// cannot fit (docs/governance.md).

@@ -22,6 +22,7 @@ PlannerOptions ToPlannerOptions(const RunConfig& config) {
   opts.reassignment = config.reassignment;
   opts.fuse_transposes = config.fuse_transposes;
   opts.verify_plan = config.verify_plan;
+  opts.min_workers = config.min_workers;
   return opts;
 }
 
@@ -99,6 +100,7 @@ Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
   eopts.seed = config.seed;
   eopts.fault = config.fault;
   eopts.checkpoint_every = config.checkpoint_every;
+  eopts.min_workers = config.min_workers;
   eopts.governor = config.governor;
   Executor executor(eopts);
 

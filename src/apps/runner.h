@@ -40,6 +40,10 @@ struct RunConfig {
   FaultSpec fault;
   /// Checkpoint hinted matrices every K producing steps (0 = never).
   int checkpoint_every = 0;
+  /// Degraded-mode quorum: fail clean with kUnavailable once permanent
+  /// worker deaths leave fewer than this many survivors (clamped to
+  /// [1, num_workers]).
+  int min_workers = 1;
   /// Resource governance (docs/governance.md): deadline/cancel token,
   /// memory budget and spill store. Default = ungoverned.
   GovernorContext governor;

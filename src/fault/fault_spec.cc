@@ -50,6 +50,21 @@ Status ParseDouble(const std::string& key, const std::string& value,
 
 }  // namespace
 
+Status NetFaultSpec::Validate() const {
+  DMAC_RETURN_NOT_OK(CheckProb("net_drop_prob", drop_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("net_dup_prob", dup_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("net_reorder_prob", reorder_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("net_delay_prob", delay_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("net_partition_prob", partition_prob));
+  if (delay_seconds < 0) {
+    return Status::Invalid("net_delay_seconds must be >= 0");
+  }
+  if (partition_drops < 1) {
+    return Status::Invalid("net_partition_drops must be >= 1");
+  }
+  return Status::Ok();
+}
+
 Status FaultSpec::Validate() const {
   DMAC_RETURN_NOT_OK(CheckProb("crash_prob", crash_prob));
   DMAC_RETURN_NOT_OK(CheckProb("lost_block_prob", lost_block_prob));
@@ -65,7 +80,11 @@ Status FaultSpec::Validate() const {
   if (backoff_base_seconds < 0) {
     return Status::Invalid("backoff_base_seconds must be >= 0");
   }
-  return Status::Ok();
+  DMAC_RETURN_NOT_OK(CheckProb("death_prob", death_prob));
+  if (death_step >= 0 && death_worker < 0) {
+    return Status::Invalid("death_worker must be >= 0");
+  }
+  return net.Validate();
 }
 
 Result<FaultSpec> ParseFaultSpec(const std::string& text) {
@@ -113,6 +132,28 @@ Result<FaultSpec> ParseFaultSpec(const std::string& text) {
       DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.backoff_base_seconds));
     } else if (key == "permanent_fail_step") {
       spec.permanent_fail_step = std::atoi(value.c_str());
+    } else if (key == "death_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.death_prob));
+    } else if (key == "death_step") {
+      spec.death_step = std::atoi(value.c_str());
+    } else if (key == "death_worker") {
+      spec.death_worker = std::atoi(value.c_str());
+    } else if (key == "death_in_flight") {
+      DMAC_RETURN_NOT_OK(ParseBool(key, value, &spec.death_in_flight));
+    } else if (key == "net_drop_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.net.drop_prob));
+    } else if (key == "net_dup_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.net.dup_prob));
+    } else if (key == "net_reorder_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.net.reorder_prob));
+    } else if (key == "net_delay_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.net.delay_prob));
+    } else if (key == "net_delay_seconds") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.net.delay_seconds));
+    } else if (key == "net_partition_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.net.partition_prob));
+    } else if (key == "net_partition_drops") {
+      spec.net.partition_drops = std::atoi(value.c_str());
     } else {
       return Status::Invalid("fault spec line " + std::to_string(lineno) +
                              ": unknown key '" + key + "'");

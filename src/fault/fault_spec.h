@@ -14,15 +14,55 @@
 
 namespace dmac {
 
+/// Message-level network faults, applied inside the accounting network
+/// layer (docs/fault_tolerance.md). Every knob is a per-message seeded
+/// probability drawn by the FaultInjector at send time; delivery semantics
+/// (retransmit-until-acked, sequence-numbered dedup, sorted commit) absorb
+/// every fault without changing results — only `fault.net.*` accounting.
+struct NetFaultSpec {
+  /// Per message: probability the transfer is dropped and retransmitted
+  /// after a RetryPolicy backoff.
+  double drop_prob = 0;
+  /// Per message: probability a duplicate copy (same sequence number) is
+  /// also delivered; the receiver dedups it.
+  double dup_prob = 0;
+  /// Per message: probability the message arrives out of order; sorted
+  /// sequence-number delivery absorbs it.
+  double reorder_prob = 0;
+  /// Per message: probability the message is delayed by `delay_seconds`.
+  double delay_prob = 0;
+  /// Extra simulated latency of a delayed message.
+  double delay_seconds = 0.005;
+  /// Per message: probability a transient bidirectional partition opens
+  /// around the sender, force-dropping the next `partition_drops` messages
+  /// that involve it before healing.
+  double partition_prob = 0;
+  /// Messages a partition eats before it heals.
+  int partition_drops = 8;
+
+  /// True when any network fault can ever fire.
+  [[nodiscard]] bool Any() const {
+    return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 ||
+           delay_prob > 0 || partition_prob > 0;
+  }
+
+  /// Rejects probabilities outside [0, 1] and nonsensical knobs.
+  [[nodiscard]] Status Validate() const;
+};
+
 /// Probabilities and policy knobs of the simulated failure model.
 ///
 /// Injection points:
 ///  * step boundaries — worker crashes (a worker loses every block it
-///    holds), lost blocks (one store entry dropped), corrupted blocks (one
-///    store entry silently replaced by a bit-flipped copy);
+///    holds), permanent worker deaths (the worker leaves the membership
+///    for the rest of the query), lost blocks (one store entry dropped),
+///    corrupted blocks (one store entry silently replaced by a bit-flipped
+///    copy);
 ///  * worker task launches — transient execution failures (retried with
 ///    exponential backoff) and stragglers (injected extra latency, subject
-///    to speculative re-execution).
+///    to speculative re-execution);
+///  * message sends — the NetFaultSpec drop/duplicate/reorder/delay/
+///    partition knobs, applied inside the accounting network layer.
 struct FaultSpec {
   /// Master switch. When false the executor's fault path is a single
   /// branch and nothing below is consulted.
@@ -67,11 +107,30 @@ struct FaultSpec {
   /// -1 disables.
   int permanent_fail_step = -1;
 
+  /// Per step boundary: probability one live worker dies *permanently* —
+  /// it leaves the membership, its blocks are re-derived through lineage,
+  /// and survivors host its partition slot for the rest of the query.
+  /// Draws are budgeted against the quorum: once another death would drop
+  /// survivors below `ExecutorOptions::min_workers`, no further draw is
+  /// consumed.
+  double death_prob = 0;
+  /// Deterministic death hook: kill `death_worker` at step `death_step`
+  /// (-1 disables). With `death_in_flight` the death lands mid-CPMM, after
+  /// the shuffle sends but before delivery, so the epoch fence — not the
+  /// boundary path — has to catch the stale transfers.
+  int death_step = -1;
+  int death_worker = 0;
+  bool death_in_flight = false;
+
+  /// Message-level network faults.
+  NetFaultSpec net;
+
   /// True when any probability is positive (the spec can ever fire).
   bool AnyFaultPossible() const {
     return crash_prob > 0 || lost_block_prob > 0 || corrupt_prob > 0 ||
            transient_prob > 0 || straggler_prob > 0 ||
-           permanent_fail_step >= 0;
+           permanent_fail_step >= 0 || death_prob > 0 || death_step >= 0 ||
+           net.Any();
   }
 
   /// Rejects probabilities outside [0, 1] and nonsensical knobs.

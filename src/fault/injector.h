@@ -44,6 +44,29 @@ class FaultInjector {
   /// a straggler).
   double DrawStragglerDelay();
 
+  /// Step boundary: does one worker die permanently. The caller gates the
+  /// draw on the quorum budget (no draw when another death would drop
+  /// survivors below min_workers) and picks the victim via DrawVictim, so
+  /// the schedule stays a pure function of (seed, program).
+  bool DrawWorkerDeath() { return Draw(spec_.death_prob); }
+
+  /// Uniform index in [0, bound) for victim selection among live workers.
+  int DrawVictim(int bound) {
+    return static_cast<int>(rng_.NextBounded(
+        static_cast<uint64_t>(bound < 1 ? 1 : bound)));
+  }
+
+  /// Message send: is this transfer dropped (then retransmitted).
+  bool DrawNetDrop() { return Draw(spec_.net.drop_prob); }
+  /// Message send: is a duplicate copy also delivered.
+  bool DrawNetDup() { return Draw(spec_.net.dup_prob); }
+  /// Message send: does this transfer arrive out of order.
+  bool DrawNetReorder() { return Draw(spec_.net.reorder_prob); }
+  /// Message send: is this transfer delayed by `net.delay_seconds`.
+  bool DrawNetDelay() { return Draw(spec_.net.delay_prob); }
+  /// Message send: does a transient partition open around the sender.
+  bool DrawNetPartition() { return Draw(spec_.net.partition_prob); }
+
   /// Fresh seed for corrupted-copy generation.
   uint64_t DrawSeed() { return rng_.Next(); }
 

@@ -125,6 +125,7 @@ void QuerySession::RunQuery(Query* q) {
   out.status = [&]() -> Status {
     // ---- plan + pre-execution footprint estimate ----
     RunConfig config = base_;
+    if (q->opts.fault.has_value()) config.fault = *q->opts.fault;
     Result<Plan> plan = PlanProgram(q->program, config);
     DMAC_RETURN_NOT_OK(plan.status());
     out.footprint_estimate_bytes =

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -32,6 +33,10 @@ struct QueryOptions {
   int64_t memory_budget_bytes = 0;
   /// Spill directory; empty = fresh unique dir under the system temp path.
   std::string spill_dir;
+  /// Per-query fault-injection override; unset = the session's base spec.
+  /// Lets a soak mix fault-free queries with worker-death and network-fault
+  /// scenarios inside one session.
+  std::optional<FaultSpec> fault;
 };
 
 /// Terminal record of one query.

@@ -147,6 +147,33 @@ const std::vector<MetricSpec>& MetricCatalog() {
       {kMetricGovernorCancelLatencySeconds, MetricKind::kHistogram, "seconds",
        "wall time from a cancel/deadline firing to the query's terminal "
        "status"},
+      {kMetricNetMessages, MetricKind::kCounter, "messages",
+       "transfers routed through the fault-injecting network layer"},
+      {kMetricNetRetransmits, MetricKind::kCounter, "messages",
+       "dropped transfers retransmitted until delivered"},
+      {kMetricNetRetransBytes, MetricKind::kCounter, "bytes",
+       "bytes moved again by network retransmits (recovery-side, never in "
+       "the useful-comm totals)"},
+      {kMetricNetDuplicates, MetricKind::kCounter, "messages",
+       "duplicate deliveries absorbed by sequence-number dedup"},
+      {kMetricNetReordered, MetricKind::kCounter, "messages",
+       "out-of-order arrivals absorbed by sorted (sender, sequence) "
+       "delivery"},
+      {kMetricNetDelaySeconds, MetricKind::kCounter, "seconds",
+       "simulated latency added by injected delays and retransmit backoff"},
+      {kMetricNetPartitions, MetricKind::kCounter, "partitions",
+       "transient bidirectional network partitions opened"},
+      {kMetricNetStaleFenced, MetricKind::kCounter, "messages",
+       "dead-sender transfers fenced by the membership epoch (the "
+       "zombie-straggler double-write, prevented)"},
+      {kMetricNetStaleApplied, MetricKind::kCounter, "messages",
+       "audit counter: dead-sender transfers applied anyway (must stay 0)"},
+      {kMetricMembershipEpoch, MetricKind::kGauge, "epoch",
+       "membership epoch after the last run (1 = no membership changes)"},
+      {kMetricMembershipWorkersDead, MetricKind::kGauge, "workers",
+       "workers permanently dead at the end of the last run"},
+      {kMetricMembershipDetectionSeconds, MetricKind::kCounter, "seconds",
+       "simulated heartbeat-detector latency from death to declaration"},
   };
   return *catalog;
 }

@@ -202,6 +202,23 @@ inline constexpr const char* kMetricFaultCheckpointBytes =
     "fault.checkpoint.bytes";
 inline constexpr const char* kMetricFaultRecoverySeconds =
     "fault.recovery.seconds";
+inline constexpr const char* kMetricNetMessages = "fault.net.messages";
+inline constexpr const char* kMetricNetRetransmits = "fault.net.retransmits";
+inline constexpr const char* kMetricNetRetransBytes =
+    "fault.net.retrans.bytes";
+inline constexpr const char* kMetricNetDuplicates = "fault.net.duplicates";
+inline constexpr const char* kMetricNetReordered = "fault.net.reordered";
+inline constexpr const char* kMetricNetDelaySeconds =
+    "fault.net.delay.seconds";
+inline constexpr const char* kMetricNetPartitions = "fault.net.partitions";
+inline constexpr const char* kMetricNetStaleFenced = "fault.net.stale.fenced";
+inline constexpr const char* kMetricNetStaleApplied =
+    "fault.net.stale.applied";
+inline constexpr const char* kMetricMembershipEpoch = "membership.epoch";
+inline constexpr const char* kMetricMembershipWorkersDead =
+    "membership.workers.dead";
+inline constexpr const char* kMetricMembershipDetectionSeconds =
+    "membership.detection.seconds";
 inline constexpr const char* kMetricGovernorSpillBytes = "governor.spill.bytes";
 inline constexpr const char* kMetricGovernorSpillBlocks =
     "governor.spill.blocks";

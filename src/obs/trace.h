@@ -33,6 +33,8 @@ inline constexpr const char* kTraceTask = "task";    // one block task
 inline constexpr const char* kTraceRecovery = "recovery";  // fault recovery
 inline constexpr const char* kTraceSpill = "spill";    // budget spill/restore
 inline constexpr const char* kTraceCancel = "cancel";  // cancellation observed
+inline constexpr const char* kTraceMembership =
+    "membership";  // epoch bumps / worker death / degraded rebalance
 
 /// One completed span. `worker` is -1 for driver-side work.
 struct TraceEvent {

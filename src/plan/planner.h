@@ -53,6 +53,11 @@ struct PlannerOptions {
   /// assert-enabled (debug) builds, where a planner bug should fail loudly
   /// instead of becoming a wrong answer; off by default in release builds.
   bool verify_plan = kVerifyPlanDefault;
+
+  /// Degraded-mode quorum the run will enforce (executor min_workers),
+  /// forwarded to the verifier so the lineage-completeness pass can flag
+  /// a quorum the cluster cannot satisfy before execution starts.
+  int min_workers = 1;
 };
 
 /// Runs Algorithm 1 over the decomposed program and returns a finalized,

@@ -319,6 +319,26 @@ class DistMatrix {
     return true;
   }
 
+  // --- Degraded mode (permanent worker loss) -------------------------------
+
+  /// Installs the deterministic rebalance map after a membership change:
+  /// `map[w]` is the surviving worker that physically hosts virtual slot
+  /// `w` (ClusterMembership::HostMap()). The *logical* layout — OwnerOf,
+  /// store keys, and therefore the floating-point summation order — stays
+  /// frozen at the original worker count; only timing attribution and
+  /// byte accounting follow the map (a transfer between two slots hosted
+  /// on the same survivor moves no bytes).
+  void SetRebalanceMap(std::vector<int> map) { rebalance_ = std::move(map); }
+
+  /// The worker physically hosting virtual slot `w` (identity until a
+  /// rebalance map is installed).
+  int HostOf(int w) const {
+    return rebalance_.empty() || w < 0 ||
+                   static_cast<size_t>(w) >= rebalance_.size()
+               ? w
+               : rebalance_[static_cast<size_t>(w)];
+  }
+
  private:
   struct Entry {
     BlockPtr block;
@@ -350,6 +370,8 @@ class DistMatrix {
   std::shared_ptr<MemoryBudget> budget_;
   std::shared_ptr<SpillStore> spill_;
   int64_t spilled_entries_ = 0;
+  /// Virtual slot -> hosting survivor; empty = identity (no deaths).
+  std::vector<int> rebalance_;
 };
 
 }  // namespace dmac

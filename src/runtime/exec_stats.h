@@ -60,6 +60,24 @@ struct ExecStats {
   /// Blocks rebuilt from lineage, per stage (same indexing).
   std::vector<int64_t> stage_recomputed_blocks;
 
+  // --- Membership / permanent worker loss (docs/fault_tolerance.md).
+  int64_t workers_dead = 0;        // permanent deaths over the run
+  int64_t membership_epoch = 0;    // final epoch (0 = membership not built)
+  double detection_seconds = 0;    // simulated failure-detection latency
+
+  // --- Message-level network faults. All zero when the network layer is
+  // off; none of them perturb the useful-comm totals above — drop /
+  // duplicate / reorder / delay only ever add *recovery-side* accounting.
+  int64_t net_messages = 0;      // transfers routed through the layer
+  int64_t net_retransmits = 0;   // dropped sends retried to delivery
+  double net_retrans_bytes = 0;  // bytes moved again by retransmits
+  int64_t net_duplicates = 0;    // duplicate deliveries absorbed
+  int64_t net_reordered = 0;     // out-of-order arrivals absorbed
+  double net_delay_seconds = 0;  // simulated latency from delays + backoff
+  int64_t net_partitions = 0;    // transient partitions opened
+  int64_t net_stale_fenced = 0;  // dead-sender transfers fenced by epoch
+  int64_t net_stale_applied = 0;  // audit: fenced-class transfers applied
+
   double comm_bytes() const { return shuffle_bytes + broadcast_bytes; }
   int64_t comm_events() const { return shuffle_events + broadcast_events; }
 
@@ -159,6 +177,19 @@ struct ExecStats {
     MergeStage(&stage_recovery_seconds, other.stage_recovery_seconds);
     MergeStage(&stage_retries, other.stage_retries);
     MergeStage(&stage_recomputed_blocks, other.stage_recomputed_blocks);
+    workers_dead += other.workers_dead;
+    // Epochs are monotone counters, not additive quantities.
+    membership_epoch = std::max(membership_epoch, other.membership_epoch);
+    detection_seconds += other.detection_seconds;
+    net_messages += other.net_messages;
+    net_retransmits += other.net_retransmits;
+    net_retrans_bytes += other.net_retrans_bytes;
+    net_duplicates += other.net_duplicates;
+    net_reordered += other.net_reordered;
+    net_delay_seconds += other.net_delay_seconds;
+    net_partitions += other.net_partitions;
+    net_stale_fenced += other.net_stale_fenced;
+    net_stale_applied += other.net_stale_applied;
   }
 
  private:

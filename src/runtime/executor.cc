@@ -15,10 +15,13 @@
 #include "fault/checkpoint.h"
 #include "fault/injector.h"
 #include "fault/lineage.h"
+#include "fault/retry_policy.h"
 #include "matrix/mem_tracker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/buffer_pool.h"
+#include "runtime/membership.h"
+#include "runtime/network.h"
 
 namespace dmac {
 
@@ -194,6 +197,7 @@ class Executor::Impl {
       metric_fault_injected_->Add(
           static_cast<double>(stats_.faults_injected));
     }
+    ExportFaultNetworkStats();
 
     ExecutionResult result;
     for (const PlanOutput& out : plan_.outputs) {
@@ -255,6 +259,7 @@ class Executor::Impl {
     if (gov_.budget != nullptr || gov_.spill != nullptr) {
       dm->SetGovernor(gov_.budget, gov_.spill);
     }
+    if (!host_map_.empty()) dm->SetRebalanceMap(host_map_);
     node_data_[static_cast<size_t>(node_id)] = dm;
     return dm;
   }
@@ -288,19 +293,23 @@ class Executor::Impl {
                                delay);
       }
     }
+    // Logical slot `worker` may be hosted by a survivor after a permanent
+    // death; timing and spans attribute to the physical host while the
+    // block layout stays keyed by the logical slot (bit identity).
+    const int host = Host(worker);
     TraceSpan span =
         TraceRecorder::Global().enabled()
             ? TraceSpan(recovering_ ? kTraceRecovery : kTraceWorker,
-                        StepSpanName(step), worker,
+                        StepSpanName(step), host,
                         TraceArg("stage", int64_t{step.stage}))
             : TraceSpan();
-    engine_.SetWorkerContext(worker);
+    engine_.SetWorkerContext(host);
     Timer timer;
     Status st = fn();
     if (recovering_) {
       AddRecoverySeconds(step.stage, timer.ElapsedSeconds());
     } else {
-      stats_.AddWorkerSeconds(step.stage, worker, timer.ElapsedSeconds());
+      stats_.AddWorkerSeconds(step.stage, host, timer.ElapsedSeconds());
     }
     return st;
   }
@@ -312,12 +321,13 @@ class Executor::Impl {
   template <typename Fn>
   Status StraggledWorker(const PlanStep& step, int worker, Fn&& fn,
                          bool idempotent, double delay) {
+    const int host = Host(worker);
     TraceSpan span =
         TraceRecorder::Global().enabled()
             ? TraceSpan(kTraceRecovery, "straggler " + StepSpanName(step),
-                        worker, TraceArg("delay_s", delay))
+                        host, TraceArg("delay_s", delay))
             : TraceSpan();
-    engine_.SetWorkerContext(worker);
+    engine_.SetWorkerContext(host);
     Timer timer;
     Status st = fn();
     const double measured = timer.ElapsedSeconds();
@@ -326,7 +336,7 @@ class Executor::Impl {
       AddRecoverySeconds(step.stage, measured + delay);
       ++stats_.speculated_tasks;
       metric_fault_speculated_->Increment();
-      const int backup = (worker + 1) % opts_.num_workers;
+      const int backup = Host((worker + 1) % opts_.num_workers);
       engine_.SetWorkerContext(backup);
       Timer backup_timer;
       st = fn();
@@ -334,7 +344,7 @@ class Executor::Impl {
                               backup_timer.ElapsedSeconds());
       return st;
     }
-    stats_.AddWorkerSeconds(step.stage, worker, measured + delay);
+    stats_.AddWorkerSeconds(step.stage, host, measured + delay);
     return st;
   }
 
@@ -493,10 +503,22 @@ class Executor::Impl {
 
   Status SetUpFaultTolerance() {
     ft_ = opts_.fault.enabled || opts_.checkpoint_every > 0;
+    min_workers_ = std::min(std::max(opts_.min_workers, 1), opts_.num_workers);
     if (!ft_) return Status::Ok();
+    retry_policy_ = RetryPolicy{opts_.fault.max_retries,
+                                opts_.fault.backoff_base_seconds,
+                                /*multiplier=*/2.0, /*cap_seconds=*/0,
+                                /*jitter_fraction=*/0, opts_.fault.seed};
     if (opts_.fault.enabled) {
       DMAC_RETURN_NOT_OK(opts_.fault.Validate());
       injector_ = std::make_unique<FaultInjector>(opts_.fault);
+      const bool death_possible =
+          opts_.fault.death_prob > 0 || opts_.fault.death_step >= 0;
+      if (death_possible || opts_.fault.net.Any()) {
+        membership_ = std::make_unique<ClusterMembership>(opts_.num_workers);
+        net_ = std::make_unique<SimNetwork>(injector_.get(), membership_.get(),
+                                            retry_policy_);
+      }
     }
     plan_has_hints_ = false;
     for (const PlanNode& node : plan_.nodes) {
@@ -505,6 +527,49 @@ class Executor::Impl {
     return Status::Ok();
   }
 
+  /// Physical host of logical slot `w` (identity until a death rebalances).
+  int Host(int w) const {
+    return membership_ != nullptr ? membership_->HostOf(w) : w;
+  }
+
+  /// Copies membership and network-fault accounting into ExecStats and the
+  /// metric registry at the end of a run.
+  void ExportFaultNetworkStats() {
+    if (membership_ != nullptr) {
+      stats_.membership_epoch = membership_->epoch();
+      metric_membership_epoch_->Set(
+          static_cast<double>(membership_->epoch()));
+      metric_membership_dead_->Set(
+          static_cast<double>(membership_->dead_workers()));
+      metric_membership_detection_->Add(stats_.detection_seconds);
+    }
+    if (net_ == nullptr) return;
+    const NetFaultStats& ns = net_->stats();
+    stats_.net_messages = ns.messages;
+    stats_.net_retransmits = ns.retransmits;
+    stats_.net_retrans_bytes = ns.retrans_bytes;
+    stats_.net_duplicates = ns.duplicates;
+    stats_.net_reordered = ns.reordered;
+    stats_.net_delay_seconds = ns.delay_seconds;
+    stats_.net_partitions = ns.partitions;
+    stats_.net_stale_fenced = ns.stale_fenced;
+    stats_.net_stale_applied = ns.stale_applied;
+    metric_net_messages_->Add(static_cast<double>(ns.messages));
+    metric_net_retransmits_->Add(static_cast<double>(ns.retransmits));
+    metric_net_retrans_bytes_->Add(ns.retrans_bytes);
+    metric_net_duplicates_->Add(static_cast<double>(ns.duplicates));
+    metric_net_reordered_->Add(static_cast<double>(ns.reordered));
+    metric_net_delay_seconds_->Add(ns.delay_seconds);
+    metric_net_partitions_->Add(static_cast<double>(ns.partitions));
+    metric_net_stale_fenced_->Add(static_cast<double>(ns.stale_fenced));
+    metric_net_stale_applied_->Add(static_cast<double>(ns.stale_applied));
+  }
+
+  /// Transfers route through the fault-injecting network layer only on the
+  /// useful (first) attempt; retries and lineage recovery use the direct
+  /// path so that a bounded retry budget is guaranteed to converge.
+  bool UseNetwork() const { return net_ != nullptr && !recovering_; }
+
   /// Fault-tolerant step execution: inject boundary faults, then attempt
   /// the step up to 1 + max_retries times. A retryable failure (transient
   /// Unavailable, detected DataLoss) triggers exponential backoff and full
@@ -512,11 +577,27 @@ class Executor::Impl {
   /// recovery work so the useful-compute totals stay clean. On success the
   /// output's lineage manifest is recorded and checkpointing may trigger.
   Status RunStepWithRecovery(const PlanStep& step) {
-    if (injector_ != nullptr) InjectBoundaryFaults();
+    if (injector_ != nullptr) InjectBoundaryFaults(step);
+    // Below quorum the run fails clean — no retries burned, no recovery
+    // attempted, no partial output left behind.
+    if (!quorum_status_.ok()) {
+      if (step.output >= 0) {
+        node_data_[static_cast<size_t>(step.output)] = nullptr;
+      }
+      return quorum_status_;
+    }
     Status st;
     for (int attempt = 0;; ++attempt) {
       st = AttemptStep(step, attempt);
       if (st.ok()) break;
+      // An in-flight death during the attempt may have dropped the cluster
+      // below quorum; give up before the retry machinery spends anything.
+      if (!quorum_status_.ok()) {
+        if (step.output >= 0) {
+          node_data_[static_cast<size_t>(step.output)] = nullptr;
+        }
+        return quorum_status_;
+      }
       // A fired token preempts the retry path: the query exits promptly —
       // no retry counted, no simulated backoff, no recovery sweep — and no
       // partial output survives.
@@ -529,9 +610,8 @@ class Executor::Impl {
           DMAC_RETURN_NOT_OK(CheckCancel());  // emits the cancel span
         }
       }
-      const bool retryable = st.code() == StatusCode::kUnavailable ||
-                             st.code() == StatusCode::kDataLoss;
-      if (!retryable || attempt >= opts_.fault.max_retries) {
+      const bool retryable = RetryPolicy::Retryable(st);
+      if (!retryable || attempt >= retry_policy_.max_retries) {
         // Give up cleanly: no partial output may survive in the stores.
         if (step.output >= 0) {
           node_data_[static_cast<size_t>(step.output)] = nullptr;
@@ -553,9 +633,7 @@ class Executor::Impl {
       stats_.AddRetry(step.stage);
       metric_fault_retries_->Increment();
       // Simulated exponential backoff; transient faults clear with time.
-      AddRecoverySeconds(step.stage,
-                         opts_.fault.backoff_base_seconds *
-                             std::ldexp(1.0, std::min(attempt, 40)));
+      AddRecoverySeconds(step.stage, retry_policy_.BackoffSeconds(attempt));
       DMAC_RETURN_NOT_OK(RecoverAll());
     }
     DMAC_RETURN_NOT_OK(AfterStepSuccess(step));
@@ -566,6 +644,10 @@ class Executor::Impl {
     // The first attempt is the useful one; repeats are recovery work (no
     // further injection, seconds and bytes attributed to recovery).
     recovering_ = attempt > 0;
+    // A failed attempt may have left undelivered sends queued (e.g. a
+    // missing block detected mid-shuffle); they must never leak into a
+    // later flush.
+    if (net_ != nullptr) net_->Clear();
     Status st = PreflightStepInputs(step);
     if (st.ok()) st = ExecuteStep(step);
     recovering_ = false;
@@ -592,16 +674,41 @@ class Executor::Impl {
     return Status::Ok();
   }
 
-  /// Step-boundary injection: worker crashes and per-entry lost/corrupted
-  /// blocks, applied to every live node in a deterministic sweep (nodes by
-  /// id, workers ascending, store keys ascending) so a seed always yields
-  /// the same schedule.
-  void InjectBoundaryFaults() {
+  /// Step-boundary injection: worker crashes, permanent worker deaths, and
+  /// per-entry lost/corrupted blocks, applied to every live node in a
+  /// deterministic sweep (nodes by id, workers ascending, store keys
+  /// ascending) so a seed always yields the same schedule.
+  void InjectBoundaryFaults(const PlanStep& step) {
     int victim = -1;
     if (injector_->DrawCrash(opts_.num_workers, &victim)) {
       TraceSpan span(kTraceRecovery, "inject-crash", victim);
       for (auto& dm : node_data_) {
         if (dm != nullptr) dm->ClearWorker(victim);
+      }
+    }
+    if (membership_ != nullptr) {
+      // Forced death at a chosen step boundary (death_in_flight instead
+      // fires mid-CPMM, at the communication-round boundary).
+      if (opts_.fault.death_step == step.id && !opts_.fault.death_in_flight &&
+          !forced_death_applied_) {
+        forced_death_applied_ = true;
+        ApplyDeath(opts_.fault.death_worker, step.stage);
+      }
+      // Probabilistic deaths are quorum-budgeted: once one more death would
+      // drop the cluster below min_workers, no further draw is consumed —
+      // the fault schedule of the surviving spec stays deterministic.
+      if (opts_.fault.death_prob > 0 &&
+          membership_->live_workers() - 1 >= min_workers_ &&
+          injector_->DrawWorkerDeath()) {
+        const int k = injector_->DrawVictim(membership_->live_workers());
+        int seen = 0;
+        for (int w = 0; w < opts_.num_workers; ++w) {
+          if (membership_->IsDead(w)) continue;
+          if (seen++ == k) {
+            ApplyDeath(w, step.stage);
+            break;
+          }
+        }
       }
     }
     const bool per_entry = opts_.fault.lost_block_prob > 0 ||
@@ -627,6 +734,38 @@ class Executor::Impl {
           }
         }
       }
+    }
+  }
+
+  /// Permanently kills logical worker `victim`: the failure detector
+  /// declares it dead (bumping the membership epoch, which fences any
+  /// in-flight transfer it sent), its blocks vanish from every store, and
+  /// its logical slot is rebalanced onto a deterministic survivor. The
+  /// lost blocks are re-derived through the ordinary lineage machinery
+  /// (checkpoint → replica → recompute) on the next recovery sweep. Below
+  /// quorum this arms `quorum_status_` instead of attempting recovery.
+  void ApplyDeath(int victim, int stage) {
+    if (victim < 0 || victim >= opts_.num_workers) return;
+    if (membership_->IsDead(victim)) return;  // death is permanent
+    const double detection = membership_->DeclareDead(victim);
+    stats_.detection_seconds += detection;
+    AddRecoverySeconds(stage, detection);
+    ++stats_.workers_dead;
+    for (auto& dm : node_data_) {
+      if (dm != nullptr) dm->ClearWorker(victim);
+    }
+    host_map_ = membership_->HostMap();
+    for (auto& dm : node_data_) {
+      if (dm != nullptr) dm->SetRebalanceMap(host_map_);
+    }
+    TraceSpan span(kTraceMembership, "worker-death", victim,
+                   TraceArg("epoch", membership_->epoch()) + "," +
+                       TraceArg("live", int64_t{membership_->live_workers()}));
+    if (membership_->live_workers() < min_workers_) {
+      quorum_status_ = Status::Unavailable(
+          "worker " + std::to_string(victim) + " died permanently, leaving " +
+          std::to_string(membership_->live_workers()) +
+          " live workers below the quorum of " + std::to_string(min_workers_));
     }
   }
 
@@ -950,10 +1089,16 @@ class Executor::Impl {
                               VerifiedGet(src, from, bi, bj, "partition"));
         if (same_scheme) {
           bytes += static_cast<double>(ptr->MemoryBytes()) * hash_fraction;
-        } else if (from != to) {
+        } else if (Host(from) != Host(to)) {
           bytes += static_cast<double>(ptr->MemoryBytes());
         }
-        dst->Put(to, bi, bj, std::move(ptr));
+        if (UseNetwork() && from != to) {
+          DistMatrix* d = dst.get();
+          net_->Send(from, to, static_cast<double>(ptr->MemoryBytes()),
+                     [d, to, bi, bj, ptr] { d->Put(to, bi, bj, ptr); });
+        } else {
+          dst->Put(to, bi, bj, std::move(ptr));
+        }
       }
     }
     CountShuffle(bytes);
@@ -961,6 +1106,7 @@ class Executor::Impl {
       span.set_args(TraceArg("bytes", bytes) + "," +
                     TraceArg("kind", "shuffle"));
     }
+    if (UseNetwork()) DMAC_RETURN_NOT_OK(net_->Flush("partition"));
     return Status::Ok();
   }
 
@@ -975,9 +1121,18 @@ class Executor::Impl {
         const int from = src.OwnerOf(bi, bj);
         DMAC_ASSIGN_OR_RETURN(auto ptr,
                               VerifiedGet(src, from, bi, bj, "broadcast"));
-        bytes += static_cast<double>(ptr->MemoryBytes()) *
-                 (opts_.num_workers - 1);
-        for (int w = 0; w < opts_.num_workers; ++w) dst->Put(w, bi, bj, ptr);
+        for (int w = 0; w < opts_.num_workers; ++w) {
+          if (w != from && Host(w) != Host(from)) {
+            bytes += static_cast<double>(ptr->MemoryBytes());
+          }
+          if (UseNetwork() && w != from) {
+            DistMatrix* d = dst.get();
+            net_->Send(from, w, static_cast<double>(ptr->MemoryBytes()),
+                       [d, w, bi, bj, ptr] { d->Put(w, bi, bj, ptr); });
+          } else {
+            dst->Put(w, bi, bj, ptr);
+          }
+        }
       }
     }
     CountBroadcast(bytes);
@@ -985,6 +1140,7 @@ class Executor::Impl {
       span.set_args(TraceArg("bytes", bytes) + "," +
                     TraceArg("kind", "broadcast"));
     }
+    if (UseNetwork()) DMAC_RETURN_NOT_OK(net_->Flush("broadcast"));
     return Status::Ok();
   }
 
@@ -1219,12 +1375,31 @@ class Executor::Impl {
       },
       /*idempotent=*/false);  // a second run would duplicate `local`
       DMAC_RETURN_NOT_OK(st);
+      // Pool threads complete tasks in nondeterministic order; sort by
+      // output block so the send order — and with it the network layer's
+      // fault-draw schedule — is a pure function of the plan and seed.
+      std::sort(local.begin(), local.end(),
+                [&out_grid](const Partial& x, const Partial& y) {
+                  return x.bi * out_grid.block_cols() + x.bj <
+                         y.bi * out_grid.block_cols() + y.bj;
+                });
       for (Partial& p : local) {
         const int dst = c->OwnerOf(p.bi, p.bj);
-        if (dst != p.from) {
+        if (Host(dst) != Host(p.from)) {
           bytes += static_cast<double>(p.block->MemoryBytes());
         }
-        incoming[static_cast<size_t>(dst)].push_back(std::move(p));
+        if (UseNetwork() && dst != p.from) {
+          const double block_bytes =
+              static_cast<double>(p.block->MemoryBytes());
+          auto carried = std::make_shared<Partial>(std::move(p));
+          net_->Send(carried->from, dst, block_bytes,
+                     [&incoming, dst, carried] {
+                       incoming[static_cast<size_t>(dst)].push_back(
+                           std::move(*carried));
+                     });
+        } else {
+          incoming[static_cast<size_t>(dst)].push_back(std::move(p));
+        }
       }
     }
     CountShuffle(bytes);
@@ -1233,18 +1408,39 @@ class Executor::Impl {
       span.set_args(TraceArg("bytes", bytes) + "," +
                     TraceArg("kind", "shuffle"));
     }
+    // Comm-round boundary: partials are in flight. A death forced here
+    // (death_in_flight) bumps the epoch while the victim's sends sit
+    // queued, so the flush below fences them — the stale-epoch path the
+    // degraded-mode tests audit.
+    if (membership_ != nullptr && opts_.fault.death_in_flight &&
+        opts_.fault.death_step == step.id && !forced_death_applied_ &&
+        !recovering_) {
+      forced_death_applied_ = true;
+      ApplyDeath(opts_.fault.death_worker, step.stage);
+    }
     // Comm-round boundary: the cheapest place to notice a mid-CPMM cancel.
     DMAC_RETURN_NOT_OK(CheckCancel());
+    if (UseNetwork()) DMAC_RETURN_NOT_OK(net_->Flush("cpmm-shuffle"));
 
     // Phase 2: aggregation at the owners (next stage's beginning; we account
     // its compute into the step's stage for simplicity).
     for (int w = 0; w < opts_.num_workers; ++w) {
       auto& parts = incoming[static_cast<size_t>(w)];
       if (parts.empty()) continue;
-      std::unordered_map<int64_t, std::vector<DistMatrix::BlockPtr>> grouped;
+      std::unordered_map<int64_t, std::vector<Partial>> grouped;
       for (Partial& p : parts) {
-        grouped[p.bi * out_grid.block_cols() + p.bj].push_back(
-            std::move(p.block));
+        grouped[p.bi * out_grid.block_cols() + p.bj].push_back(std::move(p));
+      }
+      // Sum each output block's partials in sender order, regardless of
+      // arrival order: locally-kept and network-delivered partials may
+      // interleave differently, and floating-point addition is not
+      // associative — the summation order must be canonical for the run to
+      // stay bit-identical under reordering faults.
+      for (auto& [key, blocks] : grouped) {
+        std::sort(blocks.begin(), blocks.end(),
+                  [](const Partial& x, const Partial& y) {
+                    return x.from < y.from;
+                  });
       }
       StoreSink sink(c, w);
       Status st = TimedWorker(step, w, [&] {
@@ -1257,7 +1453,7 @@ class Executor::Impl {
           tasks.push_back([this, &sink, bi, bj, blocks_ptr] {
             std::vector<const Block*> parts;
             parts.reserve(blocks_ptr->size());
-            for (const auto& b : *blocks_ptr) parts.push_back(b.get());
+            for (const auto& p : *blocks_ptr) parts.push_back(p.block.get());
             auto result = SumBlocks(parts, opts_.density_threshold);
             if (!result.ok()) return result.status();
             sink(bi, bj, std::move(*result));
@@ -1483,13 +1679,32 @@ class Executor::Impl {
         return Status::Ok();
       });
       DMAC_RETURN_NOT_OK(st);
-      for (auto& [idx, acc] : partials) {
-        auto block = std::make_shared<const Block>(
-            CompactFromDense(acc, opts_.density_threshold));
+      // Send in ascending output-index order: the hash map's iteration
+      // order is unspecified, and the network layer's fault-draw schedule
+      // must be a pure function of the plan and seed.
+      std::vector<int64_t> idxs;
+      idxs.reserve(partials.size());
+      for (const auto& [idx, acc] : partials) idxs.push_back(idx);
+      std::sort(idxs.begin(), idxs.end());
+      for (int64_t idx : idxs) {
+        auto block = std::make_shared<const Block>(CompactFromDense(
+            partials.at(idx), opts_.density_threshold));
         const int dst = rows ? c->OwnerOf(idx, 0) : c->OwnerOf(0, idx);
-        if (dst != w) bytes += static_cast<double>(block->MemoryBytes());
-        incoming[static_cast<size_t>(dst)].push_back(
-            {idx, std::move(block), w});
+        if (Host(dst) != Host(w)) {
+          bytes += static_cast<double>(block->MemoryBytes());
+        }
+        if (UseNetwork() && dst != w) {
+          const double block_bytes =
+              static_cast<double>(block->MemoryBytes());
+          net_->Send(w, dst, block_bytes,
+                     [&incoming, dst, idx, block, w] {
+                       incoming[static_cast<size_t>(dst)].push_back(
+                           {idx, block, w});
+                     });
+        } else {
+          incoming[static_cast<size_t>(dst)].push_back(
+              {idx, std::move(block), w});
+        }
       }
     }
     CountShuffle(bytes);
@@ -1498,17 +1713,25 @@ class Executor::Impl {
       span.set_args(TraceArg("bytes", bytes) + "," +
                     TraceArg("kind", "shuffle"));
     }
+    if (UseNetwork()) DMAC_RETURN_NOT_OK(net_->Flush("aggregate-shuffle"));
 
     for (int w = 0; w < opts_.num_workers; ++w) {
-      std::unordered_map<int64_t, std::vector<DistMatrix::BlockPtr>> grouped;
+      std::unordered_map<int64_t, std::vector<Partial>> grouped;
       for (Partial& p : incoming[static_cast<size_t>(w)]) {
-        grouped[p.idx].push_back(std::move(p.block));
+        grouped[p.idx].push_back(std::move(p));
+      }
+      // Canonical sender-order summation, as in ExecCpmm phase 2.
+      for (auto& [idx, ps] : grouped) {
+        std::sort(ps.begin(), ps.end(),
+                  [](const Partial& x, const Partial& y) {
+                    return x.from < y.from;
+                  });
       }
       Status st = TimedWorker(step, w, [&] {
-        for (auto& [idx, blocks] : grouped) {
+        for (auto& [idx, ps] : grouped) {
           std::vector<const Block*> parts;
-          parts.reserve(blocks.size());
-          for (const auto& b : blocks) parts.push_back(b.get());
+          parts.reserve(ps.size());
+          for (const auto& p : ps) parts.push_back(p.block.get());
           auto sum = SumBlocks(parts, opts_.density_threshold);
           if (!sum.ok()) return sum.status();
           auto block = std::make_shared<const Block>(std::move(*sum));
@@ -1647,6 +1870,19 @@ class Executor::Impl {
   LineageTracker lineage_;
   CheckpointStore checkpoints_;
 
+  // Membership, degraded mode, and the fault-injecting network layer
+  // (docs/fault_tolerance.md). Both pointers are null unless the spec can
+  // kill workers or perturb messages, so clean runs pay one branch per
+  // transfer. `retry_policy_` also drives the step retry loop (it encodes
+  // the same exponential backoff the executor always used).
+  std::unique_ptr<ClusterMembership> membership_;
+  std::unique_ptr<SimNetwork> net_;
+  RetryPolicy retry_policy_;
+  Status quorum_status_ = Status::Ok();
+  std::vector<int> host_map_;  // cached HostMap; applied to new matrices
+  bool forced_death_applied_ = false;
+  int min_workers_ = 1;
+
   // Cached metric instruments (stable pointers; no-ops while the registry
   // is disabled).
   Counter* metric_shuffle_bytes_ =
@@ -1675,6 +1911,30 @@ class Executor::Impl {
       MetricRegistry::Global().counter(kMetricFaultCheckpointBytes);
   Counter* metric_fault_recovery_seconds_ =
       MetricRegistry::Global().counter(kMetricFaultRecoverySeconds);
+  Counter* metric_net_messages_ =
+      MetricRegistry::Global().counter(kMetricNetMessages);
+  Counter* metric_net_retransmits_ =
+      MetricRegistry::Global().counter(kMetricNetRetransmits);
+  Counter* metric_net_retrans_bytes_ =
+      MetricRegistry::Global().counter(kMetricNetRetransBytes);
+  Counter* metric_net_duplicates_ =
+      MetricRegistry::Global().counter(kMetricNetDuplicates);
+  Counter* metric_net_reordered_ =
+      MetricRegistry::Global().counter(kMetricNetReordered);
+  Counter* metric_net_delay_seconds_ =
+      MetricRegistry::Global().counter(kMetricNetDelaySeconds);
+  Counter* metric_net_partitions_ =
+      MetricRegistry::Global().counter(kMetricNetPartitions);
+  Counter* metric_net_stale_fenced_ =
+      MetricRegistry::Global().counter(kMetricNetStaleFenced);
+  Counter* metric_net_stale_applied_ =
+      MetricRegistry::Global().counter(kMetricNetStaleApplied);
+  Gauge* metric_membership_epoch_ =
+      MetricRegistry::Global().gauge(kMetricMembershipEpoch);
+  Gauge* metric_membership_dead_ =
+      MetricRegistry::Global().gauge(kMetricMembershipWorkersDead);
+  Counter* metric_membership_detection_ =
+      MetricRegistry::Global().counter(kMetricMembershipDetectionSeconds);
 };
 
 Executor::Executor(ExecutorOptions options) : options_(options) {}

@@ -53,6 +53,11 @@ struct ExecutorOptions {
   /// When the plan carries checkpoint hints only hinted nodes count toward
   /// K and are snapshotted; without hints every producing step does.
   int checkpoint_every = 0;
+  /// Quorum: the run fails clean with kUnavailable once permanent worker
+  /// deaths leave fewer than this many survivors. Clamped to
+  /// [1, num_workers]; the default 1 means "degrade all the way down to a
+  /// single worker before giving up".
+  int min_workers = 1;
   /// Resource governance (docs/governance.md): cancel token / deadline,
   /// memory budget with spill store. Default-constructed = ungoverned, and
   /// the hot paths cost one branch per step.

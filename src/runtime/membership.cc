@@ -1,0 +1,83 @@
+#include "runtime/membership.h"
+
+#include <cstddef>
+
+namespace dmac {
+
+ClusterMembership::ClusterMembership(int num_workers, MembershipOptions opts)
+    : opts_(opts),
+      states_(static_cast<size_t>(num_workers), WorkerState::kAlive),
+      missed_(static_cast<size_t>(num_workers), 0) {
+  if (opts_.suspect_after_missed < 1) opts_.suspect_after_missed = 1;
+  if (opts_.dead_after_missed < opts_.suspect_after_missed) {
+    opts_.dead_after_missed = opts_.suspect_after_missed;
+  }
+}
+
+int ClusterMembership::live_workers() const {
+  int live = 0;
+  for (WorkerState s : states_) {
+    if (s != WorkerState::kDead) ++live;
+  }
+  return live;
+}
+
+void ClusterMembership::Heartbeat(int w) {
+  const size_t i = static_cast<size_t>(w);
+  if (states_[i] == WorkerState::kDead) return;  // death is permanent
+  missed_[i] = 0;
+  if (states_[i] == WorkerState::kSuspect) {
+    states_[i] = WorkerState::kAlive;
+    Bump();
+  }
+}
+
+bool ClusterMembership::MissHeartbeat(int w) {
+  const size_t i = static_cast<size_t>(w);
+  if (states_[i] == WorkerState::kDead) return false;
+  ++missed_[i];
+  if (states_[i] == WorkerState::kAlive &&
+      missed_[i] >= opts_.suspect_after_missed) {
+    states_[i] = WorkerState::kSuspect;
+    Bump();
+    return true;
+  }
+  if (states_[i] == WorkerState::kSuspect &&
+      missed_[i] >= opts_.dead_after_missed) {
+    states_[i] = WorkerState::kDead;
+    Bump();
+    return true;
+  }
+  return false;
+}
+
+double ClusterMembership::DeclareDead(int w) {
+  const size_t i = static_cast<size_t>(w);
+  if (states_[i] == WorkerState::kDead) return 0.0;
+  int intervals = 0;
+  while (states_[i] != WorkerState::kDead) {
+    MissHeartbeat(w);
+    ++intervals;
+  }
+  return intervals * opts_.heartbeat_interval_seconds;
+}
+
+int ClusterMembership::HostOf(int w) const {
+  const int n = num_workers();
+  if (!IsDead(w)) return w;
+  for (int d = 1; d < n; ++d) {
+    const int candidate = (w + d) % n;
+    if (!IsDead(candidate)) return candidate;
+  }
+  return w;  // all dead: quorum has already failed upstream
+}
+
+std::vector<int> ClusterMembership::HostMap() const {
+  std::vector<int> map(static_cast<size_t>(num_workers()));
+  for (int w = 0; w < num_workers(); ++w) {
+    map[static_cast<size_t>(w)] = HostOf(w);
+  }
+  return map;
+}
+
+}  // namespace dmac

@@ -1,0 +1,99 @@
+// Epoch-based cluster membership for the simulated cluster
+// (docs/fault_tolerance.md).
+//
+// Tracks per-worker liveness (alive / suspect / dead) behind a simulated
+// heartbeat failure detector, and stamps every membership change with a
+// monotonically increasing epoch. Transfers carry the sender's epoch at
+// send time; the executor fences any arrival from a worker that has since
+// been declared dead — the classic zombie-straggler double-write.
+//
+// Death is permanent: a dead worker never rejoins within a query. Its
+// logical partition slot is *hosted* by a deterministic survivor
+// (`HostOf`), which keeps the logical block layout — and therefore the
+// floating-point summation order and bit identity — frozen at the original
+// worker count while timing and byte accounting follow the survivors.
+//
+// Driver-thread only, like the injector it pairs with: the executor applies
+// verdicts between steps and at communication-round boundaries, never from
+// pool threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmac {
+
+/// Liveness of one simulated worker.
+///
+/// alive --(suspect_after_missed misses)--> suspect
+/// suspect --(heartbeat)--> alive
+/// suspect --(dead_after_missed misses)--> dead      [terminal]
+enum class WorkerState { kAlive, kSuspect, kDead };
+
+/// Failure-detector tuning. All time is simulated seconds.
+struct MembershipOptions {
+  /// Interval between expected heartbeats; detection latency is
+  /// `missed · heartbeat_interval_seconds`.
+  double heartbeat_interval_seconds = 0.1;
+  /// Consecutive missed heartbeats before alive -> suspect.
+  int suspect_after_missed = 2;
+  /// Consecutive missed heartbeats before -> dead (>= suspect_after_missed).
+  int dead_after_missed = 4;
+};
+
+class ClusterMembership {
+ public:
+  explicit ClusterMembership(int num_workers,
+                             MembershipOptions opts = MembershipOptions{});
+
+  int num_workers() const { return static_cast<int>(states_.size()); }
+
+  /// Current membership epoch. Starts at 1 and bumps on *every* state
+  /// transition, in either direction — an epoch comparison is therefore a
+  /// complete staleness test for anything stamped with one.
+  int64_t epoch() const { return epoch_; }
+
+  WorkerState state(int w) const { return states_[static_cast<size_t>(w)]; }
+  bool IsDead(int w) const { return state(w) == WorkerState::kDead; }
+
+  /// Workers not declared dead. Suspects count as live: quorum decisions
+  /// must not flap on a single missed heartbeat.
+  int live_workers() const;
+  int dead_workers() const { return num_workers() - live_workers(); }
+
+  /// A heartbeat arrived from `w`: reset its missed count; a suspect
+  /// recovers to alive (epoch bump). Dead workers stay dead — a heartbeat
+  /// from one is the zombie case the epoch fence exists for.
+  void Heartbeat(int w);
+
+  /// One heartbeat interval elapsed without `w` reporting. Returns true
+  /// when the state changed (and the epoch bumped).
+  bool MissHeartbeat(int w);
+
+  /// Drives the detector for `w` straight to dead (permanent loss), missing
+  /// heartbeats until the threshold trips. Returns the simulated detection
+  /// latency: missed intervals × heartbeat_interval_seconds. No-op (0.0)
+  /// when already dead.
+  double DeclareDead(int w);
+
+  /// The worker that hosts logical slot `w`: `w` itself while it lives,
+  /// else the first non-dead worker scanning (w+1) % N, (w+2) % N, ...
+  /// Deterministic in the membership state alone, so every store and the
+  /// executor agree without coordination. Returns `w` unchanged when every
+  /// worker is dead (the caller has already failed the quorum check).
+  int HostOf(int w) const;
+
+  /// HostOf for every slot — the rebalance map handed to DistMatrix.
+  std::vector<int> HostMap() const;
+
+ private:
+  void Bump() { ++epoch_; }
+
+  MembershipOptions opts_;
+  std::vector<WorkerState> states_;
+  std::vector<int> missed_;
+  int64_t epoch_ = 1;
+};
+
+}  // namespace dmac

@@ -93,6 +93,71 @@ TEST(FaultSpecTest, RejectsMalformedLinesAndValues) {
   EXPECT_FALSE(ParseFaultSpec("crash_prob = 2.0\n").ok());
 }
 
+TEST(FaultSpecTest, ParsesDeathAndNetworkKeys) {
+  auto spec = ParseFaultSpec(
+      "seed = 11\n"
+      "death_prob = 0.05\n"
+      "death_step = 4\n"
+      "death_worker = 2\n"
+      "death_in_flight = true\n"
+      "net_drop_prob = 0.1\n"
+      "net_dup_prob = 0.2\n"
+      "net_reorder_prob = 0.15\n"
+      "net_delay_prob = 0.05\n"
+      "net_delay_seconds = 0.01\n"
+      "net_partition_prob = 0.02\n"
+      "net_partition_drops = 6\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_DOUBLE_EQ(spec->death_prob, 0.05);
+  EXPECT_EQ(spec->death_step, 4);
+  EXPECT_EQ(spec->death_worker, 2);
+  EXPECT_TRUE(spec->death_in_flight);
+  EXPECT_DOUBLE_EQ(spec->net.drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(spec->net.dup_prob, 0.2);
+  EXPECT_DOUBLE_EQ(spec->net.reorder_prob, 0.15);
+  EXPECT_DOUBLE_EQ(spec->net.delay_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec->net.delay_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(spec->net.partition_prob, 0.02);
+  EXPECT_EQ(spec->net.partition_drops, 6);
+  EXPECT_TRUE(spec->AnyFaultPossible());
+  EXPECT_TRUE(spec->net.Any());
+}
+
+TEST(FaultSpecTest, DeathAndNetworkKnobsCountAsFaultPossible) {
+  FaultSpec spec;
+  spec.death_prob = 0.01;
+  EXPECT_TRUE(spec.AnyFaultPossible());
+  spec = FaultSpec{};
+  spec.death_step = 3;
+  EXPECT_TRUE(spec.AnyFaultPossible());
+  spec = FaultSpec{};
+  EXPECT_FALSE(spec.net.Any());
+  spec.net.reorder_prob = 0.1;
+  EXPECT_TRUE(spec.net.Any());
+  EXPECT_TRUE(spec.AnyFaultPossible());
+}
+
+TEST(FaultSpecTest, ValidateRejectsBadDeathAndNetworkKnobs) {
+  FaultSpec spec;
+  spec.death_prob = 1.5;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec = FaultSpec{};
+  spec.death_step = 3;
+  spec.death_worker = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.net.drop_prob = -0.5;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.net.delay_seconds = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.net.partition_drops = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  EXPECT_FALSE(ParseFaultSpec("net_drop_prob = 2.0\n").ok());
+  EXPECT_FALSE(ParseFaultSpec("net_dropp_prob = 0.1\n").ok());
+}
+
 TEST(FaultSpecTest, LoadMissingFileIsNotFound) {
   auto spec = LoadFaultSpecFile("/nonexistent/faults.spec");
   ASSERT_FALSE(spec.ok());

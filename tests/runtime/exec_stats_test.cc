@@ -133,6 +133,42 @@ TEST(ExecStatsTest, MergeAccumulatesFaultCounters) {
   EXPECT_DOUBLE_EQ(a.TotalRecoverySeconds(), 0.75);
 }
 
+TEST(ExecStatsTest, MergeAccumulatesMembershipAndNetworkCounters) {
+  ExecStats a;
+  a.workers_dead = 1;
+  a.membership_epoch = 3;
+  a.detection_seconds = 0.4;
+  a.net_messages = 10;
+  a.net_retransmits = 2;
+  a.net_retrans_bytes = 128;
+  a.net_duplicates = 1;
+
+  ExecStats b;
+  b.workers_dead = 2;
+  b.membership_epoch = 2;
+  b.detection_seconds = 0.2;
+  b.net_messages = 5;
+  b.net_reordered = 3;
+  b.net_delay_seconds = 0.05;
+  b.net_partitions = 1;
+  b.net_stale_fenced = 4;
+  b.net_stale_applied = 0;
+
+  a.Merge(b);
+  EXPECT_EQ(a.workers_dead, 3);
+  EXPECT_EQ(a.membership_epoch, 3);  // max, not sum: epochs don't add
+  EXPECT_DOUBLE_EQ(a.detection_seconds, 0.6);
+  EXPECT_EQ(a.net_messages, 15);
+  EXPECT_EQ(a.net_retransmits, 2);
+  EXPECT_DOUBLE_EQ(a.net_retrans_bytes, 128);
+  EXPECT_EQ(a.net_duplicates, 1);
+  EXPECT_EQ(a.net_reordered, 3);
+  EXPECT_DOUBLE_EQ(a.net_delay_seconds, 0.05);
+  EXPECT_EQ(a.net_partitions, 1);
+  EXPECT_EQ(a.net_stale_fenced, 4);
+  EXPECT_EQ(a.net_stale_applied, 0);
+}
+
 TEST(ExecStatsTest, EmptyStatsAreZero) {
   ExecStats stats;
   EXPECT_DOUBLE_EQ(stats.comm_bytes(), 0);

@@ -21,7 +21,13 @@
 //   --seed S          RNG seed (default 42)
 //   --fault-spec F    enable fault injection from a key=value spec file
 //                     (docs/fault_tolerance.md); recovery statistics are
-//                     printed on a [fault] summary line
+//                     printed on a [fault] summary line, permanent-death
+//                     and network-fault accounting on [membership] and
+//                     [fault.net] lines
+//   --min-workers N   quorum for degraded mode (default 1): permanent
+//                     worker deaths that would leave fewer than N live
+//                     workers fail the run with kUnavailable instead of
+//                     rebalancing
 //   --checkpoint-every K
 //                     checkpoint hinted matrices every K producing steps
 //   --deadline-ms MS  wall-clock deadline (docs/governance.md); 0 is already
@@ -90,7 +96,8 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "usage: %s SCRIPT.dmac [--workers N] [--threads L] "
                "[--block B] [--baseline] [--bind NAME=FILE] [--plan-only] "
                "[--dot] [--trace-out FILE] [--metrics-out FILE] [--seed S] "
-               "[--fault-spec FILE] [--checkpoint-every K] "
+               "[--fault-spec FILE] [--min-workers N] "
+               "[--checkpoint-every K] "
                "[--deadline-ms MS] [--mem-budget-mb MB] [--concurrency N] "
                "[--help]\n"
                "\n"
@@ -102,7 +109,8 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "  4  deadline exceeded    (kDeadlineExceeded)\n"
                "  5  resource exhausted   (kResourceExhausted: admission "
                "rejected, or spilling cannot fit the budget)\n"
-               "  6  unavailable          (kUnavailable: unrecovered fault)\n"
+               "  6  unavailable          (kUnavailable: unrecovered fault, "
+               "or permanent deaths broke the --min-workers quorum)\n"
                "  7  data loss            (kDataLoss: corruption detected)\n",
                argv0);
 }
@@ -174,6 +182,11 @@ int main(int argc, char** argv) {
       if (metrics_out.empty()) return Usage(argv[0]);
     } else if (path_flag("--fault-spec", &fault_spec_path)) {
       if (fault_spec_path.empty()) return Usage(argv[0]);
+    } else if (arg == "--min-workers") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      config.min_workers = std::atoi(v);
+      if (config.min_workers < 1) return Usage(argv[0]);
     } else if (arg == "--checkpoint-every") {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
@@ -447,6 +460,31 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.speculated_tasks),
         static_cast<double>(stats.checkpoint_bytes) / 1e6,
         stats.TotalRecoverySeconds(), stats.recovery_bytes / 1e6);
+  }
+  if (stats.workers_dead > 0) {
+    std::printf(
+        "[membership] %lld permanent deaths, epoch %lld, detection %.3fs, "
+        "%d/%d workers live (quorum %d)\n",
+        static_cast<long long>(stats.workers_dead),
+        static_cast<long long>(stats.membership_epoch),
+        stats.detection_seconds,
+        config.num_workers - static_cast<int>(stats.workers_dead),
+        config.num_workers, config.min_workers);
+  }
+  if (stats.net_messages > 0) {
+    std::printf(
+        "[fault.net] %lld messages, %lld retransmits (%.2f MB), %lld dups, "
+        "%lld reordered, %lld partitions, delay %.3fs, stale fenced %lld / "
+        "applied %lld\n",
+        static_cast<long long>(stats.net_messages),
+        static_cast<long long>(stats.net_retransmits),
+        stats.net_retrans_bytes / 1e6,
+        static_cast<long long>(stats.net_duplicates),
+        static_cast<long long>(stats.net_reordered),
+        static_cast<long long>(stats.net_partitions),
+        stats.net_delay_seconds,
+        static_cast<long long>(stats.net_stale_fenced),
+        static_cast<long long>(stats.net_stale_applied));
   }
   if (config.governor.budgeted()) {
     std::printf(

@@ -20,6 +20,12 @@
 // per-query deadlines, budgets, mid-flight cancels, and fault schedules
 // all derive from it, so a failing soak replays exactly.
 //
+// On top of any --fault-spec schedule, a slice of the queries carries its
+// own fault override: permanent worker deaths (rebalanced in degraded
+// mode under a min-workers quorum) or message-level network faults
+// (drops, dups, reorders, delays, transient partitions). Successful
+// queries must stay bit-identical under all of them.
+//
 // Exit code: 0 when every assertion holds, 1 otherwise.
 #include <chrono>
 #include <cstdio>
@@ -223,6 +229,8 @@ int main(int argc, char** argv) {
     quota.total_memory_bytes = mem_budget_mb << 20;
     RunConfig governed = base;
     governed.fault = fault;
+    // One death fits the quorum: degraded runs rebalance instead of failing.
+    governed.min_workers = base.num_workers - 1;
     QuerySession session(quota, governed);
 
     // Derive every per-query decision from one master RNG up front so the
@@ -254,13 +262,44 @@ int main(int argc, char** argv) {
       }
       p.cancel_midflight = rng() % 8 == 0;
       p.cancel_after_ms = static_cast<int>(rng() % 20);
+      // A slice of the mix exercises the robustness layer: every third
+      // query carries its own fault override — permanent worker death
+      // (quorum-budgeted, rebalanced) or message-level network chaos.
+      switch (rng() % 6) {
+        case 0: {
+          FaultSpec death;
+          death.enabled = true;
+          death.seed = rng();
+          death.death_prob = 0.05;
+          p.opts.fault = death;
+          break;
+        }
+        case 1: {
+          FaultSpec net;
+          net.enabled = true;
+          net.seed = rng();
+          net.net.drop_prob = 0.1;
+          net.net.dup_prob = 0.1;
+          net.net.reorder_prob = 0.1;
+          net.net.delay_prob = 0.05;
+          net.net.delay_seconds = 0.005;
+          net.net.partition_prob = 0.01;
+          p.opts.fault = net;
+          break;
+        }
+        default:
+          break;
+      }
       if (std::getenv("DMAC_SOAK_VERBOSE") != nullptr) {
         std::fprintf(stderr,
                      "plan: query %d workload=%s budget=%lld deadline=%g "
-                     "cancel=%d\n",
+                     "cancel=%d fault=%s\n",
                      i, workloads[p.workload].name.c_str(),
                      static_cast<long long>(p.opts.memory_budget_bytes),
-                     p.opts.deadline_seconds, p.cancel_midflight ? 1 : 0);
+                     p.opts.deadline_seconds, p.cancel_midflight ? 1 : 0,
+                     !p.opts.fault.has_value()     ? "base"
+                     : p.opts.fault->death_prob > 0 ? "death"
+                                                    : "net");
       }
       planned.push_back(p);
     }
