@@ -1,0 +1,85 @@
+#!/bin/sh
+# Crash-restart loop harness (docs/fault_tolerance.md, "Durability &
+# restart").
+#
+#   crash_loop.sh DMAC_RUN SCRIPT [extra dmac_run flags...]
+#
+# Runs SCRIPT once cleanly, then re-runs it under --checkpoint-dir/--resume
+# with --crash-at N for N = 1, 2, ... — killing the process (exit 42) at
+# every durable write point in turn — until a run completes. The completed
+# run's program output (stdout minus the bracketed summary lines) must be
+# byte-identical to the clean run's, the checkpoint directory must hold no
+# partial (*.tmp) files, and exactly one committed manifest may remain.
+#
+# Exit 0 when the contract holds, 1 otherwise.
+set -u
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 DMAC_RUN SCRIPT [extra flags...]" >&2
+  exit 1
+fi
+run="$1"
+script="$2"
+shift 2
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/dmac_crash_loop.XXXXXX") || exit 1
+ckpt="$work/ckpt"
+trap 'rm -rf "$work"' EXIT
+
+# The summary lines ([DMac], [checkpoint], [fault], ...) legitimately
+# differ between a clean and a resumed run (a resumed run re-counts only
+# the work it actually did); the program outputs may not.
+filter() { grep -v '^\[' ; }
+
+"$run" "$script" "$@" 2>/dev/null | filter > "$work/clean.out"
+
+n=1
+cap=500
+while :; do
+  "$run" "$script" "$@" \
+      --checkpoint-dir "$ckpt" --resume --crash-at "$n" \
+      2>/dev/null > "$work/raw.out"
+  code=$?
+  if [ "$code" -eq 0 ]; then
+    break
+  elif [ "$code" -eq 7 ]; then
+    # kDataLoss: a read-side fault (e.g. an injected bit flip) corrupted
+    # the only committed epoch. The contract is a *clean* failure — the
+    # operator's move is to wipe the directory and start over, which is
+    # exactly what a fresh --resume run does.
+    rm -rf "$ckpt"
+  elif [ "$code" -ne 42 ]; then
+    echo "FAIL: crash point $n exited $code (want 42, 7, or 0)" >&2
+    exit 1
+  fi
+  n=$((n + 1))
+  if [ "$n" -gt "$cap" ]; then
+    echo "FAIL: crash loop did not converge within $cap write points" >&2
+    exit 1
+  fi
+done
+
+if [ "$n" -le 1 ]; then
+  echo "FAIL: the run never crashed — no durable write points enumerated" >&2
+  exit 1
+fi
+
+filter < "$work/raw.out" > "$work/resumed.out"
+if ! diff -u "$work/clean.out" "$work/resumed.out" >&2; then
+  echo "FAIL: resumed output diverged from the clean run" >&2
+  exit 1
+fi
+
+leftover=$(find "$ckpt" -name '*.tmp' | wc -l)
+if [ "$leftover" -ne 0 ]; then
+  echo "FAIL: $leftover partial (*.tmp) files leaked in $ckpt" >&2
+  exit 1
+fi
+manifests=$(find "$ckpt" -name 'manifest-*' | wc -l)
+if [ "$manifests" -ne 1 ]; then
+  echo "FAIL: expected exactly one committed manifest, found $manifests" >&2
+  exit 1
+fi
+
+echo "OK: converged after $((n - 1)) injected crashes, outputs bit-identical"
+exit 0

@@ -86,12 +86,13 @@ AnalysisReport Analyzer::Run(const AnalysisContext& ctx) const {
 }
 
 AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
-                              int num_workers, int min_workers) {
+                              int num_workers, int min_workers, bool resume) {
   AnalysisContext ctx;
   ctx.ops = ops;
   ctx.plan = plan;
   ctx.num_workers = num_workers;
   ctx.min_workers = min_workers;
+  ctx.resume = resume;
   if (ops != nullptr) {
     // Only feed the stats cross-check when the list is structurally sound —
     // EstimateSizes indexes operand arrays without arity guards.
@@ -111,10 +112,11 @@ AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
 }
 
 Status VerifyPlan(const OperatorList& ops, const Plan& plan, int num_workers,
-                  int min_workers) {
+                  int min_workers, bool resume) {
   TraceSpan span(kTracePlan, "verify-plan");
   Timer timer;
-  Status st = AnalyzeProgram(&ops, &plan, num_workers, min_workers).ToStatus();
+  Status st =
+      AnalyzeProgram(&ops, &plan, num_workers, min_workers, resume).ToStatus();
   static Gauge* verify_seconds =
       MetricRegistry::Global().gauge(kMetricPlanVerifySeconds);
   verify_seconds->Set(timer.ElapsedSeconds());

@@ -40,12 +40,13 @@ class Analyzer {
 /// degraded-mode quorum the run will enforce; the lineage pass checks its
 /// feasibility against the cluster size.
 AnalysisReport AnalyzeProgram(const OperatorList* ops, const Plan* plan,
-                              int num_workers, int min_workers = 1);
+                              int num_workers, int min_workers = 1,
+                              bool resume = false);
 
 /// OK when the default pipeline reports no error on (ops, plan); otherwise
 /// an error Status listing every error diagnostic.
 Status VerifyPlan(const OperatorList& ops, const Plan& plan, int num_workers,
-                  int min_workers = 1);
+                  int min_workers = 1, bool resume = false);
 
 /// Operator-level well-formedness gate used by GeneratePlan before it runs
 /// Algorithm 1: arity, def-before-use, conformance, aliasing. Guarantees the

@@ -50,6 +50,24 @@ class LineageCompletenessPass final : public AnalysisPass {
            "the run cannot tolerate a single permanent worker loss"});
     }
 
+    // 0b. Durable-restart cadence: with --resume (or any durable checkpoint
+    //     dir) and no checkpoint hints in the plan, the durable layer
+    //     defaults to snapshotting after every producing step. Correct, but
+    //     worth a heads-up — epoch commit I/O can dominate the run.
+    if (ctx.resume) {
+      bool any_hint = false;
+      for (const PlanNode& node : plan.nodes) {
+        if (node.checkpoint_hint) any_hint = true;
+      }
+      if (!any_hint) {
+        out->push_back(
+            {Severity::kWarning, kPass, -1,
+             "resume requested but the plan carries no checkpoint hints; "
+             "every producing step commits a durable epoch",
+             "checkpoint I/O may dominate the run (docs/fault_tolerance.md)"});
+      }
+    }
+
     // The actual producer of each node, from the step table.
     std::vector<int> producer(static_cast<size_t>(num_nodes), -1);
     for (const PlanStep& step : plan.steps) {

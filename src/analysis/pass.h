@@ -38,6 +38,11 @@ struct AnalysisContext {
   /// memory-footprint pass errors when a single step's pinned working set
   /// cannot fit (docs/governance.md).
   int64_t memory_budget_bytes = 0;
+  /// The run will restore / maintain durable checkpoints (--resume). The
+  /// lineage pass warns when the plan carries no checkpoint hints — the
+  /// durable cadence then snapshots every producing step, which is correct
+  /// but can dominate the run's I/O (docs/fault_tolerance.md).
+  bool resume = false;
 };
 
 /// One static check. Implementations live in the *_pass.cc files and are

@@ -23,6 +23,7 @@ PlannerOptions ToPlannerOptions(const RunConfig& config) {
   opts.fuse_transposes = config.fuse_transposes;
   opts.verify_plan = config.verify_plan;
   opts.min_workers = config.min_workers;
+  opts.resume = config.resume || !config.checkpoint_dir.empty();
   return opts;
 }
 
@@ -100,6 +101,8 @@ Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
   eopts.seed = config.seed;
   eopts.fault = config.fault;
   eopts.checkpoint_every = config.checkpoint_every;
+  eopts.checkpoint_dir = config.checkpoint_dir;
+  eopts.resume = config.resume;
   eopts.min_workers = config.min_workers;
   eopts.governor = config.governor;
   Executor executor(eopts);

@@ -40,6 +40,14 @@ struct RunConfig {
   FaultSpec fault;
   /// Checkpoint hinted matrices every K producing steps (0 = never).
   int checkpoint_every = 0;
+  /// Durable checkpoint directory (docs/fault_tolerance.md, "Durability &
+  /// restart"). Non-empty = every in-memory checkpoint is also committed to
+  /// disk as a crash-consistent epoch; an unset `checkpoint_every` then
+  /// defaults to 1.
+  std::string checkpoint_dir;
+  /// Restore the last committed snapshot from `checkpoint_dir` before
+  /// executing; the resumed run is bit-identical to an uninterrupted one.
+  bool resume = false;
   /// Degraded-mode quorum: fail clean with kUnavailable once permanent
   /// worker deaths leave fewer than this many survivors (clamped to
   /// [1, num_workers]).

@@ -65,6 +65,19 @@ Status NetFaultSpec::Validate() const {
   return Status::Ok();
 }
 
+Status DiskFaultSpec::Validate() const {
+  DMAC_RETURN_NOT_OK(CheckProb("disk_short_write_prob", short_write_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("disk_read_flip_prob", read_flip_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("disk_enospc_prob", enospc_prob));
+  DMAC_RETURN_NOT_OK(CheckProb("disk_fsync_fail_prob", fsync_fail_prob));
+  if (crash_at != -1 && crash_at < 1) {
+    return Status::Invalid("crash_at must be >= 1 (write points are "
+                           "1-based) or -1 to disable, got " +
+                           std::to_string(crash_at));
+  }
+  return Status::Ok();
+}
+
 Status FaultSpec::Validate() const {
   DMAC_RETURN_NOT_OK(CheckProb("crash_prob", crash_prob));
   DMAC_RETURN_NOT_OK(CheckProb("lost_block_prob", lost_block_prob));
@@ -84,6 +97,7 @@ Status FaultSpec::Validate() const {
   if (death_step >= 0 && death_worker < 0) {
     return Status::Invalid("death_worker must be >= 0");
   }
+  DMAC_RETURN_NOT_OK(disk.Validate());
   return net.Validate();
 }
 
@@ -154,6 +168,18 @@ Result<FaultSpec> ParseFaultSpec(const std::string& text) {
       DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.net.partition_prob));
     } else if (key == "net_partition_drops") {
       spec.net.partition_drops = std::atoi(value.c_str());
+    } else if (key == "disk_short_write_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.disk.short_write_prob));
+    } else if (key == "disk_read_flip_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.disk.read_flip_prob));
+    } else if (key == "disk_enospc_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.disk.enospc_prob));
+    } else if (key == "disk_fsync_fail_prob") {
+      DMAC_RETURN_NOT_OK(ParseDouble(key, value, &spec.disk.fsync_fail_prob));
+    } else if (key == "crash_at") {
+      spec.disk.crash_at = std::atoi(value.c_str());
+    } else if (key == "crash_soft") {
+      DMAC_RETURN_NOT_OK(ParseBool(key, value, &spec.disk.crash_soft));
     } else {
       return Status::Invalid("fault spec line " + std::to_string(lineno) +
                              ": unknown key '" + key + "'");

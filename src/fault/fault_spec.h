@@ -50,6 +50,43 @@ struct NetFaultSpec {
   [[nodiscard]] Status Validate() const;
 };
 
+/// Disk faults, injected inside the StorageIO layer (fault/durable_io.h)
+/// that the durable checkpoint store and the spill store write through.
+/// Drawn from StorageIO's private RNG (seeded from `FaultSpec::seed`), not
+/// the FaultInjector, so disk schedules never perturb the injector's draw
+/// sequence — see the durable_io.h header comment.
+struct DiskFaultSpec {
+  /// Per atomic file write: probability the write is torn short and fails
+  /// (surfaced as kUnavailable; the temp file is rolled back).
+  double short_write_prob = 0;
+  /// Per file read: probability one bit of the returned buffer is flipped.
+  /// Detection is the caller's checksum's job.
+  double read_flip_prob = 0;
+  /// Per atomic file write: probability the disk is "full" (ENOSPC,
+  /// surfaced as kResourceExhausted — disk-full is not corruption).
+  double enospc_prob = 0;
+  /// Per fsync: probability the sync fails (surfaced as kUnavailable).
+  double fsync_fail_prob = 0;
+  /// Deterministic crash: kill the process at the Nth enumerated write
+  /// point (1-based; each atomic write enumerates three — torn temp,
+  /// synced temp, after rename). -1 disables. The crash-loop harness
+  /// (scripts/crash_loop.sh) sweeps N until the job completes.
+  int crash_at = -1;
+  /// Crash in-process (return kInternal and refuse further I/O) instead of
+  /// std::_Exit(42). For tests and the soak driver; the crash-loop harness
+  /// keys on the hard exit code.
+  bool crash_soft = false;
+
+  /// True when any disk fault (or the crash) can ever fire.
+  [[nodiscard]] bool Any() const {
+    return short_write_prob > 0 || read_flip_prob > 0 || enospc_prob > 0 ||
+           fsync_fail_prob > 0 || crash_at >= 1;
+  }
+
+  /// Rejects probabilities outside [0, 1] and nonsensical knobs.
+  [[nodiscard]] Status Validate() const;
+};
+
 /// Probabilities and policy knobs of the simulated failure model.
 ///
 /// Injection points:
@@ -124,6 +161,12 @@ struct FaultSpec {
 
   /// Message-level network faults.
   NetFaultSpec net;
+
+  /// Disk faults, applied by the StorageIO layer (not the injector). They
+  /// do not feed AnyFaultPossible(): disk faults bypass the step-boundary
+  /// recovery machinery entirely and are absorbed (or surfaced) by the
+  /// durable stores themselves.
+  DiskFaultSpec disk;
 
   /// True when any probability is positive (the spec can ever fire).
   bool AnyFaultPossible() const {

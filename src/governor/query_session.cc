@@ -126,6 +126,10 @@ void QuerySession::RunQuery(Query* q) {
     // ---- plan + pre-execution footprint estimate ----
     RunConfig config = base_;
     if (q->opts.fault.has_value()) config.fault = *q->opts.fault;
+    if (!q->opts.checkpoint_dir.empty()) {
+      config.checkpoint_dir = q->opts.checkpoint_dir;
+      config.resume = q->opts.resume;
+    }
     Result<Plan> plan = PlanProgram(q->program, config);
     DMAC_RETURN_NOT_OK(plan.status());
     out.footprint_estimate_bytes =

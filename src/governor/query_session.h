@@ -37,6 +37,12 @@ struct QueryOptions {
   /// Lets a soak mix fault-free queries with worker-death and network-fault
   /// scenarios inside one session.
   std::optional<FaultSpec> fault;
+  /// Durable checkpoint directory for this query; empty = in-memory
+  /// checkpoints only (docs/fault_tolerance.md, "Durability & restart").
+  std::string checkpoint_dir;
+  /// Restore the last committed epoch from `checkpoint_dir` before
+  /// executing. A fresh/empty directory is a plain full run.
+  bool resume = false;
 };
 
 /// Terminal record of one query.

@@ -3,10 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <vector>
 
 #include "fault/checksum.h"
 #include "obs/metrics.h"
@@ -15,40 +12,21 @@ namespace dmac {
 
 namespace {
 
-constexpr char kMagic[8] = {'D', 'M', 'A', 'C', 'S', 'P', 'L', '1'};
-constexpr uint32_t kKindDense = 0;
-constexpr uint32_t kKindSparse = 1;
-
-bool WriteRaw(std::FILE* f, const void* data, size_t len) {
-  return len == 0 || std::fwrite(data, 1, len, f) == len;
-}
-
-bool ReadRaw(std::FILE* f, void* data, size_t len) {
-  return len == 0 || std::fread(data, 1, len, f) == len;
-}
-
-template <typename T>
-bool WriteOne(std::FILE* f, T v) {
-  return WriteRaw(f, &v, sizeof(T));
-}
-
-template <typename T>
-bool ReadOne(std::FILE* f, T* v) {
-  return ReadRaw(f, v, sizeof(T));
-}
-
 /// Process-unique suffix for auto-created spill directories.
 std::atomic<int64_t> g_spill_dir_counter{0};
 
 }  // namespace
 
-SpillStore::SpillStore(std::string dir, bool owns_dir)
-    : dir_(std::move(dir)), owns_dir_(owns_dir) {}
+SpillStore::SpillStore(std::string dir, bool owns_dir,
+                       std::shared_ptr<StorageIO> io)
+    : dir_(std::move(dir)), owns_dir_(owns_dir), io_(std::move(io)) {}
 
-Result<std::shared_ptr<SpillStore>> SpillStore::Create(std::string dir) {
-  std::error_code ec;
+Result<std::shared_ptr<SpillStore>> SpillStore::Create(
+    std::string dir, std::shared_ptr<StorageIO> io) {
+  if (io == nullptr) io = std::make_shared<StorageIO>();
   bool owns_dir = false;
   if (dir.empty()) {
+    std::error_code ec;
     const int64_t n =
         g_spill_dir_counter.fetch_add(1, std::memory_order_relaxed);
     dir = (std::filesystem::temp_directory_path(ec) /
@@ -58,15 +36,15 @@ Result<std::shared_ptr<SpillStore>> SpillStore::Create(std::string dir) {
     if (ec) return Status::Internal("spill: no temp directory: " + ec.message());
     owns_dir = true;
   }
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("spill: cannot create directory " + dir + ": " +
-                            ec.message());
-  }
-  return std::shared_ptr<SpillStore>(new SpillStore(std::move(dir), owns_dir));
+  DMAC_RETURN_NOT_OK(io->CreateDir(dir));
+  return std::shared_ptr<SpillStore>(
+      new SpillStore(std::move(dir), owns_dir, std::move(io)));
 }
 
 SpillStore::~SpillStore() {
+  // Host-process cleanup, deliberately *not* through io_: even after a
+  // simulated crash killed the storage layer, the real process still owns
+  // its temp files and must not leak them.
   MutexLock lock(&mu_);
   std::error_code ec;
   for (const auto& [handle, bytes] : live_) {
@@ -86,37 +64,11 @@ Result<int64_t> SpillStore::Spill(const Block& block) {
     MutexLock lock(&mu_);
     handle = next_handle_++;
   }
-  const std::string path = PathFor(handle);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("spill: cannot open " + path);
-
-  const uint64_t checksum = BlockChecksum(block);
-  bool ok = WriteRaw(f, kMagic, sizeof(kMagic)) &&
-            WriteOne<uint32_t>(f, block.IsDense() ? kKindDense : kKindSparse) &&
-            WriteOne<int64_t>(f, block.rows()) &&
-            WriteOne<int64_t>(f, block.cols());
-  if (ok) {
-    if (block.IsDense()) {
-      const DenseBlock& d = block.dense();
-      ok = WriteRaw(f, d.data(),
-                    sizeof(Scalar) * static_cast<size_t>(d.rows() * d.cols()));
-    } else {
-      const CscBlock& s = block.sparse();
-      ok = WriteOne<int64_t>(f, s.nnz()) &&
-           WriteRaw(f, s.col_ptr().data(),
-                    sizeof(int32_t) * s.col_ptr().size()) &&
-           WriteRaw(f, s.row_idx().data(),
-                    sizeof(int32_t) * s.row_idx().size()) &&
-           WriteRaw(f, s.values().data(), sizeof(Scalar) * s.values().size());
-    }
-  }
-  ok = ok && WriteOne<uint64_t>(f, checksum);
-  std::fclose(f);
-  if (!ok) {
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
-    return Status::Internal("spill: short write to " + path);
-  }
+  // On any write failure the StorageIO rolls its temp file back and the
+  // status flows through untranslated: kResourceExhausted for a full disk,
+  // kUnavailable for a short write or fsync failure.
+  DMAC_RETURN_NOT_OK(io_->WriteFileAtomic(PathFor(handle),
+                                          SerializeBlock(block)));
 
   const int64_t bytes = block.MemoryBytes();
   {
@@ -139,80 +91,23 @@ Result<Block> SpillStore::Restore(int64_t handle) {
                               std::to_string(handle));
     }
   }
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  // Whatever happens below, the file is consumed.
-  auto consume = [&path]() {
+  // Whatever happens below, the file is consumed — directly, not through
+  // io_, so a damaged block never leaks even once the storage layer is dead.
+  const auto consume = [&path]() {
     std::error_code ec;
     std::filesystem::remove(path, ec);
   };
-  if (f == nullptr) {
+  auto data = io_->ReadFile(path);
+  if (!data.ok()) {
     consume();
-    return Status::DataLoss("spill: missing file " + path);
+    return data.status().code() == StatusCode::kNotFound
+               ? Status::DataLoss("spill: missing file " + path)
+               : data.status();
   }
-
-  std::error_code size_ec;
-  const uint64_t file_size = std::filesystem::file_size(path, size_ec);
-  char magic[8];
-  uint32_t kind = 0;
-  int64_t rows = 0, cols = 0;
-  bool ok = !size_ec && ReadRaw(f, magic, sizeof(magic)) &&
-            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
-            ReadOne(f, &kind) && ReadOne(f, &rows) && ReadOne(f, &cols) &&
-            rows >= 0 && cols >= 0;
-  Block block;
-  if (ok && kind == kKindDense) {
-    // A corrupt header must not drive a giant allocation: the payload can
-    // never be larger than the file itself.
-    ok = static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols) *
-             sizeof(Scalar) <=
-         file_size;
-    if (ok) {
-      DenseBlock d(rows, cols);
-      ok = ReadRaw(f, d.data(),
-                   sizeof(Scalar) * static_cast<size_t>(rows * cols));
-      if (ok) block = Block(std::move(d));
-    }
-  } else if (ok && kind == kKindSparse) {
-    int64_t nnz = 0;
-    ok = ReadOne(f, &nnz) && nnz >= 0 &&
-         static_cast<uint64_t>(nnz) * (sizeof(int32_t) + sizeof(Scalar)) <=
-             file_size;
-    if (ok) {
-      std::vector<int32_t> col_ptr(static_cast<size_t>(cols) + 1);
-      std::vector<int32_t> row_idx(static_cast<size_t>(nnz));
-      std::vector<Scalar> values(static_cast<size_t>(nnz));
-      ok = ReadRaw(f, col_ptr.data(), sizeof(int32_t) * col_ptr.size()) &&
-           ReadRaw(f, row_idx.data(), sizeof(int32_t) * row_idx.size()) &&
-           ReadRaw(f, values.data(), sizeof(Scalar) * values.size());
-      // Validate the CSC structure softly before handing the arrays to the
-      // checking constructor, so a corrupt file surfaces as kDataLoss
-      // instead of an invariant abort.
-      if (ok) {
-        ok = col_ptr.front() == 0 && col_ptr.back() == nnz;
-        for (size_t c = 0; ok && c + 1 < col_ptr.size(); ++c) {
-          ok = col_ptr[c] <= col_ptr[c + 1];
-          for (int32_t i = col_ptr[c]; ok && i < col_ptr[c + 1]; ++i) {
-            ok = row_idx[i] >= 0 && row_idx[i] < rows &&
-                 (i == col_ptr[c] || row_idx[i - 1] < row_idx[i]);
-          }
-        }
-      }
-      if (ok) {
-        block = Block(CscBlock(rows, cols, std::move(col_ptr),
-                               std::move(row_idx), std::move(values)));
-      }
-    }
-  } else {
-    ok = false;
-  }
-  uint64_t stored_checksum = kNoChecksum;
-  ok = ok && ReadOne(f, &stored_checksum);
-  std::fclose(f);
+  auto restored = DeserializeBlock(*data, "spill: restoring " + path);
   consume();
-  if (!ok) return Status::DataLoss("spill: corrupt or truncated " + path);
-  if (BlockChecksum(block) != stored_checksum) {
-    return Status::DataLoss("spill: checksum mismatch restoring " + path);
-  }
+  if (!restored.ok()) return restored.status();
+  Block block = std::move(restored).ValueOrDie();
 
   const int64_t bytes = block.MemoryBytes();
   {

@@ -2,19 +2,25 @@
 //
 // When a query's resident set exceeds its MemoryBudget, the executor spills
 // least-recently-used blocks here and drops the in-memory payload. A spill
-// file is a self-describing snapshot of one block:
+// file is a self-describing snapshot of one block in the shared serialized
+// block format (fault/durable_io.h):
 //
 //   magic "DMACSPL1" | kind u32 | rows i64 | cols i64
 //   dense:  scalar payload (rows*cols floats, column-major)
 //   sparse: nnz i64 | col_ptr i32[cols+1] | row_idx i32[nnz] | values f32[nnz]
 //   checksum u64   — FNV-1a BlockChecksum of the block (fault/checksum.h)
 //
-// Restore rebuilds the block, recomputes the checksum, and fails with
-// `kDataLoss` on mismatch — a spilled block must round-trip bit-identically,
-// the same contract the partition stores enforce in memory. Restore consumes
-// the file, so `live_files()` counts exactly the blocks currently on disk;
-// the destructor removes any remaining files and the store directory, which
-// is how "no leaked spill files" is guaranteed on every exit path.
+// Every byte moves through a StorageIO, so disk faults (short writes,
+// ENOSPC, read-side bit flips, crash points) inject here too, and error
+// codes follow the disk-fault taxonomy: kResourceExhausted when the disk is
+// full, kUnavailable for short writes and fsync failures — resource
+// pressure and flaky storage are not corruption. Restore rebuilds the
+// block, recomputes the checksum, and fails with `kDataLoss` on mismatch —
+// a spilled block must round-trip bit-identically, the same contract the
+// partition stores enforce in memory. Restore consumes the file, so
+// `live_files()` counts exactly the blocks currently on disk; the
+// destructor removes any remaining files and the store directory, which is
+// how "no leaked spill files" is guaranteed on every exit path.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,7 @@
 
 #include "common/result.h"
 #include "common/sync.h"
+#include "fault/durable_io.h"
 #include "matrix/block.h"
 
 namespace dmac {
@@ -36,15 +43,19 @@ class SpillStore {
   static constexpr int64_t kNoHandle = -1;
 
   /// Opens a store rooted at `dir`, or at a fresh unique directory under the
-  /// system temp path when `dir` is empty.
-  static Result<std::shared_ptr<SpillStore>> Create(std::string dir = "");
+  /// system temp path when `dir` is empty. `io` is the storage layer every
+  /// byte moves through (fault injection included); fault-free by default.
+  static Result<std::shared_ptr<SpillStore>> Create(
+      std::string dir = "", std::shared_ptr<StorageIO> io = nullptr);
 
   ~SpillStore();
 
   SpillStore(const SpillStore&) = delete;
   SpillStore& operator=(const SpillStore&) = delete;
 
-  /// Writes `block` to a new spill file. Returns its handle.
+  /// Writes `block` to a new spill file. Returns its handle. Error codes
+  /// follow the disk-fault taxonomy (kResourceExhausted on a full disk,
+  /// kUnavailable on a short write or fsync failure).
   [[nodiscard]] Result<int64_t> Spill(const Block& block) DMAC_EXCLUDES(mu_);
 
   /// Reads the block back, verifies its checksum, and deletes the file.
@@ -65,12 +76,13 @@ class SpillStore {
   const std::string& dir() const { return dir_; }
 
  private:
-  explicit SpillStore(std::string dir, bool owns_dir);
+  SpillStore(std::string dir, bool owns_dir, std::shared_ptr<StorageIO> io);
 
   std::string PathFor(int64_t handle) const;
 
   const std::string dir_;
   const bool owns_dir_;
+  const std::shared_ptr<StorageIO> io_;
 
   mutable Mutex mu_;
   int64_t next_handle_ DMAC_GUARDED_BY(mu_) = 0;

@@ -121,6 +121,21 @@ const std::vector<MetricSpec>& MetricCatalog() {
       {kMetricFaultRecoverySeconds, MetricKind::kCounter, "seconds",
        "simulated worker time spent on recovery instead of useful compute "
        "(retried attempts, backoff waits, abandoned straggler attempts)"},
+      {kMetricFaultCheckpointDurableBytes, MetricKind::kCounter, "bytes",
+       "bytes committed to durable checkpoint storage (block files plus "
+       "manifests)"},
+      {kMetricFaultCheckpointEpochs, MetricKind::kCounter, "epochs",
+       "durable checkpoint epochs committed (manifest atomically renamed)"},
+      {kMetricFaultCheckpointFailures, MetricKind::kCounter, "failures",
+       "durable checkpoint commits that failed on a disk fault (the run "
+       "continued on the previous epoch)"},
+      {kMetricFaultResumeRestoredBlocks, MetricKind::kCounter, "blocks",
+       "blocks read back from a durable checkpoint on crash-restart resume"},
+      {kMetricFaultResumeSeconds, MetricKind::kCounter, "seconds",
+       "wall time spent restoring a durable snapshot on resume"},
+      {kMetricFaultDiskFaults, MetricKind::kCounter, "faults",
+       "disk faults drawn by the StorageIO layer (short writes, bit flips, "
+       "ENOSPC, fsync failures)"},
       {kMetricPoolOutstanding, MetricKind::kGauge, "blocks",
        "buffer-pool blocks currently acquired and not yet released, across "
        "all live pools (must drain to zero after every query)"},

@@ -202,6 +202,17 @@ inline constexpr const char* kMetricFaultCheckpointBytes =
     "fault.checkpoint.bytes";
 inline constexpr const char* kMetricFaultRecoverySeconds =
     "fault.recovery.seconds";
+inline constexpr const char* kMetricFaultCheckpointDurableBytes =
+    "fault.checkpoint.durable.bytes";
+inline constexpr const char* kMetricFaultCheckpointEpochs =
+    "fault.checkpoint.epochs";
+inline constexpr const char* kMetricFaultCheckpointFailures =
+    "fault.checkpoint.failures";
+inline constexpr const char* kMetricFaultResumeRestoredBlocks =
+    "fault.resume.restored.blocks";
+inline constexpr const char* kMetricFaultResumeSeconds =
+    "fault.resume.seconds";
+inline constexpr const char* kMetricFaultDiskFaults = "fault.disk.faults";
 inline constexpr const char* kMetricNetMessages = "fault.net.messages";
 inline constexpr const char* kMetricNetRetransmits = "fault.net.retransmits";
 inline constexpr const char* kMetricNetRetransBytes =

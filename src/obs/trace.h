@@ -35,6 +35,8 @@ inline constexpr const char* kTraceSpill = "spill";    // budget spill/restore
 inline constexpr const char* kTraceCancel = "cancel";  // cancellation observed
 inline constexpr const char* kTraceMembership =
     "membership";  // epoch bumps / worker death / degraded rebalance
+inline constexpr const char* kTraceCheckpoint =
+    "checkpoint";  // durable checkpoint commit / crash-restart resume
 
 /// One completed span. `worker` is -1 for driver-side work.
 struct TraceEvent {

@@ -68,8 +68,8 @@ class Planner {
     if (opts_.verify_plan) {
       // Post-pass: the static verifier re-derives every invariant Algorithm 1
       // is supposed to establish and fails planning on any violation.
-      DMAC_RETURN_NOT_OK(
-          VerifyPlan(ops_, plan_, opts_.num_workers, opts_.min_workers));
+      DMAC_RETURN_NOT_OK(VerifyPlan(ops_, plan_, opts_.num_workers,
+                                    opts_.min_workers, opts_.resume));
     }
     return std::move(plan_);
   }

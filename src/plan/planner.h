@@ -58,6 +58,12 @@ struct PlannerOptions {
   /// forwarded to the verifier so the lineage-completeness pass can flag
   /// a quorum the cluster cannot satisfy before execution starts.
   int min_workers = 1;
+
+  /// The run will maintain / restore durable checkpoints (executor
+  /// checkpoint_dir / resume), forwarded to the verifier so the lineage
+  /// pass can warn when a hint-free plan makes every producing step commit
+  /// a durable epoch.
+  bool resume = false;
 };
 
 /// Runs Algorithm 1 over the decomposed program and returns a finalized,

@@ -78,6 +78,16 @@ struct ExecStats {
   int64_t net_stale_fenced = 0;  // dead-sender transfers fenced by epoch
   int64_t net_stale_applied = 0;  // audit: fenced-class transfers applied
 
+  // --- Durable checkpoints & crash restart (docs/fault_tolerance.md,
+  // "Durability & restart"). All zero without --checkpoint-dir.
+  int64_t durable_checkpoint_bytes = 0;  // committed to disk (blocks+manifests)
+  int64_t durable_epochs = 0;            // checkpoint epochs committed
+  int64_t checkpoint_failures = 0;       // durable commits that failed (run continued)
+  int64_t disk_faults_injected = 0;      // faults drawn by the StorageIO layer
+  bool resumed = false;                  // this run restored a durable snapshot
+  int64_t resume_step = -1;              // last step the snapshot covered
+  int64_t resume_restored_blocks = 0;    // blocks read back from disk on resume
+
   double comm_bytes() const { return shuffle_bytes + broadcast_bytes; }
   int64_t comm_events() const { return shuffle_events + broadcast_events; }
 
@@ -190,6 +200,14 @@ struct ExecStats {
     net_partitions += other.net_partitions;
     net_stale_fenced += other.net_stale_fenced;
     net_stale_applied += other.net_stale_applied;
+    durable_checkpoint_bytes += other.durable_checkpoint_bytes;
+    durable_epochs += other.durable_epochs;
+    checkpoint_failures += other.checkpoint_failures;
+    disk_faults_injected += other.disk_faults_injected;
+    resumed = resumed || other.resumed;
+    // A resume point is a position, not a quantity.
+    resume_step = std::max(resume_step, other.resume_step);
+    resume_restored_blocks += other.resume_restored_blocks;
   }
 
  private:

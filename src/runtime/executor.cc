@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <map>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -13,6 +16,8 @@
 #include "common/timer.h"
 #include "common/thread_pool.h"
 #include "fault/checkpoint.h"
+#include "fault/durable_checkpoint.h"
+#include "fault/durable_io.h"
 #include "fault/injector.h"
 #include "fault/lineage.h"
 #include "fault/retry_policy.h"
@@ -149,6 +154,7 @@ class Executor::Impl {
     DMAC_RETURN_NOT_OK(CheckCancel());  // a 0 ms deadline fails before work
     DMAC_RETURN_NOT_OK(PickBlockSize());
     DMAC_RETURN_NOT_OK(SetUpFaultTolerance());
+    DMAC_RETURN_NOT_OK(MaybeResume());
     MemTracker::Global().ResetPeak();
     const int64_t mem_before_peak = MemTracker::Global().peak_bytes();
 
@@ -158,6 +164,26 @@ class Executor::Impl {
     int current_stage = std::numeric_limits<int>::min();
     std::optional<TraceSpan> stage_span;
     for (const PlanStep& step : plan_.steps) {
+      if (step.id <= resume_skip_step_) {
+        // The restored snapshot covers this step. Bump the LRU clock the
+        // way an uninterrupted run would (spill ordering parity), then
+        // either skip it or — for the load steps of reload-marked nodes —
+        // re-execute it against the caller's bindings.
+        ++step_clock_;
+        for (int input : step.inputs) {
+          node_last_use_[static_cast<size_t>(input)] = step_clock_;
+        }
+        if (step.output >= 0) {
+          node_last_use_[static_cast<size_t>(step.output)] = step_clock_;
+        }
+        if (reload_step_ids_.count(step.id) != 0) {
+          DMAC_RETURN_NOT_OK(ExecuteStep(step));
+          // Lineage only: the snapshot's checkpoint counter already
+          // includes this step's contribution from the original run.
+          RecordLineage(step);
+        }
+        continue;
+      }
       const bool tracing = TraceRecorder::Global().enabled();
       if (step.stage != current_stage) {
         stage_span.reset();
@@ -502,8 +528,25 @@ class Executor::Impl {
   // ---- fault tolerance (docs/fault_tolerance.md) --------------------------
 
   Status SetUpFaultTolerance() {
-    ft_ = opts_.fault.enabled || opts_.checkpoint_every > 0;
+    const bool durable = !opts_.checkpoint_dir.empty();
+    // A durable directory implies checkpointing: default the cadence to
+    // every producing step so a bare --checkpoint-dir is crash-safe.
+    effective_checkpoint_every_ =
+        opts_.checkpoint_every > 0 ? opts_.checkpoint_every : (durable ? 1 : 0);
+    ft_ = opts_.fault.enabled || effective_checkpoint_every_ > 0;
     min_workers_ = std::min(std::max(opts_.min_workers, 1), opts_.num_workers);
+    if (durable) {
+      DMAC_RETURN_NOT_OK(opts_.fault.disk.Validate());
+      // Salted so the disk schedule is independent of the injector's and
+      // the data seed's streams (durable_io.h header comment).
+      storage_io_ = std::make_shared<StorageIO>(
+          opts_.fault.disk, opts_.fault.seed ^ 0x5d15c0de5d15c0deULL,
+          opts_.fault.disk.crash_soft ? StorageIO::CrashMode::kSoft
+                                      : StorageIO::CrashMode::kHard);
+      DMAC_ASSIGN_OR_RETURN(
+          durable_store_,
+          DurableCheckpointStore::Open(opts_.checkpoint_dir, storage_io_));
+    }
     if (!ft_) return Status::Ok();
     retry_policy_ = RetryPolicy{opts_.fault.max_retries,
                                 opts_.fault.backoff_base_seconds,
@@ -535,6 +578,11 @@ class Executor::Impl {
   /// Copies membership and network-fault accounting into ExecStats and the
   /// metric registry at the end of a run.
   void ExportFaultNetworkStats() {
+    if (storage_io_ != nullptr) {
+      stats_.disk_faults_injected = storage_io_->faults_injected();
+      metric_fault_disk_faults_->Add(
+          static_cast<double>(stats_.disk_faults_injected));
+    }
     if (membership_ != nullptr) {
       stats_.membership_epoch = membership_->epoch();
       metric_membership_epoch_->Set(
@@ -908,6 +956,12 @@ class Executor::Impl {
   /// record the output's lineage manifest, and checkpoint when due.
   Status AfterStepSuccess(const PlanStep& step) {
     if (step.output < 0) return Status::Ok();
+    RecordLineage(step);
+    return MaybeCheckpoint(step);
+  }
+
+  /// Stamps the output's checksums and records its lineage manifest.
+  void RecordLineage(const PlanStep& step) {
     DistMatrix& dm = Data(step.output);
     dm.SetChecksums();
     NodeLineage lin;
@@ -922,16 +976,16 @@ class Executor::Impl {
       }
     }
     lineage_.Record(std::move(lin));
-    MaybeCheckpoint(step);
-    return Status::Ok();
   }
 
-  void MaybeCheckpoint(const PlanStep& step) {
-    if (opts_.checkpoint_every <= 0) return;
+  [[nodiscard]] Status MaybeCheckpoint(const PlanStep& step) {
+    if (effective_checkpoint_every_ <= 0) return Status::Ok();
     const PlanNode& node = NodeOf(step.output);
-    if (plan_has_hints_ && !node.checkpoint_hint) return;
-    if (++checkpoint_counter_ % opts_.checkpoint_every != 0) return;
-    TraceSpan span(kTraceRecovery, "checkpoint " + node.ToString(), -1,
+    if (plan_has_hints_ && !node.checkpoint_hint) return Status::Ok();
+    if (++checkpoint_counter_ % effective_checkpoint_every_ != 0) {
+      return Status::Ok();
+    }
+    TraceSpan span(kTraceCheckpoint, "checkpoint " + node.ToString(), -1,
                    TraceArg("node", int64_t{node.id}));
     const DistMatrix& dm = Data(step.output);
     const int64_t bcols = dm.grid().block_cols();
@@ -953,6 +1007,194 @@ class Executor::Impl {
     const int64_t written = checkpoints_.bytes_written() - before;
     stats_.checkpoint_bytes += written;
     metric_fault_checkpoint_bytes_->Add(static_cast<double>(written));
+    if (durable_store_ == nullptr) return Status::Ok();
+    return CommitDurable(step);
+  }
+
+  /// Commits a durable epoch covering everything a restart needs to resume
+  /// after `step`: the scalar environment, reload markers for the nodes
+  /// produced by kLoad steps (their blocks alias caller-owned bindings and
+  /// are re-loaded instead of serialized), and every block of every other
+  /// live node — the inputs of later steps plus the plan outputs.
+  [[nodiscard]] Status CommitDurable(const PlanStep& step) {
+    TraceSpan span(kTraceCheckpoint,
+                   "commit epoch after step " + std::to_string(step.id), -1,
+                   TraceArg("step", int64_t{step.id}));
+    std::set<int> live;  // ordered: the manifest layout is deterministic
+    for (const PlanStep& later : plan_.steps) {
+      if (later.id <= step.id) continue;
+      for (int input : later.inputs) live.insert(input);
+    }
+    for (const PlanOutput& out : plan_.outputs) live.insert(out.node);
+
+    std::vector<int> reload_nodes;
+    std::vector<PendingDurableBlock> pending;
+    for (const int node_id : live) {
+      auto& dm = node_data_[static_cast<size_t>(node_id)];
+      if (dm == nullptr) continue;  // not produced yet
+      const PlanNode& node = NodeOf(node_id);
+      if (node.producer_step >= 0 &&
+          plan_.steps[static_cast<size_t>(node.producer_step)].kind ==
+              StepKind::kLoad) {
+        reload_nodes.push_back(node_id);
+        continue;
+      }
+      if (dm->SpilledEntries() > 0) {
+        DMAC_RETURN_NOT_OK(dm->EnsureResident().status());
+      }
+      // Snapshot the *recorded* checksums, deliberately not re-stamping:
+      // re-hashing here would launder a boundary-injected corruption into
+      // the manifest. A payload that disagrees with its recorded checksum
+      // fails verification at Open and the epoch falls back — conservative
+      // and safe.
+      const int64_t bcols = dm->grid().block_cols();
+      for (int w = 0; w < opts_.num_workers; ++w) {
+        for (int64_t key : dm->SortedWorkerKeys(w)) {
+          auto ptr = dm->Get(w, key / bcols, key % bcols);
+          if (ptr == nullptr) continue;
+          pending.push_back(PendingDurableBlock{
+              node_id, w, key, dm->ChecksumAt(w, key / bcols, key % bcols),
+              std::move(ptr)});
+        }
+      }
+    }
+    std::vector<std::pair<std::string, double>> scalar_env(scalars_.begin(),
+                                                           scalars_.end());
+    std::sort(scalar_env.begin(), scalar_env.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    const int64_t before = durable_store_->bytes_written();
+    const Status st = durable_store_->Commit(step.id, checkpoint_counter_,
+                                             scalar_env, reload_nodes,
+                                             pending);
+    if (!st.ok()) {
+      // A simulated process death must propagate (in hard mode the crash
+      // never returns; soft mode surfaces kInternal and refuses further
+      // I/O). Any other disk fault is absorbed: the run continues, covered
+      // by the previous committed epoch.
+      if (storage_io_->dead() || st.code() == StatusCode::kInternal) return st;
+      ++stats_.checkpoint_failures;
+      metric_fault_checkpoint_failures_->Increment();
+      return Status::Ok();
+    }
+    const int64_t written = durable_store_->bytes_written() - before;
+    stats_.durable_checkpoint_bytes += written;
+    ++stats_.durable_epochs;
+    metric_fault_durable_bytes_->Add(static_cast<double>(written));
+    metric_fault_epochs_->Increment();
+    return Status::Ok();
+  }
+
+  /// Restores the last committed durable snapshot when `--resume` asked for
+  /// it: scalars bit-exactly, every snapshotted node's blocks (checksum-
+  /// verified), lineage manifests, and the in-memory checkpoint cache (hot
+  /// in-process recovery never re-reads disk). Steps the snapshot covers
+  /// are skipped by the main loop, except the kLoad steps of reload-marked
+  /// nodes, which re-execute against the caller's bindings. A fresh store
+  /// (no committed epoch) resumes from nothing — a plain full run.
+  Status MaybeResume() {
+    if (!opts_.resume || durable_store_ == nullptr) return Status::Ok();
+    const DurableSnapshot* snap = durable_store_->committed();
+    if (snap == nullptr) return Status::Ok();
+    Timer timer;
+    TraceSpan span(kTraceCheckpoint,
+                   "resume epoch " + std::to_string(snap->epoch), -1,
+                   TraceArg("epoch", snap->epoch) + "," +
+                       TraceArg("step", int64_t{snap->resume_step}));
+
+    // The snapshot must describe *this* plan; a stale directory from a
+    // different program or config must fail loudly, not half-restore.
+    const auto bad = [&](const std::string& why) {
+      return Status::Invalid("resume: checkpoint dir " +
+                             durable_store_->dir() +
+                             " does not match this plan (" + why + ")");
+    };
+    if (snap->resume_step < 0 ||
+        static_cast<size_t>(snap->resume_step) >= plan_.steps.size()) {
+      return bad("resume step " + std::to_string(snap->resume_step) +
+                 " out of range");
+    }
+    for (const int node_id : snap->reload_nodes) {
+      if (node_id < 0 || static_cast<size_t>(node_id) >= plan_.nodes.size()) {
+        return bad("reload node " + std::to_string(node_id) + " out of range");
+      }
+      const int producer = NodeOf(node_id).producer_step;
+      if (producer < 0 ||
+          plan_.steps[static_cast<size_t>(producer)].kind != StepKind::kLoad) {
+        return bad("reload node " + std::to_string(node_id) +
+                   " is not load-produced");
+      }
+      reload_step_ids_.insert(producer);
+    }
+
+    for (const auto& [name, bits] : snap->scalars) {
+      double value = 0;
+      static_assert(sizeof(value) == sizeof(bits));
+      std::memcpy(&value, &bits, sizeof(value));
+      scalars_[name] = value;
+    }
+    checkpoint_counter_ = snap->checkpoint_counter;
+    resume_skip_step_ = snap->resume_step;
+
+    // Group the snapshot's blocks per node and rebuild each DistMatrix.
+    std::map<int, std::vector<const DurableBlock*>> per_node;
+    for (const DurableBlock& b : snap->blocks) {
+      if (b.node_id < 0 ||
+          static_cast<size_t>(b.node_id) >= plan_.nodes.size()) {
+        return bad("block node " + std::to_string(b.node_id) +
+                   " out of range");
+      }
+      if (b.worker < 0 || b.worker >= opts_.num_workers) {
+        return bad("block worker " + std::to_string(b.worker) +
+                   " out of range — was the snapshot taken with a different "
+                   "--workers?");
+      }
+      per_node[b.node_id].push_back(&b);
+    }
+    for (const auto& [node_id, refs] : per_node) {
+      const PlanNode& node = NodeOf(node_id);
+      auto dm = NewData(node_id, node.stats.shape);
+      const int64_t bcols = dm->grid().block_cols();
+      NodeLineage lin;
+      lin.node_id = node_id;
+      lin.producer_step = node.producer_step;
+      if (node.producer_step >= 0) {
+        lin.inputs =
+            plan_.steps[static_cast<size_t>(node.producer_step)].inputs;
+      }
+      std::vector<CheckpointBlock> cache_blocks;
+      // One read per distinct file: Broadcast replicas share a payload on
+      // disk exactly as they do in memory.
+      std::unordered_map<std::string, std::shared_ptr<const Block>> loaded;
+      for (const DurableBlock* ref : refs) {
+        const int64_t bi = ref->key / bcols;
+        const int64_t bj = ref->key % bcols;
+        if (bi >= dm->grid().block_rows() || bj >= dm->grid().block_cols()) {
+          return bad("block key " + std::to_string(ref->key) +
+                     " outside node " + std::to_string(node_id) + "'s grid");
+        }
+        auto [it, inserted] = loaded.try_emplace(ref->file);
+        if (inserted) {
+          DMAC_ASSIGN_OR_RETURN(Block block, durable_store_->ReadBlock(*ref));
+          it->second = std::make_shared<const Block>(std::move(block));
+          ++stats_.resume_restored_blocks;
+          metric_fault_resume_restored_->Increment();
+        }
+        dm->Put(ref->worker, bi, bj, it->second);
+        lin.blocks.push_back({ref->worker, ref->key, ref->checksum});
+        cache_blocks.push_back(
+            {ref->worker, ref->key, ref->checksum, it->second});
+      }
+      dm->SetChecksums();
+      lineage_.Record(std::move(lin));
+      // Write-through cache hydration: post-resume in-process recovery hits
+      // memory first, like it would in an uninterrupted run.
+      checkpoints_.Put(node_id, std::move(cache_blocks));
+    }
+    stats_.resumed = true;
+    stats_.resume_step = snap->resume_step;
+    metric_fault_resume_seconds_->Add(timer.ElapsedSeconds());
+    return Status::Ok();
   }
 
   // ---- step dispatch ------------------------------------------------------
@@ -1870,6 +2112,18 @@ class Executor::Impl {
   LineageTracker lineage_;
   CheckpointStore checkpoints_;
 
+  // Durable checkpoints & crash restart (docs/fault_tolerance.md,
+  // "Durability & restart"). Both pointers are null without a
+  // --checkpoint-dir; `effective_checkpoint_every_` is checkpoint_every
+  // defaulted to 1 when only the directory was given. Steps with
+  // id <= resume_skip_step_ are covered by the restored snapshot; the ids
+  // in `reload_step_ids_` are the load steps re-executed anyway.
+  std::shared_ptr<StorageIO> storage_io_;
+  std::unique_ptr<DurableCheckpointStore> durable_store_;
+  int effective_checkpoint_every_ = 0;
+  int resume_skip_step_ = -1;
+  std::set<int> reload_step_ids_;
+
   // Membership, degraded mode, and the fault-injecting network layer
   // (docs/fault_tolerance.md). Both pointers are null unless the spec can
   // kill workers or perturb messages, so clean runs pay one branch per
@@ -1911,6 +2165,18 @@ class Executor::Impl {
       MetricRegistry::Global().counter(kMetricFaultCheckpointBytes);
   Counter* metric_fault_recovery_seconds_ =
       MetricRegistry::Global().counter(kMetricFaultRecoverySeconds);
+  Counter* metric_fault_durable_bytes_ =
+      MetricRegistry::Global().counter(kMetricFaultCheckpointDurableBytes);
+  Counter* metric_fault_epochs_ =
+      MetricRegistry::Global().counter(kMetricFaultCheckpointEpochs);
+  Counter* metric_fault_checkpoint_failures_ =
+      MetricRegistry::Global().counter(kMetricFaultCheckpointFailures);
+  Counter* metric_fault_resume_restored_ =
+      MetricRegistry::Global().counter(kMetricFaultResumeRestoredBlocks);
+  Counter* metric_fault_resume_seconds_ =
+      MetricRegistry::Global().counter(kMetricFaultResumeSeconds);
+  Counter* metric_fault_disk_faults_ =
+      MetricRegistry::Global().counter(kMetricFaultDiskFaults);
   Counter* metric_net_messages_ =
       MetricRegistry::Global().counter(kMetricNetMessages);
   Counter* metric_net_retransmits_ =

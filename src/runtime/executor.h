@@ -53,6 +53,18 @@ struct ExecutorOptions {
   /// When the plan carries checkpoint hints only hinted nodes count toward
   /// K and are snapshotted; without hints every producing step does.
   int checkpoint_every = 0;
+  /// Durable checkpoint directory (docs/fault_tolerance.md, "Durability &
+  /// restart"). Non-empty = every in-memory checkpoint is also committed to
+  /// disk as a crash-consistent epoch; if `checkpoint_every` is 0 it
+  /// defaults to 1 (every producing step). `fault.disk` faults inject into
+  /// this path.
+  std::string checkpoint_dir;
+  /// Restore the last committed snapshot from `checkpoint_dir` before
+  /// executing, skipping every step the snapshot covers. The resumed run is
+  /// bit-identical to an uninterrupted one. A fresh/empty directory resumes
+  /// from nothing (a plain full run), which is what a crash-restart loop
+  /// needs on its first iteration.
+  bool resume = false;
   /// Quorum: the run fails clean with kUnavailable once permanent worker
   /// deaths leave fewer than this many survivors. Clamped to
   /// [1, num_workers]; the default 1 means "degrade all the way down to a

@@ -97,6 +97,53 @@ TEST(LineagePassTest, LineageCycleIsAnError) {
       << Dump(report);
 }
 
+TEST(LineagePassTest, ResumeWithoutCheckpointHintsWarns) {
+  const Plan plan = SmallPlan();
+  AnalysisContext ctx;
+  ctx.plan = &plan;
+  ctx.resume = true;
+  std::vector<Diagnostic> out;
+  MakeLineageCompletenessPass()->Run(ctx, &out);
+  AnalysisReport report;
+  report.diagnostics = std::move(out);
+  EXPECT_TRUE(
+      HasDiag(report, kPass, Severity::kWarning, "no checkpoint hints"))
+      << Dump(report);
+}
+
+TEST(LineagePassTest, ResumeWithCheckpointHintsDoesNotWarn) {
+  Plan plan = SmallPlan();
+  plan.nodes.back().checkpoint_hint = true;
+  AnalysisContext ctx;
+  ctx.plan = &plan;
+  ctx.resume = true;
+  std::vector<Diagnostic> out;
+  MakeLineageCompletenessPass()->Run(ctx, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LineagePassTest, NoResumeNoCadenceWarning) {
+  // The same hint-free plan is silent without resume (RunPass leaves
+  // ctx.resume at its default false).
+  const AnalysisReport report = RunPass(SmallPlan());
+  EXPECT_TRUE(report.diagnostics.empty()) << Dump(report);
+}
+
+TEST(LineagePassTest, AnalyzeProgramPlumbsResumeThrough) {
+  const OperatorList ops = ParseOps(
+      "A = load(\"A\", 600, 400, 0.1)\n"
+      "B = load(\"B\", 400, 300, 1)\n"
+      "C = A %*% B\n"
+      "output(C)\n");
+  const Plan plan = MustPlan(ops);
+  const AnalysisReport report =
+      AnalyzeProgram(&ops, &plan, /*num_workers=*/4, /*min_workers=*/1,
+                     /*resume=*/true);
+  EXPECT_TRUE(
+      HasDiag(report, kPass, Severity::kWarning, "no checkpoint hints"))
+      << Dump(report);
+}
+
 TEST(LineagePassTest, EveryPaperPlanIsLineageComplete) {
   for (const char* script :
        {"V = load(\"V\", 3000, 1200, 0.01)\n"

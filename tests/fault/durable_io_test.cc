@@ -1,0 +1,241 @@
+// StorageIO contract: the block serde round-trips bit-identically, every
+// disk-fault knob maps to its documented status code, and soft crash
+// points leave exactly the on-disk state a hard kill at the same point
+// would (torn temp / synced temp / renamed file) while refusing all
+// further I/O.
+#include "fault/durable_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/status.h"
+#include "fault/checksum.h"
+#include "fault/fault_spec.h"
+#include "matrix/block.h"
+
+namespace dmac {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under the system temp path, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("dmac_durable_io_" + tag + "_" +
+             std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string File(const std::string& name) const { return path + "/" + name; }
+  std::string path;
+};
+
+TEST(BlockSerdeTest, DenseRoundTripsBitIdentically) {
+  const Block original = RandomDenseBlock(13, 7, 5);
+  auto restored = DeserializeBlock(SerializeBlock(original), "test");
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(BlockChecksum(*restored), BlockChecksum(original));
+}
+
+TEST(BlockSerdeTest, SparseRoundTripsBitIdentically) {
+  const Block original = RandomSparseBlock(24, 18, 0.15, 9);
+  auto restored = DeserializeBlock(SerializeBlock(original), "test");
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_TRUE(restored->IsSparse());
+  EXPECT_EQ(BlockChecksum(*restored), BlockChecksum(original));
+}
+
+TEST(BlockSerdeTest, DamagedBuffersAreDataLossNeverCrashes) {
+  const std::string good = SerializeBlock(RandomDenseBlock(8, 8, 3));
+  // Empty, truncated at every prefix length, and one flipped byte: all must
+  // surface kDataLoss with the caller's context, never a crash or a giant
+  // allocation from a corrupt header.
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto r = DeserializeBlock(good.substr(0, len), "fuzz");
+    ASSERT_FALSE(r.ok()) << "prefix length " << len;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << r.status();
+  }
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    auto r = DeserializeBlock(bad, "fuzz");
+    ASSERT_FALSE(r.ok()) << "flipped byte " << pos;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << r.status();
+  }
+}
+
+TEST(StorageIOTest, FaultFreeWriteReadListRemove) {
+  TempDir dir("clean");
+  StorageIO io;
+  ASSERT_TRUE(io.CreateDir(dir.path).ok());
+  ASSERT_TRUE(io.CreateDir(dir.path).ok());  // idempotent
+  ASSERT_TRUE(io.WriteFileAtomic(dir.File("a"), "alpha").ok());
+  ASSERT_TRUE(io.WriteFileAtomic(dir.File("b"), "beta").ok());
+  auto data = io.ReadFile(dir.File("a"));
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(*data, "alpha");
+  auto names = io.List(dir.path);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ((*names)[0], "a");
+  EXPECT_EQ((*names)[1], "b");
+  io.Remove(dir.File("a"));
+  EXPECT_EQ(io.ReadFile(dir.File("a")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(io.faults_injected(), 0);
+  EXPECT_FALSE(io.dead());
+}
+
+TEST(StorageIOTest, EnospcIsResourceExhaustedAndLeavesTargetUntouched) {
+  TempDir dir("enospc");
+  StorageIO clean;
+  ASSERT_TRUE(clean.WriteFileAtomic(dir.File("f"), "original").ok());
+
+  DiskFaultSpec spec;
+  spec.enospc_prob = 1.0;
+  StorageIO io(spec, /*seed=*/1);
+  Status st = io.WriteFileAtomic(dir.File("f"), "replacement");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  EXPECT_GT(io.faults_injected(), 0);
+  // The target is untouched and no temp debris survives the rollback.
+  EXPECT_EQ(*clean.ReadFile(dir.File("f")), "original");
+  EXPECT_FALSE(fs::exists(dir.File("f") + ".tmp"));
+}
+
+TEST(StorageIOTest, ShortWriteIsUnavailableAndRolledBack) {
+  TempDir dir("short");
+  DiskFaultSpec spec;
+  spec.short_write_prob = 1.0;
+  StorageIO io(spec, /*seed=*/2);
+  Status st = io.WriteFileAtomic(dir.File("f"), "0123456789");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st;
+  EXPECT_FALSE(fs::exists(dir.File("f")));
+  EXPECT_FALSE(fs::exists(dir.File("f") + ".tmp"));
+}
+
+TEST(StorageIOTest, FsyncFailureIsUnavailable) {
+  TempDir dir("fsync");
+  DiskFaultSpec spec;
+  spec.fsync_fail_prob = 1.0;
+  StorageIO io(spec, /*seed=*/3);
+  Status st = io.WriteFileAtomic(dir.File("f"), "payload");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st;
+  EXPECT_FALSE(fs::exists(dir.File("f")));
+}
+
+TEST(StorageIOTest, ReadFlipCorruptsExactlyOneBit) {
+  TempDir dir("flip");
+  StorageIO clean;
+  const std::string payload(64, 'x');
+  ASSERT_TRUE(clean.WriteFileAtomic(dir.File("f"), payload).ok());
+
+  DiskFaultSpec spec;
+  spec.read_flip_prob = 1.0;
+  StorageIO io(spec, /*seed=*/4);
+  auto data = io.ReadFile(dir.File("f"));
+  ASSERT_TRUE(data.ok()) << data.status();
+  ASSERT_EQ(data->size(), payload.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    unsigned delta = static_cast<unsigned char>((*data)[i]) ^
+                     static_cast<unsigned char>(payload[i]);
+    while (delta != 0) {
+      flipped_bits += static_cast<int>(delta & 1u);
+      delta >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_GT(io.faults_injected(), 0);
+}
+
+/// Soft crash points must leave exactly the state a hard kill would:
+/// point 1 = torn temp, point 2 = complete synced temp, point 3 = renamed
+/// final file. In all three the instance is dead afterwards.
+TEST(StorageIOTest, SoftCrashPointOneLeavesTornTemp) {
+  TempDir dir("wp1");
+  DiskFaultSpec spec;
+  spec.crash_at = 1;
+  StorageIO io(spec, /*seed=*/5, StorageIO::CrashMode::kSoft);
+  const std::string payload = "0123456789abcdef";
+  Status st = io.WriteFileAtomic(dir.File("f"), payload);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st;
+  EXPECT_TRUE(io.dead());
+  EXPECT_FALSE(fs::exists(dir.File("f")));
+  ASSERT_TRUE(fs::exists(dir.File("f") + ".tmp"));
+  EXPECT_LT(fs::file_size(dir.File("f") + ".tmp"), payload.size());
+}
+
+TEST(StorageIOTest, SoftCrashPointTwoLeavesSyncedTemp) {
+  TempDir dir("wp2");
+  DiskFaultSpec spec;
+  spec.crash_at = 2;
+  StorageIO io(spec, /*seed=*/6, StorageIO::CrashMode::kSoft);
+  const std::string payload = "0123456789abcdef";
+  Status st = io.WriteFileAtomic(dir.File("f"), payload);
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st;
+  EXPECT_FALSE(fs::exists(dir.File("f")));
+  ASSERT_TRUE(fs::exists(dir.File("f") + ".tmp"));
+  EXPECT_EQ(fs::file_size(dir.File("f") + ".tmp"), payload.size());
+}
+
+TEST(StorageIOTest, SoftCrashPointThreeLeavesRenamedFile) {
+  TempDir dir("wp3");
+  DiskFaultSpec spec;
+  spec.crash_at = 3;
+  StorageIO io(spec, /*seed=*/7, StorageIO::CrashMode::kSoft);
+  Status st = io.WriteFileAtomic(dir.File("f"), "payload");
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st;
+  // The rename happened before the crash: the write is durable even though
+  // the writer died.
+  StorageIO clean;
+  auto data = clean.ReadFile(dir.File("f"));
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(*data, "payload");
+  EXPECT_FALSE(fs::exists(dir.File("f") + ".tmp"));
+}
+
+TEST(StorageIOTest, CrashPointCountsAcrossWrites) {
+  TempDir dir("span");
+  DiskFaultSpec spec;
+  spec.crash_at = 4;  // 3 points per write: fires at write 2, point 1
+  StorageIO io(spec, /*seed=*/8, StorageIO::CrashMode::kSoft);
+  ASSERT_TRUE(io.WriteFileAtomic(dir.File("a"), "first").ok());
+  EXPECT_EQ(io.write_points(), 3);
+  Status st = io.WriteFileAtomic(dir.File("b"), "second");
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st;
+  EXPECT_TRUE(fs::exists(dir.File("a")));
+  EXPECT_FALSE(fs::exists(dir.File("b")));
+}
+
+TEST(StorageIOTest, DeadInstanceRefusesEverythingAndCleansNothing) {
+  TempDir dir("dead");
+  DiskFaultSpec spec;
+  spec.crash_at = 1;
+  StorageIO io(spec, /*seed=*/9, StorageIO::CrashMode::kSoft);
+  ASSERT_EQ(io.WriteFileAtomic(dir.File("f"), "x").code(),
+            StatusCode::kInternal);
+  ASSERT_TRUE(io.dead());
+  // A dead process cannot write, read, or clean up.
+  EXPECT_EQ(io.WriteFileAtomic(dir.File("g"), "y").code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(io.ReadFile(dir.File("f")).status().code(),
+            StatusCode::kInternal);
+  io.Remove(dir.File("f") + ".tmp");
+  EXPECT_TRUE(fs::exists(dir.File("f") + ".tmp"));
+}
+
+}  // namespace
+}  // namespace dmac

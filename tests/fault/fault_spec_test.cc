@@ -158,6 +158,60 @@ TEST(FaultSpecTest, ValidateRejectsBadDeathAndNetworkKnobs) {
   EXPECT_FALSE(ParseFaultSpec("net_dropp_prob = 0.1\n").ok());
 }
 
+TEST(FaultSpecTest, ParsesDiskFaultAndCrashKnobs) {
+  auto spec = ParseFaultSpec(
+      "seed = 9\n"
+      "disk_short_write_prob = 0.05\n"
+      "disk_read_flip_prob = 0.01\n"
+      "disk_enospc_prob = 0.02\n"
+      "disk_fsync_fail_prob = 0.03\n"
+      "crash_at = 4\n"
+      "crash_soft = true\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->disk.short_write_prob, 0.05);
+  EXPECT_EQ(spec->disk.read_flip_prob, 0.01);
+  EXPECT_EQ(spec->disk.enospc_prob, 0.02);
+  EXPECT_EQ(spec->disk.fsync_fail_prob, 0.03);
+  EXPECT_EQ(spec->disk.crash_at, 4);
+  EXPECT_TRUE(spec->disk.crash_soft);
+  EXPECT_TRUE(spec->disk.Any());
+  // Disk faults inject at the storage layer, not through the step-level
+  // injector: they do not make AnyFaultPossible() true on their own.
+  EXPECT_FALSE(spec->AnyFaultPossible());
+}
+
+TEST(FaultSpecTest, ValidateRejectsBadDiskKnobs) {
+  FaultSpec spec;
+  spec.disk.short_write_prob = 1.5;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec = FaultSpec{};
+  spec.disk.read_flip_prob = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.disk.crash_at = 0;  // 1-based; 0 would crash before any write
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.disk.crash_at = -1;  // disabled
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_FALSE(ParseFaultSpec("disk_enospc_prob = 2.0\n").ok());
+  EXPECT_FALSE(ParseFaultSpec("disk_enospcc_prob = 0.1\n").ok());
+}
+
+TEST(FaultSpecTest, ShippedCrashRestartSpecParses) {
+  auto spec =
+      LoadFaultSpecFile(DMAC_SOURCE_DIR "/scripts/faults/crash_restart.spec");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->disk.Any());
+  EXPECT_GT(spec->disk.short_write_prob, 0);
+  EXPECT_GT(spec->disk.enospc_prob, 0);
+  EXPECT_GT(spec->disk.fsync_fail_prob, 0);
+  EXPECT_GT(spec->disk.read_flip_prob, 0);
+  EXPECT_EQ(spec->disk.crash_at, 4);
+  // Hard crash (exit 42): the crash-loop harness's contract.
+  EXPECT_FALSE(spec->disk.crash_soft);
+  EXPECT_TRUE(spec->Validate().ok());
+}
+
 TEST(FaultSpecTest, LoadMissingFileIsNotFound) {
   auto spec = LoadFaultSpecFile("/nonexistent/faults.spec");
   ASSERT_FALSE(spec.ok());

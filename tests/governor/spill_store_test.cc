@@ -13,6 +13,8 @@
 
 #include "common/status.h"
 #include "fault/checksum.h"
+#include "fault/durable_io.h"
+#include "fault/fault_spec.h"
 #include "matrix/block.h"
 
 namespace dmac {
@@ -132,6 +134,73 @@ TEST(SpillStoreTest, DestructorRemovesRemainingFilesAndOwnedDir) {
   }
   // No leaked spill files: the whole directory is gone.
   EXPECT_FALSE(fs::exists(dir));
+}
+
+// Regression: SpillStore used to fold every write error into one generic
+// code. The disk-fault taxonomy must flow through untranslated — ENOSPC is
+// terminal backpressure (kResourceExhausted), a short write is a retryable
+// environment fault (kUnavailable), a read-side flip is kDataLoss.
+TEST(SpillStoreTest, EnospcSurfacesAsResourceExhausted) {
+  DiskFaultSpec spec;
+  spec.enospc_prob = 1.0;
+  auto store =
+      SpillStore::Create("", std::make_shared<StorageIO>(spec, /*seed=*/1));
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto handle = (*store)->Spill(RandomDenseBlock(8, 8, 3));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kResourceExhausted)
+      << handle.status();
+  EXPECT_EQ((*store)->live_files(), 0);
+}
+
+TEST(SpillStoreTest, ShortWriteSurfacesAsUnavailable) {
+  DiskFaultSpec spec;
+  spec.short_write_prob = 1.0;
+  auto store =
+      SpillStore::Create("", std::make_shared<StorageIO>(spec, /*seed=*/2));
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto handle = (*store)->Spill(RandomDenseBlock(8, 8, 3));
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kUnavailable)
+      << handle.status();
+  // The failed spill leaves no file behind.
+  EXPECT_TRUE(FilesUnder((*store)->dir()).empty());
+}
+
+TEST(SpillStoreTest, ReadFlipSurfacesAsDataLoss) {
+  DiskFaultSpec spec;
+  spec.read_flip_prob = 1.0;
+  auto store =
+      SpillStore::Create("", std::make_shared<StorageIO>(spec, /*seed=*/3));
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto handle = (*store)->Spill(RandomDenseBlock(12, 12, 5));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  auto restored = (*store)->Restore(*handle);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss)
+      << restored.status();
+  // Detected corruption consumes the file like any other restore.
+  EXPECT_EQ((*store)->live_files(), 0);
+}
+
+// SpillStore files and durable checkpoint block files share one format:
+// bytes written by the store parse with the shared deserializer and vice
+// versa.
+TEST(SpillStoreTest, FileFormatIsTheSharedBlockFormat) {
+  auto store = MustCreate();
+  const Block original = RandomSparseBlock(20, 14, 0.25, 8);
+  auto handle = store->Spill(original);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  const auto files = FilesUnder(store->dir());
+  ASSERT_EQ(files.size(), 1u);
+  std::ifstream in(files[0], std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, SerializeBlock(original));
+  auto parsed = DeserializeBlock(bytes, "format-compat");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(BlockChecksum(*parsed), BlockChecksum(original));
 }
 
 TEST(SpillStoreTest, HandlesAreDistinct) {

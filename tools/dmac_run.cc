@@ -30,6 +30,18 @@
 //                     rebalancing
 //   --checkpoint-every K
 //                     checkpoint hinted matrices every K producing steps
+//   --checkpoint-dir DIR
+//                     durable checkpoints: commit every in-memory checkpoint
+//                     to DIR as a crash-consistent epoch (write-temp, fsync,
+//                     atomic rename); --checkpoint-every 0 then defaults to 1
+//   --resume          restore the last committed epoch from --checkpoint-dir
+//                     before executing; the resumed run is bit-identical to
+//                     an uninterrupted one. A fresh/empty directory is a
+//                     plain full run, so a crash-restart loop can always
+//                     pass --resume
+//   --crash-at N      simulate a crash at the N-th durable write point
+//                     (1-based, counted across the run); the process exits
+//                     with code 42 unless the spec sets crash_soft
 //   --deadline-ms MS  wall-clock deadline (docs/governance.md); 0 is already
 //                     expired, so the run fails with kDeadlineExceeded
 //                     before any work happens
@@ -97,7 +109,8 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "[--block B] [--baseline] [--bind NAME=FILE] [--plan-only] "
                "[--dot] [--trace-out FILE] [--metrics-out FILE] [--seed S] "
                "[--fault-spec FILE] [--min-workers N] "
-               "[--checkpoint-every K] "
+               "[--checkpoint-every K] [--checkpoint-dir DIR] [--resume] "
+               "[--crash-at N] "
                "[--deadline-ms MS] [--mem-budget-mb MB] [--concurrency N] "
                "[--help]\n"
                "\n"
@@ -111,7 +124,9 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "rejected, or spilling cannot fit the budget)\n"
                "  6  unavailable          (kUnavailable: unrecovered fault, "
                "or permanent deaths broke the --min-workers quorum)\n"
-               "  7  data loss            (kDataLoss: corruption detected)\n",
+               "  7  data loss            (kDataLoss: corruption detected)\n"
+               "  42 simulated crash      (--crash-at / crash_at write point "
+               "reached; restart with --resume)\n",
                argv0);
 }
 
@@ -155,6 +170,8 @@ int main(int argc, char** argv) {
   double deadline_ms = -1;  // < 0 = no deadline (0 is already expired)
   int64_t mem_budget_mb = 0;
   int concurrency = 1;
+  // Applied after --fault-spec so the flag wins over a spec-file crash_at.
+  int crash_at = 0;
   std::string trace_out, metrics_out, fault_spec_path;
   std::map<std::string, std::string> file_bindings;
   for (int i = 2; i < argc; ++i) {
@@ -191,6 +208,15 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
       config.checkpoint_every = std::atoi(v);
+    } else if (path_flag("--checkpoint-dir", &config.checkpoint_dir)) {
+      if (config.checkpoint_dir.empty()) return Usage(argv[0]);
+    } else if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg == "--crash-at") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      crash_at = std::atoi(v);
+      if (crash_at < 1) return Usage(argv[0]);
     } else if (arg == "--deadline-ms") {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
@@ -272,6 +298,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     config.fault = *spec;
+  }
+  if (crash_at > 0) config.fault.disk.crash_at = crash_at;
+  if ((config.resume || crash_at > 0) && config.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume / --crash-at require --checkpoint-dir\n");
+    return 2;
   }
 
   const bool obs = !trace_out.empty() || !metrics_out.empty();
@@ -460,6 +491,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.speculated_tasks),
         static_cast<double>(stats.checkpoint_bytes) / 1e6,
         stats.TotalRecoverySeconds(), stats.recovery_bytes / 1e6);
+  }
+  if (!config.checkpoint_dir.empty()) {
+    std::string resumed;
+    if (stats.resumed) {
+      resumed = "; resumed after step " + std::to_string(stats.resume_step) +
+                " (" + std::to_string(stats.resume_restored_blocks) +
+                " blocks restored)";
+    }
+    std::printf(
+        "[checkpoint] %lld epochs committed (%.2f MB durable), %lld commit "
+        "failures, %lld disk faults%s\n",
+        static_cast<long long>(stats.durable_epochs),
+        static_cast<double>(stats.durable_checkpoint_bytes) / 1e6,
+        static_cast<long long>(stats.checkpoint_failures),
+        static_cast<long long>(stats.disk_faults_injected), resumed.c_str());
   }
   if (stats.workers_dead > 0) {
     std::printf(

@@ -22,9 +22,12 @@
 //
 // On top of any --fault-spec schedule, a slice of the queries carries its
 // own fault override: permanent worker deaths (rebalanced in degraded
-// mode under a min-workers quorum) or message-level network faults
-// (drops, dups, reorders, delays, transient partitions). Successful
-// queries must stay bit-identical under all of them.
+// mode under a min-workers quorum), message-level network faults
+// (drops, dups, reorders, delays, transient partitions), or a
+// crash-restart scenario — a solo prologue run soft-crashes at a
+// pre-drawn durable write point, then the submitted query resumes from
+// the surviving checkpoint epoch. Successful queries must stay
+// bit-identical under all of them.
 //
 // Exit code: 0 when every assertion holds, 1 otherwise.
 #include <chrono>
@@ -219,6 +222,13 @@ int main(int argc, char** argv) {
       std::filesystem::temp_directory_path() /
       ("dmac_soak_" + std::to_string(seed));
   std::filesystem::create_directories(spill_root);
+  // Checkpoint dirs live under their own root: committed epochs
+  // legitimately persist after a successful run, so the zero-files
+  // assertion on spill_root must not see them.
+  const std::filesystem::path ckpt_root =
+      std::filesystem::temp_directory_path() /
+      ("dmac_soak_ckpt_" + std::to_string(seed));
+  std::filesystem::create_directories(ckpt_root);
 
   int failures = 0;
   std::map<std::string, int> tally;
@@ -241,6 +251,11 @@ int main(int argc, char** argv) {
       QueryOptions opts;
       bool cancel_midflight;
       int cancel_after_ms;
+      /// Crash-restart scenario: a solo prologue run soft-crashes at
+      /// `crash_point`; the submitted query then resumes from the epoch
+      /// that survived.
+      bool restart = false;
+      int crash_point = 0;
     };
     std::vector<Planned> planned;
     for (int i = 0; i < queries; ++i) {
@@ -287,6 +302,14 @@ int main(int argc, char** argv) {
           p.opts.fault = net;
           break;
         }
+        case 2: {
+          p.restart = true;
+          p.crash_point = static_cast<int>(1 + rng() % 40);
+          p.opts.checkpoint_dir =
+              (ckpt_root / ("q" + std::to_string(i))).string();
+          p.opts.resume = true;
+          break;
+        }
         default:
           break;
       }
@@ -297,11 +320,34 @@ int main(int argc, char** argv) {
                      i, workloads[p.workload].name.c_str(),
                      static_cast<long long>(p.opts.memory_budget_bytes),
                      p.opts.deadline_seconds, p.cancel_midflight ? 1 : 0,
-                     !p.opts.fault.has_value()     ? "base"
+                     p.restart                      ? "restart"
+                     : !p.opts.fault.has_value()    ? "base"
                      : p.opts.fault->death_prob > 0 ? "death"
                                                     : "net");
       }
       planned.push_back(p);
+    }
+
+    // Crash prologues run solo (serially, ungoverned) before the storm:
+    // each soft-crashes mid-run at its pre-drawn durable write point,
+    // leaving a checkpoint dir the submitted query must resume from. A
+    // crash point past the run's last write just completes the prologue —
+    // the resume then re-serves the committed outputs.
+    for (const Planned& p : planned) {
+      if (!p.restart) continue;
+      RunConfig crash = base;
+      crash.checkpoint_dir = p.opts.checkpoint_dir;
+      crash.fault.disk.crash_at = p.crash_point;
+      crash.fault.disk.crash_soft = true;
+      auto prologue = RunProgram(workloads[p.workload].program,
+                                 workloads[p.workload].MakeBindings(), crash);
+      if (!prologue.ok() &&
+          prologue.status().code() != StatusCode::kInternal) {
+        std::fprintf(stderr, "FAIL: crash prologue (%s) died abnormally: %s\n",
+                     workloads[p.workload].name.c_str(),
+                     prologue.status().ToString().c_str());
+        ++failures;
+      }
     }
 
     std::vector<int64_t> ids;
@@ -368,6 +414,7 @@ int main(int argc, char** argv) {
   }
   std::error_code ec;
   std::filesystem::remove_all(spill_root, ec);
+  std::filesystem::remove_all(ckpt_root, ec);
 
   std::printf("[soak] %d queries, concurrency %d, seed %llu:", queries,
               concurrency, static_cast<unsigned long long>(seed));
