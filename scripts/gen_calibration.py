@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Derive CALIBRATION.json (dmac-calibration-v1) from a BENCH_kernels.json
+kernel sweep (dmac-kernel-bench-v2).
+
+The calibration document is the distilled form the cost model
+(src/plan/costmodel.h) consumes: one rate entry per
+(kind, representation, trans, block_size, threads), with the seed-loop
+reference rows dropped and derived speedup fields removed. Keeping it as
+a separate committed artifact lets the bench file evolve (extra kinds,
+diagnostic fields) without perturbing plan-search results, and gives CI a
+single schema to validate.
+
+Usage:
+  scripts/gen_calibration.py [BENCH_kernels.json] [-o CALIBRATION.json]
+  scripts/gen_calibration.py --check CALIBRATION.json   # schema validation
+"""
+
+import argparse
+import json
+import sys
+
+ENTRY_FIELDS = {
+    "kind": str,
+    "representation": str,
+    "trans": str,
+    "block_size": int,
+    "threads": int,
+    "gflops": (int, float),
+    "bytes_per_second": (int, float),
+}
+
+KNOWN_KINDS = {"gemm", "vec"}
+
+
+def fail(msg):
+    print(f"gen_calibration: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(doc, path):
+    """Validates a dmac-calibration-v1 document; exits nonzero on errors."""
+    errors = []
+    if doc.get("schema") != "dmac-calibration-v1":
+        errors.append(f"schema is {doc.get('schema')!r}, "
+                      "want 'dmac-calibration-v1'")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        errors.append("entries must be a non-empty array")
+        entries = []
+    seen = set()
+    for i, e in enumerate(entries):
+        if not isinstance(e, dict):
+            errors.append(f"entries[{i}] is not an object")
+            continue
+        for field, types in ENTRY_FIELDS.items():
+            if field not in e:
+                errors.append(f"entries[{i}] missing field {field!r}")
+            elif not isinstance(e[field], types) or isinstance(e[field], bool):
+                errors.append(f"entries[{i}].{field} has type "
+                              f"{type(e[field]).__name__}")
+        kind = e.get("kind")
+        if kind is not None and kind not in KNOWN_KINDS:
+            errors.append(f"entries[{i}].kind {kind!r} unknown "
+                          f"(want one of {sorted(KNOWN_KINDS)})")
+        if e.get("gflops", 1) <= 0 and e.get("bytes_per_second", 1) <= 0:
+            errors.append(f"entries[{i}] has neither a positive gflops "
+                          "nor bytes_per_second rate")
+        key = (e.get("kind"), e.get("representation"), e.get("trans"),
+               e.get("block_size"), e.get("threads"))
+        if key in seen:
+            errors.append(f"entries[{i}] duplicates {key}")
+        seen.add(key)
+    for err in errors:
+        print(f"gen_calibration: {path}: {err}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"gen_calibration: {path} ok "
+          f"({len(entries)} entries, block size "
+          f"{doc.get('default_block_size')})")
+
+
+def derive(bench_path):
+    try:
+        with open(bench_path) as f:
+            bench = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {bench_path}: {e}")
+    if bench.get("schema") != "dmac-kernel-bench-v2":
+        fail(f"{bench_path}: schema is {bench.get('schema')!r}, "
+             "want 'dmac-kernel-bench-v2'")
+    entries = []
+    for e in bench.get("entries", []):
+        if e.get("kind") == "gemm_seed_reference":
+            continue  # seed-loop documentation rows; never executed
+        entries.append({
+            "kind": e["kind"],
+            "representation": e["representation"],
+            "trans": e.get("trans", ""),
+            "block_size": int(e["block_size"]),
+            "threads": int(e.get("threads", 1)),
+            "gflops": float(e.get("gflops", 0.0)),
+            "bytes_per_second": float(e.get("bytes_per_second", 0.0)),
+        })
+    if not entries:
+        fail(f"{bench_path}: no usable entries")
+    entries.sort(key=lambda e: (e["kind"], e["representation"], e["trans"],
+                                e["block_size"], e["threads"]))
+    return {
+        "schema": "dmac-calibration-v1",
+        "source": bench_path,
+        "default_block_size": int(bench.get("default_block_size", 256)),
+        "entries": entries,
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench", nargs="?", default="BENCH_kernels.json",
+                    help="kernel sweep to distill (or file to --check)")
+    ap.add_argument("-o", "--output", default="CALIBRATION.json")
+    ap.add_argument("--check", action="store_true",
+                    help="validate an existing calibration file instead")
+    args = ap.parse_args()
+
+    if args.check:
+        try:
+            with open(args.bench) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot read {args.bench}: {e}")
+        validate(doc, args.bench)
+        return
+
+    doc = derive(args.bench)
+    validate(doc, f"<derived from {args.bench}>")
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"gen_calibration: wrote {args.output} "
+          f"({len(doc['entries'])} entries)")
+
+
+if __name__ == "__main__":
+    main()

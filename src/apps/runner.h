@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "lang/program.h"
 #include "plan/planner.h"
+#include "plan/search.h"
 #include "runtime/executor.h"
 
 namespace dmac {
@@ -55,6 +56,35 @@ struct RunConfig {
   /// Resource governance (docs/governance.md): deadline/cancel token,
   /// memory budget and spill store. Default = ungoverned.
   GovernorContext governor;
+  /// Cost-based plan search (plan/search.h, docs/planner.md). kOff = the
+  /// greedy Algorithm 1 plan, exactly as before.
+  PlanSearchMode plan_search = PlanSearchMode::kOff;
+  /// Beam width of the search (and the finalist cap in both modes).
+  int beam_width = 8;
+  /// Kernel-rate calibration file for the cost model (CALIBRATION.json or
+  /// BENCH_kernels.json); empty = built-in default rates.
+  std::string calibration_path;
+  /// Race the search's top two finalists for one probe iteration and
+  /// execute whichever measured faster (docs/planner.md, "Racing").
+  /// Requires plan_search != kOff.
+  bool race_top2 = false;
+};
+
+/// Search/race summary of one run (RunOutcome::search; all-default when
+/// RunConfig::plan_search == kOff).
+struct RunSearchInfo {
+  bool ran = false;
+  int64_t candidates = 0;    // verified candidates ranked
+  int64_t rejected = 0;      // dropped by planning/verify failure
+  double seconds = 0;        // search wall time
+  double best_seconds = 0;   // winner's estimated seconds
+  double best_comm_bytes = 0;
+  double greedy_seconds = 0;  // greedy plan's estimated seconds
+  double greedy_comm_bytes = 0;
+  std::string best_decisions;  // winner's decision vector ("greedy" = none)
+  bool raced = false;
+  int race_winner = 0;           // finalist index that measured faster
+  double race_probe_seconds = 0;  // wall time of both probe runs
 };
 
 /// Outcome of a run: results, runtime statistics, and the plan that ran.
@@ -63,14 +93,22 @@ struct RunOutcome {
   ExecutionResult result;
   double plan_seconds = 0;     // planning (driver) time
   double execute_seconds = 0;  // measured wall time of the whole execution
+  RunSearchInfo search;
 };
 
 /// Decomposes, plans, and executes `program` with `bindings`.
 Result<RunOutcome> RunProgram(const Program& program, const Bindings& bindings,
                               const RunConfig& config);
 
-/// Plans only (no execution); useful for plan-quality experiments.
+/// Plans only (no execution); useful for plan-quality experiments. With
+/// plan_search enabled this returns the search winner's plan.
 Result<Plan> PlanProgram(const Program& program, const RunConfig& config);
+
+/// Runs the cost-based plan search (plan/search.h) over the decomposed
+/// program and returns the ranked candidates. `config.plan_search` must
+/// not be kOff. dmac_lint --plan-search prints the resulting table.
+Result<SearchResult> SearchProgram(const Program& program,
+                                   const RunConfig& config);
 
 /// Chooses one square block side for the whole program: the Eq. 3 bound
 /// must hold for every (estimated) matrix the program touches, or some

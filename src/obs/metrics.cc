@@ -103,6 +103,27 @@ const std::vector<MetricSpec>& MetricCatalog() {
       {kMetricPlanVerifySeconds, MetricKind::kGauge, "seconds",
        "driver time of the last static plan verification (all analysis "
        "passes)"},
+      {kMetricPlanSearchCandidates, MetricKind::kCounter, "plans",
+       "complete candidate plans costed and ranked by the plan search"},
+      {kMetricPlanSearchPlanned, MetricKind::kCounter, "plans",
+       "GeneratePlan invocations made by the plan search (window scoring "
+       "plus full-program finalists)"},
+      {kMetricPlanSearchRejected, MetricKind::kCounter, "plans",
+       "search candidates dropped by a planning or verification failure"},
+      {kMetricPlanSearchSeconds, MetricKind::kGauge, "seconds",
+       "driver time of the last cost-based plan search"},
+      {kMetricPlanEstimateDrift, MetricKind::kGauge, "ratio",
+       "estimated-vs-measured communication ratio of the last run "
+       "(max/min, so always >= 1; 1 = perfect estimate)"},
+      {kMetricPlanEstimateDriftEvents, MetricKind::kCounter, "events",
+       "runs whose measured communication diverged more than 4x from the "
+       "plan-time estimate (worst-case sparsity pessimism made visible)"},
+      {kMetricPlanRaceWinner, MetricKind::kGauge, "index",
+       "finalist index that won the last top-2 plan race (0 = the "
+       "search's best estimate also measured fastest)"},
+      {kMetricPlanRaceProbeSeconds, MetricKind::kGauge, "seconds",
+       "wall time of the last race's one-iteration probe runs (both "
+       "finalists)"},
       {kMetricFaultInjected, MetricKind::kCounter, "faults",
        "faults injected by the fault framework (crashes, lost blocks, "
        "corruptions, transient failures, stragglers)"},

@@ -190,6 +190,21 @@ inline constexpr const char* kMetricPlanDecomposeSeconds =
 inline constexpr const char* kMetricPlanGenerateSeconds =
     "plan.generate.seconds";
 inline constexpr const char* kMetricPlanVerifySeconds = "plan.verify.seconds";
+inline constexpr const char* kMetricPlanSearchCandidates =
+    "planner.search.candidates";
+inline constexpr const char* kMetricPlanSearchPlanned =
+    "planner.search.planned";
+inline constexpr const char* kMetricPlanSearchRejected =
+    "planner.search.rejected";
+inline constexpr const char* kMetricPlanSearchSeconds =
+    "planner.search.seconds";
+inline constexpr const char* kMetricPlanEstimateDrift =
+    "planner.estimate.drift";
+inline constexpr const char* kMetricPlanEstimateDriftEvents =
+    "planner.estimate.drift.events";
+inline constexpr const char* kMetricPlanRaceWinner = "planner.race.winner";
+inline constexpr const char* kMetricPlanRaceProbeSeconds =
+    "planner.race.probe.seconds";
 inline constexpr const char* kMetricFaultInjected = "fault.injected";
 inline constexpr const char* kMetricFaultRetries = "fault.retries";
 inline constexpr const char* kMetricFaultRecomputedBlocks =

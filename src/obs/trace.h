@@ -37,6 +37,8 @@ inline constexpr const char* kTraceMembership =
     "membership";  // epoch bumps / worker death / degraded rebalance
 inline constexpr const char* kTraceCheckpoint =
     "checkpoint";  // durable checkpoint commit / crash-restart resume
+inline constexpr const char* kTraceSearch =
+    "search";  // cost-based plan search / top-2 plan race
 
 /// One completed span. `worker` is -1 for driver-side work.
 struct TraceEvent {

@@ -483,12 +483,27 @@ class Planner {
     const std::vector<Strategy> candidates = CandidateStrategies(op);
     DMAC_CHECK(!candidates.empty());
 
-    // Equation 1: pick the strategy with minimum communication; ties are
-    // broken by the lookahead score over future consumers.
+    // Plan-search override: a forced operator commits the indexed candidate
+    // directly (plan/search.h enumerates these assignments).
     const Strategy* best = nullptr;
     double best_cost = std::numeric_limits<double>::infinity();
     double best_look = std::numeric_limits<double>::infinity();
+    const auto forced = opts_.forced_strategies.find(op.id);
+    if (forced != opts_.forced_strategies.end()) {
+      if (forced->second < 0 ||
+          static_cast<size_t>(forced->second) >= candidates.size()) {
+        return Status::Invalid("forced strategy index " +
+                               std::to_string(forced->second) + " for " +
+                               op.ToString() + " out of range");
+      }
+      best = &candidates[static_cast<size_t>(forced->second)];
+      DMAC_ASSIGN_OR_RETURN(best_cost, StrategyCost(op, *best));
+    }
+
+    // Equation 1: pick the strategy with minimum communication; ties are
+    // broken by the lookahead score over future consumers.
     for (const Strategy& st : candidates) {
+      if (forced != opts_.forced_strategies.end()) break;  // forced above
       DMAC_ASSIGN_OR_RETURN(double cost, StrategyCost(op, st));
       double look = 0;
       if (!op.output.empty()) {

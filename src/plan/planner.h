@@ -1,6 +1,8 @@
 // Execution plan generation (paper §4, Algorithm 1).
 #pragma once
 
+#include <map>
+
 #include "common/result.h"
 #include "lang/op.h"
 #include "plan/plan.h"
@@ -58,6 +60,12 @@ struct PlannerOptions {
   /// forwarded to the verifier so the lineage-completeness pass can flag
   /// a quorum the cluster cannot satisfy before execution starts.
   int min_workers = 1;
+
+  /// Plan-search override (plan/search.h): operator id → index into
+  /// CandidateStrategies(op). A forced operator skips Equation 1's argmin
+  /// and commits the indexed candidate; out-of-range indices are an error.
+  /// Empty (the default) reproduces the pure greedy Algorithm 1.
+  std::map<int, int> forced_strategies;
 
   /// The run will maintain / restore durable checkpoints (executor
   /// checkpoint_dir / resume), forwarded to the verifier so the lineage

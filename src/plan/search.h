@@ -1,0 +1,83 @@
+// Cost-based candidate plan search (ROADMAP item 2).
+//
+// Algorithm 1 is greedy: every operator commits to the locally cheapest
+// strategy. This layer enumerates whole-plan alternatives over the axes the
+// planner already exposes — the multiply algorithm per multiplication
+// (RMM1/RMM2/CPMM), the partition scheme per load/random leaf (row, column,
+// broadcast), and the two global toggles (heuristics, transpose fusion) —
+// and ranks complete candidates with the calibrated cost model
+// (plan/costmodel.h). The greedy plan is always one of the candidates, so
+// the searched winner never estimates worse than Algorithm 1's choice.
+//
+// Unrolled iterative programs repeat the same operator shape once per
+// iteration; decisions are therefore made per *signature* (operator kind +
+// base SSA names of its operands), so GNMF costs ~10 decisions regardless
+// of the iteration count. Beam search scores partial assignments on a
+// representative window of the program (through the second occurrence of
+// every signature); complete candidates are re-planned over the full
+// program and pass the static verifier (src/analysis) before ranking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/op.h"
+#include "plan/costmodel.h"
+#include "plan/planner.h"
+
+namespace dmac {
+
+enum class PlanSearchMode : uint8_t { kOff, kBeam, kExhaustive };
+
+const char* PlanSearchModeName(PlanSearchMode mode);
+/// Parses "off" / "beam" / "exhaustive" (tool flags).
+Result<PlanSearchMode> ParsePlanSearchMode(const std::string& name);
+
+/// Search configuration.
+struct SearchOptions {
+  PlanSearchMode mode = PlanSearchMode::kBeam;
+  /// Partial assignments kept per decision level in beam mode.
+  int beam_width = 8;
+  /// Hard cap on complete assignments enumerated in exhaustive mode; a
+  /// larger space is an error (use beam mode for big programs).
+  int64_t max_exhaustive = 4096;
+};
+
+/// One fully planned, verified candidate.
+struct PlanCandidate {
+  Plan plan;
+  PlanCost cost;
+  /// Human-readable decision vector, e.g. "heur=on fuse=on W'V=CPMM ...".
+  std::string decisions;
+  /// True for the unforced Algorithm-1 plan.
+  bool greedy = false;
+};
+
+/// Search-run accounting (exported as planner.search.* metrics).
+struct SearchStats {
+  int64_t decisions = 0;  // decision axes (2 toggles + signature groups)
+  int64_t planned = 0;    // GeneratePlan calls (window + full)
+  int64_t verified = 0;   // complete candidates passed to the verifier
+  int64_t rejected = 0;   // candidates dropped (planning or verify failure)
+  double seconds = 0;     // wall time of the whole search
+};
+
+/// Ranked candidates, best first (estimated seconds, ties on comm bytes).
+struct SearchResult {
+  std::vector<PlanCandidate> candidates;
+  SearchStats stats;
+  const PlanCandidate& best() const { return candidates.front(); }
+};
+
+/// Enumerates, verifies, and ranks candidate plans for `ops`.
+/// `base` supplies the planner configuration the candidates vary around
+/// (its forced_strategies must be empty); `model` prices each candidate.
+/// At least one candidate (the greedy plan) always survives, or an error
+/// is returned.
+Result<SearchResult> SearchPlans(const OperatorList& ops,
+                                 const PlannerOptions& base,
+                                 const SearchOptions& options,
+                                 const CostModel& model);
+
+}  // namespace dmac

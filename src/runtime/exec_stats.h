@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace dmac {
@@ -87,6 +89,19 @@ struct ExecStats {
   bool resumed = false;                  // this run restored a durable snapshot
   int64_t resume_step = -1;              // last step the snapshot covered
   int64_t resume_restored_blocks = 0;    // blocks read back from disk on resume
+
+  // --- Plan-estimate drift (docs/planner.md). The §5.1 size estimator is
+  // deliberately worst-case (s_C = 1 after every multiply), which makes
+  // chained-multiply estimates wildly pessimistic; these fields record what
+  // actually happened so the planner.estimate.drift metric can surface it.
+  /// Measured nonzeros of every plan matrix still resident when the run
+  /// finished, keyed by its plan rendering ("W#3", "V^T", ...).
+  std::map<std::string, int64_t> matrix_nnz;
+  /// The §4.1 communication estimate the executed plan carried.
+  double estimated_comm_bytes = 0;
+  /// max(estimated, measured) / min(estimated, measured) communication
+  /// bytes: always >= 1 once both sides are nonzero; 0 = not computed.
+  double estimate_drift = 0;
 
   double comm_bytes() const { return shuffle_bytes + broadcast_bytes; }
   int64_t comm_events() const { return shuffle_events + broadcast_events; }
@@ -204,6 +219,10 @@ struct ExecStats {
     durable_epochs += other.durable_epochs;
     checkpoint_failures += other.checkpoint_failures;
     disk_faults_injected += other.disk_faults_injected;
+    for (const auto& [name, nnz] : other.matrix_nnz) matrix_nnz[name] = nnz;
+    estimated_comm_bytes += other.estimated_comm_bytes;
+    // Drift is a ratio, not an additive quantity; keep the worst seen.
+    estimate_drift = std::max(estimate_drift, other.estimate_drift);
     resumed = resumed || other.resumed;
     // A resume point is a position, not a quantity.
     resume_step = std::max(resume_step, other.resume_step);

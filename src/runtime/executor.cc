@@ -241,8 +241,52 @@ class Executor::Impl {
     stats_.peak_memory_bytes =
         std::max(MemTracker::Global().peak_bytes(), mem_before_peak);
     metric_peak_memory_->Set(static_cast<double>(stats_.peak_memory_bytes));
+    RecordEstimateDrift();
     result.stats = std::move(stats_);
     return result;
+  }
+
+  /// Fills ExecStats::matrix_nnz from the nodes still resident and compares
+  /// the plan's §4.1 communication estimate against what actually moved.
+  /// The §5.1 worst-case sparsity rule (s_C = 1 after every multiply) can
+  /// overestimate chained-multiply traffic by orders of magnitude; the
+  /// planner.estimate.drift gauge makes that visible, and the .events
+  /// counter fires when the divergence exceeds 4x (docs/planner.md).
+  void RecordEstimateDrift() {
+    for (size_t i = 0; i < node_data_.size(); ++i) {
+      const auto& dm = node_data_[i];
+      if (dm == nullptr) continue;
+      int64_t nnz = 0;
+      bool complete = true;
+      for (int64_t bi = 0; complete && bi < dm->grid().block_rows(); ++bi) {
+        for (int64_t bj = 0; bj < dm->grid().block_cols(); ++bj) {
+          const auto block = dm->GetOwned(bi, bj);
+          if (block == nullptr) {  // spilled or dropped; don't guess
+            complete = false;
+            break;
+          }
+          nnz += block->nnz();
+        }
+      }
+      if (complete) {
+        const PlanNode& node = plan_.nodes[i];
+        stats_.matrix_nnz[node.transposed ? node.matrix + "^T"
+                                          : node.matrix] = nnz;
+      }
+    }
+    stats_.estimated_comm_bytes = plan_.total_comm_bytes;
+    const double estimated = plan_.total_comm_bytes;
+    const double measured = stats_.comm_bytes();
+    if (estimated > 0 && measured > 0) {
+      stats_.estimate_drift =
+          std::max(estimated, measured) / std::min(estimated, measured);
+    } else if (estimated == measured) {
+      stats_.estimate_drift = 1;  // both zero: a comm-free plan, no drift
+    }
+    metric_estimate_drift_->Set(stats_.estimate_drift);
+    if (stats_.estimate_drift > 4.0) {
+      metric_estimate_drift_events_->Increment();
+    }
   }
 
  private:
@@ -2151,6 +2195,10 @@ class Executor::Impl {
   Gauge* metric_stages_ = MetricRegistry::Global().gauge(kMetricStages);
   Gauge* metric_peak_memory_ =
       MetricRegistry::Global().gauge(kMetricPeakMemoryBytes);
+  Gauge* metric_estimate_drift_ =
+      MetricRegistry::Global().gauge(kMetricPlanEstimateDrift);
+  Counter* metric_estimate_drift_events_ =
+      MetricRegistry::Global().counter(kMetricPlanEstimateDriftEvents);
   Counter* metric_fault_injected_ =
       MetricRegistry::Global().counter(kMetricFaultInjected);
   Counter* metric_fault_retries_ =

@@ -1,0 +1,214 @@
+// Cost-based plan search: beam/exhaustive agreement on small programs, the
+// searched-never-worse-than-greedy guarantee, the forced-strategy planner
+// hook, and the pinned default behavior when the search is off.
+#include "plan/search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/gnmf.h"
+#include "apps/pagerank.h"
+#include "lang/decompose.h"
+#include "plan/planner.h"
+
+namespace dmac {
+namespace {
+
+OperatorList MustDecompose(const Program& p) {
+  auto ops = Decompose(p);
+  EXPECT_TRUE(ops.ok()) << ops.status();
+  return *ops;
+}
+
+CostModel DefaultModel() {
+  return CostModel(CalibrationTable::Builtin(), CostModelOptions{});
+}
+
+SearchResult MustSearch(const OperatorList& ops, SearchOptions sopts,
+                        PlannerOptions base = {}) {
+  auto res = SearchPlans(ops, base, sopts, DefaultModel());
+  EXPECT_TRUE(res.ok()) << res.status();
+  return *res;
+}
+
+/// One multiply over two loads: a space small enough for exhaustive mode.
+Program TinyProgram() {
+  ProgramBuilder pb;
+  Mat a = pb.Load("A", {100000, 4000}, 1e-3);
+  Mat b = pb.Load("B", {4000, 64}, 1.0);
+  Mat c = pb.Var("C");
+  pb.Assign(c, a.mm(b));
+  pb.Output(c);
+  return pb.Build();
+}
+
+TEST(PlanSearchTest, ModeNamesRoundTrip) {
+  for (PlanSearchMode m : {PlanSearchMode::kOff, PlanSearchMode::kBeam,
+                           PlanSearchMode::kExhaustive}) {
+    auto parsed = ParsePlanSearchMode(PlanSearchModeName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(ParsePlanSearchMode("greedy").ok());
+}
+
+TEST(PlanSearchTest, BeamMatchesExhaustiveOnSmallProgram) {
+  OperatorList ops = MustDecompose(TinyProgram());
+  SearchOptions beam;
+  beam.mode = PlanSearchMode::kBeam;
+  beam.beam_width = 64;  // wide enough to not prune anything
+  SearchOptions exhaustive;
+  exhaustive.mode = PlanSearchMode::kExhaustive;
+  exhaustive.beam_width = 64;
+  SearchResult b = MustSearch(ops, beam);
+  SearchResult e = MustSearch(ops, exhaustive);
+  ASSERT_FALSE(b.candidates.empty());
+  ASSERT_FALSE(e.candidates.empty());
+  EXPECT_NEAR(b.best().cost.seconds(), e.best().cost.seconds(), 1e-12);
+  EXPECT_NEAR(b.best().cost.comm_bytes, e.best().cost.comm_bytes, 1e-6);
+  EXPECT_EQ(b.best().plan.ToString(), e.best().plan.ToString());
+}
+
+TEST(PlanSearchTest, GreedyIsAlwaysACandidate) {
+  SearchOptions sopts;
+  sopts.beam_width = 4;
+  SearchResult res =
+      MustSearch(MustDecompose(BuildGnmfProgram({2000, 1500, 0.05, 16, 3})),
+                 sopts);
+  int greedy_count = 0;
+  for (const PlanCandidate& c : res.candidates) greedy_count += c.greedy;
+  EXPECT_EQ(greedy_count, 1);
+}
+
+TEST(PlanSearchTest, SearchedNeverEstimatesWorseThanGreedy) {
+  for (const Program& p :
+       {BuildGnmfProgram({2000, 1500, 0.05, 16, 3}),
+        BuildPageRankProgram({5000, 1e-3, 3, 0.85})}) {
+    SearchResult res = MustSearch(MustDecompose(p), SearchOptions{});
+    const PlanCandidate* greedy = nullptr;
+    for (const PlanCandidate& c : res.candidates) {
+      if (c.greedy) greedy = &c;
+    }
+    ASSERT_NE(greedy, nullptr);
+    EXPECT_LE(res.best().cost.seconds(), greedy->cost.seconds());
+    // Candidates are ranked best-first.
+    for (size_t i = 1; i < res.candidates.size(); ++i) {
+      EXPECT_LE(res.candidates[i - 1].cost.seconds(),
+                res.candidates[i].cost.seconds() + 1e-12);
+    }
+  }
+}
+
+TEST(PlanSearchTest, IterationsShareDecisions) {
+  // An unrolled loop must not multiply the search space: 3 iterations and
+  // 6 iterations of GNMF see the same decision axes.
+  SearchOptions sopts;
+  SearchResult three =
+      MustSearch(MustDecompose(BuildGnmfProgram({2000, 1500, 0.05, 16, 3})),
+                 sopts);
+  SearchResult six =
+      MustSearch(MustDecompose(BuildGnmfProgram({2000, 1500, 0.05, 16, 6})),
+                 sopts);
+  EXPECT_EQ(three.stats.decisions, six.stats.decisions);
+  EXPECT_GT(three.stats.decisions, 2);  // toggles + at least one group
+}
+
+TEST(PlanSearchTest, ExhaustiveRefusesOversizedSpaces) {
+  SearchOptions sopts;
+  sopts.mode = PlanSearchMode::kExhaustive;
+  sopts.max_exhaustive = 4;
+  auto res =
+      SearchPlans(MustDecompose(BuildGnmfProgram({2000, 1500, 0.05, 16, 3})),
+                  PlannerOptions{}, sopts, DefaultModel());
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().ToString().find("exhaustive"), std::string::npos);
+}
+
+TEST(PlanSearchTest, RejectsPreforcedBaseOptions) {
+  PlannerOptions base;
+  base.forced_strategies[0] = 1;
+  auto res = SearchPlans(MustDecompose(TinyProgram()), base, SearchOptions{},
+                         DefaultModel());
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(PlanSearchTest, OffModeIsAnError) {
+  SearchOptions sopts;
+  sopts.mode = PlanSearchMode::kOff;
+  EXPECT_FALSE(SearchPlans(MustDecompose(TinyProgram()), PlannerOptions{},
+                           sopts, DefaultModel())
+                   .ok());
+}
+
+TEST(PlanSearchTest, ForcedStrategyOverridesGreedyChoice) {
+  // The planner hook the search drives: forcing a non-greedy candidate
+  // index must change the chosen strategy, and an out-of-range index must
+  // fail rather than truncate.
+  OperatorList ops = MustDecompose(TinyProgram());
+  PlannerOptions base;
+  auto greedy = GeneratePlan(ops, base);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+
+  int multiply_id = -1;
+  for (const Operator& op : ops.ops) {
+    if (op.kind == OpKind::kMultiply) multiply_id = op.id;
+  }
+  ASSERT_GE(multiply_id, 0);
+  const size_t n = CandidateStrategies(
+                       *std::find_if(ops.ops.begin(), ops.ops.end(),
+                                     [&](const Operator& op) {
+                                       return op.id == multiply_id;
+                                     }))
+                       .size();
+  ASSERT_GE(n, 2u);
+
+  bool changed = false;
+  for (size_t i = 0; i < n; ++i) {
+    PlannerOptions forced = base;
+    forced.forced_strategies[multiply_id] = static_cast<int>(i);
+    auto plan = GeneratePlan(ops, forced);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    changed = changed || plan->ToString() != greedy->ToString();
+  }
+  EXPECT_TRUE(changed);
+
+  PlannerOptions bad = base;
+  bad.forced_strategies[multiply_id] = static_cast<int>(n);
+  EXPECT_FALSE(GeneratePlan(ops, bad).ok());
+}
+
+TEST(PlanSearchTest, SearchOffLeavesLookaheadTieBreakUntouched) {
+  // Pin the default pipeline: with no forced strategies the planner's
+  // lookahead tie-break still decides load schemes exactly as before the
+  // search layer existed (an empty forced map is not "force nothing
+  // different", it is the identical greedy code path).
+  Program p = BuildGnmfProgram({2000, 1500, 0.05, 16, 3});
+  OperatorList ops = MustDecompose(p);
+  PlannerOptions defaults;
+  PlannerOptions with_empty_map;
+  with_empty_map.forced_strategies.clear();
+  auto a = GeneratePlan(ops, defaults);
+  auto b = GeneratePlan(ops, with_empty_map);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+
+  // And lookahead still only breaks ties: disabling it never plans better.
+  PlannerOptions no_lookahead;
+  no_lookahead.lookahead_edges = 0;
+  auto c = GeneratePlan(ops, no_lookahead);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LE(a->total_comm_bytes, c->total_comm_bytes * 1.001);
+}
+
+TEST(PlanSearchTest, StatsAreAccounted) {
+  SearchResult res = MustSearch(MustDecompose(TinyProgram()), SearchOptions{});
+  EXPECT_GT(res.stats.decisions, 0);
+  EXPECT_GT(res.stats.planned, 0);
+  EXPECT_GT(res.stats.verified, 0);
+  EXPECT_GT(res.stats.seconds, 0.0);
+  EXPECT_EQ(res.stats.rejected, 0);
+}
+
+}  // namespace
+}  // namespace dmac

@@ -112,7 +112,17 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "[--checkpoint-every K] [--checkpoint-dir DIR] [--resume] "
                "[--crash-at N] "
                "[--deadline-ms MS] [--mem-budget-mb MB] [--concurrency N] "
-               "[--help]\n"
+               "[--plan-search MODE] [--beam-width W] [--calibration FILE] "
+               "[--race-top2] [--help]\n"
+               "\n"
+               "plan search (docs/planner.md):\n"
+               "  --plan-search off|beam|exhaustive  cost-based candidate\n"
+               "      plan search; beam keeps --beam-width partial\n"
+               "      assignments (default 8)\n"
+               "  --calibration FILE   kernel rates (CALIBRATION.json or\n"
+               "      BENCH_kernels.json); default: built-in rates\n"
+               "  --race-top2          race the top two finalists for one\n"
+               "      probe iteration and execute the measured winner\n"
                "\n"
                "exit codes (docs/governance.md):\n"
                "  0  success\n"
@@ -251,6 +261,31 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (!v) return Usage(argv[0]);
       config.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (path_flag("--calibration", &config.calibration_path)) {
+      if (config.calibration_path.empty()) return Usage(argv[0]);
+    } else if (arg == "--plan-search" ||
+               arg.rfind("--plan-search=", 0) == 0) {
+      std::string mode;
+      if (arg == "--plan-search") {
+        const char* v = next_value();
+        if (!v) return Usage(argv[0]);
+        mode = v;
+      } else {
+        mode = arg.substr(std::string("--plan-search=").size());
+      }
+      auto parsed = ParsePlanSearchMode(mode);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return Usage(argv[0]);
+      }
+      config.plan_search = *parsed;
+    } else if (arg == "--beam-width") {
+      const char* v = next_value();
+      if (!v) return Usage(argv[0]);
+      config.beam_width = std::atoi(v);
+      if (config.beam_width < 1) return Usage(argv[0]);
+    } else if (arg == "--race-top2") {
+      config.race_top2 = true;
     } else if (arg == "--baseline") {
       config.exploit_dependencies = false;
     } else if (arg == "--verify-plan") {
@@ -479,6 +514,26 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.comm_events()),
       stats.ComputeWallSeconds(), stats.SimulatedSeconds(NetworkModel{}),
       outcome->plan_seconds * 1e3);
+  if (outcome->search.ran) {
+    const RunSearchInfo& s = outcome->search;
+    std::string race;
+    if (s.raced) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ", race winner=%d (probes %.3fs)",
+                    s.race_winner, s.race_probe_seconds);
+      race = buf;
+    }
+    std::printf(
+        "[search] mode=%s candidates=%lld rejected=%lld est %.3fs "
+        "(greedy %.3fs), comm %.2f MB (greedy %.2f MB), search %.1fms, "
+        "plan: %s%s\n",
+        PlanSearchModeName(config.plan_search),
+        static_cast<long long>(s.candidates),
+        static_cast<long long>(s.rejected), s.best_seconds,
+        s.greedy_seconds, s.best_comm_bytes / 1e6,
+        s.greedy_comm_bytes / 1e6, s.seconds * 1e3,
+        s.best_decisions.c_str(), race.c_str());
+  }
   if (config.fault.enabled || config.checkpoint_every > 0) {
     std::printf(
         "[fault] %lld injected, %lld retries, %lld recomputed / %lld "
